@@ -1,0 +1,300 @@
+//! Branch-and-bound 0-1 selection — the IP-model analogue.
+//!
+//! §2.1 of the paper states the per-step selection problem as a 0-1 integer
+//! program: minimise `Σ aᵢzᵢ` subject to `Σ aᵢcᵢ ≤ S` and `Σ aᵢ = n`. The
+//! AEP implementations solve special cases (z = cost, z = length) with
+//! dedicated routines; this module solves the **general** problem exactly
+//! by depth-first branch and bound, standing in for the IP-driven
+//! co-allocation schemes the paper compares against (refs [2, 12, 13]).
+//!
+//! The solver is exact but exponential in the worst case; the bound
+//! functions keep it fast on the candidate-set sizes the AEP scan produces
+//! (tens to hundreds of slots). It is used by tests to validate the
+//! linear-scan selectors and by the ablation benchmark measuring the price
+//! of exactness.
+
+use slotsel_core::money::Money;
+use slotsel_core::selectors::Candidate;
+
+/// An exact solution: chosen candidate indices, their total score and cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BnbSolution {
+    /// Indices into the candidate slice.
+    pub picked: Vec<usize>,
+    /// The minimised objective `Σ z`.
+    pub objective: f64,
+    /// Total cost of the selection.
+    pub cost: Money,
+}
+
+/// Minimises `Σ score(candidate)` over `n`-subsets with `Σ cost ≤ budget`.
+///
+/// `score` must be non-negative for the lower bound to be admissible.
+/// Returns `None` when no feasible subset exists.
+///
+/// # Panics
+///
+/// Panics if `score` returns a negative or non-finite value.
+#[must_use]
+pub fn solve(
+    candidates: &[Candidate],
+    n: usize,
+    budget: Money,
+    score: impl Fn(&Candidate) -> f64,
+) -> Option<BnbSolution> {
+    if n == 0 || candidates.len() < n {
+        return None;
+    }
+    let scored: Vec<(usize, f64, Money)> = {
+        let mut v: Vec<(usize, f64, Money)> = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let z = score(c);
+                assert!(
+                    z.is_finite() && z >= 0.0,
+                    "score must be finite and non-negative, got {z}"
+                );
+                (i, z, c.cost)
+            })
+            .collect();
+        // Branch in ascending score order so good solutions appear early
+        // and the bound prunes aggressively.
+        v.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        v
+    };
+
+    // Suffix minima of costs: cheapest way to take k more items from i..
+    // gives an admissible feasibility bound.
+    let m = scored.len();
+    let mut suffix_sorted_costs: Vec<Vec<Money>> = Vec::with_capacity(m + 1);
+    suffix_sorted_costs.push(Vec::new());
+    for i in (0..m).rev() {
+        let mut costs = suffix_sorted_costs.last().expect("pushed above").clone();
+        let pos = costs.partition_point(|&c| c < scored[i].2);
+        costs.insert(pos, scored[i].2);
+        suffix_sorted_costs.push(costs);
+    }
+    suffix_sorted_costs.reverse(); // suffix_sorted_costs[i] = sorted costs of scored[i..]
+
+    // Suffix prefix-min-score sums: the cheapest possible objective from
+    // taking k more items of scored[i..] is the first k scores (already
+    // score-sorted).
+    let mut best: Option<BnbSolution> = None;
+    let mut current: Vec<usize> = Vec::with_capacity(n);
+    dfs(
+        &scored,
+        &suffix_sorted_costs,
+        n,
+        budget,
+        0,
+        0.0,
+        Money::ZERO,
+        &mut current,
+        &mut best,
+    );
+    best.map(|mut solution| {
+        solution.picked.sort_unstable();
+        solution
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    scored: &[(usize, f64, Money)],
+    suffix_sorted_costs: &[Vec<Money>],
+    n: usize,
+    budget: Money,
+    position: usize,
+    objective: f64,
+    cost: Money,
+    current: &mut Vec<usize>,
+    best: &mut Option<BnbSolution>,
+) {
+    if current.len() == n {
+        if best.as_ref().is_none_or(|b| objective < b.objective) {
+            *best = Some(BnbSolution {
+                picked: current.iter().map(|&p| scored[p].0).collect(),
+                objective,
+                cost,
+            });
+        }
+        return;
+    }
+    let need = n - current.len();
+    if scored.len() - position < need {
+        return;
+    }
+    // Objective lower bound: scores are sorted ascending, so the next
+    // `need` items from `position` are the cheapest possible completion.
+    let bound: f64 = objective
+        + scored[position..position + need]
+            .iter()
+            .map(|&(_, z, _)| z)
+            .sum::<f64>();
+    if best.as_ref().is_some_and(|b| bound >= b.objective) {
+        return;
+    }
+    // Cost feasibility bound: even the cheapest completion must fit.
+    let cheapest_completion: Money = suffix_sorted_costs[position][..need].iter().copied().sum();
+    if cost + cheapest_completion > budget {
+        return;
+    }
+
+    // Branch: take scored[position] …
+    if cost + scored[position].2 <= budget {
+        current.push(position);
+        dfs(
+            scored,
+            suffix_sorted_costs,
+            n,
+            budget,
+            position + 1,
+            objective + scored[position].1,
+            cost + scored[position].2,
+            current,
+            best,
+        );
+        current.pop();
+    }
+    // … or skip it.
+    dfs(
+        scored,
+        suffix_sorted_costs,
+        n,
+        budget,
+        position + 1,
+        objective,
+        cost,
+        current,
+        best,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slotsel_core::node::{NodeId, Performance};
+    use slotsel_core::slot::{Slot, SlotId};
+    use slotsel_core::time::{Interval, TimeDelta, TimePoint};
+
+    fn cands(specs: &[(i64, i64)]) -> Vec<Candidate> {
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(len, cost))| Candidate {
+                slot: Slot::new(
+                    SlotId(i as u64),
+                    NodeId(i as u32),
+                    Interval::new(TimePoint::new(0), TimePoint::new(10_000)),
+                    Performance::new(1),
+                    Money::ZERO,
+                ),
+                length: TimeDelta::new(len),
+                cost: Money::from_units(cost),
+            })
+            .collect()
+    }
+
+    fn proc_time(c: &Candidate) -> f64 {
+        c.length.ticks() as f64
+    }
+
+    #[test]
+    fn solves_unconstrained_min_sum() {
+        let c = cands(&[(30, 1), (10, 1), (20, 1), (40, 1)]);
+        let s = solve(&c, 2, Money::from_units(100), proc_time).unwrap();
+        assert_eq!(s.objective, 30.0, "10 + 20");
+        assert_eq!(s.picked, vec![1, 2]);
+    }
+
+    #[test]
+    fn budget_forces_worse_objective() {
+        // The two shortest are expensive together.
+        let c = cands(&[(10, 60), (20, 60), (30, 1), (40, 1)]);
+        let s = solve(&c, 2, Money::from_units(61), proc_time).unwrap();
+        assert_eq!(
+            s.objective, 40.0,
+            "10 + 30: one short expensive + one long cheap"
+        );
+        assert!(s.cost <= Money::from_units(61));
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let c = cands(&[(10, 50), (20, 60)]);
+        assert!(solve(&c, 2, Money::from_units(109), proc_time).is_none());
+        assert!(solve(&c, 3, Money::MAX, proc_time).is_none());
+        assert!(solve(&c, 0, Money::MAX, proc_time).is_none());
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        use slotsel_core::rng::SplitMix64;
+        let mut rng = SplitMix64::new(77);
+        for case in 0..40 {
+            let m = 4 + (rng.next_below(6) as usize);
+            let n = 1 + (rng.next_below(3) as usize).min(m - 1);
+            let specs: Vec<(i64, i64)> = (0..m)
+                .map(|_| (1 + rng.next_below(50) as i64, 1 + rng.next_below(30) as i64))
+                .collect();
+            let budget = Money::from_units(10 + rng.next_below(60) as i64);
+            let c = cands(&specs);
+
+            // Brute force over all n-subsets.
+            let mut best: Option<(f64, Money)> = None;
+            let indices: Vec<usize> = (0..m).collect();
+            let mut stack = vec![(Vec::<usize>::new(), 0usize)];
+            while let Some((chosen, from)) = stack.pop() {
+                if chosen.len() == n {
+                    let cost: Money = chosen.iter().map(|&i| c[i].cost).sum();
+                    if cost <= budget {
+                        let obj: f64 = chosen.iter().map(|&i| proc_time(&c[i])).sum();
+                        if best.is_none_or(|(b, _)| obj < b) {
+                            best = Some((obj, cost));
+                        }
+                    }
+                    continue;
+                }
+                for &i in &indices[from..] {
+                    let mut next = chosen.clone();
+                    next.push(i);
+                    stack.push((next, i + 1));
+                }
+            }
+
+            let solved = solve(&c, n, budget, proc_time);
+            match (best, solved) {
+                (Some((obj, _)), Some(s)) => {
+                    assert_eq!(s.objective, obj, "case {case}: m={m} n={n}");
+                    assert!(s.cost <= budget);
+                }
+                (None, None) => {}
+                (b, s) => panic!("case {case}: feasibility mismatch {b:?} vs {s:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cost_objective_reduces_to_cheapest_n() {
+        let c = cands(&[(1, 9), (1, 2), (1, 7), (1, 4)]);
+        let s = solve(&c, 2, Money::from_units(100), |c| c.cost.as_f64()).unwrap();
+        assert_eq!(s.cost, Money::from_units(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_scores() {
+        let c = cands(&[(1, 1), (2, 1)]);
+        let _ = solve(&c, 1, Money::MAX, |_| -1.0);
+    }
+
+    #[test]
+    fn picked_indices_refer_to_input_order() {
+        let c = cands(&[(40, 1), (10, 1), (30, 1)]);
+        let s = solve(&c, 2, Money::MAX, proc_time).unwrap();
+        // Shortest two are inputs 1 (10) and 2 (30).
+        assert_eq!(s.picked, vec![1, 2]);
+        assert_eq!(s.objective, 40.0);
+    }
+}

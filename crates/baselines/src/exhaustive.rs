@@ -1,0 +1,287 @@
+//! Exhaustive window search — the optimal reference.
+//!
+//! The paper groups prior co-allocation approaches into first-fit schemes
+//! and **exhaustive searches** (including the IP/MIP formulations of its
+//! refs [2, 12, 13]). This module provides a true exhaustive optimum: every
+//! candidate anchor (each slot start) is considered and every budget-feasible
+//! `n`-subset of the slots alive there is enumerated. Exponential in the
+//! extended-window size, it exists to *validate* the linear-scan algorithms
+//! on small instances — the property tests assert that `MinCost`,
+//! `MinRunTime(Exact)` and `MinFinish(Exact)` match it, and that the greedy
+//! variants never beat it.
+
+use slotsel_core::criteria::WindowCriterion;
+use slotsel_core::node::Platform;
+use slotsel_core::request::ResourceRequest;
+use slotsel_core::selectors::{build_window, Candidate};
+use slotsel_core::slotlist::SlotList;
+use slotsel_core::window::Window;
+
+/// Upper bound on `C(alive, n)` enumerations per anchor before the search
+/// refuses, protecting tests from accidental exponential blow-ups.
+const MAX_SUBSETS_PER_ANCHOR: u64 = 2_000_000;
+
+/// Finds the globally optimal window by `criterion` via exhaustive
+/// enumeration.
+///
+/// Returns `None` when no feasible window exists.
+///
+/// # Panics
+///
+/// Panics if an anchor's subset count exceeds an internal safety bound
+/// (~2·10⁶) — this is a validation tool for small instances, not a
+/// production algorithm.
+#[must_use]
+pub fn exhaustive_best<C: WindowCriterion + ?Sized>(
+    platform: &Platform,
+    slots: &SlotList,
+    request: &ResourceRequest,
+    criterion: &C,
+) -> Option<Window> {
+    let n = request.node_count();
+    let mut best: Option<(f64, Window)> = None;
+
+    for anchor_slot in slots {
+        let anchor = anchor_slot.start();
+        if let Some(deadline) = request.deadline() {
+            if anchor >= deadline {
+                break;
+            }
+        }
+        // Alive candidates at this anchor, one per node.
+        let mut alive: Vec<Candidate> = Vec::new();
+        for slot in slots {
+            if slot.start() > anchor {
+                break; // List is ordered; later slots have not started.
+            }
+            let admitted = platform
+                .get(slot.node())
+                .is_some_and(|node| request.requirements().admits(node));
+            if !admitted || !slot.fits(anchor, request.volume()) {
+                continue;
+            }
+            let candidate = Candidate::new(*slot, request.volume());
+            if request
+                .deadline()
+                .is_some_and(|d| anchor + candidate.length > d)
+            {
+                continue;
+            }
+            alive.retain(|c| c.slot.node() != slot.node());
+            alive.push(candidate);
+        }
+        if alive.len() < n {
+            continue;
+        }
+        assert!(
+            binomial(alive.len() as u64, n as u64) <= MAX_SUBSETS_PER_ANCHOR,
+            "exhaustive search over C({}, {n}) subsets exceeds the safety bound",
+            alive.len()
+        );
+        let mut subset = Vec::with_capacity(n);
+        enumerate_subsets(&alive, n, 0, &mut subset, &mut |picked| {
+            let cost = picked
+                .iter()
+                .map(|&i| alive[i].cost)
+                .sum::<slotsel_core::Money>();
+            if cost > request.budget() {
+                return;
+            }
+            let window = build_window(anchor, &alive, picked);
+            let score = criterion.score(&window);
+            if best.as_ref().is_none_or(|(s, _)| score < *s) {
+                best = Some((score, window));
+            }
+        });
+    }
+    best.map(|(_, w)| w)
+}
+
+fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u64 = 1;
+    for i in 0..k {
+        result = result.saturating_mul(n - i) / (i + 1);
+    }
+    result
+}
+
+fn enumerate_subsets(
+    alive: &[Candidate],
+    want: usize,
+    from: usize,
+    current: &mut Vec<usize>,
+    visit: &mut impl FnMut(&[usize]),
+) {
+    if current.len() == want {
+        visit(current);
+        return;
+    }
+    let remaining = want - current.len();
+    for i in from..=alive.len().saturating_sub(remaining) {
+        current.push(i);
+        enumerate_subsets(alive, want, i + 1, current, visit);
+        current.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slotsel_core::{
+        Criterion, Interval, MinCost, MinFinish, MinRunTime, Money, NodeSpec, Performance,
+        SlotSelector, TimePoint, Volume,
+    };
+
+    fn platform(specs: &[(u32, f64)]) -> Platform {
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(perf, price))| {
+                NodeSpec::builder(i as u32)
+                    .performance(Performance::new(perf))
+                    .price_per_unit(Money::from_f64(price))
+                    .build()
+            })
+            .collect()
+    }
+
+    fn slots_on(platform: &Platform, spans: &[(i64, i64)]) -> SlotList {
+        let mut list = SlotList::new();
+        for (node, &(start, end)) in platform.iter().zip(spans) {
+            list.add(
+                node.id(),
+                Interval::new(TimePoint::new(start), TimePoint::new(end)),
+                node.performance(),
+                node.price_per_unit(),
+            );
+        }
+        list
+    }
+
+    fn request(n: usize, volume: u64, budget: f64) -> ResourceRequest {
+        ResourceRequest::builder()
+            .node_count(n)
+            .volume(Volume::new(volume))
+            .budget(Money::from_f64(budget))
+            .build()
+            .unwrap()
+    }
+
+    fn fixture() -> (Platform, SlotList) {
+        let p = platform(&[(2, 2.1), (5, 4.8), (7, 7.5), (3, 2.9), (9, 9.3), (4, 4.1)]);
+        let slots = slots_on(
+            &p,
+            &[
+                (0, 420),
+                (30, 600),
+                (75, 480),
+                (0, 600),
+                (140, 600),
+                (20, 350),
+            ],
+        );
+        (p, slots)
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(6, 3), 20);
+        assert_eq!(binomial(4, 0), 1);
+        assert_eq!(binomial(3, 5), 0);
+    }
+
+    #[test]
+    fn matches_min_cost_exactly() {
+        let (p, slots) = fixture();
+        for budget in [400.0, 700.0, 2_000.0] {
+            let req = request(3, 210, budget);
+            let exhaustive = exhaustive_best(&p, &slots, &req, &Criterion::MinTotalCost);
+            let algo = MinCost.select(&p, &slots, &req);
+            match (exhaustive, algo) {
+                (Some(e), Some(a)) => {
+                    assert_eq!(e.total_cost(), a.total_cost(), "budget {budget}");
+                }
+                (None, None) => {}
+                (e, a) => panic!("feasibility mismatch at {budget}: {e:?} vs {a:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn matches_exact_min_runtime() {
+        let (p, slots) = fixture();
+        for budget in [400.0, 700.0, 2_000.0] {
+            let req = request(3, 210, budget);
+            let exhaustive = exhaustive_best(&p, &slots, &req, &Criterion::MinRuntime);
+            let algo =
+                MinRunTime::with_selection(slotsel_core::algorithms::RuntimeSelection::Exact)
+                    .select(&p, &slots, &req);
+            match (exhaustive, algo) {
+                (Some(e), Some(a)) => assert_eq!(e.runtime(), a.runtime(), "budget {budget}"),
+                (None, None) => {}
+                (e, a) => panic!("feasibility mismatch at {budget}: {e:?} vs {a:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn matches_exact_min_finish() {
+        let (p, slots) = fixture();
+        let req = request(3, 210, 900.0);
+        let exhaustive = exhaustive_best(&p, &slots, &req, &Criterion::EarliestFinish);
+        let algo = MinFinish::with_selection(slotsel_core::algorithms::RuntimeSelection::Exact)
+            .select(&p, &slots, &req);
+        assert_eq!(exhaustive.map(|w| w.finish()), algo.map(|w| w.finish()),);
+    }
+
+    #[test]
+    fn greedy_never_beats_exhaustive() {
+        let (p, slots) = fixture();
+        for budget in [500.0, 800.0, 1_500.0] {
+            let req = request(3, 210, budget);
+            if let (Some(e), Some(g)) = (
+                exhaustive_best(&p, &slots, &req, &Criterion::MinRuntime),
+                MinRunTime::new().select(&p, &slots, &req),
+            ) {
+                assert!(e.runtime() <= g.runtime(), "budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn respects_budget() {
+        let (p, slots) = fixture();
+        let req = request(3, 210, 500.0);
+        if let Some(w) = exhaustive_best(&p, &slots, &req, &Criterion::MinProcTime) {
+            assert!(w.total_cost() <= req.budget());
+        }
+    }
+
+    #[test]
+    fn none_on_infeasible_instances() {
+        let p = platform(&[(2, 10.0), (2, 10.0)]);
+        let slots = slots_on(&p, &[(0, 600), (0, 600)]);
+        assert!(
+            exhaustive_best(&p, &slots, &request(2, 100, 10.0), &Criterion::MinTotalCost).is_none()
+        );
+        assert!(
+            exhaustive_best(&p, &slots, &request(3, 100, 1e9), &Criterion::MinTotalCost).is_none()
+        );
+    }
+
+    #[test]
+    fn proc_time_optimum_is_a_lower_bound_for_min_proc_time() {
+        let (p, slots) = fixture();
+        let req = request(3, 210, 900.0);
+        let optimal = exhaustive_best(&p, &slots, &req, &Criterion::MinProcTime).unwrap();
+        let simplified = slotsel_core::MinProcTime::with_seed(7)
+            .select(&p, &slots, &req)
+            .unwrap();
+        assert!(optimal.proc_time() <= simplified.proc_time());
+    }
+}

@@ -1,0 +1,33 @@
+//! # slotsel-baselines
+//!
+//! The comparison algorithms the paper positions AEP against:
+//!
+//! - [`FirstFit`] — "assign any job to the first set of slots matching the
+//!   resource request conditions" (the backtrack / NorduGrid family);
+//! - [`Alp`] — the authors' earlier Algorithm based on Local Price of
+//!   slots, which AMP superseded (refs [15–17]);
+//! - [`Backfill`] — Moab-style earliest-window co-allocation that ignores
+//!   additive constraints such as the total allocation cost, with the
+//!   quadratic-in-slots search the paper attributes to backfilling;
+//! - [`exhaustive::exhaustive_best`] — a true exhaustive optimum over all
+//!   anchors and subsets, the ground truth the linear-scan algorithms are
+//!   validated against;
+//! - [`bnb::solve`] — exact 0-1 selection by branch and bound, the paper's
+//!   §2.1 integer-programming formulation solved directly (stand-in for the
+//!   IP/MIP co-allocation schemes of its refs [2, 12, 13]).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod alp;
+pub mod backfill;
+pub mod bnb;
+pub mod exhaustive;
+pub mod first_fit;
+
+pub use alp::Alp;
+pub use backfill::Backfill;
+pub use bnb::{solve as bnb_solve, BnbSolution};
+pub use exhaustive::exhaustive_best;
+pub use first_fit::FirstFit;

@@ -1,0 +1,53 @@
+//! # slotsel-batch
+//!
+//! The VO-level batch scheduling scheme the slot-selection algorithms plug
+//! into (the composite scheme of the paper's refs [6, 7]): each cycle runs
+//! **phase 1**, allocating alternative windows per job with CSA, and
+//! **phase 2**, choosing one alternative per job to extremise a batch
+//! criterion under the VO budget (multiple-choice knapsack), then commits
+//! the combination with priority-ordered conflict resolution.
+//!
+//! ```
+//! use slotsel_batch::{BatchScheduler, BatchSchedulerConfig, BatchObjective};
+//! use slotsel_core::{Job, JobId, Money, NodeSpec, Performance, Platform,
+//!                    ResourceRequest, SlotList, Volume, Interval, TimePoint};
+//!
+//! # fn main() -> Result<(), slotsel_core::RequestError> {
+//! let platform: Platform = (0..4)
+//!     .map(|i| NodeSpec::builder(i).performance(Performance::new(4)).build())
+//!     .collect();
+//! let mut slots = SlotList::new();
+//! for node in &platform {
+//!     slots.add(node.id(), Interval::new(TimePoint::new(0), TimePoint::new(600)),
+//!               node.performance(), node.price_per_unit());
+//! }
+//! let jobs = vec![Job::new(
+//!     JobId(0),
+//!     1,
+//!     ResourceRequest::builder()
+//!         .node_count(2)
+//!         .volume(Volume::new(100))
+//!         .budget(Money::from_units(1_000))
+//!         .build()?,
+//! )];
+//! let schedule = BatchScheduler::default().schedule(&platform, &slots, &jobs);
+//! assert_eq!(schedule.scheduled(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod mckp;
+pub mod objective;
+pub mod scheduler;
+pub mod strategy;
+
+pub use mckp::{MckpItem, MckpSolution};
+pub use objective::BatchObjective;
+pub use scheduler::{
+    windows_conflict, Assignment, BatchSchedule, BatchScheduler, BatchSchedulerConfig,
+};
+pub use strategy::SearchStrategy;

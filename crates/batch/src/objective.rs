@@ -1,0 +1,155 @@
+//! Batch-level optimisation objectives.
+//!
+//! Phase 2 of the VO scheduling cycle chooses one alternative per job to
+//! extremise a batch-wide criterion. The MCKP machinery maximises an
+//! **additive** value, so each objective maps a window to a per-job value
+//! whose sum phase 2 maximises; minimisation objectives negate.
+
+use serde::{Deserialize, Serialize};
+
+use slotsel_core::window::Window;
+
+/// The administrator-selected batch criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BatchObjective {
+    /// Minimise the summed allocation cost of the batch.
+    MinTotalCost,
+    /// Minimise the summed finish times (proxy for average turnaround).
+    MinSumFinish,
+    /// Minimise the summed runtimes.
+    MinSumRuntime,
+    /// Minimise the summed processor time — keeps nodes free for other
+    /// load.
+    MinSumProcTime,
+    /// Maximise the earliness of starts (minimise summed start times).
+    MinSumStart,
+}
+
+impl BatchObjective {
+    /// All objectives.
+    pub const ALL: [BatchObjective; 5] = [
+        BatchObjective::MinTotalCost,
+        BatchObjective::MinSumFinish,
+        BatchObjective::MinSumRuntime,
+        BatchObjective::MinSumProcTime,
+        BatchObjective::MinSumStart,
+    ];
+
+    /// Short name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BatchObjective::MinTotalCost => "min-total-cost",
+            BatchObjective::MinSumFinish => "min-sum-finish",
+            BatchObjective::MinSumRuntime => "min-sum-runtime",
+            BatchObjective::MinSumProcTime => "min-sum-proctime",
+            BatchObjective::MinSumStart => "min-sum-start",
+        }
+    }
+
+    /// The additive value of assigning `window`; phase 2 maximises the sum
+    /// of these.
+    #[must_use]
+    pub fn value(self, window: &Window) -> f64 {
+        match self {
+            BatchObjective::MinTotalCost => -window.total_cost().as_f64(),
+            BatchObjective::MinSumFinish => -(window.finish().ticks() as f64),
+            BatchObjective::MinSumRuntime => -(window.runtime().ticks() as f64),
+            BatchObjective::MinSumProcTime => -(window.proc_time().ticks() as f64),
+            BatchObjective::MinSumStart => -(window.start().ticks() as f64),
+        }
+    }
+}
+
+impl std::fmt::Display for BatchObjective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // `pad` honours width/alignment specifiers like `{:>16}`.
+        f.pad(self.name())
+    }
+}
+
+/// Error parsing a [`BatchObjective`] from its name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseObjectiveError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseObjectiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = BatchObjective::ALL.iter().map(|o| o.name()).collect();
+        write!(
+            f,
+            "unknown objective {:?}; expected one of {}",
+            self.input,
+            names.join("|")
+        )
+    }
+}
+
+impl std::error::Error for ParseObjectiveError {}
+
+impl std::str::FromStr for BatchObjective {
+    type Err = ParseObjectiveError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BatchObjective::ALL
+            .into_iter()
+            .find(|o| o.name() == s)
+            .ok_or_else(|| ParseObjectiveError {
+                input: s.to_owned(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slotsel_core::{Money, NodeId, SlotId, TimeDelta, TimePoint, WindowSlot};
+
+    fn window(start: i64, len: i64, cost: i64) -> Window {
+        Window::new(
+            TimePoint::new(start),
+            vec![WindowSlot::new(
+                SlotId(0),
+                NodeId(0),
+                TimeDelta::new(len),
+                Money::from_units(cost),
+            )],
+        )
+    }
+
+    #[test]
+    fn values_negate_the_minimised_quantity() {
+        let w = window(10, 40, 99);
+        assert_eq!(BatchObjective::MinTotalCost.value(&w), -99.0);
+        assert_eq!(BatchObjective::MinSumFinish.value(&w), -50.0);
+        assert_eq!(BatchObjective::MinSumRuntime.value(&w), -40.0);
+        assert_eq!(BatchObjective::MinSumProcTime.value(&w), -40.0);
+        assert_eq!(BatchObjective::MinSumStart.value(&w), -10.0);
+    }
+
+    #[test]
+    fn better_window_has_higher_value() {
+        let cheap = window(0, 10, 50);
+        let dear = window(0, 10, 500);
+        assert!(
+            BatchObjective::MinTotalCost.value(&cheap) > BatchObjective::MinTotalCost.value(&dear)
+        );
+    }
+
+    #[test]
+    fn objective_parses_from_its_name() {
+        for objective in BatchObjective::ALL {
+            assert_eq!(objective.name().parse::<BatchObjective>(), Ok(objective));
+        }
+        assert!("max-chaos".parse::<BatchObjective>().is_err());
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            BatchObjective::ALL.iter().map(|o| o.name()).collect();
+        assert_eq!(names.len(), BatchObjective::ALL.len());
+        assert_eq!(BatchObjective::MinTotalCost.to_string(), "min-total-cost");
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the batch crate: MCKP optimality and scheduler
+//! invariants on randomly generated environments and batches.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use slotsel_batch::{
+    mckp::{self, MckpItem},
+    windows_conflict, BatchObjective, BatchScheduler, BatchSchedulerConfig,
+};
+use slotsel_core::{Job, JobId, Money, ResourceRequest, Volume, Window};
+use slotsel_env::{EnvironmentConfig, NodeGenConfig};
+
+fn arb_classes() -> impl Strategy<Value = Vec<Vec<MckpItem>>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            (1i64..15, -30.0f64..30.0).prop_map(|(cost, value)| MckpItem {
+                cost: Money::from_units(cost),
+                value,
+            }),
+            1..5,
+        ),
+        1..4,
+    )
+}
+
+fn brute_force(classes: &[Vec<MckpItem>], budget: Money) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    let mut stack: Vec<(usize, Money, f64)> = vec![(0, Money::ZERO, 0.0)];
+    while let Some((class, cost, value)) = stack.pop() {
+        if class == classes.len() {
+            if cost <= budget && best.is_none_or(|b| value > b) {
+                best = Some(value);
+            }
+            continue;
+        }
+        for item in &classes[class] {
+            stack.push((class + 1, cost + item.cost, value + item.value));
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mckp_dp_is_optimal(classes in arb_classes(), budget_units in 1i64..50) {
+        let budget = Money::from_units(budget_units);
+        let solved = mckp::solve(&classes, budget);
+        let optimal = brute_force(&classes, budget);
+        match (solved, optimal) {
+            (Some(s), Some(o)) => {
+                prop_assert!((s.value - o).abs() < 1e-9, "{} vs {}", s.value, o);
+                prop_assert!(s.cost <= budget);
+                prop_assert_eq!(s.chosen.len(), classes.len());
+            }
+            (None, None) => {}
+            (s, o) => prop_assert!(false, "feasibility mismatch: {:?} vs {:?}", s, o),
+        }
+    }
+
+    #[test]
+    fn mckp_greedy_never_beats_dp(classes in arb_classes(), budget_units in 1i64..50) {
+        let budget = Money::from_units(budget_units);
+        if let (Some(greedy), Some(dp)) =
+            (mckp::solve_greedy(&classes, budget), mckp::solve(&classes, budget))
+        {
+            prop_assert!(greedy.value <= dp.value + 1e-9);
+            prop_assert!(greedy.cost <= budget);
+        }
+    }
+
+    #[test]
+    fn scheduler_invariants_on_random_batches(
+        seed in 0u64..5_000,
+        job_count in 1usize..6,
+        objective_index in 0usize..5,
+    ) {
+        let env = EnvironmentConfig {
+            nodes: NodeGenConfig::with_count(20),
+            ..EnvironmentConfig::paper_default()
+        }
+        .generate(&mut StdRng::seed_from_u64(seed));
+
+        let jobs: Vec<Job> = (0..job_count)
+            .map(|i| {
+                Job::new(
+                    JobId(i as u32),
+                    (seed % 7) as u32 + i as u32,
+                    ResourceRequest::builder()
+                        .node_count(1 + (seed as usize + i) % 5)
+                        .volume(Volume::new(100 + (seed % 5) * 60))
+                        .budget(Money::from_units(400 + (seed % 4) as i64 * 400))
+                        .build()
+                        .expect("valid"),
+                )
+            })
+            .collect();
+
+        let config = BatchSchedulerConfig {
+            objective: BatchObjective::ALL[objective_index],
+            ..Default::default()
+        };
+        let schedule = BatchScheduler::new(config).schedule(env.platform(), env.slots(), &jobs);
+
+        // One assignment per job, in priority order.
+        prop_assert_eq!(schedule.assignments.len(), jobs.len());
+        let priorities: Vec<u32> =
+            schedule.assignments.iter().map(|a| a.job.priority()).collect();
+        let mut sorted = priorities.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        prop_assert_eq!(priorities, sorted);
+
+        // Committed windows respect job budgets and are conflict-free.
+        let windows: Vec<&Window> =
+            schedule.assignments.iter().filter_map(|a| a.window.as_ref()).collect();
+        for assignment in &schedule.assignments {
+            if let Some(w) = &assignment.window {
+                prop_assert!(w.total_cost() <= assignment.job.request().budget());
+                prop_assert_eq!(w.size(), assignment.job.request().node_count());
+            }
+        }
+        for i in 0..windows.len() {
+            for j in (i + 1)..windows.len() {
+                prop_assert!(!windows_conflict(windows[i], windows[j]));
+            }
+        }
+    }
+}

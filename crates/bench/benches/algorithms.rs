@@ -1,0 +1,64 @@
+//! Per-algorithm working time at the paper's §3.1 default configuration
+//! (100 nodes, interval 600, base job 5×300/1500) — the 100-node column of
+//! Table 1.
+
+use std::cell::Cell;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use slotsel_core::{
+    Amp, MinCost, MinFinish, MinProcTime, MinRunTime, Money, ResourceRequest, SlotSelector, Volume,
+};
+use slotsel_env::{Environment, EnvironmentConfig};
+
+const ENV_POOL: usize = 16;
+
+fn environments() -> Vec<Environment> {
+    (0..ENV_POOL as u64)
+        .map(|seed| EnvironmentConfig::paper_default().generate(&mut StdRng::seed_from_u64(seed)))
+        .collect()
+}
+
+fn paper_request() -> ResourceRequest {
+    ResourceRequest::builder()
+        .node_count(5)
+        .volume(Volume::new(300))
+        .budget(Money::from_units(1500))
+        .build()
+        .expect("valid request")
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let envs = environments();
+    let request = paper_request();
+    let mut group = c.benchmark_group("table1_100_nodes");
+
+    let run = |group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+               name: &str,
+               mut algo: Box<dyn SlotSelector>| {
+        let cycle = Cell::new(0usize);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let env = &envs[cycle.get() % ENV_POOL];
+                cycle.set(cycle.get() + 1);
+                std::hint::black_box(algo.select(env.platform(), env.slots(), &request))
+            })
+        });
+    };
+
+    run(&mut group, "AMP", Box::new(Amp));
+    run(&mut group, "MinFinish", Box::new(MinFinish::new()));
+    run(&mut group, "MinCost", Box::new(MinCost));
+    run(&mut group, "MinRunTime", Box::new(MinRunTime::new()));
+    run(
+        &mut group,
+        "MinProcTime",
+        Box::new(MinProcTime::with_seed(9)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Baselines vs AEP: the quadratic backfilling search and the first-fit
+//! scan against AMP, across slot counts (§1's complexity comparison).
+
+use std::cell::Cell;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use slotsel_baselines::{Backfill, FirstFit};
+use slotsel_core::{Amp, Money, ResourceRequest, SlotSelector, Volume};
+use slotsel_env::{Environment, EnvironmentConfig};
+
+const ENV_POOL: usize = 6;
+
+fn environments(interval: i64) -> Vec<Environment> {
+    (0..ENV_POOL as u64)
+        .map(|seed| {
+            EnvironmentConfig::with_interval_length(interval)
+                .generate(&mut StdRng::seed_from_u64(seed + interval as u64))
+        })
+        .collect()
+}
+
+fn paper_request() -> ResourceRequest {
+    ResourceRequest::builder()
+        .node_count(5)
+        .volume(Volume::new(300))
+        .budget(Money::from_units(1500))
+        .build()
+        .expect("valid request")
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let request = paper_request();
+    let mut group = c.benchmark_group("baselines_vs_aep");
+    group.sample_size(20);
+
+    for interval in [600i64, 1800, 3600] {
+        let envs = environments(interval);
+        let run = |group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+                   name: &str,
+                   mut algo: Box<dyn SlotSelector>| {
+            let cycle = Cell::new(0usize);
+            group.bench_with_input(BenchmarkId::new(name, interval), &interval, |b, _| {
+                b.iter(|| {
+                    let env = &envs[cycle.get() % ENV_POOL];
+                    cycle.set(cycle.get() + 1);
+                    std::hint::black_box(algo.select(env.platform(), env.slots(), &request))
+                })
+            });
+        };
+        run(&mut group, "AMP", Box::new(Amp));
+        run(&mut group, "FirstFit", Box::new(FirstFit));
+        run(&mut group, "Backfill", Box::new(Backfill));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Batch-scheduling benchmarks: the MCKP phase-2 solver and the whole
+//! two-phase cycle, across batch sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use slotsel_batch::{mckp, BatchScheduler, MckpItem};
+use slotsel_core::{Job, JobId, Money, ResourceRequest, Volume};
+use slotsel_env::{EnvironmentConfig, NodeGenConfig};
+
+fn mckp_classes(class_count: usize, items_per_class: usize, seed: u64) -> Vec<Vec<MckpItem>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..class_count)
+        .map(|_| {
+            (0..items_per_class)
+                .map(|_| MckpItem {
+                    cost: Money::from_units(rng.gen_range(50..1_500)),
+                    value: -rng.gen_range(0.0..500.0),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn jobs(count: u32) -> Vec<Job> {
+    (0..count)
+        .map(|i| {
+            Job::new(
+                JobId(i),
+                i % 5,
+                ResourceRequest::builder()
+                    .node_count(2 + (i as usize % 4))
+                    .volume(Volume::new(100 + u64::from(i % 4) * 70))
+                    .budget(Money::from_units(500 + i64::from(i % 3) * 500))
+                    .build()
+                    .expect("valid"),
+            )
+        })
+        .collect()
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch");
+
+    for (classes, items) in [(6usize, 16usize), (20, 16), (50, 32)] {
+        let input = mckp_classes(classes, items, 7);
+        let budget = Money::from_units(classes as i64 * 800);
+        group.bench_with_input(
+            BenchmarkId::new("mckp_dp", format!("{classes}x{items}")),
+            &input,
+            |b, input| b.iter(|| std::hint::black_box(mckp::solve(input, budget))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mckp_greedy", format!("{classes}x{items}")),
+            &input,
+            |b, input| b.iter(|| std::hint::black_box(mckp::solve_greedy(input, budget))),
+        );
+    }
+
+    let env = EnvironmentConfig {
+        nodes: NodeGenConfig::with_count(60),
+        ..EnvironmentConfig::paper_default()
+    }
+    .generate(&mut StdRng::seed_from_u64(11));
+    for batch_size in [4u32, 8, 16] {
+        let batch = jobs(batch_size);
+        group.bench_with_input(
+            BenchmarkId::new("two_phase_cycle", batch_size),
+            &batch,
+            |b, batch| {
+                let scheduler = BatchScheduler::default();
+                b.iter(|| {
+                    std::hint::black_box(scheduler.schedule(env.platform(), env.slots(), batch))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

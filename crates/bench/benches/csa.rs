@@ -1,0 +1,72 @@
+//! CSA costs: full multi-alternative search, per-alternative cost, and the
+//! effect of the cut policy ("CSA per Alt" rows of Tables 1–2).
+
+use std::cell::Cell;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use slotsel_core::{Csa, CutPolicy, Money, ResourceRequest, TimeDelta, Volume};
+use slotsel_env::{Environment, EnvironmentConfig};
+
+const ENV_POOL: usize = 8;
+
+fn environments() -> Vec<Environment> {
+    (0..ENV_POOL as u64)
+        .map(|seed| EnvironmentConfig::paper_default().generate(&mut StdRng::seed_from_u64(seed)))
+        .collect()
+}
+
+fn paper_request() -> ResourceRequest {
+    ResourceRequest::builder()
+        .node_count(5)
+        .volume(Volume::new(300))
+        .budget(Money::from_units(1500))
+        .reference_span(TimeDelta::new(150))
+        .build()
+        .expect("valid request")
+}
+
+fn bench_csa(c: &mut Criterion) {
+    let envs = environments();
+    let request = paper_request();
+
+    let mut group = c.benchmark_group("csa");
+    group.sample_size(30);
+
+    for (label, policy) in [
+        ("cut=reservation-span", CutPolicy::ReservationSpan),
+        ("cut=window-runtime", CutPolicy::WindowRuntime),
+        ("cut=task-length", CutPolicy::TaskLength),
+    ] {
+        let csa = Csa::new().cut_policy(policy);
+        let cycle = Cell::new(0usize);
+        group.bench_function(BenchmarkId::new("full_search", label), |b| {
+            b.iter(|| {
+                let env = &envs[cycle.get() % ENV_POOL];
+                cycle.set(cycle.get() + 1);
+                std::hint::black_box(csa.find_alternatives(env.platform(), env.slots(), &request))
+            })
+        });
+    }
+
+    // First alternative only — the marginal cost of one more alternative.
+    for max in [1usize, 4, 16, 64] {
+        let csa = Csa::new()
+            .cut_policy(CutPolicy::ReservationSpan)
+            .max_alternatives(max);
+        let cycle = Cell::new(0usize);
+        group.bench_function(BenchmarkId::new("capped", max), |b| {
+            b.iter(|| {
+                let env = &envs[cycle.get() % ENV_POOL];
+                cycle.set(cycle.get() + 1);
+                std::hint::black_box(csa.find_alternatives(env.platform(), env.slots(), &request))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_csa);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Ablation: slot-list cutting and CSA's remnant pruning — the "cutting a
+//! suitable window from the list of the available slots" cost the paper
+//! names as a contributor to CSA's growth trend.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use slotsel_core::{Csa, CutPolicy, Interval, Money, ResourceRequest, TimeDelta, Volume};
+use slotsel_env::{Environment, EnvironmentConfig};
+
+fn environment(nodes: usize) -> Environment {
+    EnvironmentConfig::with_node_count(nodes).generate(&mut StdRng::seed_from_u64(17))
+}
+
+fn paper_request() -> ResourceRequest {
+    ResourceRequest::builder()
+        .node_count(5)
+        .volume(Volume::new(300))
+        .budget(Money::from_units(1500))
+        .reference_span(TimeDelta::new(150))
+        .build()
+        .expect("valid request")
+}
+
+fn bench_cutting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cutting");
+
+    // Raw SlotList::cut throughput: cut the middle out of every slot.
+    for nodes in [100usize, 400] {
+        let env = environment(nodes);
+        let reservations: Vec<(slotsel_core::SlotId, Interval)> = env
+            .slots()
+            .iter()
+            .filter(|s| s.length().ticks() >= 4)
+            .map(|s| {
+                let quarter = s.length() / 4;
+                (
+                    s.id(),
+                    Interval::new(s.start() + quarter, s.end() - quarter),
+                )
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("slotlist_cut_all", nodes),
+            &nodes,
+            |b, _| {
+                b.iter(|| {
+                    let mut list = env.slots().clone();
+                    list.cut(&reservations, TimeDelta::ZERO)
+                        .expect("reservations inside spans");
+                    std::hint::black_box(list)
+                })
+            },
+        );
+    }
+
+    // CSA with and without remnant pruning: same alternatives, different
+    // scan lengths.
+    let env = environment(100);
+    let request = paper_request();
+    for (label, prune) in [("pruned", true), ("unpruned", false)] {
+        let csa = Csa::new()
+            .cut_policy(CutPolicy::ReservationSpan)
+            .prune_useless(prune);
+        group.bench_function(BenchmarkId::new("csa_remnant_pruning", label), |b| {
+            b.iter(|| {
+                std::hint::black_box(csa.find_alternatives(env.platform(), env.slots(), &request))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cutting);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Table 2 / Figure 6: algorithm working time vs scheduling-interval
+//! length (i.e. vs the number of available slots) at 100 nodes.
+
+use std::cell::Cell;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use slotsel_core::{
+    Amp, Csa, CutPolicy, MinCost, MinFinish, MinProcTime, MinRunTime, Money, ResourceRequest,
+    SlotSelector, TimeDelta, Volume,
+};
+use slotsel_env::{Environment, EnvironmentConfig};
+
+const ENV_POOL: usize = 8;
+
+fn environments(interval: i64) -> Vec<Environment> {
+    (0..ENV_POOL as u64)
+        .map(|seed| {
+            EnvironmentConfig::with_interval_length(interval)
+                .generate(&mut StdRng::seed_from_u64(seed * 977 + interval as u64))
+        })
+        .collect()
+}
+
+fn paper_request() -> ResourceRequest {
+    ResourceRequest::builder()
+        .node_count(5)
+        .volume(Volume::new(300))
+        .budget(Money::from_units(1500))
+        .reference_span(TimeDelta::new(150))
+        .build()
+        .expect("valid request")
+}
+
+fn bench_interval_scaling(c: &mut Criterion) {
+    let request = paper_request();
+    let mut group = c.benchmark_group("table2_interval_sweep");
+    group.sample_size(20);
+
+    for interval in [600i64, 1200, 1800, 2400, 3000, 3600] {
+        let envs = environments(interval);
+
+        let run = |group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+                   name: &str,
+                   mut algo: Box<dyn SlotSelector>| {
+            let cycle = Cell::new(0usize);
+            group.bench_with_input(BenchmarkId::new(name, interval), &interval, |b, _| {
+                b.iter(|| {
+                    let env = &envs[cycle.get() % ENV_POOL];
+                    cycle.set(cycle.get() + 1);
+                    std::hint::black_box(algo.select(env.platform(), env.slots(), &request))
+                })
+            });
+        };
+
+        run(&mut group, "AMP", Box::new(Amp));
+        run(&mut group, "MinFinish", Box::new(MinFinish::new()));
+        run(&mut group, "MinCost", Box::new(MinCost));
+        run(&mut group, "MinRunTime", Box::new(MinRunTime::new()));
+        run(
+            &mut group,
+            "MinProcTime",
+            Box::new(MinProcTime::with_seed(3)),
+        );
+
+        let cycle = Cell::new(0usize);
+        let csa = Csa::new().cut_policy(CutPolicy::ReservationSpan);
+        group.bench_with_input(BenchmarkId::new("CSA", interval), &interval, |b, _| {
+            b.iter(|| {
+                let env = &envs[cycle.get() % ENV_POOL];
+                cycle.set(cycle.get() + 1);
+                std::hint::black_box(csa.find_alternatives(env.platform(), env.slots(), &request))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interval_scaling);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Table 1 / Figure 5: algorithm working time vs CPU-node count.
+//!
+//! Criterion variant of `--bin table1`; the node counts are the paper's
+//! {50, 100, 200, 300, 400}.
+
+use std::cell::Cell;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use slotsel_core::{
+    Amp, Csa, CutPolicy, MinCost, MinFinish, MinProcTime, MinRunTime, Money, ResourceRequest,
+    SlotSelector, TimeDelta, Volume,
+};
+use slotsel_env::{Environment, EnvironmentConfig};
+
+const ENV_POOL: usize = 8;
+
+fn environments(nodes: usize) -> Vec<Environment> {
+    (0..ENV_POOL as u64)
+        .map(|seed| {
+            EnvironmentConfig::with_node_count(nodes)
+                .generate(&mut StdRng::seed_from_u64(seed * 131 + nodes as u64))
+        })
+        .collect()
+}
+
+fn paper_request() -> ResourceRequest {
+    ResourceRequest::builder()
+        .node_count(5)
+        .volume(Volume::new(300))
+        .budget(Money::from_units(1500))
+        .reference_span(TimeDelta::new(150))
+        .build()
+        .expect("valid request")
+}
+
+fn bench_node_scaling(c: &mut Criterion) {
+    let request = paper_request();
+    let mut group = c.benchmark_group("table1_node_sweep");
+    group.sample_size(20);
+
+    for nodes in [50usize, 100, 200, 300, 400] {
+        let envs = environments(nodes);
+
+        let run = |group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+                   name: &str,
+                   mut algo: Box<dyn SlotSelector>| {
+            let cycle = Cell::new(0usize);
+            group.bench_with_input(BenchmarkId::new(name, nodes), &nodes, |b, _| {
+                b.iter(|| {
+                    let env = &envs[cycle.get() % ENV_POOL];
+                    cycle.set(cycle.get() + 1);
+                    std::hint::black_box(algo.select(env.platform(), env.slots(), &request))
+                })
+            });
+        };
+
+        run(&mut group, "AMP", Box::new(Amp));
+        run(&mut group, "MinFinish", Box::new(MinFinish::new()));
+        run(&mut group, "MinCost", Box::new(MinCost));
+        run(&mut group, "MinRunTime", Box::new(MinRunTime::new()));
+        run(
+            &mut group,
+            "MinProcTime",
+            Box::new(MinProcTime::with_seed(3)),
+        );
+
+        let cycle = Cell::new(0usize);
+        let csa = Csa::new().cut_policy(CutPolicy::ReservationSpan);
+        group.bench_with_input(BenchmarkId::new("CSA", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let env = &envs[cycle.get() % ENV_POOL];
+                cycle.set(cycle.get() + 1);
+                std::hint::black_box(csa.find_alternatives(env.platform(), env.slots(), &request))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_node_scaling);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablation: inner subset-selection routines — the paper's greedy
+//! substitution vs the exact threshold scan vs branch and bound (§2.1's IP
+//! formulation), on candidate sets of realistic extended-window sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use slotsel_baselines::bnb_solve;
+use slotsel_core::selectors::{cheapest_n, min_runtime_exact, min_runtime_greedy, Candidate};
+use slotsel_core::{Interval, Money, NodeId, Performance, Slot, SlotId, TimePoint, Volume};
+
+fn candidates(count: usize, seed: u64) -> Vec<Candidate> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let perf = Performance::new(rng.gen_range(2..=10));
+            let price = Money::from_f64(f64::from(perf.rate()) + rng.gen_range(-0.6..0.6));
+            let slot = Slot::new(
+                SlotId(i as u64),
+                NodeId(i as u32),
+                Interval::new(TimePoint::new(0), TimePoint::new(600)),
+                perf,
+                price.max_of(Money::from_f64(0.2)),
+            );
+            Candidate::new(slot, Volume::new(300))
+        })
+        .collect()
+}
+
+fn bench_selectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inner_selection");
+    let n = 5;
+    let budget = Money::from_units(1500);
+
+    for size in [10usize, 40, 100, 400] {
+        let cands = candidates(size, size as u64);
+        group.bench_with_input(BenchmarkId::new("cheapest_n", size), &size, |b, _| {
+            b.iter(|| std::hint::black_box(cheapest_n(&cands, n, budget)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("min_runtime_greedy", size),
+            &size,
+            |b, _| b.iter(|| std::hint::black_box(min_runtime_greedy(&cands, n, budget))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("min_runtime_exact", size),
+            &size,
+            |b, _| b.iter(|| std::hint::black_box(min_runtime_exact(&cands, n, budget))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bnb_min_runtime_sum", size),
+            &size,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(bnb_solve(&cands, n, budget, |c| c.length.ticks() as f64))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selectors);
+criterion_main!(benches);

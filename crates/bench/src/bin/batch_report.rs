@@ -1,0 +1,50 @@
+//! Extension study: the full two-phase batch cycle under each batch
+//! objective (not in the paper — closes the loop over its refs [6, 7]).
+//!
+//! ```text
+//! cargo run --release -p slotsel-bench --bin batch_report -- [--cycles N]
+//! ```
+
+use slotsel_bench::numeric_flag;
+use slotsel_sim::batch_experiment::{run, BatchExperimentConfig};
+use slotsel_sim::report::render_table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cycles = numeric_flag(&args, "--cycles", 200);
+    let config = BatchExperimentConfig {
+        cycles,
+        ..BatchExperimentConfig::standard()
+    };
+    eprintln!(
+        "running {} objectives x {cycles} cycles on a {}-node environment …",
+        slotsel_batch::BatchObjective::ALL.len(),
+        config.env.nodes.count
+    );
+    let outcomes = run(&config);
+
+    let header: Vec<String> = [
+        "objective",
+        "scheduled/6",
+        "total cost",
+        "makespan",
+        "mean finish",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.objective.name().to_owned(),
+                format!("{:.2}", o.scheduled.mean()),
+                format!("{:.0}", o.total_cost.mean()),
+                format!("{:.1}", o.makespan.mean()),
+                format!("{:.1}", o.mean_finish.mean()),
+            ]
+        })
+        .collect();
+    println!("Batch objectives over {cycles} cycles (same environments per objective)\n");
+    println!("{}", render_table(&header, &rows));
+}

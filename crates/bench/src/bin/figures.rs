@@ -1,0 +1,155 @@
+//! Regenerates the paper's figures as ASCII charts.
+//!
+//! ```text
+//! cargo run --release -p slotsel-bench --bin figures -- all [--cycles N]
+//! cargo run --release -p slotsel-bench --bin figures -- fig2a fig4
+//! cargo run --release -p slotsel-bench --bin figures -- fig5 fig6 [--runs N]
+//! cargo run --release -p slotsel-bench --bin figures -- aep-vs-amp
+//! cargo run --release -p slotsel-bench --bin figures -- all --baselines --json results.json
+//! ```
+
+use slotsel_bench::{metric, numeric_flag, paper_ref};
+use slotsel_core::criteria::Criterion;
+use slotsel_sim::config::{paper, QualityConfig};
+use slotsel_sim::metrics::MetricsAccumulator;
+use slotsel_sim::report::{quality_series, render_bars, render_scaling_series};
+use slotsel_sim::scaling::{sweep_interval, sweep_nodes, ScalingConfig};
+use slotsel_sim::{quality, QualityResults};
+
+fn annotate(series: &[(String, f64)], refs: &[(&str, f64)]) -> Vec<(String, f64)> {
+    series
+        .iter()
+        .map(|(name, value)| (format!("{name}{}", paper_ref(name, refs)), *value))
+        .collect()
+}
+
+fn figure(
+    results: &QualityResults,
+    title: &str,
+    metric: fn(&MetricsAccumulator) -> f64,
+    criterion: Criterion,
+    refs: &[(&str, f64)],
+) {
+    let series = quality_series(results, metric, criterion);
+    println!("{}", render_bars(title, &annotate(&series, refs)));
+}
+
+/// Metric accessor used in figure/report tables.
+type MetricFn = fn(&MetricsAccumulator) -> f64;
+
+fn aep_vs_amp(results: &QualityResults) {
+    println!("S3.3: advantage of a single AEP run over AMP by its own criterion");
+    let amp = results.algorithm("AMP").expect("AMP always present");
+    let rows: [(&str, MetricFn); 4] = [
+        ("MinFinish (finish)", metric::finish),
+        ("MinCost (cost)", metric::cost),
+        ("MinRunTime (runtime)", metric::runtime),
+        ("MinProcTime (proctime)", metric::proc_time),
+    ];
+    for (label, m) in rows {
+        let name = label.split_whitespace().next().expect("label has a name");
+        let aep = results.algorithm(name).expect("known algorithm");
+        let advantage = 100.0 * (m(amp) - m(aep)) / m(amp).max(f64::EPSILON);
+        println!(
+            "  {label:<22} AMP {:8.1}  AEP {:8.1}  advantage {advantage:5.1}%",
+            m(amp),
+            m(aep)
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let panels: Vec<&str> = args[1..]
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--") && a.parse::<u64>().is_err())
+        .collect();
+    let panels: Vec<&str> = if panels.is_empty() || panels.contains(&"all") {
+        vec!["fig2a", "fig2b", "fig3a", "fig3b", "fig4", "aep-vs-amp"]
+    } else {
+        panels
+    };
+
+    let needs_quality = panels.iter().any(|p| {
+        p.starts_with("fig2") || p.starts_with("fig3") || *p == "fig4" || *p == "aep-vs-amp"
+    });
+    let quality_results = needs_quality.then(|| {
+        let cycles = numeric_flag(&args, "--cycles", 5_000);
+        let mut config = QualityConfig::quick(cycles);
+        config.include_baselines = args.iter().any(|a| a == "--baselines");
+        eprintln!("running quality experiment: {cycles} cycles …");
+        let results = quality::run(&config);
+        if let Some(i) = args.iter().position(|a| a == "--json") {
+            let path = args.get(i + 1).expect("--json needs a file path");
+            let json = serde_json::to_string_pretty(&results).expect("results serialize");
+            std::fs::write(path, json).expect("write results JSON");
+            eprintln!("wrote raw results to {path}");
+        }
+        println!(
+            "CSA alternatives per cycle: {:.1}  (paper: {:.0})\n",
+            results.csa_alternatives.mean(),
+            paper::CSA_ALTERNATIVES
+        );
+        results
+    });
+
+    for panel in &panels {
+        match *panel {
+            "fig2a" => figure(
+                quality_results.as_ref().expect("quality results computed"),
+                "Fig. 2(a): average start time",
+                metric::start,
+                Criterion::EarliestStart,
+                &paper::START,
+            ),
+            "fig2b" => figure(
+                quality_results.as_ref().expect("quality results computed"),
+                "Fig. 2(b): average runtime",
+                metric::runtime,
+                Criterion::MinRuntime,
+                &paper::RUNTIME,
+            ),
+            "fig3a" => figure(
+                quality_results.as_ref().expect("quality results computed"),
+                "Fig. 3(a): average finish time",
+                metric::finish,
+                Criterion::EarliestFinish,
+                &paper::FINISH,
+            ),
+            "fig3b" => figure(
+                quality_results.as_ref().expect("quality results computed"),
+                "Fig. 3(b): average CPU usage time",
+                metric::proc_time,
+                Criterion::MinProcTime,
+                &paper::PROC_TIME,
+            ),
+            "fig4" => figure(
+                quality_results.as_ref().expect("quality results computed"),
+                "Fig. 4: average job execution cost",
+                metric::cost,
+                Criterion::MinTotalCost,
+                &paper::COST,
+            ),
+            "aep-vs-amp" => {
+                aep_vs_amp(quality_results.as_ref().expect("quality results computed"));
+            }
+            "fig5" => {
+                let runs = numeric_flag(&args, "--runs", 200);
+                eprintln!("running node sweep for fig5: {runs} runs per point …");
+                let points = sweep_nodes(&ScalingConfig::quick(runs), &paper::TABLE1_NODES);
+                println!("Fig. 5: working time vs available CPU nodes\n");
+                println!("{}", render_scaling_series("nodes", &points));
+            }
+            "fig6" => {
+                let runs = numeric_flag(&args, "--runs", 200);
+                eprintln!("running interval sweep for fig6: {runs} runs per point …");
+                let points = sweep_interval(&ScalingConfig::quick(runs), &paper::TABLE2_INTERVALS);
+                println!("Fig. 6: working time vs scheduling interval length\n");
+                println!("{}", render_scaling_series("interval", &points));
+            }
+            other => eprintln!("unknown panel {other:?} — expected fig2a/fig2b/fig3a/fig3b/fig4/fig5/fig6/aep-vs-amp/all"),
+        }
+    }
+}

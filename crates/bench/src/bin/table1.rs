@@ -1,0 +1,41 @@
+//! Regenerates Table 1: algorithm working time (ms) vs CPU-node count.
+//!
+//! ```text
+//! cargo run --release -p slotsel-bench --bin table1 -- [--runs N]
+//! ```
+//!
+//! Paper reference (Intel Core i3 @ 2.93 GHz, JRE 1.6): absolute numbers
+//! differ on modern hardware and in Rust; the reproduced claims are the
+//! growth trends — AMP near-linear, the AEP family at most quadratic,
+//! CSA near-cubic in the node count.
+
+use slotsel_bench::numeric_flag;
+use slotsel_sim::config::paper;
+use slotsel_sim::report::render_scaling_table;
+use slotsel_sim::scaling::{sweep_nodes, ScalingConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let runs = numeric_flag(&args, "--runs", 200);
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json needs a file path").clone());
+    eprintln!("running node sweep: {runs} runs per point (paper used 1000) …");
+    let points = sweep_nodes(&ScalingConfig::quick(runs), &paper::TABLE1_NODES);
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&points).expect("points serialize");
+        std::fs::write(&path, json).expect("write points JSON");
+        eprintln!("wrote raw sweep data to {path}");
+    }
+
+    println!("Table 1. Actual algorithms execution time in ms\n");
+    println!(
+        "{}",
+        render_scaling_table("CPU nodes number", &points, false)
+    );
+    println!("Paper's CSA alternative counts for comparison:");
+    for (nodes, alts) in paper::TABLE1_NODES.iter().zip(paper::TABLE1_CSA_ALTS) {
+        println!("  {nodes:>4} nodes: paper {alts:6.1} alternatives");
+    }
+}

@@ -1,0 +1,44 @@
+//! Regenerates Table 2: algorithm working time (ms) vs scheduling-interval
+//! length.
+//!
+//! ```text
+//! cargo run --release -p slotsel-bench --bin table2 -- [--runs N]
+//! ```
+//!
+//! The reproduced claim is the linear growth of every algorithm's working
+//! time with the interval length (i.e. with the number of available slots).
+
+use slotsel_bench::numeric_flag;
+use slotsel_sim::config::paper;
+use slotsel_sim::report::render_scaling_table;
+use slotsel_sim::scaling::{sweep_interval, ScalingConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let runs = numeric_flag(&args, "--runs", 200);
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json needs a file path").clone());
+    eprintln!("running interval sweep: {runs} runs per point (paper used 1000) …");
+    let points = sweep_interval(&ScalingConfig::quick(runs), &paper::TABLE2_INTERVALS);
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&points).expect("points serialize");
+        std::fs::write(&path, json).expect("write points JSON");
+        eprintln!("wrote raw sweep data to {path}");
+    }
+
+    println!("Table 2. Algorithms working time (ms) vs scheduling interval length\n");
+    println!(
+        "{}",
+        render_scaling_table("Scheduling interval length", &points, true)
+    );
+    println!("Paper's slot and alternative counts for comparison:");
+    for ((len, slots), alts) in paper::TABLE2_INTERVALS
+        .iter()
+        .zip(paper::TABLE2_SLOTS)
+        .zip(paper::TABLE2_CSA_ALTS)
+    {
+        println!("  interval {len:>4}: paper {slots:7.1} slots, {alts:6.1} alternatives");
+    }
+}

@@ -1,0 +1,106 @@
+//! # slotsel-bench
+//!
+//! Regeneration harness for the paper's evaluation. The binaries print the
+//! same rows/series the paper reports:
+//!
+//! - `figures` — Figures 2(a)–4 bar charts (`fig2a fig2b fig3a fig3b fig4`
+//!   or `all`), Figures 5–6 series (`fig5 fig6`), and the §3.3
+//!   AEP-vs-AMP comparison (`aep-vs-amp`);
+//! - `table1` — algorithm working time vs CPU-node count;
+//! - `table2` — algorithm working time vs scheduling-interval length.
+//!
+//! Criterion benchmarks live under `benches/`; each benchmark corresponds
+//! to one table or figure (see DESIGN.md's experiment index).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use slotsel_sim::metrics::MetricsAccumulator;
+
+/// Parses a `--cycles N` / `--runs N` style override from argv, returning
+/// `default` when absent.
+///
+/// # Panics
+///
+/// Panics with a usage message when the flag is present without a valid
+/// number.
+#[must_use]
+pub fn numeric_flag(args: &[String], flag: &str, default: u64) -> u64 {
+    args.iter().position(|a| a == flag).map_or(default, |i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("usage: {flag} <positive integer>"))
+    })
+}
+
+/// Formats a measured-vs-paper comparison suffix like `(paper: 53.0)`.
+#[must_use]
+pub fn paper_ref(name: &str, refs: &[(&str, f64)]) -> String {
+    refs.iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| format!("  (paper: {v:.1})"))
+        .unwrap_or_default()
+}
+
+/// Accessor helpers mapping figure panels to accumulator fields.
+pub mod metric {
+    use super::MetricsAccumulator;
+
+    /// Mean window start time.
+    #[must_use]
+    pub fn start(acc: &MetricsAccumulator) -> f64 {
+        acc.start.mean()
+    }
+    /// Mean window runtime.
+    #[must_use]
+    pub fn runtime(acc: &MetricsAccumulator) -> f64 {
+        acc.runtime.mean()
+    }
+    /// Mean window finish time.
+    #[must_use]
+    pub fn finish(acc: &MetricsAccumulator) -> f64 {
+        acc.finish.mean()
+    }
+    /// Mean total processor time.
+    #[must_use]
+    pub fn proc_time(acc: &MetricsAccumulator) -> f64 {
+        acc.proc_time.mean()
+    }
+    /// Mean total allocation cost.
+    #[must_use]
+    pub fn cost(acc: &MetricsAccumulator) -> f64 {
+        acc.cost.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_flag_parses_and_defaults() {
+        let args: Vec<String> = ["prog", "--cycles", "250"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(numeric_flag(&args, "--cycles", 10), 250);
+        assert_eq!(numeric_flag(&args, "--runs", 10), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "usage")]
+    fn numeric_flag_rejects_garbage() {
+        let args: Vec<String> = ["prog", "--cycles", "abc"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let _ = numeric_flag(&args, "--cycles", 10);
+    }
+
+    #[test]
+    fn paper_ref_lookup() {
+        let refs = [("AMP", 0.0), ("MinCost", 193.0)];
+        assert_eq!(paper_ref("MinCost", &refs), "  (paper: 193.0)");
+        assert_eq!(paper_ref("Zzz", &refs), "");
+    }
+}

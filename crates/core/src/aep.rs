@@ -1,0 +1,660 @@
+//! The AEP scan: a single linear pass over the ordered slot list.
+//!
+//! The **A**lgorithm searching for **E**xtreme **P**erformance walks the
+//! slot list in non-decreasing start order, maintaining the *extended
+//! window* — the set of alive slots that could still host a task anchored
+//! at the current window start. After each admission it prunes slots whose
+//! remainder became too short, and if at least `n` candidates remain it asks
+//! a [`SelectionPolicy`] to pick the best `n`-subset and scores the
+//! resulting window. The best-scoring window over all steps is returned.
+//!
+//! The scan never looks back: it visits each of the `m` slots exactly once,
+//! giving the linear complexity in `m` (and quadratic in the number of CPU
+//! nodes, via the pruning loop) that the paper claims for all AEP
+//! implementations.
+//!
+//! # Examples
+//!
+//! ```
+//! use slotsel_core::algorithms::{MinCost, SlotSelector};
+//! use slotsel_core::money::Money;
+//! use slotsel_core::node::{NodeSpec, Performance, Platform, Volume};
+//! use slotsel_core::request::ResourceRequest;
+//! use slotsel_core::slotlist::SlotList;
+//! use slotsel_core::time::{Interval, TimePoint};
+//!
+//! # fn main() -> Result<(), slotsel_core::error::RequestError> {
+//! let platform: Platform = (0..3)
+//!     .map(|i| {
+//!         NodeSpec::builder(i)
+//!             .performance(Performance::new(2 + i))
+//!             .price_per_unit(Money::from_units(i64::from(2 + i)))
+//!             .build()
+//!     })
+//!     .collect();
+//! let mut slots = SlotList::new();
+//! for node in &platform {
+//!     slots.add(
+//!         node.id(),
+//!         Interval::new(TimePoint::new(0), TimePoint::new(600)),
+//!         node.performance(),
+//!         node.price_per_unit(),
+//!     );
+//! }
+//! let request = ResourceRequest::builder()
+//!     .node_count(2)
+//!     .volume(Volume::new(100))
+//!     .budget(Money::from_units(10_000))
+//!     .build()?;
+//! let window = MinCost.select(&platform, &slots, &request);
+//! assert!(window.is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::node::Platform;
+use crate::request::ResourceRequest;
+use crate::selectors::{build_window, Candidate};
+use crate::slotlist::SlotList;
+use crate::time::TimePoint;
+use crate::window::Window;
+
+/// The pluggable step of the AEP scan: subset selection and window scoring.
+///
+/// `pick` is the paper's `getBestWindow`, `score` its `getCriterion`.
+/// Implementations must be consistent: `score` has to be the criterion that
+/// `pick` extremises at each step, otherwise the scan's "best over all
+/// steps" result loses its meaning.
+pub trait SelectionPolicy {
+    /// Human-readable policy name for reports.
+    fn name(&self) -> &str;
+
+    /// Picks the indices of the best `n`-subset of `alive` for a window
+    /// anchored at `window_start`, or `None` when no subset satisfies the
+    /// budget.
+    fn pick(
+        &mut self,
+        window_start: TimePoint,
+        alive: &[Candidate],
+        request: &ResourceRequest,
+    ) -> Option<Vec<usize>>;
+
+    /// Scores a picked window; **lower is better**.
+    fn score(&self, window: &Window) -> f64;
+
+    /// When `true` the scan stops at the first suitable window — AMP's
+    /// earliest-start behaviour, where later steps can never improve.
+    fn stop_at_first(&self) -> bool {
+        false
+    }
+}
+
+/// Tuning knobs for [`scan_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScanOptions {
+    /// Stop scanning once no later window could beat the current best.
+    ///
+    /// Sound only for criteria that are bounded below by the window start
+    /// (start or finish time): a window anchored at `t` can never finish
+    /// before `t`, so once `best score ≤ t` the scan may stop. The paper's
+    /// measured algorithms do **not** prune (Table 1 shows MinFinish paying
+    /// the full scan cost); pruning is offered here as an extension and is
+    /// exercised by the ablation benchmarks.
+    pub prune_start_bounded: bool,
+}
+
+/// Counters describing one scan, for tests, reports and benchmarks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Slots admitted into the extended window (passed the hardware check
+    /// and were long enough in principle).
+    pub slots_admitted: usize,
+    /// Scan steps at which a suitable window existed and was evaluated.
+    pub windows_evaluated: usize,
+    /// Largest size the extended window reached.
+    pub peak_extended_window: usize,
+}
+
+/// Result of [`scan_with`]: the best window plus scan counters.
+#[derive(Debug, Clone)]
+pub struct ScanOutcome {
+    /// The best window by the policy's criterion, if any window was found.
+    pub best: Option<Window>,
+    /// Scan counters.
+    pub stats: ScanStats,
+}
+
+/// Runs the AEP scan and returns the best window by the policy's criterion.
+///
+/// Equivalent to [`scan_with`] with default [`ScanOptions`], discarding the
+/// statistics.
+#[must_use]
+pub fn scan(
+    platform: &Platform,
+    slots: &SlotList,
+    request: &ResourceRequest,
+    policy: &mut dyn SelectionPolicy,
+) -> Option<Window> {
+    scan_with(platform, slots, request, policy, ScanOptions::default()).best
+}
+
+/// Runs the AEP scan with explicit options, returning the best window and
+/// scan statistics.
+///
+/// Slots whose node fails the request's hardware/software requirements, or
+/// that are too short for the task even when fully used, never enter the
+/// extended window. With a deadline set, candidates that cannot complete by
+/// it are pruned and the scan stops once window starts pass the deadline.
+#[must_use]
+pub fn scan_with(
+    platform: &Platform,
+    slots: &SlotList,
+    request: &ResourceRequest,
+    policy: &mut dyn SelectionPolicy,
+    options: ScanOptions,
+) -> ScanOutcome {
+    let n = request.node_count();
+    let mut alive: Vec<Candidate> = Vec::new();
+    let mut stats = ScanStats::default();
+    let mut best: Option<(f64, Window)> = None;
+
+    for slot in slots {
+        let window_start = slot.start();
+
+        if let Some(deadline) = request.deadline() {
+            // Later slots only start later; nothing can finish in time.
+            if window_start >= deadline {
+                break;
+            }
+        }
+        if options.prune_start_bounded {
+            if let Some((best_score, _)) = &best {
+                if *best_score <= window_start.ticks() as f64 {
+                    break;
+                }
+            }
+        }
+
+        // properHardwareAndSoftware: the node must satisfy the request.
+        let admitted = platform
+            .get(slot.node())
+            .is_some_and(|node| request.requirements().admits(node));
+        if !admitted {
+            continue;
+        }
+        let candidate = Candidate::new(*slot, request.volume());
+        if slot.length() < candidate.length {
+            continue; // Too short even when fully used.
+        }
+        // A node hosts at most one task: a newer slot on the same node
+        // supersedes an older candidate (only possible with overlapping
+        // per-node slots, which well-formed inputs do not contain).
+        alive.retain(|c| c.slot.node() != candidate.slot.node());
+        alive.push(candidate);
+        stats.slots_admitted += 1;
+
+        // Prune candidates whose remainder is now too short, and, under a
+        // deadline, those that can no longer finish in time.
+        alive.retain(|c| {
+            c.alive_at(window_start)
+                && request
+                    .deadline()
+                    .is_none_or(|d| window_start + c.length <= d)
+        });
+        stats.peak_extended_window = stats.peak_extended_window.max(alive.len());
+
+        if alive.len() < n {
+            continue;
+        }
+        if let Some(picked) = policy.pick(window_start, &alive, request) {
+            debug_assert_eq!(picked.len(), n, "policy must pick exactly n slots");
+            let window = build_window(window_start, &alive, &picked);
+            let score = policy.score(&window);
+            stats.windows_evaluated += 1;
+            let improved = best.as_ref().is_none_or(|(s, _)| score < *s);
+            if improved {
+                best = Some((score, window));
+            }
+            if policy.stop_at_first() {
+                break;
+            }
+        }
+    }
+
+    ScanOutcome {
+        best: best.map(|(_, w)| w),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::criteria::{Criterion, WindowCriterion};
+    use crate::money::Money;
+    use crate::node::{NodeId, NodeSpec, Performance, Volume};
+    use crate::selectors::cheapest_n;
+    use crate::time::Interval;
+
+    /// A policy picking the cheapest n, scoring by an arbitrary criterion.
+    struct CheapestBy {
+        criterion: Criterion,
+        first: bool,
+    }
+
+    impl SelectionPolicy for CheapestBy {
+        fn name(&self) -> &str {
+            "cheapest-by"
+        }
+        fn pick(
+            &mut self,
+            _window_start: TimePoint,
+            alive: &[Candidate],
+            request: &ResourceRequest,
+        ) -> Option<Vec<usize>> {
+            cheapest_n(alive, request.node_count(), request.budget())
+        }
+        fn score(&self, window: &Window) -> f64 {
+            self.criterion.score(window)
+        }
+        fn stop_at_first(&self) -> bool {
+            self.first
+        }
+    }
+
+    fn platform(perfs: &[u32]) -> Platform {
+        perfs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                NodeSpec::builder(i as u32)
+                    .performance(Performance::new(p))
+                    .price_per_unit(Money::from_units(i64::from(p)))
+                    .build()
+            })
+            .collect()
+    }
+
+    fn full_slots(platform: &Platform, end: i64) -> SlotList {
+        let mut list = SlotList::new();
+        for node in platform {
+            list.add(
+                node.id(),
+                Interval::new(TimePoint::new(0), TimePoint::new(end)),
+                node.performance(),
+                node.price_per_unit(),
+            );
+        }
+        list
+    }
+
+    fn request(n: usize, volume: u64, budget: i64) -> ResourceRequest {
+        ResourceRequest::builder()
+            .node_count(n)
+            .volume(Volume::new(volume))
+            .budget(Money::from_units(budget))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn finds_window_on_idle_platform() {
+        let p = platform(&[2, 4, 8]);
+        let slots = full_slots(&p, 600);
+        let mut policy = CheapestBy {
+            criterion: Criterion::MinTotalCost,
+            first: false,
+        };
+        let outcome = scan_with(
+            &p,
+            &slots,
+            &request(2, 100, 100_000),
+            &mut policy,
+            ScanOptions::default(),
+        );
+        let w = outcome.best.expect("window exists");
+        assert_eq!(w.start(), TimePoint::ZERO);
+        assert_eq!(w.size(), 2);
+        assert_eq!(outcome.stats.slots_admitted, 3);
+    }
+
+    #[test]
+    fn no_window_when_too_few_nodes() {
+        let p = platform(&[2, 4]);
+        let slots = full_slots(&p, 600);
+        let mut policy = CheapestBy {
+            criterion: Criterion::MinTotalCost,
+            first: false,
+        };
+        assert!(scan(&p, &slots, &request(3, 100, 100_000), &mut policy).is_none());
+    }
+
+    #[test]
+    fn no_window_when_budget_too_small() {
+        let p = platform(&[2, 2]);
+        let slots = full_slots(&p, 600);
+        // 100 work on perf 2 = 50 units at price 2 -> 100 each, 200 total.
+        let mut policy = CheapestBy {
+            criterion: Criterion::MinTotalCost,
+            first: false,
+        };
+        assert!(scan(&p, &slots, &request(2, 100, 199), &mut policy).is_none());
+        assert!(scan(&p, &slots, &request(2, 100, 200), &mut policy).is_some());
+    }
+
+    #[test]
+    fn slots_too_short_never_admitted() {
+        let p = platform(&[2]);
+        let mut slots = SlotList::new();
+        // 100 work on perf 2 needs 50; the slot is only 40 long.
+        slots.add(
+            NodeId(0),
+            Interval::new(TimePoint::new(0), TimePoint::new(40)),
+            Performance::new(2),
+            Money::from_units(1),
+        );
+        let mut policy = CheapestBy {
+            criterion: Criterion::MinTotalCost,
+            first: false,
+        };
+        let outcome = scan_with(
+            &p,
+            &slots,
+            &request(1, 100, 1_000),
+            &mut policy,
+            ScanOptions::default(),
+        );
+        assert!(outcome.best.is_none());
+        assert_eq!(outcome.stats.slots_admitted, 0);
+    }
+
+    #[test]
+    fn later_start_prunes_stale_candidates() {
+        let p = platform(&[2, 2, 2]);
+        let mut slots = SlotList::new();
+        // Node 0 free [0, 60): can host a 50-long task only if anchored <= 10.
+        slots.add(
+            NodeId(0),
+            Interval::new(TimePoint::new(0), TimePoint::new(60)),
+            Performance::new(2),
+            Money::from_units(1),
+        );
+        // Nodes 1, 2 free from t=20: anchoring there evicts node 0.
+        for i in 1..3 {
+            slots.add(
+                NodeId(i),
+                Interval::new(TimePoint::new(20), TimePoint::new(600)),
+                Performance::new(2),
+                Money::from_units(1),
+            );
+        }
+        let mut policy = CheapestBy {
+            criterion: Criterion::EarliestStart,
+            first: true,
+        };
+        let w = scan(&p, &slots, &request(2, 100, 1_000), &mut policy).unwrap();
+        assert_eq!(w.start(), TimePoint::new(20));
+        let nodes: Vec<NodeId> = w.slots().iter().map(|s| s.node()).collect();
+        assert!(
+            !nodes.contains(&NodeId(0)),
+            "node 0's remainder is too short at t=20"
+        );
+    }
+
+    #[test]
+    fn stop_at_first_returns_earliest() {
+        let p = platform(&[2, 2, 2, 2]);
+        let mut slots = SlotList::new();
+        for (i, start) in [(0u32, 0i64), (1, 0), (2, 100), (3, 100)] {
+            slots.add(
+                NodeId(i),
+                Interval::new(TimePoint::new(start), TimePoint::new(600)),
+                Performance::new(2),
+                Money::from_units(1),
+            );
+        }
+        let mut first = CheapestBy {
+            criterion: Criterion::EarliestStart,
+            first: true,
+        };
+        let w = scan(&p, &slots, &request(2, 100, 1_000), &mut first).unwrap();
+        assert_eq!(w.start(), TimePoint::ZERO);
+    }
+
+    #[test]
+    fn full_scan_improves_over_first() {
+        // Later window is cheaper: full scan must find it, first-fit must not.
+        let p: Platform = vec![
+            NodeSpec::builder(0)
+                .performance(Performance::new(2))
+                .price_per_unit(Money::from_units(10))
+                .build(),
+            NodeSpec::builder(1)
+                .performance(Performance::new(2))
+                .price_per_unit(Money::from_units(10))
+                .build(),
+            NodeSpec::builder(2)
+                .performance(Performance::new(2))
+                .price_per_unit(Money::from_units(1))
+                .build(),
+            NodeSpec::builder(3)
+                .performance(Performance::new(2))
+                .price_per_unit(Money::from_units(1))
+                .build(),
+        ]
+        .into_iter()
+        .collect();
+        let mut slots = SlotList::new();
+        for node in &p {
+            let start = if node.id().index() < 2 { 0 } else { 200 };
+            slots.add(
+                node.id(),
+                Interval::new(TimePoint::new(start), TimePoint::new(600)),
+                node.performance(),
+                node.price_per_unit(),
+            );
+        }
+        let req = request(2, 100, 10_000);
+        let mut full = CheapestBy {
+            criterion: Criterion::MinTotalCost,
+            first: false,
+        };
+        let w = scan(&p, &slots, &req, &mut full).unwrap();
+        assert_eq!(
+            w.total_cost(),
+            Money::from_units(100),
+            "2 slots x 50 units x price 1"
+        );
+        assert_eq!(w.start(), TimePoint::new(200));
+
+        let mut first = CheapestBy {
+            criterion: Criterion::EarliestStart,
+            first: true,
+        };
+        let w = scan(&p, &slots, &req, &mut first).unwrap();
+        assert_eq!(w.start(), TimePoint::ZERO);
+        assert_eq!(w.total_cost(), Money::from_units(1_000));
+    }
+
+    #[test]
+    fn requirements_filter_nodes() {
+        let p: Platform = vec![
+            NodeSpec::builder(0)
+                .performance(Performance::new(2))
+                .build(),
+            NodeSpec::builder(1)
+                .performance(Performance::new(9))
+                .build(),
+        ]
+        .into_iter()
+        .collect();
+        let slots = full_slots(&p, 600);
+        let req = ResourceRequest::builder()
+            .node_count(1)
+            .volume(Volume::new(100))
+            .budget(Money::from_units(100_000))
+            .requirements(
+                crate::request::NodeRequirements::any().min_performance(Performance::new(5)),
+            )
+            .build()
+            .unwrap();
+        let mut policy = CheapestBy {
+            criterion: Criterion::MinTotalCost,
+            first: false,
+        };
+        let w = scan(&p, &slots, &req, &mut policy).unwrap();
+        assert_eq!(w.slots()[0].node(), NodeId(1));
+    }
+
+    #[test]
+    fn unknown_node_slots_are_skipped() {
+        let p = platform(&[2]);
+        let mut slots = full_slots(&p, 600);
+        slots.add(
+            NodeId(42),
+            Interval::new(TimePoint::new(0), TimePoint::new(600)),
+            Performance::new(9),
+            Money::from_units(1),
+        );
+        let mut policy = CheapestBy {
+            criterion: Criterion::MinTotalCost,
+            first: false,
+        };
+        let w = scan(&p, &slots, &request(1, 100, 1_000), &mut policy).unwrap();
+        assert_eq!(
+            w.slots()[0].node(),
+            NodeId(0),
+            "slot on unknown node n42 ignored"
+        );
+    }
+
+    #[test]
+    fn deadline_cuts_scan_short() {
+        let p = platform(&[2, 2]);
+        let mut slots = SlotList::new();
+        slots.add(
+            NodeId(0),
+            Interval::new(TimePoint::new(0), TimePoint::new(600)),
+            Performance::new(2),
+            Money::from_units(1),
+        );
+        slots.add(
+            NodeId(1),
+            Interval::new(TimePoint::new(300), TimePoint::new(600)),
+            Performance::new(2),
+            Money::from_units(1),
+        );
+        let req = ResourceRequest::builder()
+            .node_count(2)
+            .volume(Volume::new(100))
+            .budget(Money::from_units(1_000))
+            .deadline(TimePoint::new(200))
+            .build()
+            .unwrap();
+        let mut policy = CheapestBy {
+            criterion: Criterion::EarliestStart,
+            first: false,
+        };
+        assert!(
+            scan(&p, &slots, &req, &mut policy).is_none(),
+            "second node only free after the deadline"
+        );
+    }
+
+    #[test]
+    fn deadline_admits_fitting_window() {
+        let p = platform(&[2, 2]);
+        let slots = full_slots(&p, 600);
+        let req = ResourceRequest::builder()
+            .node_count(2)
+            .volume(Volume::new(100))
+            .budget(Money::from_units(1_000))
+            .deadline(TimePoint::new(50))
+            .build()
+            .unwrap();
+        let mut policy = CheapestBy {
+            criterion: Criterion::EarliestStart,
+            first: false,
+        };
+        let w = scan(&p, &slots, &req, &mut policy).unwrap();
+        assert!(w.finish() <= TimePoint::new(50));
+    }
+
+    #[test]
+    fn prune_start_bounded_stops_early_without_changing_result() {
+        let p = platform(&[2; 6]);
+        let mut slots = SlotList::new();
+        for i in 0..6u32 {
+            let start = i64::from(i) * 50;
+            slots.add(
+                NodeId(i),
+                Interval::new(TimePoint::new(start), TimePoint::new(1_000)),
+                Performance::new(2),
+                Money::from_units(1),
+            );
+        }
+        let req = request(2, 100, 1_000);
+        let mut a = CheapestBy {
+            criterion: Criterion::EarliestFinish,
+            first: false,
+        };
+        let plain = scan_with(&p, &slots, &req, &mut a, ScanOptions::default());
+        let mut b = CheapestBy {
+            criterion: Criterion::EarliestFinish,
+            first: false,
+        };
+        let pruned = scan_with(
+            &p,
+            &slots,
+            &req,
+            &mut b,
+            ScanOptions {
+                prune_start_bounded: true,
+            },
+        );
+        assert_eq!(
+            plain.best.as_ref().map(Window::finish),
+            pruned.best.as_ref().map(Window::finish)
+        );
+        assert!(pruned.stats.slots_admitted <= plain.stats.slots_admitted);
+    }
+
+    #[test]
+    fn duplicate_node_slots_superseded_not_coallocated() {
+        // Malformed input: two overlapping slots on one node. The scan must
+        // not co-allocate both.
+        let p = platform(&[2, 2]);
+        let slots = SlotList::from_slots(vec![
+            crate::slot::Slot::new(
+                crate::slot::SlotId(0),
+                NodeId(0),
+                Interval::new(TimePoint::new(0), TimePoint::new(600)),
+                Performance::new(2),
+                Money::from_units(1),
+            ),
+            crate::slot::Slot::new(
+                crate::slot::SlotId(1),
+                NodeId(0),
+                Interval::new(TimePoint::new(10), TimePoint::new(600)),
+                Performance::new(2),
+                Money::from_units(1),
+            ),
+            crate::slot::Slot::new(
+                crate::slot::SlotId(2),
+                NodeId(1),
+                Interval::new(TimePoint::new(10), TimePoint::new(600)),
+                Performance::new(2),
+                Money::from_units(1),
+            ),
+        ]);
+        let mut policy = CheapestBy {
+            criterion: Criterion::MinTotalCost,
+            first: false,
+        };
+        let w = scan(&p, &slots, &request(2, 100, 1_000), &mut policy).unwrap();
+        let mut nodes: Vec<NodeId> = w.slots().iter().map(|s| s.node()).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 2);
+    }
+}

@@ -1,0 +1,270 @@
+//! Window optimisation criteria (`crW`).
+//!
+//! The AEP scheme is parameterised by the criterion on which the best
+//! matching window is chosen. Users optimise for what they care about (cost,
+//! finish time), VO administrators for extreme characteristics forming
+//! flexible batch schedules. The five criteria evaluated in the paper are
+//! provided as the [`Criterion`] enum; custom criteria (e.g. minimum energy
+//! consumption) can implement [`WindowCriterion`] directly.
+//!
+//! # Examples
+//!
+//! ```
+//! use slotsel_core::criteria::{Criterion, WindowCriterion};
+//! use slotsel_core::money::Money;
+//! use slotsel_core::node::NodeId;
+//! use slotsel_core::slot::SlotId;
+//! use slotsel_core::time::{TimeDelta, TimePoint};
+//! use slotsel_core::window::{Window, WindowSlot};
+//!
+//! let w = Window::new(
+//!     TimePoint::new(10),
+//!     vec![WindowSlot::new(SlotId(0), NodeId(0), TimeDelta::new(40), Money::from_units(80))],
+//! );
+//! assert_eq!(Criterion::EarliestFinish.score(&w), 50.0);
+//! assert_eq!(Criterion::MinTotalCost.score(&w), 80.0);
+//! ```
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::window::Window;
+
+/// A total preorder over windows: lower scores are better.
+///
+/// Implementors must be pure — the score of a window may depend only on the
+/// window itself, so that comparisons across scan steps are meaningful.
+pub trait WindowCriterion {
+    /// Short human-readable criterion name (used in reports).
+    fn name(&self) -> &str;
+
+    /// Evaluates the window; **lower is better**.
+    fn score(&self, window: &Window) -> f64;
+
+    /// Returns `true` when `a` is strictly better than `b` under this
+    /// criterion.
+    fn better(&self, a: &Window, b: &Window) -> bool {
+        self.score(a) < self.score(b)
+    }
+}
+
+/// The five optimisation criteria evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Criterion {
+    /// Minimise the window start time (the AMP objective).
+    EarliestStart,
+    /// Minimise the window finish time `start + runtime`.
+    EarliestFinish,
+    /// Minimise the total allocation cost.
+    MinTotalCost,
+    /// Minimise the window runtime (length of the longest placement).
+    MinRuntime,
+    /// Minimise the total processor time (sum of placement lengths).
+    MinProcTime,
+}
+
+impl Criterion {
+    /// All criteria, in the order the paper discusses them.
+    pub const ALL: [Criterion; 5] = [
+        Criterion::EarliestStart,
+        Criterion::EarliestFinish,
+        Criterion::MinTotalCost,
+        Criterion::MinRuntime,
+        Criterion::MinProcTime,
+    ];
+}
+
+impl WindowCriterion for Criterion {
+    fn name(&self) -> &str {
+        match self {
+            Criterion::EarliestStart => "start",
+            Criterion::EarliestFinish => "finish",
+            Criterion::MinTotalCost => "cost",
+            Criterion::MinRuntime => "runtime",
+            Criterion::MinProcTime => "proctime",
+        }
+    }
+
+    fn score(&self, window: &Window) -> f64 {
+        match self {
+            Criterion::EarliestStart => window.start().ticks() as f64,
+            Criterion::EarliestFinish => window.finish().ticks() as f64,
+            Criterion::MinTotalCost => window.total_cost().as_f64(),
+            Criterion::MinRuntime => window.runtime().ticks() as f64,
+            Criterion::MinProcTime => window.proc_time().ticks() as f64,
+        }
+    }
+}
+
+impl fmt::Display for Criterion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `pad` honours width/alignment specifiers like `{:>8}`.
+        f.pad(self.name())
+    }
+}
+
+/// Error parsing a [`Criterion`] from its name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCriterionError {
+    input: String,
+}
+
+impl fmt::Display for ParseCriterionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown criterion {:?}; expected start|finish|cost|runtime|proctime",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseCriterionError {}
+
+impl std::str::FromStr for Criterion {
+    type Err = ParseCriterionError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Criterion::ALL
+            .into_iter()
+            .find(|c| c.name() == s)
+            .ok_or_else(|| ParseCriterionError {
+                input: s.to_owned(),
+            })
+    }
+}
+
+/// Selects the window with the best (lowest) score from an iterator,
+/// breaking ties in favour of the earlier element.
+///
+/// Returns `None` on an empty iterator.
+pub fn best_by<'w, C, I>(criterion: &C, windows: I) -> Option<&'w Window>
+where
+    C: WindowCriterion + ?Sized,
+    I: IntoIterator<Item = &'w Window>,
+{
+    let mut best: Option<(f64, &Window)> = None;
+    for window in windows {
+        let score = criterion.score(window);
+        if best.is_none_or(|(s, _)| score < s) {
+            best = Some((score, window));
+        }
+    }
+    best.map(|(_, w)| w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::money::Money;
+    use crate::node::NodeId;
+    use crate::slot::SlotId;
+    use crate::time::{TimeDelta, TimePoint};
+    use crate::window::WindowSlot;
+
+    fn window(start: i64, lengths_costs: &[(i64, i64)]) -> Window {
+        let slots = lengths_costs
+            .iter()
+            .enumerate()
+            .map(|(i, &(len, cost))| {
+                WindowSlot::new(
+                    SlotId(i as u64),
+                    NodeId(i as u32),
+                    TimeDelta::new(len),
+                    Money::from_units(cost),
+                )
+            })
+            .collect();
+        Window::new(TimePoint::new(start), slots)
+    }
+
+    #[test]
+    fn scores_match_window_metrics() {
+        let w = window(10, &[(40, 80), (60, 30)]);
+        assert_eq!(Criterion::EarliestStart.score(&w), 10.0);
+        assert_eq!(Criterion::EarliestFinish.score(&w), 70.0);
+        assert_eq!(Criterion::MinTotalCost.score(&w), 110.0);
+        assert_eq!(Criterion::MinRuntime.score(&w), 60.0);
+        assert_eq!(Criterion::MinProcTime.score(&w), 100.0);
+    }
+
+    #[test]
+    fn better_is_strict() {
+        let a = window(0, &[(10, 10)]);
+        let b = window(5, &[(10, 10)]);
+        let c = Criterion::EarliestStart;
+        assert!(c.better(&a, &b));
+        assert!(!c.better(&b, &a));
+        assert!(!c.better(&a, &a));
+    }
+
+    #[test]
+    fn best_by_picks_minimum() {
+        let windows = vec![
+            window(5, &[(10, 100)]),
+            window(0, &[(10, 200)]),
+            window(9, &[(10, 50)]),
+        ];
+        let by_start = best_by(&Criterion::EarliestStart, &windows).unwrap();
+        assert_eq!(by_start.start(), TimePoint::new(0));
+        let by_cost = best_by(&Criterion::MinTotalCost, &windows).unwrap();
+        assert_eq!(by_cost.total_cost(), Money::from_units(50));
+    }
+
+    #[test]
+    fn best_by_empty_is_none() {
+        assert!(best_by(&Criterion::MinRuntime, &[]).is_none());
+    }
+
+    #[test]
+    fn best_by_tie_prefers_first() {
+        let windows = vec![window(3, &[(10, 10)]), window(3, &[(20, 10)])];
+        let best = best_by(&Criterion::EarliestStart, &windows).unwrap();
+        assert_eq!(
+            best.runtime(),
+            TimeDelta::new(10),
+            "first of the tied windows wins"
+        );
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(Criterion::EarliestStart.name(), "start");
+        assert_eq!(Criterion::MinProcTime.to_string(), "proctime");
+        assert_eq!(Criterion::ALL.len(), 5);
+    }
+
+    #[test]
+    fn criterion_parses_from_its_name() {
+        for criterion in Criterion::ALL {
+            assert_eq!(criterion.name().parse::<Criterion>(), Ok(criterion));
+        }
+        let err = "velocity".parse::<Criterion>().unwrap_err();
+        assert!(err.to_string().contains("velocity"));
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let w = window(1, &[(2, 3)]);
+        let dyn_criterion: &dyn WindowCriterion = &Criterion::MinTotalCost;
+        assert_eq!(dyn_criterion.score(&w), 3.0);
+        assert!(best_by(dyn_criterion, std::slice::from_ref(&w)).is_some());
+    }
+
+    #[test]
+    fn custom_criterion_via_trait() {
+        /// Weighted combination: cost + 2 * finish (a user-defined utility).
+        struct CostPlusFinish;
+        impl WindowCriterion for CostPlusFinish {
+            fn name(&self) -> &str {
+                "cost+2finish"
+            }
+            fn score(&self, w: &Window) -> f64 {
+                w.total_cost().as_f64() + 2.0 * w.finish().ticks() as f64
+            }
+        }
+        let w = window(10, &[(40, 80)]);
+        assert_eq!(CostPlusFinish.score(&w), 80.0 + 2.0 * 50.0);
+    }
+}

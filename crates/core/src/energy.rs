@@ -1,0 +1,246 @@
+//! Energy-aware slot selection — the paper's suggested extension.
+//!
+//! §2.1 names "a minimum energy consumption" as an example criterion `crW`.
+//! This module provides a node power model and the corresponding
+//! [`SlotScore`], making [`MinAdditive`](crate::additive::MinAdditive) an
+//! energy-minimising AEP algorithm:
+//!
+//! ```
+//! use slotsel_core::additive::MinAdditive;
+//! use slotsel_core::energy::{EnergyScore, PowerModel};
+//! use slotsel_core::SlotSelector;
+//!
+//! let mut algorithm = MinAdditive::new(EnergyScore::new(PowerModel::default()));
+//! assert_eq!(algorithm.name(), "MinAdditive(energy)");
+//! ```
+//!
+//! The power model maps a node's characteristics to busy power draw. Fast
+//! nodes draw more power but hold the task for less time; whether they win
+//! on *energy* depends on the model's exponent — with the default
+//! super-linear model, slower nodes are usually the energy optimum, making
+//! the criterion genuinely different from both cost and processor time.
+
+use serde::{Deserialize, Serialize};
+
+use crate::additive::SlotScore;
+use crate::node::{NodeSpec, Platform};
+use crate::selectors::Candidate;
+use crate::window::Window;
+
+/// Busy power draw of a node as a function of its performance rate:
+/// `watts = base + unit · perf^exponent`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Idle/overhead draw in watts, paid whenever the node is busy.
+    pub base_watts: f64,
+    /// Watts per `perf^exponent`.
+    pub unit_watts: f64,
+    /// Super-linearity of power in performance (DVFS-style scaling);
+    /// `> 1` makes fast nodes disproportionately power-hungry.
+    pub exponent: f64,
+}
+
+impl PowerModel {
+    /// A workstation-grade default: `40 + 2 · perf^1.8` watts.
+    #[must_use]
+    pub fn new(base_watts: f64, unit_watts: f64, exponent: f64) -> Self {
+        assert!(
+            base_watts >= 0.0 && unit_watts >= 0.0 && exponent >= 0.0,
+            "power model parameters must be non-negative"
+        );
+        PowerModel {
+            base_watts,
+            unit_watts,
+            exponent,
+        }
+    }
+
+    /// Busy power draw of `node`, in watts.
+    #[must_use]
+    pub fn watts(&self, node: &NodeSpec) -> f64 {
+        self.base_watts + self.unit_watts * f64::from(node.performance().rate()).powf(self.exponent)
+    }
+
+    /// Energy (watt-ticks) of running one task of the window on `node` for
+    /// `ticks` model-time units.
+    #[must_use]
+    pub fn energy(&self, node: &NodeSpec, ticks: i64) -> f64 {
+        self.watts(node) * ticks as f64
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::new(40.0, 2.0, 1.8)
+    }
+}
+
+/// `zᵢ` = task energy on the node under a [`PowerModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyScore {
+    model: PowerModel,
+}
+
+impl EnergyScore {
+    /// Creates the score over `model`.
+    #[must_use]
+    pub fn new(model: PowerModel) -> Self {
+        EnergyScore { model }
+    }
+
+    /// The underlying power model.
+    #[must_use]
+    pub fn model(&self) -> &PowerModel {
+        &self.model
+    }
+}
+
+impl SlotScore for EnergyScore {
+    fn name(&self) -> &str {
+        "energy"
+    }
+
+    fn z(&self, platform: &Platform, candidate: &Candidate) -> f64 {
+        let node = platform.node(candidate.slot.node());
+        self.model.energy(node, candidate.length.ticks())
+    }
+}
+
+/// Total energy of a committed window under `model` (watt-ticks).
+#[must_use]
+pub fn window_energy(window: &Window, platform: &Platform, model: &PowerModel) -> f64 {
+    window
+        .slots()
+        .iter()
+        .map(|ws| model.energy(platform.node(ws.node()), ws.length().ticks()))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::additive::MinAdditive;
+    use crate::money::Money;
+    use crate::node::{Performance, Volume};
+    use crate::request::ResourceRequest;
+    use crate::slotlist::SlotList;
+    use crate::time::{Interval, TimePoint};
+    use crate::SlotSelector;
+
+    fn platform(perfs: &[u32]) -> Platform {
+        perfs
+            .iter()
+            .enumerate()
+            .map(|(i, &perf)| {
+                crate::node::NodeSpec::builder(i as u32)
+                    .performance(Performance::new(perf))
+                    .price_per_unit(Money::from_units(1))
+                    .build()
+            })
+            .collect()
+    }
+
+    fn idle(platform: &Platform, end: i64) -> SlotList {
+        let mut list = SlotList::new();
+        for node in platform {
+            list.add(
+                node.id(),
+                Interval::new(TimePoint::new(0), TimePoint::new(end)),
+                node.performance(),
+                node.price_per_unit(),
+            );
+        }
+        list
+    }
+
+    #[test]
+    fn watts_grow_superlinearly() {
+        let model = PowerModel::default();
+        let slow = crate::node::NodeSpec::builder(0)
+            .performance(Performance::new(2))
+            .build();
+        let fast = crate::node::NodeSpec::builder(1)
+            .performance(Performance::new(10))
+            .build();
+        let ratio =
+            (model.watts(&fast) - model.base_watts) / (model.watts(&slow) - model.base_watts);
+        assert!(ratio > 5.0, "perf 5x => power {ratio}x under exponent 1.8");
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let model = PowerModel::new(10.0, 1.0, 1.0);
+        let node = crate::node::NodeSpec::builder(0)
+            .performance(Performance::new(5))
+            .build();
+        assert_eq!(model.energy(&node, 20), (10.0 + 5.0) * 20.0);
+    }
+
+    #[test]
+    fn slow_node_wins_energy_with_superlinear_power() {
+        // Volume 300: perf 2 -> 150 ticks, perf 10 -> 30 ticks.
+        // Default model: perf 2 -> 47 W -> 7 044; perf 10 -> 166 W -> 4 985.
+        // With a steeper exponent the slow node wins.
+        let model = PowerModel::new(0.0, 2.0, 2.5);
+        let p = platform(&[2, 10]);
+        let slow = p.node(crate::node::NodeId(0));
+        let fast = p.node(crate::node::NodeId(1));
+        let e_slow = model.energy(slow, 150);
+        let e_fast = model.energy(fast, 30);
+        assert!(e_slow < e_fast, "{e_slow} vs {e_fast}");
+    }
+
+    #[test]
+    fn min_energy_algorithm_picks_the_energy_optimum() {
+        let model = PowerModel::new(0.0, 2.0, 2.5);
+        let p = platform(&[2, 10, 3, 9]);
+        let slots = idle(&p, 600);
+        let req = ResourceRequest::builder()
+            .node_count(2)
+            .volume(Volume::new(300))
+            .budget(Money::from_units(100_000))
+            .build()
+            .unwrap();
+        let w = MinAdditive::new(EnergyScore::new(model))
+            .select(&p, &slots, &req)
+            .unwrap();
+        let nodes: Vec<u32> = w.slots().iter().map(|ws| ws.node().0).collect();
+        assert!(
+            nodes.contains(&0) && nodes.contains(&2),
+            "slow nodes are the energy optimum: {nodes:?}"
+        );
+        // And the reported energy matches the helper.
+        let energy = window_energy(&w, &p, &model);
+        let expected = model.energy(p.node(crate::node::NodeId(0)), 150)
+            + model.energy(p.node(crate::node::NodeId(2)), 100);
+        assert!((energy - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_energy_differs_from_min_proc_time() {
+        // Processor time prefers fast nodes; energy (superlinear) slow ones.
+        let model = PowerModel::new(0.0, 2.0, 2.5);
+        let p = platform(&[2, 10, 3, 9]);
+        let slots = idle(&p, 600);
+        let req = ResourceRequest::builder()
+            .node_count(2)
+            .volume(Volume::new(300))
+            .budget(Money::from_units(100_000))
+            .build()
+            .unwrap();
+        let energy = MinAdditive::new(EnergyScore::new(model))
+            .select(&p, &slots, &req)
+            .unwrap();
+        let proc = MinAdditive::new(crate::additive::ProcTimeScore)
+            .select(&p, &slots, &req)
+            .unwrap();
+        assert!(window_energy(&energy, &p, &model) < window_energy(&proc, &p, &model));
+        assert!(proc.proc_time() < energy.proc_time());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn model_rejects_negative_parameters() {
+        let _ = PowerModel::new(-1.0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Error types for slot selection.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::slot::SlotId;
+use crate::time::Interval;
+
+/// Error constructing a [`ResourceRequest`](crate::request::ResourceRequest).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RequestError {
+    /// The request asks for zero parallel slots.
+    ZeroNodes,
+    /// The request carries no work.
+    ZeroVolume,
+    /// The budget is zero or negative — no slot could ever be paid for.
+    NonPositiveBudget,
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::ZeroNodes => f.write_str("resource request asks for zero parallel slots"),
+            RequestError::ZeroVolume => f.write_str("resource request carries zero work volume"),
+            RequestError::NonPositiveBudget => {
+                f.write_str("resource request budget must be positive")
+            }
+        }
+    }
+}
+
+impl Error for RequestError {}
+
+/// Error cutting reserved spans out of a
+/// [`SlotList`](crate::slotlist::SlotList).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CutError {
+    /// The referenced slot is not in the list.
+    UnknownSlot(SlotId),
+    /// The reserved interval is not contained in the slot's span.
+    OutOfSpan {
+        /// The offending slot.
+        slot: SlotId,
+        /// The interval that was requested to be reserved.
+        requested: Interval,
+        /// The slot's actual free span.
+        span: Interval,
+    },
+}
+
+impl fmt::Display for CutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CutError::UnknownSlot(id) => write!(f, "slot {id} is not in the list"),
+            CutError::OutOfSpan {
+                slot,
+                requested,
+                span,
+            } => write!(
+                f,
+                "reserved interval {requested} exceeds span {span} of slot {slot}"
+            ),
+        }
+    }
+}
+
+impl Error for CutError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::TimePoint;
+
+    #[test]
+    fn request_error_messages() {
+        assert_eq!(
+            RequestError::ZeroNodes.to_string(),
+            "resource request asks for zero parallel slots"
+        );
+        assert!(RequestError::ZeroVolume
+            .to_string()
+            .contains("zero work volume"));
+        assert!(RequestError::NonPositiveBudget
+            .to_string()
+            .contains("positive"));
+    }
+
+    #[test]
+    fn cut_error_messages() {
+        assert_eq!(
+            CutError::UnknownSlot(SlotId(3)).to_string(),
+            "slot s3 is not in the list"
+        );
+        let err = CutError::OutOfSpan {
+            slot: SlotId(1),
+            requested: Interval::new(TimePoint::new(0), TimePoint::new(10)),
+            span: Interval::new(TimePoint::new(5), TimePoint::new(10)),
+        };
+        assert!(err.to_string().contains("exceeds span"));
+    }
+
+    #[test]
+    fn errors_implement_error_trait() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<RequestError>();
+        assert_error::<CutError>();
+    }
+}

@@ -1,0 +1,168 @@
+//! A small, dependency-free pseudo-random number generator.
+//!
+//! The simplified `MinProcTime` scheme needs a source of randomness to pick
+//! its "random window" at each scan step. To keep `slotsel-core` free of
+//! external dependencies the crate carries its own [SplitMix64] generator —
+//! 64-bit state, passes practical statistical tests, and is trivially
+//! reproducible from a seed.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+//!
+//! # Examples
+//!
+//! ```
+//! use slotsel_core::rng::SplitMix64;
+//!
+//! let mut a = SplitMix64::new(42);
+//! let mut b = SplitMix64::new(42);
+//! assert_eq!(a.next_u64(), b.next_u64()); // deterministic per seed
+//! ```
+
+/// A deterministic 64-bit PRNG (Steele, Lea & Flood's SplitMix64).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds produce equal streams.
+    #[must_use]
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform integer in `[0, bound)` without modulo bias,
+    /// using rejection sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Rejection sampling: reject values in the final partial block.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let x = self.next_u64();
+            if x < zone {
+                return x % bound;
+            }
+        }
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // Use the top 53 bits for a dyadic rational in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn known_reference_values() {
+        // Reference output of splitmix64 with seed 0.
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    #[test]
+    fn next_below_stays_in_range() {
+        let mut rng = SplitMix64::new(3);
+        for bound in [1u64, 2, 3, 10, 1_000] {
+            for _ in 0..200 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_covers_small_ranges() {
+        let mut rng = SplitMix64::new(11);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.next_below(5) as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues should appear in 500 draws"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn next_below_zero_panics() {
+        let _ = SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..1_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_f64_mean_is_roughly_half() {
+        let mut rng = SplitMix64::new(9);
+        let mean: f64 = (0..10_000).map(|_| rng.next_f64()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64::new(13);
+        let mut items: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut items);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_handles_degenerate_slices() {
+        let mut rng = SplitMix64::new(13);
+        let mut empty: [u8; 0] = [];
+        rng.shuffle(&mut empty);
+        let mut single = [42];
+        rng.shuffle(&mut single);
+        assert_eq!(single, [42]);
+    }
+}

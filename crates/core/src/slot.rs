@@ -1,0 +1,240 @@
+//! Time slots: spans of free time on concrete nodes.
+//!
+//! A [`Slot`] is the unit the metascheduler receives from local resource
+//! managers: a span of time on one node that is free of local and
+//! higher-priority jobs, together with the node's performance rate and its
+//! usage price per time unit. The slot selection algorithms never look at the
+//! node schedules directly — only at slots.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::money::Money;
+use crate::node::{NodeId, Performance, Volume};
+use crate::time::{Interval, TimeDelta, TimePoint};
+
+/// Identifier of a slot within one scheduling cycle.
+///
+/// Ids stay unique across CSA's slot "cutting": pieces produced by cutting a
+/// slot receive fresh ids from the owning [`SlotList`](crate::slotlist::SlotList).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SlotId(pub u64);
+
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A free time span on one node, priced per model-time unit.
+///
+/// # Examples
+///
+/// ```
+/// use slotsel_core::money::Money;
+/// use slotsel_core::node::{NodeId, Performance, Volume};
+/// use slotsel_core::slot::{Slot, SlotId};
+/// use slotsel_core::time::{Interval, TimePoint};
+///
+/// let slot = Slot::new(
+///     SlotId(0),
+///     NodeId(3),
+///     Interval::new(TimePoint::new(0), TimePoint::new(100)),
+///     Performance::new(5),
+///     Money::from_f64(5.2),
+/// );
+/// // A 300-work task runs 60 units on this node and costs 60 * 5.2.
+/// assert_eq!(slot.time_for(Volume::new(300)).ticks(), 60);
+/// assert_eq!(slot.cost_for(Volume::new(300)), Money::from_f64(312.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Slot {
+    id: SlotId,
+    node: NodeId,
+    span: Interval,
+    performance: Performance,
+    price_per_unit: Money,
+}
+
+impl Slot {
+    /// Creates a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the price per unit is negative.
+    #[must_use]
+    pub fn new(
+        id: SlotId,
+        node: NodeId,
+        span: Interval,
+        performance: Performance,
+        price_per_unit: Money,
+    ) -> Self {
+        assert!(
+            !price_per_unit.is_negative(),
+            "slot price per unit must be non-negative, got {price_per_unit}"
+        );
+        Slot {
+            id,
+            node,
+            span,
+            performance,
+            price_per_unit,
+        }
+    }
+
+    /// The slot identifier.
+    #[must_use]
+    pub const fn id(&self) -> SlotId {
+        self.id
+    }
+
+    /// The node this slot lives on.
+    #[must_use]
+    pub const fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The free time span.
+    #[must_use]
+    pub const fn span(&self) -> Interval {
+        self.span
+    }
+
+    /// Start of the free span.
+    #[must_use]
+    pub fn start(&self) -> TimePoint {
+        self.span.start()
+    }
+
+    /// End of the free span.
+    #[must_use]
+    pub fn end(&self) -> TimePoint {
+        self.span.end()
+    }
+
+    /// Length of the free span.
+    #[must_use]
+    pub fn length(&self) -> TimeDelta {
+        self.span.length()
+    }
+
+    /// Performance rate of the owning node.
+    #[must_use]
+    pub const fn performance(&self) -> Performance {
+        self.performance
+    }
+
+    /// Usage price per model-time unit.
+    #[must_use]
+    pub const fn price_per_unit(&self) -> Money {
+        self.price_per_unit
+    }
+
+    /// Execution time of `volume` on this slot's node.
+    #[must_use]
+    pub fn time_for(&self, volume: Volume) -> TimeDelta {
+        volume.time_on(self.performance)
+    }
+
+    /// Cost of running `volume` on this slot: price per unit times the
+    /// required time length (the paper's "cost of using each of the slots
+    /// according to their required time length").
+    #[must_use]
+    pub fn cost_for(&self, volume: Volume) -> Money {
+        self.price_per_unit * self.time_for(volume).ticks()
+    }
+
+    /// Returns `true` when a task of `volume` anchored at `window_start`
+    /// fits inside the slot: the slot has already started and enough of it
+    /// remains.
+    #[must_use]
+    pub fn fits(&self, window_start: TimePoint, volume: Volume) -> bool {
+        self.span.start() <= window_start && self.span.end() - window_start >= self.time_for(volume)
+    }
+
+    /// Returns a copy of this slot with a different id and span, preserving
+    /// node, performance and price. Used when cutting slots into pieces.
+    #[must_use]
+    pub fn with_span(&self, id: SlotId, span: Interval) -> Slot {
+        Slot { id, span, ..*self }
+    }
+}
+
+impl fmt::Display for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}@{} {} perf={} price={}",
+            self.id, self.node, self.span, self.performance, self.price_per_unit
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(start: i64, end: i64, perf: u32, price: f64) -> Slot {
+        Slot::new(
+            SlotId(1),
+            NodeId(0),
+            Interval::new(TimePoint::new(start), TimePoint::new(end)),
+            Performance::new(perf),
+            Money::from_f64(price),
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let s = slot(10, 110, 5, 4.5);
+        assert_eq!(s.start().ticks(), 10);
+        assert_eq!(s.end().ticks(), 110);
+        assert_eq!(s.length().ticks(), 100);
+        assert_eq!(s.performance().rate(), 5);
+        assert_eq!(s.price_per_unit(), Money::from_f64(4.5));
+    }
+
+    #[test]
+    fn cost_scales_with_required_length_not_slot_length() {
+        let s = slot(0, 1_000, 5, 2.0);
+        // 300 work on perf 5 -> 60 time units -> 120 credits.
+        assert_eq!(s.cost_for(Volume::new(300)), Money::from_units(120));
+    }
+
+    #[test]
+    fn fits_requires_started_and_enough_remainder() {
+        let s = slot(10, 70, 5, 1.0);
+        let v = Volume::new(300); // needs 60 on perf 5
+        assert!(s.fits(TimePoint::new(10), v));
+        assert!(!s.fits(TimePoint::new(11), v), "only 59 units remain");
+        assert!(!s.fits(TimePoint::new(9), v), "slot has not started yet");
+    }
+
+    #[test]
+    fn fits_zero_volume_anywhere_inside() {
+        let s = slot(0, 10, 2, 1.0);
+        assert!(s.fits(TimePoint::new(10), Volume::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_price_rejected() {
+        let _ = slot(0, 10, 2, -1.0);
+    }
+
+    #[test]
+    fn with_span_preserves_node_and_price() {
+        let s = slot(0, 100, 7, 3.25);
+        let piece = s.with_span(
+            SlotId(9),
+            Interval::new(TimePoint::new(40), TimePoint::new(100)),
+        );
+        assert_eq!(piece.id(), SlotId(9));
+        assert_eq!(piece.node(), s.node());
+        assert_eq!(piece.performance(), s.performance());
+        assert_eq!(piece.price_per_unit(), s.price_per_unit());
+        assert_eq!(piece.start().ticks(), 40);
+    }
+}

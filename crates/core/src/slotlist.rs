@@ -1,0 +1,610 @@
+//! The ordered list of available slots for one scheduling cycle.
+//!
+//! All algorithms in this crate scan the slot list front to back exactly
+//! once; their linear complexity in the number of slots `m` rests on the
+//! list's ordering invariant: **slots are sorted by non-decreasing start
+//! time** (ties broken by id, making iteration order deterministic).
+//! [`SlotList`] owns that invariant and is the only way to hand slots to the
+//! algorithms.
+//!
+//! The list also implements the slot *cutting* operation CSA relies on:
+//! subtracting a reserved window from the free-slot set, splitting slots
+//! into remainder pieces with freshly allocated ids.
+//!
+//! # Examples
+//!
+//! ```
+//! use slotsel_core::money::Money;
+//! use slotsel_core::node::{NodeId, Performance};
+//! use slotsel_core::slotlist::SlotList;
+//! use slotsel_core::time::{Interval, TimePoint};
+//!
+//! let mut list = SlotList::new();
+//! list.add(
+//!     NodeId(0),
+//!     Interval::new(TimePoint::new(20), TimePoint::new(120)),
+//!     Performance::new(4),
+//!     Money::from_f64(4.0),
+//! );
+//! list.add(
+//!     NodeId(1),
+//!     Interval::new(TimePoint::new(0), TimePoint::new(90)),
+//!     Performance::new(8),
+//!     Money::from_f64(8.3),
+//! );
+//! // Iteration respects the ordering invariant regardless of insertion order.
+//! let starts: Vec<i64> = list.iter().map(|s| s.start().ticks()).collect();
+//! assert_eq!(starts, vec![0, 20]);
+//! ```
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CutError;
+use crate::money::Money;
+use crate::node::{NodeId, Performance};
+use crate::slot::{Slot, SlotId};
+use crate::time::{Interval, TimeDelta};
+
+/// An ordered collection of available [`Slot`]s.
+///
+/// See the [module documentation](self) for the ordering invariant.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SlotList {
+    /// Sorted by `(start, id)`.
+    slots: Vec<Slot>,
+    next_id: u64,
+}
+
+impl SlotList {
+    /// Creates an empty slot list.
+    #[must_use]
+    pub fn new() -> Self {
+        SlotList::default()
+    }
+
+    /// Creates a list from pre-built slots, sorting them and continuing id
+    /// allocation after the largest id present.
+    #[must_use]
+    pub fn from_slots(mut slots: Vec<Slot>) -> Self {
+        slots.sort_by_key(|s| (s.start(), s.id()));
+        let next_id = slots.iter().map(|s| s.id().0 + 1).max().unwrap_or(0);
+        SlotList { slots, next_id }
+    }
+
+    /// Adds a new slot, allocating its id, and returns the id.
+    pub fn add(
+        &mut self,
+        node: NodeId,
+        span: Interval,
+        performance: Performance,
+        price_per_unit: Money,
+    ) -> SlotId {
+        let id = SlotId(self.next_id);
+        self.next_id += 1;
+        self.insert_sorted(Slot::new(id, node, span, performance, price_per_unit));
+        id
+    }
+
+    fn insert_sorted(&mut self, slot: Slot) {
+        let key = (slot.start(), slot.id());
+        let pos = self.slots.partition_point(|s| (s.start(), s.id()) < key);
+        self.slots.insert(pos, slot);
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` when there are no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Iterates over slots in non-decreasing start order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Slot> {
+        self.slots.iter()
+    }
+
+    /// Returns the slots as an ordered slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Slot] {
+        &self.slots
+    }
+
+    /// Finds a slot by id (linear scan).
+    #[must_use]
+    pub fn get(&self, id: SlotId) -> Option<&Slot> {
+        self.slots.iter().find(|s| s.id() == id)
+    }
+
+    /// Sum of all slot lengths — the platform's total free node-time.
+    #[must_use]
+    pub fn total_free_time(&self) -> TimeDelta {
+        self.slots.iter().map(Slot::length).sum()
+    }
+
+    /// Removes slots for which `keep` returns `false`, preserving order.
+    pub fn retain<F: FnMut(&Slot) -> bool>(&mut self, keep: F) {
+        self.slots.retain(keep);
+    }
+
+    /// Subtracts reserved spans from the free-slot set.
+    ///
+    /// For every `(slot id, reserved interval)` pair the identified slot is
+    /// removed and its uncovered remainder (0, 1 or 2 pieces) is re-inserted
+    /// under fresh ids. This is CSA's "cutting of a suitable window from the
+    /// list of available slots".
+    ///
+    /// Pieces shorter than `min_piece` are dropped — they can never host a
+    /// task and would only slow subsequent scans. Pass [`TimeDelta::ZERO`]
+    /// to keep everything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CutError::UnknownSlot`] if an id is not (or no longer) in
+    /// the list, and [`CutError::OutOfSpan`] if a reserved interval is not
+    /// fully inside its slot. On error the list is left unchanged.
+    pub fn cut(
+        &mut self,
+        reservations: &[(SlotId, Interval)],
+        min_piece: TimeDelta,
+    ) -> Result<(), CutError> {
+        // Validate first so failure cannot leave the list half-cut.
+        for &(id, reserved) in reservations {
+            let slot = self.get(id).ok_or(CutError::UnknownSlot(id))?;
+            if !slot.span().contains_interval(&reserved) {
+                return Err(CutError::OutOfSpan {
+                    slot: id,
+                    requested: reserved,
+                    span: slot.span(),
+                });
+            }
+        }
+        for &(id, reserved) in reservations {
+            let pos = self
+                .slots
+                .iter()
+                .position(|s| s.id() == id)
+                .expect("validated above");
+            let slot = self.slots.remove(pos);
+            for piece in slot.span().subtract(&reserved) {
+                if piece.length() >= min_piece && piece.length().is_positive() {
+                    let piece_id = SlotId(self.next_id);
+                    self.next_id += 1;
+                    self.insert_sorted(slot.with_span(piece_id, piece));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns a reserved span to the free pool, merging it with any free
+    /// slots on the same node that touch it — the inverse of [`cut`](Self::cut),
+    /// used when a reservation is cancelled before execution.
+    ///
+    /// The merged slot receives a fresh id; the absorbed neighbours' ids are
+    /// retired. Performance and price for the released span are taken from
+    /// the given attributes (normally the owning node's).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the released span overlaps an existing free slot on the
+    /// node — that would mean releasing time that was never reserved.
+    pub fn release(
+        &mut self,
+        node: NodeId,
+        span: Interval,
+        performance: Performance,
+        price_per_unit: Money,
+    ) -> SlotId {
+        if span.is_empty() {
+            // Nothing to return; still allocate an id for API uniformity.
+            return self.add(node, span, performance, price_per_unit);
+        }
+        for slot in &self.slots {
+            assert!(
+                slot.node() != node || !slot.span().overlaps(&span),
+                "released span {span} overlaps free slot {slot}"
+            );
+        }
+        // Absorb free neighbours that touch the released span.
+        let mut start = span.start();
+        let mut end = span.end();
+        let mut absorbed = Vec::new();
+        for slot in &self.slots {
+            if slot.node() != node {
+                continue;
+            }
+            if slot.end() == start {
+                start = slot.start();
+                absorbed.push(slot.id());
+            } else if slot.start() == end {
+                end = slot.end();
+                absorbed.push(slot.id());
+            }
+        }
+        self.slots.retain(|s| !absorbed.contains(&s.id()));
+        self.add(node, Interval::new(start, end), performance, price_per_unit)
+    }
+
+    /// Fragmentation statistics of the free-slot set — how broken up the
+    /// platform's free time is, which governs how hard co-allocation will
+    /// be for a given request.
+    #[must_use]
+    pub fn stats(&self) -> SlotListStats {
+        let mut nodes: Vec<NodeId> = self.slots.iter().map(Slot::node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let lengths: Vec<i64> = self.slots.iter().map(|s| s.length().ticks()).collect();
+        let total: i64 = lengths.iter().sum();
+        SlotListStats {
+            slots: self.slots.len(),
+            nodes_with_slots: nodes.len(),
+            total_free_time: TimeDelta::new(total),
+            mean_length: if lengths.is_empty() {
+                0.0
+            } else {
+                total as f64 / lengths.len() as f64
+            },
+            min_length: lengths.iter().copied().min().map(TimeDelta::new),
+            max_length: lengths.iter().copied().max().map(TimeDelta::new),
+        }
+    }
+
+    /// Checks the ordering invariant. Exposed for tests and debug assertions.
+    #[must_use]
+    pub fn is_sorted(&self) -> bool {
+        self.slots
+            .windows(2)
+            .all(|w| (w[0].start(), w[0].id()) <= (w[1].start(), w[1].id()))
+    }
+}
+
+/// Fragmentation statistics of a [`SlotList`], from [`SlotList::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotListStats {
+    /// Number of free slots.
+    pub slots: usize,
+    /// Number of distinct nodes contributing at least one slot.
+    pub nodes_with_slots: usize,
+    /// Summed free time.
+    pub total_free_time: TimeDelta,
+    /// Mean slot length (0 for an empty list).
+    pub mean_length: f64,
+    /// Shortest slot, if any.
+    pub min_length: Option<TimeDelta>,
+    /// Longest slot, if any.
+    pub max_length: Option<TimeDelta>,
+}
+
+impl<'a> IntoIterator for &'a SlotList {
+    type Item = &'a Slot;
+    type IntoIter = std::slice::Iter<'a, Slot>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.slots.iter()
+    }
+}
+
+impl FromIterator<Slot> for SlotList {
+    fn from_iter<I: IntoIterator<Item = Slot>>(iter: I) -> Self {
+        SlotList::from_slots(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Slot> for SlotList {
+    fn extend<I: IntoIterator<Item = Slot>>(&mut self, iter: I) {
+        for slot in iter {
+            self.next_id = self.next_id.max(slot.id().0 + 1);
+            self.insert_sorted(slot);
+        }
+    }
+}
+
+impl fmt::Display for SlotList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SlotList ({} slots):", self.slots.len())?;
+        for slot in &self.slots {
+            writeln!(f, "  {slot}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::TimePoint;
+
+    fn iv(a: i64, b: i64) -> Interval {
+        Interval::new(TimePoint::new(a), TimePoint::new(b))
+    }
+
+    fn list_of(spans: &[(i64, i64)]) -> SlotList {
+        let mut list = SlotList::new();
+        for (i, &(a, b)) in spans.iter().enumerate() {
+            list.add(
+                NodeId(i as u32),
+                iv(a, b),
+                Performance::new(2),
+                Money::from_units(1),
+            );
+        }
+        list
+    }
+
+    #[test]
+    fn add_keeps_sorted_order() {
+        let list = list_of(&[(50, 60), (0, 10), (20, 30)]);
+        assert!(list.is_sorted());
+        let starts: Vec<i64> = list.iter().map(|s| s.start().ticks()).collect();
+        assert_eq!(starts, vec![0, 20, 50]);
+    }
+
+    #[test]
+    fn from_slots_sorts_and_continues_ids() {
+        let slots = vec![
+            Slot::new(
+                SlotId(7),
+                NodeId(0),
+                iv(30, 40),
+                Performance::new(2),
+                Money::ZERO,
+            ),
+            Slot::new(
+                SlotId(3),
+                NodeId(1),
+                iv(0, 10),
+                Performance::new(2),
+                Money::ZERO,
+            ),
+        ];
+        let mut list = SlotList::from_slots(slots);
+        assert!(list.is_sorted());
+        let new_id = list.add(NodeId(2), iv(5, 15), Performance::new(2), Money::ZERO);
+        assert_eq!(new_id, SlotId(8), "ids continue after the maximum");
+    }
+
+    #[test]
+    fn ties_on_start_are_ordered_by_id() {
+        let list = list_of(&[(0, 10), (0, 20), (0, 30)]);
+        let ids: Vec<u64> = list.iter().map(|s| s.id().0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn total_free_time_sums_lengths() {
+        let list = list_of(&[(0, 10), (20, 50)]);
+        assert_eq!(list.total_free_time(), TimeDelta::new(40));
+    }
+
+    #[test]
+    fn cut_middle_produces_two_pieces() {
+        let mut list = list_of(&[(0, 100)]);
+        let id = list.iter().next().unwrap().id();
+        list.cut(&[(id, iv(40, 60))], TimeDelta::ZERO).unwrap();
+        assert_eq!(list.len(), 2);
+        let spans: Vec<(i64, i64)> = list
+            .iter()
+            .map(|s| (s.start().ticks(), s.end().ticks()))
+            .collect();
+        assert_eq!(spans, vec![(0, 40), (60, 100)]);
+        assert!(list.is_sorted());
+        assert!(list.get(id).is_none(), "the original slot is gone");
+    }
+
+    #[test]
+    fn cut_prefix_keeps_suffix_only() {
+        let mut list = list_of(&[(10, 100)]);
+        let id = list.iter().next().unwrap().id();
+        list.cut(&[(id, iv(10, 30))], TimeDelta::ZERO).unwrap();
+        assert_eq!(list.len(), 1);
+        let s = list.iter().next().unwrap();
+        assert_eq!((s.start().ticks(), s.end().ticks()), (30, 100));
+    }
+
+    #[test]
+    fn cut_whole_slot_removes_it() {
+        let mut list = list_of(&[(0, 50)]);
+        let id = list.iter().next().unwrap().id();
+        list.cut(&[(id, iv(0, 50))], TimeDelta::ZERO).unwrap();
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn cut_drops_pieces_below_min_piece() {
+        let mut list = list_of(&[(0, 100)]);
+        let id = list.iter().next().unwrap().id();
+        list.cut(&[(id, iv(5, 95))], TimeDelta::new(10)).unwrap();
+        assert!(
+            list.is_empty(),
+            "both 5-long remainders are below min_piece 10"
+        );
+    }
+
+    #[test]
+    fn cut_unknown_slot_errors_and_preserves_list() {
+        let mut list = list_of(&[(0, 100)]);
+        let before = list.clone();
+        let err = list
+            .cut(&[(SlotId(999), iv(0, 10))], TimeDelta::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, CutError::UnknownSlot(SlotId(999))));
+        assert_eq!(list, before);
+    }
+
+    #[test]
+    fn cut_out_of_span_errors_and_preserves_list() {
+        let mut list = list_of(&[(10, 100), (0, 5)]);
+        let id = list.get(SlotId(0)).unwrap().id();
+        let before = list.clone();
+        let err = list.cut(&[(id, iv(0, 20))], TimeDelta::ZERO).unwrap_err();
+        assert!(matches!(err, CutError::OutOfSpan { .. }));
+        assert_eq!(list, before, "failed cut must not mutate the list");
+    }
+
+    #[test]
+    fn cut_pieces_get_fresh_ids() {
+        let mut list = list_of(&[(0, 100)]);
+        let id = list.iter().next().unwrap().id();
+        list.cut(&[(id, iv(40, 60))], TimeDelta::ZERO).unwrap();
+        let ids: Vec<SlotId> = list.iter().map(Slot::id).collect();
+        assert!(ids.iter().all(|&i| i != id));
+        assert_eq!(ids.len(), 2);
+        assert_ne!(ids[0], ids[1]);
+    }
+
+    #[test]
+    fn retain_preserves_order() {
+        let mut list = list_of(&[(0, 10), (20, 30), (40, 50)]);
+        list.retain(|s| s.start().ticks() != 20);
+        assert_eq!(list.len(), 2);
+        assert!(list.is_sorted());
+    }
+
+    #[test]
+    fn release_merges_with_both_neighbours() {
+        let mut list = list_of(&[(0, 100)]);
+        let id = list.iter().next().unwrap().id();
+        list.cut(&[(id, iv(40, 60))], TimeDelta::ZERO).unwrap();
+        assert_eq!(list.len(), 2);
+        let merged = list.release(
+            NodeId(0),
+            iv(40, 60),
+            Performance::new(2),
+            Money::from_units(1),
+        );
+        assert_eq!(list.len(), 1, "pieces coalesce back into one slot");
+        let slot = list.get(merged).unwrap();
+        assert_eq!((slot.start().ticks(), slot.end().ticks()), (0, 100));
+        assert_eq!(list.total_free_time(), TimeDelta::new(100));
+    }
+
+    #[test]
+    fn release_without_neighbours_adds_a_slot() {
+        let mut list = list_of(&[(0, 10)]);
+        let id = list.release(
+            NodeId(5),
+            iv(50, 80),
+            Performance::new(4),
+            Money::from_units(2),
+        );
+        assert_eq!(list.len(), 2);
+        let slot = list.get(id).unwrap();
+        assert_eq!(slot.node(), NodeId(5));
+        assert_eq!(slot.length(), TimeDelta::new(30));
+        assert!(list.is_sorted());
+    }
+
+    #[test]
+    fn release_merges_prefix_only() {
+        let mut list = list_of(&[(0, 40)]);
+        let id = list.release(
+            NodeId(0),
+            iv(40, 70),
+            Performance::new(2),
+            Money::from_units(1),
+        );
+        assert_eq!(list.len(), 1);
+        let slot = list.get(id).unwrap();
+        assert_eq!((slot.start().ticks(), slot.end().ticks()), (0, 70));
+    }
+
+    #[test]
+    fn release_does_not_merge_across_nodes() {
+        let mut list = list_of(&[(0, 40), (40, 80)]); // different nodes
+        let id = list.release(
+            NodeId(0),
+            iv(40, 60),
+            Performance::new(2),
+            Money::from_units(1),
+        );
+        // Node 0's [0,40) merges with the release; node 1's [40,80) stays.
+        assert_eq!(list.len(), 2);
+        let merged = list.get(id).unwrap();
+        assert_eq!((merged.start().ticks(), merged.end().ticks()), (0, 60));
+        let other = list.iter().find(|s| s.node() == NodeId(1)).unwrap();
+        assert_eq!((other.start().ticks(), other.end().ticks()), (40, 80));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps free slot")]
+    fn release_rejects_overlap_with_free_time() {
+        let mut list = list_of(&[(0, 50)]);
+        let _ = list.release(
+            NodeId(0),
+            iv(40, 60),
+            Performance::new(2),
+            Money::from_units(1),
+        );
+    }
+
+    #[test]
+    fn cut_then_release_restores_free_time() {
+        let mut list = list_of(&[(0, 100), (20, 90)]);
+        let before = list.total_free_time();
+        let id = list.get(SlotId(0)).unwrap().id();
+        list.cut(&[(id, iv(10, 30))], TimeDelta::ZERO).unwrap();
+        list.release(
+            NodeId(0),
+            iv(10, 30),
+            Performance::new(2),
+            Money::from_units(1),
+        );
+        assert_eq!(list.total_free_time(), before);
+        assert!(list.is_sorted());
+    }
+
+    #[test]
+    fn stats_summarise_fragmentation() {
+        let mut list = list_of(&[(0, 10), (20, 50), (5, 25)]);
+        // Two of the three slots on distinct nodes; add one more on node 0.
+        list.add(
+            NodeId(0),
+            iv(100, 140),
+            Performance::new(2),
+            Money::from_units(1),
+        );
+        let stats = list.stats();
+        assert_eq!(stats.slots, 4);
+        assert_eq!(stats.nodes_with_slots, 3);
+        assert_eq!(stats.total_free_time, TimeDelta::new(10 + 30 + 20 + 40));
+        assert!((stats.mean_length - 25.0).abs() < 1e-9);
+        assert_eq!(stats.min_length, Some(TimeDelta::new(10)));
+        assert_eq!(stats.max_length, Some(TimeDelta::new(40)));
+    }
+
+    #[test]
+    fn stats_of_empty_list() {
+        let stats = SlotList::new().stats();
+        assert_eq!(stats.slots, 0);
+        assert_eq!(stats.nodes_with_slots, 0);
+        assert_eq!(stats.mean_length, 0.0);
+        assert_eq!(stats.min_length, None);
+        assert_eq!(stats.max_length, None);
+    }
+
+    #[test]
+    fn extend_and_collect() {
+        let base = list_of(&[(0, 10)]);
+        let extra = Slot::new(
+            SlotId(100),
+            NodeId(9),
+            iv(5, 8),
+            Performance::new(3),
+            Money::ZERO,
+        );
+        let mut list = base.clone();
+        list.extend([extra]);
+        assert_eq!(list.len(), 2);
+        assert!(list.is_sorted());
+
+        let collected: SlotList = base.iter().copied().collect();
+        assert_eq!(collected.len(), 1);
+    }
+}

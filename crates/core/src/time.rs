@@ -1,0 +1,547 @@
+//! Discrete model time.
+//!
+//! The simulation operates on an integer model-time axis, matching the paper's
+//! scheduling interval `[0; 600]` and integer slot lengths. Two newtypes keep
+//! instants and durations from being confused ([`TimePoint`] vs
+//! [`TimeDelta`]): a `TimePoint` is a position on the axis, a `TimeDelta` is a
+//! distance between two positions.
+//!
+//! # Examples
+//!
+//! ```
+//! use slotsel_core::time::{TimeDelta, TimePoint};
+//!
+//! let start = TimePoint::new(10);
+//! let end = start + TimeDelta::new(150);
+//! assert_eq!(end - start, TimeDelta::new(150));
+//! assert!(end > start);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant on the discrete model-time axis.
+///
+/// `TimePoint`s are totally ordered and support affine arithmetic with
+/// [`TimeDelta`]: `TimePoint - TimePoint = TimeDelta` and
+/// `TimePoint + TimeDelta = TimePoint`.
+///
+/// # Examples
+///
+/// ```
+/// use slotsel_core::time::TimePoint;
+///
+/// let t = TimePoint::new(42);
+/// assert_eq!(t.ticks(), 42);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TimePoint(i64);
+
+/// A signed distance between two [`TimePoint`]s.
+///
+/// Slot lengths, runtimes and reservation times are `TimeDelta`s. Negative
+/// deltas are representable (the difference of two arbitrary points) but most
+/// APIs require non-negative lengths and document that requirement.
+///
+/// # Examples
+///
+/// ```
+/// use slotsel_core::time::TimeDelta;
+///
+/// let d = TimeDelta::new(150);
+/// assert_eq!(d * 2, TimeDelta::new(300));
+/// assert!(d.is_positive());
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TimeDelta(i64);
+
+impl TimePoint {
+    /// The origin of the model-time axis (`t = 0`).
+    pub const ZERO: TimePoint = TimePoint(0);
+    /// The largest representable instant. Useful as an "unreachable" sentinel
+    /// when folding minima.
+    pub const MAX: TimePoint = TimePoint(i64::MAX);
+    /// The smallest representable instant.
+    pub const MIN: TimePoint = TimePoint(i64::MIN);
+
+    /// Creates an instant at `ticks` model-time units from the origin.
+    #[must_use]
+    pub const fn new(ticks: i64) -> Self {
+        TimePoint(ticks)
+    }
+
+    /// Returns the raw tick count of this instant.
+    #[must_use]
+    pub const fn ticks(self) -> i64 {
+        self.0
+    }
+
+    /// Returns the earlier of `self` and `other`.
+    #[must_use]
+    pub fn earliest(self, other: TimePoint) -> TimePoint {
+        self.min(other)
+    }
+
+    /// Returns the later of `self` and `other`.
+    #[must_use]
+    pub fn latest(self, other: TimePoint) -> TimePoint {
+        self.max(other)
+    }
+
+    /// Saturating addition of a delta; clamps at the representable range.
+    #[must_use]
+    pub fn saturating_add(self, delta: TimeDelta) -> TimePoint {
+        TimePoint(self.0.saturating_add(delta.0))
+    }
+}
+
+impl TimeDelta {
+    /// The zero-length delta.
+    pub const ZERO: TimeDelta = TimeDelta(0);
+    /// The largest representable delta.
+    pub const MAX: TimeDelta = TimeDelta(i64::MAX);
+
+    /// Creates a delta of `ticks` model-time units.
+    #[must_use]
+    pub const fn new(ticks: i64) -> Self {
+        TimeDelta(ticks)
+    }
+
+    /// Returns the raw tick count of this delta.
+    #[must_use]
+    pub const fn ticks(self) -> i64 {
+        self.0
+    }
+
+    /// Returns `true` when the delta is strictly positive.
+    #[must_use]
+    pub const fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+
+    /// Returns `true` when the delta is strictly negative.
+    #[must_use]
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Returns `true` when the delta is zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the delta with a non-negative tick count.
+    #[must_use]
+    pub const fn abs(self) -> TimeDelta {
+        TimeDelta(self.0.abs())
+    }
+}
+
+impl Add<TimeDelta> for TimePoint {
+    type Output = TimePoint;
+
+    fn add(self, rhs: TimeDelta) -> TimePoint {
+        TimePoint(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TimeDelta> for TimePoint {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<TimeDelta> for TimePoint {
+    type Output = TimePoint;
+
+    fn sub(self, rhs: TimeDelta) -> TimePoint {
+        TimePoint(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<TimeDelta> for TimePoint {
+    fn sub_assign(&mut self, rhs: TimeDelta) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sub for TimePoint {
+    type Output = TimeDelta;
+
+    fn sub(self, rhs: TimePoint) -> TimeDelta {
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+
+impl Add for TimeDelta {
+    type Output = TimeDelta;
+
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for TimeDelta {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for TimeDelta {
+    type Output = TimeDelta;
+
+    fn sub(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for TimeDelta {
+    fn sub_assign(&mut self, rhs: TimeDelta) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for TimeDelta {
+    type Output = TimeDelta;
+
+    fn neg(self) -> TimeDelta {
+        TimeDelta(-self.0)
+    }
+}
+
+impl Mul<i64> for TimeDelta {
+    type Output = TimeDelta;
+
+    fn mul(self, rhs: i64) -> TimeDelta {
+        TimeDelta(self.0 * rhs)
+    }
+}
+
+impl Div<i64> for TimeDelta {
+    type Output = TimeDelta;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: i64) -> TimeDelta {
+        TimeDelta(self.0 / rhs)
+    }
+}
+
+impl Sum for TimeDelta {
+    fn sum<I: Iterator<Item = TimeDelta>>(iter: I) -> TimeDelta {
+        TimeDelta(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for TimePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}u", self.0)
+    }
+}
+
+impl From<i64> for TimePoint {
+    fn from(ticks: i64) -> Self {
+        TimePoint(ticks)
+    }
+}
+
+impl From<i64> for TimeDelta {
+    fn from(ticks: i64) -> Self {
+        TimeDelta(ticks)
+    }
+}
+
+/// A half-open interval `[start, end)` of model time.
+///
+/// Used for slot spans, busy periods on a node's local schedule and the
+/// scheduling interval of a cycle.
+///
+/// # Examples
+///
+/// ```
+/// use slotsel_core::time::{Interval, TimePoint};
+///
+/// let a = Interval::new(TimePoint::new(0), TimePoint::new(10));
+/// let b = Interval::new(TimePoint::new(5), TimePoint::new(20));
+/// assert!(a.overlaps(&b));
+/// assert_eq!(a.intersection(&b).unwrap().length().ticks(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    start: TimePoint,
+    end: TimePoint,
+}
+
+impl Interval {
+    /// Creates the interval `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    #[must_use]
+    pub fn new(start: TimePoint, end: TimePoint) -> Self {
+        assert!(end >= start, "interval end {end} precedes start {start}");
+        Interval { start, end }
+    }
+
+    /// Creates the interval starting at `start` lasting `length`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is negative.
+    #[must_use]
+    pub fn with_length(start: TimePoint, length: TimeDelta) -> Self {
+        assert!(
+            !length.is_negative(),
+            "interval length {length} is negative"
+        );
+        Interval {
+            start,
+            end: start + length,
+        }
+    }
+
+    /// The inclusive lower bound.
+    #[must_use]
+    pub const fn start(&self) -> TimePoint {
+        self.start
+    }
+
+    /// The exclusive upper bound.
+    #[must_use]
+    pub const fn end(&self) -> TimePoint {
+        self.end
+    }
+
+    /// The length `end - start`.
+    #[must_use]
+    pub fn length(&self) -> TimeDelta {
+        self.end - self.start
+    }
+
+    /// Returns `true` when the interval contains no time.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns `true` when `point` lies inside `[start, end)`.
+    #[must_use]
+    pub fn contains(&self, point: TimePoint) -> bool {
+        self.start <= point && point < self.end
+    }
+
+    /// Returns `true` when `other` is entirely inside this interval.
+    #[must_use]
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Returns `true` when the two intervals share any time.
+    #[must_use]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Returns the overlapping part of the two intervals, if any.
+    #[must_use]
+    pub fn intersection(&self, other: &Interval) -> Option<Interval> {
+        let start = self.start.latest(other.start);
+        let end = self.end.earliest(other.end);
+        (start < end).then_some(Interval { start, end })
+    }
+
+    /// Subtracts `other` from this interval, returning the 0, 1 or 2
+    /// remaining pieces in ascending order.
+    #[must_use]
+    pub fn subtract(&self, other: &Interval) -> Vec<Interval> {
+        if !self.overlaps(other) {
+            return vec![*self];
+        }
+        let mut pieces = Vec::new();
+        if self.start < other.start {
+            pieces.push(Interval {
+                start: self.start,
+                end: other.start,
+            });
+        }
+        if other.end < self.end {
+            pieces.push(Interval {
+                start: other.end,
+                end: self.end,
+            });
+        }
+        pieces
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start.ticks(), self.end.ticks())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_delta_arithmetic_roundtrips() {
+        let a = TimePoint::new(10);
+        let d = TimeDelta::new(25);
+        assert_eq!((a + d) - a, d);
+        assert_eq!((a + d) - d, a);
+    }
+
+    #[test]
+    fn point_ordering_follows_ticks() {
+        assert!(TimePoint::new(1) < TimePoint::new(2));
+        assert_eq!(
+            TimePoint::new(3).latest(TimePoint::new(5)),
+            TimePoint::new(5)
+        );
+        assert_eq!(
+            TimePoint::new(3).earliest(TimePoint::new(5)),
+            TimePoint::new(3)
+        );
+    }
+
+    #[test]
+    fn delta_sign_predicates() {
+        assert!(TimeDelta::new(1).is_positive());
+        assert!(TimeDelta::new(-1).is_negative());
+        assert!(TimeDelta::ZERO.is_zero());
+        assert_eq!(TimeDelta::new(-7).abs(), TimeDelta::new(7));
+    }
+
+    #[test]
+    fn delta_scaling() {
+        assert_eq!(TimeDelta::new(6) * 3, TimeDelta::new(18));
+        assert_eq!(TimeDelta::new(18) / 3, TimeDelta::new(6));
+        assert_eq!(-TimeDelta::new(4), TimeDelta::new(-4));
+    }
+
+    #[test]
+    fn delta_sum() {
+        let total: TimeDelta = [1, 2, 3].iter().map(|&t| TimeDelta::new(t)).sum();
+        assert_eq!(total, TimeDelta::new(6));
+    }
+
+    #[test]
+    fn interval_basics() {
+        let iv = Interval::new(TimePoint::new(5), TimePoint::new(15));
+        assert_eq!(iv.length(), TimeDelta::new(10));
+        assert!(iv.contains(TimePoint::new(5)));
+        assert!(iv.contains(TimePoint::new(14)));
+        assert!(!iv.contains(TimePoint::new(15)));
+        assert!(!iv.is_empty());
+        assert!(Interval::new(TimePoint::new(3), TimePoint::new(3)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes start")]
+    fn interval_rejects_reversed_bounds() {
+        let _ = Interval::new(TimePoint::new(10), TimePoint::new(5));
+    }
+
+    #[test]
+    fn interval_overlap_and_intersection() {
+        let a = Interval::new(TimePoint::new(0), TimePoint::new(10));
+        let b = Interval::new(TimePoint::new(10), TimePoint::new(20));
+        let c = Interval::new(TimePoint::new(5), TimePoint::new(12));
+        assert!(
+            !a.overlaps(&b),
+            "half-open intervals touching at a point do not overlap"
+        );
+        assert!(a.overlaps(&c));
+        assert_eq!(a.intersection(&b), None);
+        let i = a.intersection(&c).unwrap();
+        assert_eq!((i.start().ticks(), i.end().ticks()), (5, 10));
+    }
+
+    #[test]
+    fn interval_subtract_middle_splits_in_two() {
+        let a = Interval::new(TimePoint::new(0), TimePoint::new(100));
+        let hole = Interval::new(TimePoint::new(40), TimePoint::new(60));
+        let pieces = a.subtract(&hole);
+        assert_eq!(pieces.len(), 2);
+        assert_eq!(
+            (pieces[0].start().ticks(), pieces[0].end().ticks()),
+            (0, 40)
+        );
+        assert_eq!(
+            (pieces[1].start().ticks(), pieces[1].end().ticks()),
+            (60, 100)
+        );
+    }
+
+    #[test]
+    fn interval_subtract_disjoint_returns_self() {
+        let a = Interval::new(TimePoint::new(0), TimePoint::new(10));
+        let hole = Interval::new(TimePoint::new(20), TimePoint::new(30));
+        assert_eq!(a.subtract(&hole), vec![a]);
+    }
+
+    #[test]
+    fn interval_subtract_covering_returns_empty() {
+        let a = Interval::new(TimePoint::new(5), TimePoint::new(10));
+        let hole = Interval::new(TimePoint::new(0), TimePoint::new(30));
+        assert!(a.subtract(&hole).is_empty());
+    }
+
+    #[test]
+    fn interval_subtract_prefix_and_suffix() {
+        let a = Interval::new(TimePoint::new(0), TimePoint::new(10));
+        let prefix = Interval::new(TimePoint::new(0), TimePoint::new(4));
+        let rest = a.subtract(&prefix);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(
+            rest[0],
+            Interval::new(TimePoint::new(4), TimePoint::new(10))
+        );
+
+        let suffix = Interval::new(TimePoint::new(7), TimePoint::new(10));
+        let rest = a.subtract(&suffix);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0], Interval::new(TimePoint::new(0), TimePoint::new(7)));
+    }
+
+    #[test]
+    fn contains_interval_is_inclusive_of_bounds() {
+        let a = Interval::new(TimePoint::new(0), TimePoint::new(10));
+        assert!(a.contains_interval(&a));
+        assert!(a.contains_interval(&Interval::new(TimePoint::new(2), TimePoint::new(8))));
+        assert!(!a.contains_interval(&Interval::new(TimePoint::new(2), TimePoint::new(11))));
+    }
+
+    #[test]
+    fn saturating_add_clamps() {
+        let max = TimePoint::MAX;
+        assert_eq!(max.saturating_add(TimeDelta::new(1)), TimePoint::MAX);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TimePoint::new(7).to_string(), "t7");
+        assert_eq!(TimeDelta::new(7).to_string(), "7u");
+        assert_eq!(
+            Interval::new(TimePoint::new(1), TimePoint::new(2)).to_string(),
+            "[1, 2)"
+        );
+    }
+}

@@ -1,0 +1,486 @@
+//! Window validation against an environment and a request.
+//!
+//! In the VO model the metascheduler receives window proposals from
+//! subordinate schedulers and brokers; before committing a reservation it
+//! must check the proposal against its own view of the slot lists and the
+//! user's request. [`validate_window`] performs that audit and reports the
+//! first violation found.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::node::{NodeId, Platform};
+use crate::request::ResourceRequest;
+use crate::slot::SlotId;
+use crate::slotlist::SlotList;
+use crate::window::Window;
+
+/// A reason a window proposal is invalid for a given environment/request.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WindowViolation {
+    /// The window has the wrong number of slots.
+    WrongSize {
+        /// Slots in the window.
+        got: usize,
+        /// Slots the request demands.
+        want: usize,
+    },
+    /// A placement references a slot that is not in the list.
+    UnknownSlot(SlotId),
+    /// A placement's node disagrees with the underlying slot's node.
+    NodeMismatch {
+        /// The offending slot.
+        slot: SlotId,
+        /// Node claimed by the window.
+        claimed: NodeId,
+        /// Node that actually owns the slot.
+        actual: NodeId,
+    },
+    /// Two placements run on the same node.
+    DuplicateNode(NodeId),
+    /// The task does not fit inside the slot's free span at the window
+    /// start.
+    DoesNotFit(SlotId),
+    /// A placement's length is not `volume / performance` for its node.
+    WrongLength(SlotId),
+    /// A placement's cost is not `price · length` for its node.
+    WrongCost(SlotId),
+    /// The node fails the request's hardware/software requirements.
+    RequirementsFailed(NodeId),
+    /// The window's total cost exceeds the budget.
+    OverBudget,
+    /// The window finishes after the request's deadline.
+    MissesDeadline,
+}
+
+impl fmt::Display for WindowViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WindowViolation::WrongSize { got, want } => {
+                write!(f, "window has {got} slots, request demands {want}")
+            }
+            WindowViolation::UnknownSlot(id) => write!(f, "slot {id} is not in the list"),
+            WindowViolation::NodeMismatch {
+                slot,
+                claimed,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "slot {slot} claimed on {claimed} but belongs to {actual}"
+                )
+            }
+            WindowViolation::DuplicateNode(node) => write!(f, "node {node} hosts two tasks"),
+            WindowViolation::DoesNotFit(id) => {
+                write!(f, "task does not fit slot {id} at the window start")
+            }
+            WindowViolation::WrongLength(id) => {
+                write!(
+                    f,
+                    "placement length on slot {id} disagrees with volume/performance"
+                )
+            }
+            WindowViolation::WrongCost(id) => {
+                write!(f, "placement cost on slot {id} disagrees with price*length")
+            }
+            WindowViolation::RequirementsFailed(node) => {
+                write!(f, "node {node} fails the hardware/software requirements")
+            }
+            WindowViolation::OverBudget => f.write_str("total cost exceeds the budget"),
+            WindowViolation::MissesDeadline => f.write_str("window finishes after the deadline"),
+        }
+    }
+}
+
+impl Error for WindowViolation {}
+
+/// Audits `window` against the platform, the slot list and the request.
+///
+/// Checks structure (size, distinct known nodes), physics (each task fits
+/// its slot at the window's start, lengths match `volume / performance`),
+/// economics (costs match `price · length`, total within budget) and the
+/// request's constraints (hardware requirements, deadline).
+///
+/// # Errors
+///
+/// Returns the first [`WindowViolation`] encountered, in the order listed
+/// above.
+pub fn validate_window(
+    window: &Window,
+    platform: &Platform,
+    slots: &SlotList,
+    request: &ResourceRequest,
+) -> Result<(), WindowViolation> {
+    if window.size() != request.node_count() {
+        return Err(WindowViolation::WrongSize {
+            got: window.size(),
+            want: request.node_count(),
+        });
+    }
+    let mut seen_nodes: Vec<NodeId> = Vec::with_capacity(window.size());
+    for ws in window.slots() {
+        let slot = slots
+            .get(ws.slot())
+            .ok_or(WindowViolation::UnknownSlot(ws.slot()))?;
+        if slot.node() != ws.node() {
+            return Err(WindowViolation::NodeMismatch {
+                slot: ws.slot(),
+                claimed: ws.node(),
+                actual: slot.node(),
+            });
+        }
+        if seen_nodes.contains(&ws.node()) {
+            return Err(WindowViolation::DuplicateNode(ws.node()));
+        }
+        seen_nodes.push(ws.node());
+        if !slot.fits(window.start(), request.volume()) {
+            return Err(WindowViolation::DoesNotFit(ws.slot()));
+        }
+        let node = platform
+            .get(ws.node())
+            .ok_or(WindowViolation::RequirementsFailed(ws.node()))?;
+        if ws.length() != request.volume().time_on(node.performance()) {
+            return Err(WindowViolation::WrongLength(ws.slot()));
+        }
+        if ws.cost() != node.price_per_unit() * ws.length().ticks() {
+            return Err(WindowViolation::WrongCost(ws.slot()));
+        }
+        if !request.requirements().admits(node) {
+            return Err(WindowViolation::RequirementsFailed(ws.node()));
+        }
+    }
+    if window.total_cost() > request.budget() {
+        return Err(WindowViolation::OverBudget);
+    }
+    if request.deadline().is_some_and(|d| window.finish() > d) {
+        return Err(WindowViolation::MissesDeadline);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::money::Money;
+    use crate::node::{NodeSpec, Performance, Volume};
+    use crate::time::{Interval, TimeDelta, TimePoint};
+    use crate::window::WindowSlot;
+    use crate::{Amp, SlotSelector};
+
+    fn fixture() -> (Platform, SlotList, ResourceRequest) {
+        let platform: Platform = (0..3)
+            .map(|i| {
+                NodeSpec::builder(i)
+                    .performance(Performance::new(2 + i))
+                    .price_per_unit(Money::from_units(i64::from(2 + i)))
+                    .build()
+            })
+            .collect();
+        let mut slots = SlotList::new();
+        for node in &platform {
+            slots.add(
+                node.id(),
+                Interval::new(TimePoint::new(0), TimePoint::new(600)),
+                node.performance(),
+                node.price_per_unit(),
+            );
+        }
+        let request = ResourceRequest::builder()
+            .node_count(2)
+            .volume(Volume::new(120))
+            .budget(Money::from_units(100_000))
+            .build()
+            .unwrap();
+        (platform, slots, request)
+    }
+
+    #[test]
+    fn genuine_windows_validate() {
+        let (platform, slots, request) = fixture();
+        let window = Amp.select(&platform, &slots, &request).unwrap();
+        assert_eq!(
+            validate_window(&window, &platform, &slots, &request),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn wrong_size_detected() {
+        let (platform, slots, request) = fixture();
+        let window = Window::new(
+            TimePoint::ZERO,
+            vec![WindowSlot::new(
+                SlotId(0),
+                NodeId(0),
+                TimeDelta::new(60),
+                Money::from_units(120),
+            )],
+        );
+        assert_eq!(
+            validate_window(&window, &platform, &slots, &request),
+            Err(WindowViolation::WrongSize { got: 1, want: 2 })
+        );
+    }
+
+    #[test]
+    fn unknown_slot_detected() {
+        let (platform, slots, request) = fixture();
+        let window = Window::new(
+            TimePoint::ZERO,
+            vec![
+                WindowSlot::new(
+                    SlotId(77),
+                    NodeId(0),
+                    TimeDelta::new(60),
+                    Money::from_units(120),
+                ),
+                WindowSlot::new(
+                    SlotId(1),
+                    NodeId(1),
+                    TimeDelta::new(40),
+                    Money::from_units(120),
+                ),
+            ],
+        );
+        assert_eq!(
+            validate_window(&window, &platform, &slots, &request),
+            Err(WindowViolation::UnknownSlot(SlotId(77)))
+        );
+    }
+
+    #[test]
+    fn node_mismatch_detected() {
+        let (platform, slots, request) = fixture();
+        let window = Window::new(
+            TimePoint::ZERO,
+            vec![
+                WindowSlot::new(
+                    SlotId(0),
+                    NodeId(2),
+                    TimeDelta::new(60),
+                    Money::from_units(120),
+                ),
+                WindowSlot::new(
+                    SlotId(1),
+                    NodeId(1),
+                    TimeDelta::new(40),
+                    Money::from_units(120),
+                ),
+            ],
+        );
+        assert!(matches!(
+            validate_window(&window, &platform, &slots, &request),
+            Err(WindowViolation::NodeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn does_not_fit_detected() {
+        let (platform, slots, request) = fixture();
+        // Anchor so late the tasks overrun the slot ends.
+        let window = Window::new(
+            TimePoint::new(580),
+            vec![
+                WindowSlot::new(
+                    SlotId(0),
+                    NodeId(0),
+                    TimeDelta::new(60),
+                    Money::from_units(120),
+                ),
+                WindowSlot::new(
+                    SlotId(1),
+                    NodeId(1),
+                    TimeDelta::new(40),
+                    Money::from_units(120),
+                ),
+            ],
+        );
+        assert!(matches!(
+            validate_window(&window, &platform, &slots, &request),
+            Err(WindowViolation::DoesNotFit(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_length_and_cost_detected() {
+        let (platform, slots, request) = fixture();
+        // Volume 120 on perf 2 is 60, not 59.
+        let window = Window::new(
+            TimePoint::ZERO,
+            vec![
+                WindowSlot::new(
+                    SlotId(0),
+                    NodeId(0),
+                    TimeDelta::new(59),
+                    Money::from_units(118),
+                ),
+                WindowSlot::new(
+                    SlotId(1),
+                    NodeId(1),
+                    TimeDelta::new(40),
+                    Money::from_units(120),
+                ),
+            ],
+        );
+        assert_eq!(
+            validate_window(&window, &platform, &slots, &request),
+            Err(WindowViolation::WrongLength(SlotId(0)))
+        );
+        // Right length, wrong price: 60 * 2 credits = 120, not 100.
+        let window = Window::new(
+            TimePoint::ZERO,
+            vec![
+                WindowSlot::new(
+                    SlotId(0),
+                    NodeId(0),
+                    TimeDelta::new(60),
+                    Money::from_units(100),
+                ),
+                WindowSlot::new(
+                    SlotId(1),
+                    NodeId(1),
+                    TimeDelta::new(40),
+                    Money::from_units(120),
+                ),
+            ],
+        );
+        assert_eq!(
+            validate_window(&window, &platform, &slots, &request),
+            Err(WindowViolation::WrongCost(SlotId(0)))
+        );
+    }
+
+    #[test]
+    fn over_budget_detected() {
+        let (platform, slots, _) = fixture();
+        let request = ResourceRequest::builder()
+            .node_count(2)
+            .volume(Volume::new(120))
+            .budget(Money::from_units(100))
+            .build()
+            .unwrap();
+        let window = Window::new(
+            TimePoint::ZERO,
+            vec![
+                WindowSlot::new(
+                    SlotId(0),
+                    NodeId(0),
+                    TimeDelta::new(60),
+                    Money::from_units(120),
+                ),
+                WindowSlot::new(
+                    SlotId(1),
+                    NodeId(1),
+                    TimeDelta::new(40),
+                    Money::from_units(120),
+                ),
+            ],
+        );
+        assert_eq!(
+            validate_window(&window, &platform, &slots, &request),
+            Err(WindowViolation::OverBudget)
+        );
+    }
+
+    #[test]
+    fn deadline_detected() {
+        let (platform, slots, _) = fixture();
+        let request = ResourceRequest::builder()
+            .node_count(2)
+            .volume(Volume::new(120))
+            .budget(Money::from_units(100_000))
+            .deadline(TimePoint::new(50))
+            .build()
+            .unwrap();
+        let window = Window::new(
+            TimePoint::ZERO,
+            vec![
+                WindowSlot::new(
+                    SlotId(0),
+                    NodeId(0),
+                    TimeDelta::new(60),
+                    Money::from_units(120),
+                ),
+                WindowSlot::new(
+                    SlotId(1),
+                    NodeId(1),
+                    TimeDelta::new(40),
+                    Money::from_units(120),
+                ),
+            ],
+        );
+        assert_eq!(
+            validate_window(&window, &platform, &slots, &request),
+            Err(WindowViolation::MissesDeadline)
+        );
+    }
+
+    #[test]
+    fn requirements_detected() {
+        let (platform, slots, _) = fixture();
+        let request = ResourceRequest::builder()
+            .node_count(2)
+            .volume(Volume::new(120))
+            .budget(Money::from_units(100_000))
+            .requirements(crate::NodeRequirements::any().min_performance(Performance::new(3)))
+            .build()
+            .unwrap();
+        // Slot 0 sits on the perf-2 node, which fails the requirement.
+        let window = Window::new(
+            TimePoint::ZERO,
+            vec![
+                WindowSlot::new(
+                    SlotId(0),
+                    NodeId(0),
+                    TimeDelta::new(60),
+                    Money::from_units(120),
+                ),
+                WindowSlot::new(
+                    SlotId(1),
+                    NodeId(1),
+                    TimeDelta::new(40),
+                    Money::from_units(120),
+                ),
+            ],
+        );
+        assert_eq!(
+            validate_window(&window, &platform, &slots, &request),
+            Err(WindowViolation::RequirementsFailed(NodeId(0)))
+        );
+    }
+
+    #[test]
+    fn violations_display() {
+        assert!(WindowViolation::OverBudget.to_string().contains("budget"));
+        assert!(WindowViolation::UnknownSlot(SlotId(1))
+            .to_string()
+            .contains("s1"));
+        assert!(WindowViolation::DuplicateNode(NodeId(2))
+            .to_string()
+            .contains("n2"));
+    }
+
+    #[test]
+    fn all_algorithm_outputs_validate() {
+        let (platform, slots, request) = fixture();
+        let mut algorithms: Vec<Box<dyn SlotSelector>> = vec![
+            Box::new(Amp),
+            Box::new(crate::MinFinish::new()),
+            Box::new(crate::MinCost),
+            Box::new(crate::MinRunTime::new()),
+            Box::new(crate::MinProcTime::with_seed(4)),
+        ];
+        for algorithm in &mut algorithms {
+            let window = algorithm
+                .select(&platform, &slots, &request)
+                .expect("window");
+            assert_eq!(
+                validate_window(&window, &platform, &slots, &request),
+                Ok(()),
+                "{}",
+                algorithm.name()
+            );
+        }
+    }
+}

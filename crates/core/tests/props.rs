@@ -1,0 +1,247 @@
+//! Property-based tests for the core data structures and selectors.
+
+use proptest::prelude::*;
+
+use slotsel_core::money::Money;
+use slotsel_core::node::{NodeId, Performance, Volume};
+use slotsel_core::rng::SplitMix64;
+use slotsel_core::selectors::{
+    cheapest_n, min_runtime_exact, min_runtime_greedy, random_feasible, total_cost, Candidate,
+};
+use slotsel_core::slot::{Slot, SlotId};
+use slotsel_core::slotlist::SlotList;
+use slotsel_core::time::{Interval, TimeDelta, TimePoint};
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (0i64..1_000, 1i64..500)
+        .prop_map(|(start, len)| Interval::new(TimePoint::new(start), TimePoint::new(start + len)))
+}
+
+fn arb_slots(max: usize) -> impl Strategy<Value = Vec<Slot>> {
+    prop::collection::vec(arb_interval(), 1..max).prop_flat_map(|spans| {
+        let slots: Vec<BoxedStrategy<Slot>> = spans
+            .into_iter()
+            .enumerate()
+            .map(|(i, span)| {
+                (1u32..12, 0i64..20_000)
+                    .prop_map(move |(perf, price)| {
+                        Slot::new(
+                            SlotId(i as u64),
+                            NodeId(i as u32),
+                            span,
+                            Performance::new(perf),
+                            Money::from_millis(price),
+                        )
+                    })
+                    .boxed()
+            })
+            .collect();
+        slots
+    })
+}
+
+fn arb_candidates(max: usize) -> impl Strategy<Value = Vec<Candidate>> {
+    (arb_slots(max), 1u64..2_000).prop_map(|(slots, volume)| {
+        slots
+            .into_iter()
+            .map(|slot| Candidate::new(slot, Volume::new(volume)))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn interval_subtract_conserves_length(a in arb_interval(), b in arb_interval()) {
+        let removed = a.intersection(&b).map_or(0, |i| i.length().ticks());
+        let remaining: i64 = a.subtract(&b).iter().map(|p| p.length().ticks()).sum();
+        prop_assert_eq!(remaining + removed, a.length().ticks());
+    }
+
+    #[test]
+    fn interval_subtract_pieces_disjoint_from_hole(a in arb_interval(), b in arb_interval()) {
+        for piece in a.subtract(&b) {
+            prop_assert!(!piece.overlaps(&b));
+            prop_assert!(a.contains_interval(&piece));
+        }
+    }
+
+    #[test]
+    fn slotlist_stays_sorted_under_insertion(slots in arb_slots(24)) {
+        let list = SlotList::from_slots(slots);
+        prop_assert!(list.is_sorted());
+    }
+
+    #[test]
+    fn slotlist_cut_conserves_free_time(slots in arb_slots(16), pick in 0usize..16, frac in 0.0f64..1.0) {
+        let mut list = SlotList::from_slots(slots);
+        let index = pick % list.len();
+        let slot = *list.iter().nth(index).expect("index in range");
+        let cut_len = ((slot.length().ticks() as f64) * frac).floor() as i64;
+        prop_assume!(cut_len > 0);
+        let reserved = Interval::with_length(slot.start(), TimeDelta::new(cut_len));
+        let before = list.total_free_time();
+        list.cut(&[(slot.id(), reserved)], TimeDelta::ZERO).expect("cut inside span");
+        prop_assert_eq!(before.ticks() - cut_len, list.total_free_time().ticks());
+        prop_assert!(list.is_sorted());
+        prop_assert!(list.get(slot.id()).is_none());
+    }
+
+    #[test]
+    fn cheapest_n_is_optimal_cost(cands in arb_candidates(12), n in 1usize..5) {
+        prop_assume!(cands.len() >= n);
+        let budget = Money::MAX;
+        let picked = cheapest_n(&cands, n, budget).expect("unbounded budget");
+        let best = total_cost(&cands, &picked);
+        // Compare against every n-subset by brute force.
+        let indices: Vec<usize> = (0..cands.len()).collect();
+        let mut stack: Vec<(Vec<usize>, usize)> = vec![(Vec::new(), 0)];
+        while let Some((chosen, from)) = stack.pop() {
+            if chosen.len() == n {
+                prop_assert!(best <= total_cost(&cands, &chosen));
+                continue;
+            }
+            for &i in &indices[from..] {
+                let mut next = chosen.clone();
+                next.push(i);
+                stack.push((next, i + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_runtime_is_feasible_and_not_better_than_exact(
+        cands in arb_candidates(14),
+        n in 1usize..5,
+        budget_units in 1i64..10_000,
+    ) {
+        prop_assume!(cands.len() >= n);
+        let budget = Money::from_units(budget_units);
+        let greedy = min_runtime_greedy(&cands, n, budget);
+        let exact = min_runtime_exact(&cands, n, budget);
+        prop_assert_eq!(greedy.is_some(), exact.is_some(), "feasibility must agree");
+        if let (Some(g), Some(e)) = (greedy, exact) {
+            let runtime = |picked: &[usize]| {
+                picked.iter().map(|&i| cands[i].length).max().expect("non-empty")
+            };
+            prop_assert!(total_cost(&cands, &g) <= budget);
+            prop_assert!(total_cost(&cands, &e) <= budget);
+            prop_assert!(runtime(&e) <= runtime(&g));
+            prop_assert_eq!(g.len(), n);
+            prop_assert_eq!(e.len(), n);
+        }
+    }
+
+    #[test]
+    fn exact_runtime_is_optimal(cands in arb_candidates(10), n in 1usize..4, budget_units in 1i64..5_000) {
+        prop_assume!(cands.len() >= n);
+        let budget = Money::from_units(budget_units);
+        let exact = min_runtime_exact(&cands, n, budget);
+        // Brute force optimum.
+        let mut best: Option<TimeDelta> = None;
+        let indices: Vec<usize> = (0..cands.len()).collect();
+        let mut stack: Vec<(Vec<usize>, usize)> = vec![(Vec::new(), 0)];
+        while let Some((chosen, from)) = stack.pop() {
+            if chosen.len() == n {
+                if total_cost(&cands, &chosen) <= budget {
+                    let runtime = chosen.iter().map(|&i| cands[i].length).max().expect("n >= 1");
+                    if best.is_none_or(|b| runtime < b) {
+                        best = Some(runtime);
+                    }
+                }
+                continue;
+            }
+            for &i in &indices[from..] {
+                let mut next = chosen.clone();
+                next.push(i);
+                stack.push((next, i + 1));
+            }
+        }
+        match (exact, best) {
+            (Some(picked), Some(optimal)) => {
+                let runtime = picked.iter().map(|&i| cands[i].length).max().expect("n >= 1");
+                prop_assert_eq!(runtime, optimal);
+            }
+            (None, None) => {}
+            (e, b) => prop_assert!(false, "feasibility mismatch: {:?} vs {:?}", e, b),
+        }
+    }
+
+    #[test]
+    fn random_feasible_respects_budget(cands in arb_candidates(12), n in 1usize..5, seed in any::<u64>()) {
+        prop_assume!(cands.len() >= n);
+        let budget = Money::from_units(500);
+        let mut rng = SplitMix64::new(seed);
+        if let Some(picked) = random_feasible(&cands, n, budget, &mut rng, 4) {
+            prop_assert_eq!(picked.len(), n);
+            prop_assert!(total_cost(&cands, &picked) <= budget);
+            let mut unique = picked.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            prop_assert_eq!(unique.len(), n);
+        } else {
+            // No feasible subset may exist at all.
+            prop_assert!(cheapest_n(&cands, n, budget).is_none());
+        }
+    }
+
+    #[test]
+    fn cut_then_release_restores_free_time(slots in arb_slots(12), pick in 0usize..12, lo in 0.0f64..1.0, hi in 0.0f64..1.0) {
+        let mut list = SlotList::from_slots(slots);
+        let index = pick % list.len();
+        let slot = *list.iter().nth(index).expect("index in range");
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let len = slot.length().ticks();
+        let a = (len as f64 * lo).floor() as i64;
+        let b = (len as f64 * hi).floor() as i64;
+        prop_assume!(b > a);
+        let reserved = Interval::new(slot.start() + TimeDelta::new(a), slot.start() + TimeDelta::new(b));
+        let before_time = list.total_free_time();
+        list.cut(&[(slot.id(), reserved)], TimeDelta::ZERO).expect("inside span");
+        list.release(slot.node(), reserved, slot.performance(), slot.price_per_unit());
+        prop_assert_eq!(before_time, list.total_free_time());
+        prop_assert!(list.is_sorted());
+    }
+
+    #[test]
+    fn min_additive_greedy_is_feasible(cands in arb_candidates(12), n in 1usize..5, budget_units in 1i64..10_000) {
+        use slotsel_core::selectors::min_additive_greedy;
+        prop_assume!(cands.len() >= n);
+        let budget = Money::from_units(budget_units);
+        let z: Vec<f64> = cands.iter().map(|c| c.length.ticks() as f64).collect();
+        let greedy = min_additive_greedy(&cands, n, budget, &z);
+        prop_assert_eq!(greedy.is_some(), cheapest_n(&cands, n, budget).is_some());
+        if let Some(picked) = greedy {
+            prop_assert_eq!(picked.len(), n);
+            prop_assert!(total_cost(&cands, &picked) <= budget);
+            let mut unique = picked.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            prop_assert_eq!(unique.len(), n);
+            // Never worse than the seed (the n cheapest by cost).
+            let seed = cheapest_n(&cands, n, budget).expect("same feasibility");
+            let sum = |p: &[usize]| p.iter().map(|&i| z[i]).sum::<f64>();
+            prop_assert!(sum(&picked) <= sum(&seed) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn money_sum_is_order_independent(mut values in prop::collection::vec(-1_000_000i64..1_000_000, 0..50)) {
+        let forward: Money = values.iter().map(|&v| Money::from_millis(v)).sum();
+        values.reverse();
+        let backward: Money = values.iter().map(|&v| Money::from_millis(v)).sum();
+        prop_assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn volume_time_is_monotone_in_performance(volume in 1u64..100_000, perf in 1u32..100) {
+        let v = Volume::new(volume);
+        let slower = v.time_on(Performance::new(perf));
+        let faster = v.time_on(Performance::new(perf + 1));
+        prop_assert!(faster <= slower);
+        prop_assert!(faster.is_positive());
+        // ceil(v / p) * p >= v > (ceil(v / p) - 1) * p
+        let t = slower.ticks() as u64;
+        prop_assert!(t * u64::from(perf) >= volume);
+        prop_assert!((t - 1) * u64::from(perf) < volume);
+    }
+}

@@ -1,0 +1,285 @@
+//! Random distributions used by the environment generator.
+//!
+//! The paper's §3.1 prescribes three distribution families: a **uniform**
+//! integer distribution for node performance, a **normal** deviation for the
+//! market pricing model, and a **hyper-geometric** distribution for the
+//! initial resource load level. They are implemented here directly on top of
+//! a [`rand::Rng`] so the generator needs no further dependencies.
+
+use rand::Rng;
+
+/// Samples a uniform integer in the inclusive range `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn uniform_int<R: Rng + ?Sized>(rng: &mut R, lo: u32, hi: u32) -> u32 {
+    assert!(lo <= hi, "uniform_int: empty range [{lo}, {hi}]");
+    rng.gen_range(lo..=hi)
+}
+
+/// Samples a uniform `f64` in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or either bound is not finite.
+pub fn uniform_f64<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo <= hi,
+        "uniform_f64: bad range [{lo}, {hi})"
+    );
+    if lo == hi {
+        return lo;
+    }
+    rng.gen_range(lo..hi)
+}
+
+/// Samples a normally distributed value via the Box–Muller transform.
+///
+/// # Panics
+///
+/// Panics if `std_dev` is negative or either parameter is not finite.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(
+        mean.is_finite() && std_dev.is_finite(),
+        "normal: non-finite parameters"
+    );
+    assert!(std_dev >= 0.0, "normal: negative std dev {std_dev}");
+    if std_dev == 0.0 {
+        return mean;
+    }
+    // Box–Muller: u1 in (0, 1] so ln(u1) is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std_dev * z
+}
+
+/// Parameters of a hyper-geometric distribution: drawing `draws` items
+/// without replacement from a population of `population` items of which
+/// `successes` are marked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hypergeometric {
+    /// Population size `N`.
+    pub population: u32,
+    /// Number of marked items `K`.
+    pub successes: u32,
+    /// Number of draws `n`.
+    pub draws: u32,
+}
+
+impl Hypergeometric {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `successes ≤ population` and `draws ≤ population`.
+    #[must_use]
+    pub fn new(population: u32, successes: u32, draws: u32) -> Self {
+        assert!(
+            successes <= population,
+            "successes {successes} > population {population}"
+        );
+        assert!(
+            draws <= population,
+            "draws {draws} > population {population}"
+        );
+        Hypergeometric {
+            population,
+            successes,
+            draws,
+        }
+    }
+
+    /// The distribution mean `n · K / N`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.population == 0 {
+            return 0.0;
+        }
+        f64::from(self.draws) * f64::from(self.successes) / f64::from(self.population)
+    }
+
+    /// Samples the number of marked items among the draws by simulating the
+    /// draws directly — exact, and fast for the small parameters used here.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let mut remaining_population = self.population;
+        let mut remaining_successes = self.successes;
+        let mut hits = 0;
+        for _ in 0..self.draws {
+            // P(success) = remaining_successes / remaining_population.
+            if remaining_population == 0 {
+                break;
+            }
+            if rng.gen_range(0..remaining_population) < remaining_successes {
+                hits += 1;
+                remaining_successes -= 1;
+            }
+            remaining_population -= 1;
+        }
+        hits
+    }
+}
+
+/// Samples a load level in `[lo, hi]` with a hyper-geometric profile, as the
+/// paper generates per-node initial load in "the range from 10% to 50%".
+///
+/// The hyper-geometric support `0..=draws` is mapped affinely onto
+/// `[lo, hi]`, so the result is a discretised, centrally peaked value whose
+/// mean is `lo + (hi - lo) · K/N`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`, either bound is not finite, or `dist.draws == 0`.
+pub fn hypergeometric_level<R: Rng + ?Sized>(
+    rng: &mut R,
+    dist: Hypergeometric,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo <= hi,
+        "bad level range [{lo}, {hi}]"
+    );
+    assert!(
+        dist.draws > 0,
+        "hypergeometric_level needs at least one draw"
+    );
+    let x = dist.sample(rng);
+    lo + (hi - lo) * f64::from(x) / f64::from(dist.draws)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn uniform_int_in_range_and_covers() {
+        let mut r = rng();
+        let mut seen = [false; 9];
+        for _ in 0..2_000 {
+            let x = uniform_int(&mut r, 2, 10);
+            assert!((2..=10).contains(&x));
+            seen[(x - 2) as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all of [2,10] appears in 2000 draws"
+        );
+    }
+
+    #[test]
+    fn uniform_int_degenerate_range() {
+        let mut r = rng();
+        assert_eq!(uniform_int(&mut r, 5, 5), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn uniform_int_rejects_reversed() {
+        let _ = uniform_int(&mut rng(), 3, 2);
+    }
+
+    #[test]
+    fn uniform_f64_bounds() {
+        let mut r = rng();
+        for _ in 0..1_000 {
+            let x = uniform_f64(&mut r, 1.5, 2.5);
+            assert!((1.5..2.5).contains(&x));
+        }
+        assert_eq!(uniform_f64(&mut r, 3.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "variance {var}");
+    }
+
+    #[test]
+    fn normal_zero_sigma_is_constant() {
+        let mut r = rng();
+        assert_eq!(normal(&mut r, 7.0, 0.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative std dev")]
+    fn normal_rejects_negative_sigma() {
+        let _ = normal(&mut rng(), 0.0, -1.0);
+    }
+
+    #[test]
+    fn hypergeometric_support_and_mean() {
+        let mut r = rng();
+        let dist = Hypergeometric::new(40, 20, 12);
+        assert_eq!(dist.mean(), 6.0);
+        let n = 20_000;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let x = dist.sample(&mut r);
+            assert!(x <= 12);
+            sum += u64::from(x);
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 6.0).abs() < 0.05, "sample mean {mean}");
+    }
+
+    #[test]
+    fn hypergeometric_extreme_parameters() {
+        let mut r = rng();
+        // All marked: every draw hits.
+        assert_eq!(Hypergeometric::new(10, 10, 4).sample(&mut r), 4);
+        // None marked: no draw hits.
+        assert_eq!(Hypergeometric::new(10, 0, 4).sample(&mut r), 0);
+        // Draw the full population.
+        assert_eq!(Hypergeometric::new(10, 7, 10).sample(&mut r), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "successes")]
+    fn hypergeometric_rejects_bad_successes() {
+        let _ = Hypergeometric::new(10, 11, 4);
+    }
+
+    #[test]
+    fn level_maps_support_onto_range() {
+        let mut r = rng();
+        let dist = Hypergeometric::new(40, 20, 12);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = hypergeometric_level(&mut r, dist, 0.1, 0.5);
+            assert!((0.1..=0.5).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.3).abs() < 0.01, "level mean {mean} should be 0.3");
+    }
+
+    #[test]
+    fn hypergeometric_variance_is_below_binomial() {
+        // Without replacement the variance shrinks by (N-n)/(N-1).
+        let mut r = rng();
+        let dist = Hypergeometric::new(40, 20, 12);
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| f64::from(dist.sample(&mut r))).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let expected = 12.0 * 0.5 * 0.5 * (40.0 - 12.0) / 39.0;
+        assert!(
+            (var - expected).abs() < 0.1,
+            "variance {var} vs expected {expected}"
+        );
+    }
+}

@@ -1,0 +1,313 @@
+//! The generated distributed environment of one scheduling cycle.
+//!
+//! Ties the pieces together: a [`Platform`] of heterogeneous nodes, their
+//! local [`NodeSchedule`]s, and the resulting ordered [`SlotList`] the
+//! selection algorithms consume. [`EnvironmentConfig::paper_default`]
+//! reproduces the §3.1 experimental setup exactly: 100 nodes, performance
+//! ~ U\[2,10\], market pricing, hyper-geometric 10–50% load on the interval
+//! `[0, 600]`.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use slotsel_env::environment::EnvironmentConfig;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let env = EnvironmentConfig::paper_default().generate(&mut rng);
+//! assert_eq!(env.platform().len(), 100);
+//! assert!(env.slots().len() > 100, "load fragments the interval into many slots");
+//! ```
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use slotsel_core::node::Platform;
+use slotsel_core::slotlist::SlotList;
+use slotsel_core::time::{Interval, TimePoint};
+
+use crate::load::{LoadConfig, NodeSchedule};
+use crate::nodes::NodeGenConfig;
+
+/// Full configuration of the environment generator.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnvironmentConfig {
+    /// Node generation parameters.
+    pub nodes: NodeGenConfig,
+    /// Local-load generation parameters.
+    pub load: LoadConfig,
+    /// Length of the scheduling interval, starting at `t = 0` (paper: 600).
+    pub interval_length: i64,
+}
+
+impl EnvironmentConfig {
+    /// The paper's §3.1 environment.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        EnvironmentConfig {
+            nodes: NodeGenConfig::paper_default(),
+            load: LoadConfig::paper_default(),
+            interval_length: 600,
+        }
+    }
+
+    /// The §3.1 environment with a different node count (Table 1 sweep).
+    #[must_use]
+    pub fn with_node_count(count: usize) -> Self {
+        EnvironmentConfig {
+            nodes: NodeGenConfig::with_count(count),
+            ..Self::paper_default()
+        }
+    }
+
+    /// The §3.1 environment with a different interval length (Table 2 sweep).
+    #[must_use]
+    pub fn with_interval_length(length: i64) -> Self {
+        EnvironmentConfig {
+            interval_length: length,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Generates one environment instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval length is not positive or any sub-config is
+    /// invalid.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Environment {
+        assert!(self.interval_length > 0, "interval length must be positive");
+        let interval = Interval::new(TimePoint::ZERO, TimePoint::new(self.interval_length));
+        let platform = self.nodes.generate(rng);
+        let mut slots = SlotList::new();
+        let mut schedules = Vec::with_capacity(platform.len());
+        for node in &platform {
+            let schedule = NodeSchedule::generate(rng, node.id(), interval, &self.load);
+            for free in schedule.free() {
+                slots.add(node.id(), free, node.performance(), node.price_per_unit());
+            }
+            schedules.push(schedule);
+        }
+        Environment {
+            platform,
+            slots,
+            schedules,
+            interval,
+        }
+    }
+}
+
+/// One generated scheduling-cycle state.
+#[derive(Debug, Clone)]
+pub struct Environment {
+    platform: Platform,
+    slots: SlotList,
+    schedules: Vec<NodeSchedule>,
+    interval: Interval,
+}
+
+impl Environment {
+    /// Assembles an environment from pre-built parts (mainly for tests and
+    /// deterministic examples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a schedule refers to a node outside the platform.
+    #[must_use]
+    pub fn from_parts(
+        platform: Platform,
+        slots: SlotList,
+        schedules: Vec<NodeSchedule>,
+        interval: Interval,
+    ) -> Self {
+        for schedule in &schedules {
+            assert!(
+                platform.get(schedule.node()).is_some(),
+                "schedule for unknown node {}",
+                schedule.node()
+            );
+        }
+        Environment {
+            platform,
+            slots,
+            schedules,
+            interval,
+        }
+    }
+
+    /// The node set.
+    #[must_use]
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The ordered free-slot list.
+    #[must_use]
+    pub fn slots(&self) -> &SlotList {
+        &self.slots
+    }
+
+    /// The per-node local schedules.
+    #[must_use]
+    pub fn schedules(&self) -> &[NodeSchedule] {
+        &self.schedules
+    }
+
+    /// The scheduling interval.
+    #[must_use]
+    pub fn interval(&self) -> Interval {
+        self.interval
+    }
+
+    /// Mean occupancy across nodes.
+    #[must_use]
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.schedules.is_empty() {
+            return 0.0;
+        }
+        self.schedules
+            .iter()
+            .map(NodeSchedule::occupancy)
+            .sum::<f64>()
+            / self.schedules.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use slotsel_core::slot::Slot;
+
+    fn env(seed: u64) -> Environment {
+        EnvironmentConfig::paper_default().generate(&mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn paper_default_shape() {
+        let e = env(1);
+        assert_eq!(e.platform().len(), 100);
+        assert_eq!(e.schedules().len(), 100);
+        assert_eq!(e.interval().end().ticks(), 600);
+        assert!(e.slots().is_sorted());
+    }
+
+    #[test]
+    fn slots_lie_within_interval() {
+        let e = env(2);
+        for slot in e.slots() {
+            assert!(e.interval().contains_interval(&slot.span()));
+            assert!(slot.length().is_positive());
+        }
+    }
+
+    #[test]
+    fn slots_match_node_attributes() {
+        let e = env(3);
+        for slot in e.slots() {
+            let node = e.platform().node(slot.node());
+            assert_eq!(slot.performance(), node.performance());
+            assert_eq!(slot.price_per_unit(), node.price_per_unit());
+        }
+    }
+
+    #[test]
+    fn slots_complement_busy_time() {
+        let e = env(4);
+        for schedule in e.schedules() {
+            let free_time: i64 = e
+                .slots()
+                .iter()
+                .filter(|s| s.node() == schedule.node())
+                .map(|s| s.length().ticks())
+                .sum();
+            let expected = schedule.interval().length().ticks() - schedule.busy_time().ticks();
+            assert_eq!(free_time, expected, "node {}", schedule.node());
+        }
+    }
+
+    #[test]
+    fn per_node_slots_are_disjoint() {
+        let e = env(5);
+        let slots: Vec<&Slot> = e.slots().iter().collect();
+        for (i, a) in slots.iter().enumerate() {
+            for b in &slots[i + 1..] {
+                if a.node() == b.node() {
+                    assert!(!a.span().overlaps(&b.span()), "{a} overlaps {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slot_count_matches_paper_table2() {
+        // Table 2 row "Number of slots": 472.6 at interval 600. Average over
+        // several seeds and accept a +-20% band.
+        let mut total = 0usize;
+        let n = 30u64;
+        for seed in 0..n {
+            total += env(seed).slots().len();
+        }
+        let mean = total as f64 / n as f64;
+        assert!(
+            (380.0..=570.0).contains(&mean),
+            "mean slot count {mean} vs paper 472.6"
+        );
+    }
+
+    #[test]
+    fn mean_occupancy_in_band() {
+        let mean: f64 = (0..20).map(|s| env(s).mean_occupancy()).sum::<f64>() / 20.0;
+        assert!((0.2..=0.4).contains(&mean), "mean occupancy {mean}");
+    }
+
+    #[test]
+    fn interval_sweep_scales_slots() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mean_slots = |cfg: &EnvironmentConfig, rng: &mut StdRng| -> f64 {
+            (0..10)
+                .map(|_| cfg.generate(rng).slots().len())
+                .sum::<usize>() as f64
+                / 10.0
+        };
+        let at_600 = mean_slots(&EnvironmentConfig::paper_default(), &mut rng);
+        let at_1800 = mean_slots(&EnvironmentConfig::with_interval_length(1800), &mut rng);
+        assert!(
+            at_1800 > 2.0 * at_600,
+            "slots at 1800 ({at_1800}) vs 600 ({at_600})"
+        );
+    }
+
+    #[test]
+    fn node_sweep_scales_slots_linearly() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let e50 = EnvironmentConfig::with_node_count(50).generate(&mut rng);
+        let e400 = EnvironmentConfig::with_node_count(400).generate(&mut rng);
+        assert_eq!(e50.platform().len(), 50);
+        assert_eq!(e400.platform().len(), 400);
+        let ratio = e400.slots().len() as f64 / e50.slots().len() as f64;
+        assert!((6.0..=10.5).contains(&ratio), "slot ratio {ratio} not ~8x");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn from_parts_validates_schedules() {
+        let e = env(11);
+        let foreign = NodeSchedule::new(slotsel_core::node::NodeId(9_999), e.interval(), vec![]);
+        let _ = Environment::from_parts(
+            e.platform().clone(),
+            e.slots().clone(),
+            vec![foreign],
+            e.interval(),
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = env(21);
+        let b = env(21);
+        assert_eq!(a.platform(), b.platform());
+        assert_eq!(a.slots(), b.slots());
+    }
+}

@@ -1,0 +1,48 @@
+//! # slotsel-env
+//!
+//! Generator of the simulated distributed-computing environment used in the
+//! PaCT 2013 slot-selection experiments: heterogeneous CPU nodes with
+//! free-market pricing, non-dedicated load from local jobs, and extraction
+//! of the resulting free-slot lists.
+//!
+//! The paper's §3.1 setup is available as
+//! [`EnvironmentConfig::paper_default`](environment::EnvironmentConfig::paper_default):
+//! 100 nodes with performance uniform in `[2, 10]`, usage cost proportional
+//! to performance with normally distributed deviation, and 10%–50%
+//! hyper-geometric initial load on the scheduling interval `[0, 600]`.
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use slotsel_env::EnvironmentConfig;
+//! use slotsel_core::{Amp, SlotSelector, ResourceRequest, Volume, Money};
+//!
+//! # fn main() -> Result<(), slotsel_core::RequestError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let env = EnvironmentConfig::paper_default().generate(&mut rng);
+//! let request = ResourceRequest::builder()
+//!     .node_count(5)
+//!     .volume(Volume::new(300))
+//!     .budget(Money::from_units(1500))
+//!     .build()?;
+//! let window = Amp.select(env.platform(), env.slots(), &request);
+//! assert!(window.is_some(), "100 mostly-idle nodes easily host 5 parallel slots");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod distributions;
+pub mod environment;
+pub mod load;
+pub mod nodes;
+pub mod pricing;
+pub mod swf;
+
+pub use environment::{Environment, EnvironmentConfig};
+pub use load::{LoadConfig, NodeSchedule, PeakHours};
+pub use nodes::{DomainConfig, NodeGenConfig};
+pub use pricing::PricingModel;
+pub use swf::{parse_swf, replay_onto, SwfJob};

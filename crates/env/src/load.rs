@@ -1,0 +1,464 @@
+//! Non-dedicated load: local jobs occupying the nodes.
+//!
+//! Resources are non-dedicated — each node already runs local and
+//! higher-priority jobs when the scheduling cycle starts. The paper
+//! generates the per-node initial load level by a hyper-geometric
+//! distribution in the range 10%–50% of the scheduling interval, with local
+//! jobs of minimum length 10. The generator here walks the node's timeline,
+//! alternating idle gaps and busy local jobs until the target occupancy is
+//! reached; the complement of the busy set is the node's free-slot set.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use slotsel_core::node::NodeId;
+use slotsel_core::time::{Interval, TimeDelta};
+
+use crate::distributions::{hypergeometric_level, uniform_f64, uniform_int, Hypergeometric};
+
+/// A higher-load region of the scheduling interval — "peak hours".
+///
+/// Inside `[from_fraction, to_fraction)` of the interval, idle gaps between
+/// local jobs shrink by `gap_divisor`, concentrating the load there the way
+/// business-hours submissions do on real machines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeakHours {
+    /// Start of the peak region as a fraction of the interval (0–1).
+    pub from_fraction: f64,
+    /// End of the peak region as a fraction of the interval (0–1).
+    pub to_fraction: f64,
+    /// How much denser the local jobs are inside the peak (> 1).
+    pub gap_divisor: f64,
+}
+
+impl PeakHours {
+    fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.from_fraction)
+                && (0.0..=1.0).contains(&self.to_fraction)
+                && self.from_fraction <= self.to_fraction,
+            "peak region [{}, {}] invalid",
+            self.from_fraction,
+            self.to_fraction
+        );
+        assert!(
+            self.gap_divisor >= 1.0,
+            "gap divisor {} must be >= 1",
+            self.gap_divisor
+        );
+    }
+
+    fn contains(&self, position: f64) -> bool {
+        position >= self.from_fraction && position < self.to_fraction
+    }
+}
+
+/// Configuration of the initial (local) load generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadConfig {
+    /// Lower bound of the per-node occupancy fraction (paper: 0.10).
+    pub occupancy_lo: f64,
+    /// Upper bound of the per-node occupancy fraction (paper: 0.50).
+    pub occupancy_hi: f64,
+    /// Hyper-geometric population size used to draw the level.
+    pub hyper_population: u32,
+    /// Hyper-geometric marked-item count.
+    pub hyper_successes: u32,
+    /// Hyper-geometric draw count (the support resolution of the level).
+    pub hyper_draws: u32,
+    /// Minimum local job length (paper: 10).
+    pub min_job_length: i64,
+    /// Maximum local job length.
+    pub max_job_length: i64,
+    /// Optional peak-hours region with denser local load (extension; the
+    /// paper's load is time-homogeneous).
+    pub peak: Option<PeakHours>,
+}
+
+impl LoadConfig {
+    /// The paper's §3.1 load model: hyper-geometric occupancy level in
+    /// `[0.10, 0.50]`, local jobs of length 10–90.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        LoadConfig {
+            occupancy_lo: 0.10,
+            occupancy_hi: 0.50,
+            hyper_population: 40,
+            hyper_successes: 20,
+            hyper_draws: 12,
+            min_job_length: 10,
+            max_job_length: 90,
+            peak: None,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.occupancy_lo)
+                && (0.0..=1.0).contains(&self.occupancy_hi)
+                && self.occupancy_lo <= self.occupancy_hi,
+            "occupancy range [{}, {}] invalid",
+            self.occupancy_lo,
+            self.occupancy_hi
+        );
+        assert!(
+            0 < self.min_job_length && self.min_job_length <= self.max_job_length,
+            "job length range [{}, {}] invalid",
+            self.min_job_length,
+            self.max_job_length
+        );
+        if let Some(peak) = &self.peak {
+            peak.validate();
+        }
+    }
+
+    /// Draws a target occupancy fraction for one node.
+    pub fn sample_occupancy<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.validate();
+        let dist = Hypergeometric::new(
+            self.hyper_population,
+            self.hyper_successes,
+            self.hyper_draws,
+        );
+        hypergeometric_level(rng, dist, self.occupancy_lo, self.occupancy_hi)
+    }
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig::paper_default()
+    }
+}
+
+/// The local schedule of one node: its busy intervals within the scheduling
+/// interval, in ascending, non-overlapping order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSchedule {
+    node: NodeId,
+    interval: Interval,
+    busy: Vec<Interval>,
+}
+
+impl NodeSchedule {
+    /// Creates a schedule from busy intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the busy intervals overlap, are unordered, or fall outside
+    /// the scheduling interval.
+    #[must_use]
+    pub fn new(node: NodeId, interval: Interval, busy: Vec<Interval>) -> Self {
+        for window in busy.windows(2) {
+            assert!(
+                window[0].end() <= window[1].start(),
+                "busy intervals must be ordered and disjoint: {} then {}",
+                window[0],
+                window[1]
+            );
+        }
+        for b in &busy {
+            assert!(
+                interval.contains_interval(b),
+                "busy interval {b} outside scheduling interval {interval}"
+            );
+        }
+        NodeSchedule {
+            node,
+            interval,
+            busy,
+        }
+    }
+
+    /// The node this schedule belongs to.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The scheduling interval.
+    #[must_use]
+    pub fn interval(&self) -> Interval {
+        self.interval
+    }
+
+    /// The busy intervals, ascending and disjoint.
+    #[must_use]
+    pub fn busy(&self) -> &[Interval] {
+        &self.busy
+    }
+
+    /// Total busy time.
+    #[must_use]
+    pub fn busy_time(&self) -> TimeDelta {
+        self.busy.iter().map(Interval::length).sum()
+    }
+
+    /// Occupancy fraction of the scheduling interval.
+    #[must_use]
+    pub fn occupancy(&self) -> f64 {
+        let total = self.interval.length().ticks();
+        if total == 0 {
+            return 0.0;
+        }
+        self.busy_time().ticks() as f64 / total as f64
+    }
+
+    /// The free intervals — the complement of the busy set within the
+    /// scheduling interval, ascending. These become the node's slots.
+    #[must_use]
+    pub fn free(&self) -> Vec<Interval> {
+        let mut free = Vec::with_capacity(self.busy.len() + 1);
+        let mut cursor = self.interval.start();
+        for b in &self.busy {
+            if cursor < b.start() {
+                free.push(Interval::new(cursor, b.start()));
+            }
+            cursor = b.end();
+        }
+        if cursor < self.interval.end() {
+            free.push(Interval::new(cursor, self.interval.end()));
+        }
+        free
+    }
+
+    /// Generates a random schedule targeting the occupancy drawn from
+    /// `config`, walking the timeline with alternating gaps and local jobs.
+    pub fn generate<R: Rng + ?Sized>(
+        rng: &mut R,
+        node: NodeId,
+        interval: Interval,
+        config: &LoadConfig,
+    ) -> Self {
+        config.validate();
+        let target = config.sample_occupancy(rng);
+        let length = interval.length().ticks();
+        let job_mean = (config.min_job_length + config.max_job_length) as f64 / 2.0;
+        // E[gap] chosen so E[busy] / (E[busy] + E[gap]) = target.
+        let gap_mean = if target > 0.0 {
+            job_mean * (1.0 - target) / target
+        } else {
+            f64::MAX
+        };
+
+        let mut busy = Vec::new();
+        let mut cursor = interval.start();
+        let mut occupied = 0i64;
+        loop {
+            let position = (cursor - interval.start()).ticks() as f64 / length as f64;
+            let local_gap_mean = match &config.peak {
+                Some(peak) if peak.contains(position) => gap_mean / peak.gap_divisor,
+                _ => gap_mean,
+            };
+            let gap = uniform_f64(rng, 0.0, 2.0 * local_gap_mean.min(length as f64)).round() as i64;
+            let job = i64::from(uniform_int(
+                rng,
+                config.min_job_length as u32,
+                config.max_job_length as u32,
+            ));
+            let start = cursor + TimeDelta::new(gap);
+            if start >= interval.end() {
+                break;
+            }
+            let end = (start + TimeDelta::new(job)).earliest(interval.end());
+            // Do not overshoot the target occupancy by more than one job.
+            if occupied as f64 / length as f64 >= target {
+                break;
+            }
+            busy.push(Interval::new(start, end));
+            occupied += (end - start).ticks();
+            cursor = end;
+        }
+        NodeSchedule::new(node, interval, busy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use slotsel_core::time::TimePoint;
+
+    fn iv(a: i64, b: i64) -> Interval {
+        Interval::new(TimePoint::new(a), TimePoint::new(b))
+    }
+
+    #[test]
+    fn free_complements_busy() {
+        let s = NodeSchedule::new(NodeId(0), iv(0, 100), vec![iv(10, 30), iv(50, 60)]);
+        assert_eq!(s.free(), vec![iv(0, 10), iv(30, 50), iv(60, 100)]);
+        assert_eq!(s.busy_time(), TimeDelta::new(30));
+        assert!((s.occupancy() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_of_idle_node_is_whole_interval() {
+        let s = NodeSchedule::new(NodeId(0), iv(0, 600), vec![]);
+        assert_eq!(s.free(), vec![iv(0, 600)]);
+        assert_eq!(s.occupancy(), 0.0);
+    }
+
+    #[test]
+    fn free_of_fully_busy_node_is_empty() {
+        let s = NodeSchedule::new(NodeId(0), iv(0, 100), vec![iv(0, 100)]);
+        assert!(s.free().is_empty());
+        assert_eq!(s.occupancy(), 1.0);
+    }
+
+    #[test]
+    fn busy_touching_interval_edges() {
+        let s = NodeSchedule::new(NodeId(0), iv(0, 100), vec![iv(0, 20), iv(80, 100)]);
+        assert_eq!(s.free(), vec![iv(20, 80)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered and disjoint")]
+    fn overlapping_busy_rejected() {
+        let _ = NodeSchedule::new(NodeId(0), iv(0, 100), vec![iv(10, 30), iv(20, 40)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside scheduling interval")]
+    fn busy_outside_interval_rejected() {
+        let _ = NodeSchedule::new(NodeId(0), iv(0, 100), vec![iv(90, 110)]);
+    }
+
+    #[test]
+    fn generated_schedule_is_well_formed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = LoadConfig::paper_default();
+        for node in 0..200 {
+            let s = NodeSchedule::generate(&mut rng, NodeId(node), iv(0, 600), &config);
+            // Constructor re-validates order/containment; check lengths here.
+            for b in s.busy() {
+                assert!(b.length().ticks() >= 1, "degenerate busy interval");
+            }
+            assert!(
+                s.occupancy() <= 0.75,
+                "occupancy {} far above target range",
+                s.occupancy()
+            );
+        }
+    }
+
+    #[test]
+    fn generated_occupancy_averages_in_target_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let config = LoadConfig::paper_default();
+        let n = 2_000;
+        let mean: f64 = (0..n)
+            .map(|i| NodeSchedule::generate(&mut rng, NodeId(i), iv(0, 600), &config).occupancy())
+            .sum::<f64>()
+            / f64::from(n);
+        assert!(
+            (0.2..=0.4).contains(&mean),
+            "mean occupancy {mean} outside [0.2, 0.4]"
+        );
+    }
+
+    #[test]
+    fn generated_jobs_respect_min_length() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = LoadConfig::paper_default();
+        for i in 0..200 {
+            let s = NodeSchedule::generate(&mut rng, NodeId(i), iv(0, 600), &config);
+            for b in s.busy() {
+                // Jobs truncated by the interval end may be shorter.
+                if b.end() < TimePoint::new(600) {
+                    assert!(b.length().ticks() >= config.min_job_length);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn peak_hours_concentrate_the_load() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let config = LoadConfig {
+            peak: Some(PeakHours {
+                from_fraction: 0.25,
+                to_fraction: 0.75,
+                gap_divisor: 4.0,
+            }),
+            ..LoadConfig::paper_default()
+        };
+        let mut peak_busy = 0i64;
+        let mut offpeak_busy = 0i64;
+        for i in 0..500 {
+            let s = NodeSchedule::generate(&mut rng, NodeId(i), iv(0, 600), &config);
+            for b in s.busy() {
+                let mid = (b.start().ticks() + b.end().ticks()) / 2;
+                if (150..450).contains(&mid) {
+                    peak_busy += b.length().ticks();
+                } else {
+                    offpeak_busy += b.length().ticks();
+                }
+            }
+        }
+        // Peak and off-peak regions are equally long; the peak must carry
+        // clearly more load.
+        assert!(
+            peak_busy as f64 > 1.5 * offpeak_busy as f64,
+            "peak {peak_busy} vs off-peak {offpeak_busy}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "gap divisor")]
+    fn peak_rejects_divisor_below_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = LoadConfig {
+            peak: Some(PeakHours {
+                from_fraction: 0.0,
+                to_fraction: 1.0,
+                gap_divisor: 0.5,
+            }),
+            ..LoadConfig::paper_default()
+        };
+        let _ = NodeSchedule::generate(&mut rng, NodeId(0), iv(0, 600), &config);
+    }
+
+    #[test]
+    fn slot_count_matches_paper_scale() {
+        // Paper Table 2: ~472.6 slots on 100 nodes at interval length 600,
+        // i.e. ~4.7 free slots per node. Allow a generous band.
+        let mut rng = StdRng::seed_from_u64(11);
+        let config = LoadConfig::paper_default();
+        let n = 1_000;
+        let total: usize = (0..n)
+            .map(|i| {
+                NodeSchedule::generate(&mut rng, NodeId(i), iv(0, 600), &config)
+                    .free()
+                    .len()
+            })
+            .sum();
+        let per_node = total as f64 / f64::from(n);
+        assert!(
+            (3.5..=6.0).contains(&per_node),
+            "{per_node} free slots per node"
+        );
+    }
+
+    #[test]
+    fn longer_interval_scales_slot_count_linearly() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let config = LoadConfig::paper_default();
+        let count = |rng: &mut StdRng, len: i64| -> f64 {
+            (0..500)
+                .map(|i| {
+                    NodeSchedule::generate(rng, NodeId(i), iv(0, len), &config)
+                        .free()
+                        .len()
+                })
+                .sum::<usize>() as f64
+                / 500.0
+        };
+        let at_600 = count(&mut rng, 600);
+        let at_2400 = count(&mut rng, 2400);
+        let ratio = at_2400 / at_600;
+        assert!(
+            (3.0..=5.0).contains(&ratio),
+            "slot count ratio {ratio} not ~4x"
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! Heterogeneous node generation.
+//!
+//! Builds the [`Platform`] of one simulated scheduling cycle: performance
+//! rates drawn uniformly from the configured range (paper: `[2; 10]`),
+//! prices from the [`PricingModel`], and plausible hardware characteristics
+//! (clock, RAM, disk, OS) for experiments exercising the
+//! `properHardwareAndSoftware` admission check.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use slotsel_core::node::{NodeSpec, OsFamily, Performance, Platform};
+
+use crate::distributions::uniform_int;
+use crate::pricing::PricingModel;
+
+/// Administrative domain layout: nodes grouped into computer sites with
+/// site-level pricing factors (an extension; the paper's platform is one
+/// flat pool, but its related work measures complexity per computer site).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DomainConfig {
+    /// Number of domains; nodes are split contiguously and as evenly as
+    /// possible.
+    pub count: usize,
+    /// Per-domain price factor spread: domain `d` scales its nodes' prices
+    /// by `1 + spread * (d / (count-1) - 0.5)`, making some sites cheap
+    /// markets and others expensive ones. Zero keeps pricing flat.
+    pub price_spread: f64,
+}
+
+/// Configuration of the node generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeGenConfig {
+    /// Number of CPU nodes (paper: 100).
+    pub count: usize,
+    /// Inclusive performance range (paper: `[2, 10]`).
+    pub perf_range: (u32, u32),
+    /// Pricing model.
+    pub pricing: PricingModel,
+    /// Fraction of non-Linux nodes, split evenly between the other OS
+    /// families. Zero keeps the platform homogeneous in software.
+    pub non_linux_fraction: f64,
+    /// Optional grouping into administrative domains.
+    #[serde(default)]
+    pub domains: Option<DomainConfig>,
+}
+
+impl NodeGenConfig {
+    /// The paper's §3.1 platform: 100 nodes, performance ~ U[2, 10],
+    /// market pricing, all-Linux.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        NodeGenConfig {
+            count: 100,
+            perf_range: (2, 10),
+            pricing: PricingModel::paper_default(),
+            non_linux_fraction: 0.0,
+            domains: None,
+        }
+    }
+
+    /// Same platform with a different node count (for the Table 1 sweep).
+    #[must_use]
+    pub fn with_count(count: usize) -> Self {
+        NodeGenConfig {
+            count,
+            ..NodeGenConfig::paper_default()
+        }
+    }
+
+    /// Generates the platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the performance range is empty or the non-Linux fraction is
+    /// outside `[0, 1]`.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Platform {
+        let (lo, hi) = self.perf_range;
+        assert!(
+            lo >= 1 && lo <= hi,
+            "performance range [{lo}, {hi}] invalid"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.non_linux_fraction),
+            "non-Linux fraction {} outside [0, 1]",
+            self.non_linux_fraction
+        );
+        if let Some(domains) = &self.domains {
+            assert!(domains.count > 0, "domain count must be positive");
+            assert!(
+                domains.price_spread >= 0.0 && domains.price_spread < 2.0,
+                "domain price spread {} outside [0, 2)",
+                domains.price_spread
+            );
+        }
+        (0..self.count)
+            .map(|i| {
+                let perf = Performance::new(uniform_int(rng, lo, hi));
+                let mut price = self.pricing.sample(rng, perf);
+                let domain = self.domains.map(|d| {
+                    let index = (i * d.count / self.count.max(1)).min(d.count - 1) as u32;
+                    if d.count > 1 && d.price_spread > 0.0 {
+                        let position = f64::from(index) / (d.count - 1) as f64 - 0.5;
+                        let factor = 1.0 + d.price_spread * position;
+                        price = slotsel_core::money::Money::from_f64(price.as_f64() * factor);
+                    }
+                    index
+                });
+                let os = if rng.gen::<f64>() < self.non_linux_fraction {
+                    match uniform_int(rng, 0, 2) {
+                        0 => OsFamily::Bsd,
+                        1 => OsFamily::Windows,
+                        _ => OsFamily::Other,
+                    }
+                } else {
+                    OsFamily::Linux
+                };
+                // Hardware loosely correlates with performance tier.
+                let clock_mhz = 1_200 + perf.rate() * 200 + uniform_int(rng, 0, 400);
+                let ram_mb = 2_048 * uniform_int(rng, 1, 8);
+                let disk_gb = 50 * uniform_int(rng, 1, 20);
+                let mut builder = NodeSpec::builder(i as u32)
+                    .performance(perf)
+                    .price_per_unit(price)
+                    .clock_mhz(clock_mhz)
+                    .ram_mb(ram_mb)
+                    .disk_gb(disk_gb)
+                    .os(os);
+                if let Some(domain) = domain {
+                    builder = builder.domain(domain);
+                }
+                builder.build()
+            })
+            .collect()
+    }
+}
+
+impl Default for NodeGenConfig {
+    fn default() -> Self {
+        NodeGenConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xABCD)
+    }
+
+    #[test]
+    fn generates_requested_count_with_dense_ids() {
+        let platform = NodeGenConfig::paper_default().generate(&mut rng());
+        assert_eq!(platform.len(), 100);
+        for (i, node) in platform.iter().enumerate() {
+            assert_eq!(node.id().index(), i);
+        }
+    }
+
+    #[test]
+    fn performance_in_configured_range() {
+        let platform = NodeGenConfig::paper_default().generate(&mut rng());
+        for node in &platform {
+            assert!((2..=10).contains(&node.performance().rate()));
+        }
+    }
+
+    #[test]
+    fn performance_covers_range_over_many_nodes() {
+        let config = NodeGenConfig::with_count(2_000);
+        let platform = config.generate(&mut rng());
+        let mut seen = [false; 9];
+        for node in &platform {
+            seen[(node.performance().rate() - 2) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn prices_positive_and_scale_with_performance() {
+        let config = NodeGenConfig::with_count(3_000);
+        let platform = config.generate(&mut rng());
+        let avg_price = |perf: u32| -> f64 {
+            let (sum, count) = platform
+                .iter()
+                .filter(|n| n.performance().rate() == perf)
+                .fold((0.0, 0u32), |(s, c), n| {
+                    (s + n.price_per_unit().as_f64(), c + 1)
+                });
+            sum / f64::from(count.max(1))
+        };
+        for node in &platform {
+            assert!(node.price_per_unit().is_positive());
+        }
+        assert!(avg_price(10) > avg_price(2) + 5.0);
+    }
+
+    #[test]
+    fn all_linux_by_default() {
+        let platform = NodeGenConfig::paper_default().generate(&mut rng());
+        assert!(platform.iter().all(|n| n.os() == OsFamily::Linux));
+    }
+
+    #[test]
+    fn non_linux_fraction_respected() {
+        let config = NodeGenConfig {
+            non_linux_fraction: 0.5,
+            ..NodeGenConfig::with_count(2_000)
+        };
+        let platform = config.generate(&mut rng());
+        let non_linux = platform
+            .iter()
+            .filter(|n| n.os() != OsFamily::Linux)
+            .count();
+        let fraction = non_linux as f64 / 2_000.0;
+        assert!((0.45..=0.55).contains(&fraction), "fraction {fraction}");
+    }
+
+    #[test]
+    #[should_panic(expected = "performance range")]
+    fn rejects_zero_performance_floor() {
+        let config = NodeGenConfig {
+            perf_range: (0, 5),
+            ..NodeGenConfig::paper_default()
+        };
+        let _ = config.generate(&mut rng());
+    }
+
+    #[test]
+    fn domains_partition_the_platform() {
+        let config = NodeGenConfig {
+            domains: Some(DomainConfig {
+                count: 4,
+                price_spread: 0.0,
+            }),
+            ..NodeGenConfig::with_count(100)
+        };
+        let platform = config.generate(&mut rng());
+        let mut sizes = [0usize; 4];
+        for node in &platform {
+            let d = node.domain().expect("every node gets a domain") as usize;
+            sizes[d] += 1;
+        }
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+        assert!(sizes.iter().all(|&s| s == 25), "{sizes:?}");
+    }
+
+    #[test]
+    fn domain_price_spread_orders_mean_prices() {
+        let config = NodeGenConfig {
+            domains: Some(DomainConfig {
+                count: 2,
+                price_spread: 0.8,
+            }),
+            ..NodeGenConfig::with_count(2_000)
+        };
+        let platform = config.generate(&mut rng());
+        let mean_price = |domain: u32| {
+            let (sum, count) = platform
+                .iter()
+                .filter(|n| n.domain() == Some(domain))
+                .fold((0.0, 0u32), |(s, c), n| {
+                    (s + n.price_per_unit().as_f64(), c + 1)
+                });
+            sum / f64::from(count.max(1))
+        };
+        assert!(
+            mean_price(1) > mean_price(0) * 1.4,
+            "domain 1 ({}) should be ~1.67x domain 0 ({})",
+            mean_price(1),
+            mean_price(0)
+        );
+    }
+
+    #[test]
+    fn no_domains_by_default() {
+        let platform = NodeGenConfig::paper_default().generate(&mut rng());
+        assert!(platform.iter().all(|n| n.domain().is_none()));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = NodeGenConfig::paper_default().generate(&mut StdRng::seed_from_u64(5));
+        let b = NodeGenConfig::paper_default().generate(&mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

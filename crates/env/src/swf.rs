@@ -1,0 +1,330 @@
+//! Standard Workload Format (SWF) trace replay.
+//!
+//! The grid/parallel-workloads community publishes machine logs in SWF
+//! (Feitelson's Parallel Workloads Archive): one job per line with 18
+//! whitespace-separated fields. This module parses such traces and replays
+//! them onto a [`Platform`] as the *local and higher-priority load* of a
+//! scheduling cycle — a substitute for the paper's synthetic
+//! hyper-geometric load when real traces are available.
+//!
+//! Only the fields relevant to occupancy are consumed: submit time (2),
+//! wait time (3), run time (4), and number of allocated processors (5);
+//! `-1` markers and comment lines (`;`) are handled per the SWF spec.
+//!
+//! # Examples
+//!
+//! ```
+//! use slotsel_env::swf::parse_swf;
+//!
+//! # fn main() -> Result<(), slotsel_env::swf::ParseSwfError> {
+//! let trace = "\
+//! ; SWF header comment
+//! 1 0 10 50 2 -1 -1 2 -1 -1 1 1 1 1 1 -1 -1 -1
+//! 2 30 0 100 1 -1 -1 1 -1 -1 1 1 1 1 1 -1 -1 -1
+//! ";
+//! let jobs = parse_swf(trace)?;
+//! assert_eq!(jobs.len(), 2);
+//! assert_eq!(jobs[0].start, 10); // submit 0 + wait 10
+//! assert_eq!(jobs[0].processors, 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use slotsel_core::node::Platform;
+use slotsel_core::slotlist::SlotList;
+use slotsel_core::time::{Interval, TimePoint};
+
+/// One job parsed from an SWF trace, reduced to its occupancy footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwfJob {
+    /// SWF job id (field 1).
+    pub id: u64,
+    /// Start time = submit + wait (fields 2 + 3).
+    pub start: i64,
+    /// Run time (field 4).
+    pub run_time: i64,
+    /// Number of allocated processors (field 5).
+    pub processors: u32,
+}
+
+impl SwfJob {
+    /// End time of the job.
+    #[must_use]
+    pub fn end(&self) -> i64 {
+        self.start + self.run_time
+    }
+}
+
+/// Error parsing an SWF trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSwfError {
+    line: usize,
+    message: String,
+}
+
+impl fmt::Display for ParseSwfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SWF line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseSwfError {}
+
+fn field(fields: &[&str], index: usize, line: usize) -> Result<i64, ParseSwfError> {
+    fields
+        .get(index)
+        .ok_or_else(|| ParseSwfError {
+            line,
+            message: format!("missing field {}", index + 1),
+        })?
+        .parse()
+        .map_err(|_| ParseSwfError {
+            line,
+            message: format!("field {} is not an integer: {:?}", index + 1, fields[index]),
+        })
+}
+
+/// Parses an SWF trace into jobs, skipping comments, empty lines and jobs
+/// with unknown (`-1`) or zero run time / processor counts.
+///
+/// # Errors
+///
+/// Returns [`ParseSwfError`] on malformed non-comment lines.
+pub fn parse_swf(text: &str) -> Result<Vec<SwfJob>, ParseSwfError> {
+    let mut jobs = Vec::new();
+    for (number, line) in text.lines().enumerate() {
+        let line_no = number + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with(';') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        let id = field(&fields, 0, line_no)?;
+        let submit = field(&fields, 1, line_no)?;
+        let wait = field(&fields, 2, line_no)?;
+        let run_time = field(&fields, 3, line_no)?;
+        let processors = field(&fields, 4, line_no)?;
+        if run_time <= 0 || processors <= 0 {
+            continue; // Unknown or degenerate footprint; spec uses -1.
+        }
+        let start = submit + wait.max(0);
+        jobs.push(SwfJob {
+            id: id.max(0) as u64,
+            start,
+            run_time,
+            processors: processors as u32,
+        });
+    }
+    Ok(jobs)
+}
+
+/// Replays SWF jobs onto `platform` as local load over `interval`,
+/// returning the resulting free-slot list.
+///
+/// Jobs are placed first-fit in start order: each occupies `processors`
+/// nodes that are free at its (clipped) span, preferring lower node ids.
+/// Jobs that do not fit (platform smaller than the trace machine) are
+/// partially placed on as many free nodes as available — occupancy is the
+/// goal, not faithful re-scheduling. Time is clipped to `interval`.
+#[must_use]
+pub fn replay_onto(platform: &Platform, jobs: &[SwfJob], interval: Interval) -> SlotList {
+    // Per-node busy lists, kept sorted by construction (jobs in start order
+    // can still overlap arbitrary earlier jobs, so check all).
+    let mut busy: Vec<Vec<Interval>> = vec![Vec::new(); platform.len()];
+    let mut ordered: Vec<&SwfJob> = jobs.iter().collect();
+    ordered.sort_by_key(|j| (j.start, j.id));
+
+    for job in ordered {
+        let span = Interval::new(
+            TimePoint::new(job.start.max(interval.start().ticks())),
+            TimePoint::new(job.end().min(interval.end().ticks()).max(job.start)),
+        );
+        let span = match interval.intersection(&span) {
+            Some(s) => s,
+            None => continue,
+        };
+        let mut remaining = job.processors;
+        for (node_index, node_busy) in busy.iter_mut().enumerate() {
+            if remaining == 0 {
+                break;
+            }
+            let _ = node_index;
+            if node_busy.iter().all(|b| !b.overlaps(&span)) {
+                let position = node_busy.partition_point(|b| b.start() < span.start());
+                node_busy.insert(position, span);
+                remaining -= 1;
+            }
+        }
+    }
+
+    let mut slots = SlotList::new();
+    for (node, node_busy) in platform.iter().zip(&busy) {
+        let mut cursor = interval.start();
+        for b in node_busy {
+            if cursor < b.start() {
+                slots.add(
+                    node.id(),
+                    Interval::new(cursor, b.start()),
+                    node.performance(),
+                    node.price_per_unit(),
+                );
+            }
+            cursor = cursor.latest(b.end());
+        }
+        if cursor < interval.end() {
+            slots.add(
+                node.id(),
+                Interval::new(cursor, interval.end()),
+                node.performance(),
+                node.price_per_unit(),
+            );
+        }
+    }
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slotsel_core::node::{NodeSpec, Performance};
+
+    fn platform(count: u32) -> Platform {
+        (0..count)
+            .map(|i| {
+                NodeSpec::builder(i)
+                    .performance(Performance::new(4))
+                    .build()
+            })
+            .collect()
+    }
+
+    fn iv(a: i64, b: i64) -> Interval {
+        Interval::new(TimePoint::new(a), TimePoint::new(b))
+    }
+
+    const SAMPLE: &str = "\
+; Sample trace in Standard Workload Format
+; MaxProcs: 4
+1    0   10   50  2  -1 -1 2 -1 -1 1 1 1 1 1 -1 -1 -1
+2   30    0  100  1  -1 -1 1 -1 -1 1 1 1 1 1 -1 -1 -1
+3   40    5   -1  2  -1 -1 2 -1 -1 1 1 1 1 1 -1 -1 -1
+4  200    0   60  3  -1 -1 3 -1 -1 1 1 1 1 1 -1 -1 -1
+";
+
+    #[test]
+    fn parses_sample_and_skips_unknowns() {
+        let jobs = parse_swf(SAMPLE).unwrap();
+        // Job 3 has run time -1 and is skipped.
+        assert_eq!(jobs.len(), 3);
+        assert_eq!(
+            jobs[0],
+            SwfJob {
+                id: 1,
+                start: 10,
+                run_time: 50,
+                processors: 2
+            }
+        );
+        assert_eq!(
+            jobs[1],
+            SwfJob {
+                id: 2,
+                start: 30,
+                run_time: 100,
+                processors: 1
+            }
+        );
+        assert_eq!(jobs[2].end(), 260);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let err = parse_swf("1 2 three 4 5").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        assert!(err.to_string().contains("field 3"), "{err}");
+        let err = parse_swf("1 2 3").unwrap_err();
+        assert!(err.to_string().contains("missing field 4"), "{err}");
+    }
+
+    #[test]
+    fn replay_produces_complementary_slots() {
+        let p = platform(4);
+        let jobs = parse_swf(SAMPLE).unwrap();
+        let slots = replay_onto(&p, &jobs, iv(0, 600));
+        assert!(slots.is_sorted());
+        // Total busy time placed: job1 = 2x50, job2 = 1x100, job4 = 3x60.
+        let busy_expected = 2 * 50 + 100 + 3 * 60;
+        let free = slots.total_free_time().ticks();
+        assert_eq!(free, 4 * 600 - busy_expected);
+        // Per-node slots disjoint.
+        let all: Vec<_> = slots.iter().collect();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                if a.node() == b.node() {
+                    assert!(!a.span().overlaps(&b.span()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replay_clips_to_interval() {
+        let p = platform(1);
+        let jobs = vec![SwfJob {
+            id: 1,
+            start: 550,
+            run_time: 500,
+            processors: 1,
+        }];
+        let slots = replay_onto(&p, &jobs, iv(0, 600));
+        assert_eq!(slots.len(), 1);
+        let slot = slots.iter().next().unwrap();
+        assert_eq!((slot.start().ticks(), slot.end().ticks()), (0, 550));
+    }
+
+    #[test]
+    fn oversubscribed_job_partially_placed() {
+        let p = platform(2);
+        // Wants 5 processors, only 2 exist.
+        let jobs = vec![SwfJob {
+            id: 1,
+            start: 0,
+            run_time: 600,
+            processors: 5,
+        }];
+        let slots = replay_onto(&p, &jobs, iv(0, 600));
+        assert!(slots.is_empty(), "both nodes fully consumed");
+    }
+
+    #[test]
+    fn jobs_outside_interval_are_ignored() {
+        let p = platform(1);
+        let jobs = vec![SwfJob {
+            id: 1,
+            start: 700,
+            run_time: 100,
+            processors: 1,
+        }];
+        let slots = replay_onto(&p, &jobs, iv(0, 600));
+        assert_eq!(slots.total_free_time().ticks(), 600);
+    }
+
+    #[test]
+    fn replayed_environment_is_usable_by_algorithms() {
+        use slotsel_core::{Amp, Money, ResourceRequest, SlotSelector, Volume};
+        let p = platform(4);
+        let jobs = parse_swf(SAMPLE).unwrap();
+        let slots = replay_onto(&p, &jobs, iv(0, 600));
+        let request = ResourceRequest::builder()
+            .node_count(2)
+            .volume(Volume::new(120))
+            .budget(Money::from_units(10_000))
+            .build()
+            .unwrap();
+        let window = Amp.select(&p, &slots, &request).expect("trace leaves room");
+        assert_eq!(window.size(), 2);
+    }
+}

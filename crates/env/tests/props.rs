@@ -1,0 +1,120 @@
+//! Property-based tests for the environment generator: for arbitrary valid
+//! configurations, the generated state satisfies the structural invariants
+//! the selection algorithms depend on.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use slotsel_env::{EnvironmentConfig, LoadConfig, NodeGenConfig, PricingModel};
+
+fn arb_pricing() -> impl Strategy<Value = PricingModel> {
+    prop_oneof![
+        (0.1f64..3.0, 0.0f64..2.0).prop_map(|(factor, deviation)| {
+            PricingModel::ProportionalAdditive { factor, deviation }
+        }),
+        (0.1f64..3.0, 0.0f64..0.5).prop_map(|(factor, deviation)| {
+            PricingModel::ProportionalMultiplicative { factor, deviation }
+        }),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = EnvironmentConfig> {
+    (
+        1usize..40,          // node count
+        (1u32..6, 6u32..15), // performance range (lo < hi)
+        arb_pricing(),
+        50i64..2_000,               // interval length
+        (0.0f64..0.4, 0.4f64..0.9), // occupancy range
+        (1i64..20, 20i64..120),     // job length range
+    )
+        .prop_map(
+            |(count, (perf_lo, perf_hi), pricing, interval, (occ_lo, occ_hi), (job_lo, job_hi))| {
+                EnvironmentConfig {
+                    nodes: NodeGenConfig {
+                        count,
+                        perf_range: (perf_lo, perf_hi),
+                        pricing,
+                        non_linux_fraction: 0.0,
+                        domains: None,
+                    },
+                    load: LoadConfig {
+                        occupancy_lo: occ_lo,
+                        occupancy_hi: occ_hi,
+                        min_job_length: job_lo,
+                        max_job_length: job_hi,
+                        ..LoadConfig::paper_default()
+                    },
+                    interval_length: interval,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_environment_is_structurally_sound(config in arb_config(), seed in any::<u64>()) {
+        let env = config.generate(&mut StdRng::seed_from_u64(seed));
+
+        prop_assert_eq!(env.platform().len(), config.nodes.count);
+        prop_assert!(env.slots().is_sorted());
+
+        // Every slot: inside the interval, positive, attributes match node.
+        for slot in env.slots() {
+            prop_assert!(env.interval().contains_interval(&slot.span()));
+            prop_assert!(slot.length().is_positive());
+            let node = env.platform().node(slot.node());
+            prop_assert_eq!(slot.performance(), node.performance());
+            prop_assert_eq!(slot.price_per_unit(), node.price_per_unit());
+            prop_assert!(slot.price_per_unit().is_positive());
+            let rate = node.performance().rate();
+            prop_assert!(rate >= config.nodes.perf_range.0 && rate <= config.nodes.perf_range.1);
+        }
+
+        // Per node: slots disjoint and complementary to the busy set.
+        for schedule in env.schedules() {
+            let mut spans: Vec<_> = env
+                .slots()
+                .iter()
+                .filter(|s| s.node() == schedule.node())
+                .map(|s| s.span())
+                .collect();
+            spans.sort_by_key(|s| s.start());
+            for pair in spans.windows(2) {
+                prop_assert!(pair[0].end() <= pair[1].start(), "per-node slots overlap");
+            }
+            let free: i64 = spans.iter().map(|s| s.length().ticks()).sum();
+            let expected = schedule.interval().length().ticks() - schedule.busy_time().ticks();
+            prop_assert_eq!(free, expected);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic(config in arb_config(), seed in any::<u64>()) {
+        let a = config.generate(&mut StdRng::seed_from_u64(seed));
+        let b = config.generate(&mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(a.platform(), b.platform());
+        prop_assert_eq!(a.slots(), b.slots());
+        prop_assert_eq!(a.schedules(), b.schedules());
+    }
+
+    #[test]
+    fn occupancy_respects_configured_band(config in arb_config(), seed in any::<u64>()) {
+        let env = config.generate(&mut StdRng::seed_from_u64(seed));
+        // A single busy job may overshoot the target by at most one job
+        // length; allow that slack relative to the interval.
+        let slack = config.load.max_job_length as f64 / config.interval_length as f64;
+        for schedule in env.schedules() {
+            prop_assert!(
+                schedule.occupancy() <= config.load.occupancy_hi + slack + 1e-9,
+                "occupancy {} above band [{}, {}] + slack {}",
+                schedule.occupancy(),
+                config.load.occupancy_lo,
+                config.load.occupancy_hi,
+                slack
+            );
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Execution verification of committed schedules.
+//!
+//! Selecting windows is only half of correctness: a committed combination
+//! must be *executable* — at no instant may a node run more than one task,
+//! and every task must run inside time the node actually had free. This
+//! module replays committed windows against the environment's local
+//! schedules, verifies per-node exclusivity, and produces an execution
+//! trace (start/finish events, per-node utilisation) — the audit the VO
+//! metascheduler would run before handing reservations to the resource
+//! domains.
+
+use serde::{Deserialize, Serialize};
+
+use slotsel_core::node::NodeId;
+use slotsel_core::time::{Interval, TimePoint};
+use slotsel_core::window::Window;
+use slotsel_env::Environment;
+
+/// Why a committed set of windows is not executable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecutionError {
+    /// Two committed tasks overlap on one node.
+    NodeDoubleBooked {
+        /// The over-committed node.
+        node: NodeId,
+        /// The earlier of the two overlapping task spans.
+        first: Interval,
+        /// The later of the two overlapping task spans.
+        second: Interval,
+    },
+    /// A task runs during time the node never offered as free.
+    OutsideFreeTime {
+        /// The offending node.
+        node: NodeId,
+        /// The task span that escapes the free slots.
+        task: Interval,
+    },
+    /// A window references a node the platform does not have.
+    UnknownNode(NodeId),
+}
+
+impl std::fmt::Display for ExecutionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionError::NodeDoubleBooked {
+                node,
+                first,
+                second,
+            } => {
+                write!(f, "node {node} double-booked: {first} overlaps {second}")
+            }
+            ExecutionError::OutsideFreeTime { node, task } => {
+                write!(f, "task {task} on {node} runs outside the node's free time")
+            }
+            ExecutionError::UnknownNode(node) => write!(f, "window references unknown {node}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecutionError {}
+
+/// One event of the execution trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionEvent {
+    /// When the event happens.
+    pub at: TimePoint,
+    /// Index of the window (in the committed order) the event belongs to.
+    pub window: usize,
+    /// `true` for a window start, `false` for its completion.
+    pub is_start: bool,
+}
+
+/// The verified execution of a committed window set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionTrace {
+    /// Start/finish events in time order (starts before finishes on ties).
+    pub events: Vec<ExecutionEvent>,
+    /// Fraction of the platform's *free* node-time consumed by the windows.
+    pub utilisation_of_free_time: f64,
+    /// Latest completion over all windows, if any were committed.
+    pub makespan: Option<TimePoint>,
+}
+
+/// Verifies that `windows` can execute on `env` and returns the trace.
+///
+/// Checks, per node: task spans are pairwise disjoint and each lies inside
+/// the union of the node's free slots. Windows are taken at their per-task
+/// occupancy (fast nodes free up early); rectangular co-allocation holds
+/// are a scheduling convention on top and are not re-checked here.
+///
+/// # Errors
+///
+/// Returns the first [`ExecutionError`] found, scanning nodes in id order.
+pub fn verify(env: &Environment, windows: &[&Window]) -> Result<ExecutionTrace, ExecutionError> {
+    // Collect per-node task spans.
+    let mut per_node: Vec<Vec<(Interval, usize)>> = vec![Vec::new(); env.platform().len()];
+    for (index, window) in windows.iter().enumerate() {
+        for ws in window.slots() {
+            let bucket = per_node
+                .get_mut(ws.node().index())
+                .ok_or(ExecutionError::UnknownNode(ws.node()))?;
+            bucket.push((Interval::with_length(window.start(), ws.length()), index));
+        }
+    }
+
+    for (node_index, tasks) in per_node.iter_mut().enumerate() {
+        let node = NodeId(node_index as u32);
+        tasks.sort_by_key(|(span, _)| span.start());
+        // Exclusivity.
+        for pair in tasks.windows(2) {
+            if pair[0].0.overlaps(&pair[1].0) {
+                return Err(ExecutionError::NodeDoubleBooked {
+                    node,
+                    first: pair[0].0,
+                    second: pair[1].0,
+                });
+            }
+        }
+        // Containment in free time: every task span must lie within one
+        // free slot (slots are maximal free runs, so spanning two slots
+        // would cross busy time).
+        for &(task, _) in tasks.iter() {
+            let inside = env
+                .slots()
+                .iter()
+                .any(|slot| slot.node() == node && slot.span().contains_interval(&task));
+            if !inside {
+                return Err(ExecutionError::OutsideFreeTime { node, task });
+            }
+        }
+    }
+
+    let mut events: Vec<ExecutionEvent> = Vec::with_capacity(windows.len() * 2);
+    for (index, window) in windows.iter().enumerate() {
+        events.push(ExecutionEvent {
+            at: window.start(),
+            window: index,
+            is_start: true,
+        });
+        events.push(ExecutionEvent {
+            at: window.finish(),
+            window: index,
+            is_start: false,
+        });
+    }
+    events.sort_by_key(|e| (e.at, !e.is_start, e.window));
+
+    let used: i64 = windows.iter().map(|w| w.proc_time().ticks()).sum();
+    let free = env.slots().total_free_time().ticks();
+    Ok(ExecutionTrace {
+        events,
+        utilisation_of_free_time: if free > 0 {
+            used as f64 / free as f64
+        } else {
+            0.0
+        },
+        makespan: windows.iter().map(|w| w.finish()).max(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use slotsel_batch::BatchScheduler;
+    use slotsel_core::{Job, JobId, Money, ResourceRequest, SlotSelector, Volume};
+    use slotsel_env::{EnvironmentConfig, NodeGenConfig};
+
+    fn env(seed: u64) -> Environment {
+        EnvironmentConfig {
+            nodes: NodeGenConfig::with_count(20),
+            ..EnvironmentConfig::paper_default()
+        }
+        .generate(&mut StdRng::seed_from_u64(seed))
+    }
+
+    fn request(n: usize, volume: u64, budget: i64) -> ResourceRequest {
+        ResourceRequest::builder()
+            .node_count(n)
+            .volume(Volume::new(volume))
+            .budget(Money::from_units(budget))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_selected_window_verifies() {
+        let e = env(1);
+        let w = slotsel_core::Amp
+            .select(e.platform(), e.slots(), &request(3, 200, 10_000))
+            .unwrap();
+        let trace = verify(&e, &[&w]).unwrap();
+        assert_eq!(trace.events.len(), 2);
+        assert!(trace.events[0].is_start);
+        assert!(!trace.events[1].is_start);
+        assert_eq!(trace.makespan, Some(w.finish()));
+        assert!(trace.utilisation_of_free_time > 0.0);
+    }
+
+    #[test]
+    fn committed_batch_schedules_verify() {
+        for seed in 0..10 {
+            let e = env(seed);
+            let jobs: Vec<Job> = (0..4)
+                .map(|i| Job::new(JobId(i), i, request(2 + i as usize % 3, 150, 5_000)))
+                .collect();
+            let schedule = BatchScheduler::default().schedule(e.platform(), e.slots(), &jobs);
+            let windows: Vec<&Window> = schedule
+                .assignments
+                .iter()
+                .filter_map(|a| a.window.as_ref())
+                .collect();
+            let trace = verify(&e, &windows)
+                .unwrap_or_else(|err| panic!("seed {seed}: committed schedule broken: {err}"));
+            assert_eq!(trace.events.len(), windows.len() * 2);
+        }
+    }
+
+    #[test]
+    fn double_booking_detected() {
+        let e = env(2);
+        let req = request(3, 200, 10_000);
+        let w = slotsel_core::Amp
+            .select(e.platform(), e.slots(), &req)
+            .unwrap();
+        // The same window twice books every node twice.
+        let err = verify(&e, &[&w, &w]).unwrap_err();
+        assert!(
+            matches!(err, ExecutionError::NodeDoubleBooked { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn fabricated_window_outside_free_time_detected() {
+        use slotsel_core::{SlotId, TimeDelta, WindowSlot};
+        let e = env(3);
+        // A task claiming a busy node's whole interval cannot be inside a
+        // single free slot unless the node is fully idle; pick a node with
+        // at least one busy period.
+        let busy_node = e
+            .schedules()
+            .iter()
+            .find(|s| !s.busy().is_empty())
+            .expect("some node has local load")
+            .node();
+        let fake = Window::new(
+            TimePoint::new(0),
+            vec![WindowSlot::new(
+                SlotId(999_999),
+                busy_node,
+                TimeDelta::new(600),
+                Money::from_units(1),
+            )],
+        );
+        let err = verify(&e, &[&fake]).unwrap_err();
+        assert!(
+            matches!(err, ExecutionError::OutsideFreeTime { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unknown_node_detected() {
+        use slotsel_core::{SlotId, TimeDelta, WindowSlot};
+        let e = env(4);
+        let fake = Window::new(
+            TimePoint::new(0),
+            vec![WindowSlot::new(
+                SlotId(0),
+                NodeId(9_999),
+                TimeDelta::new(10),
+                Money::from_units(1),
+            )],
+        );
+        assert_eq!(
+            verify(&e, &[&fake]),
+            Err(ExecutionError::UnknownNode(NodeId(9_999)))
+        );
+    }
+
+    #[test]
+    fn empty_commit_is_trivially_executable() {
+        let e = env(5);
+        let trace = verify(&e, &[]).unwrap();
+        assert!(trace.events.is_empty());
+        assert_eq!(trace.makespan, None);
+        assert_eq!(trace.utilisation_of_free_time, 0.0);
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let e = env(6);
+        let jobs: Vec<Job> = (0..3)
+            .map(|i| Job::new(JobId(i), i, request(2, 200, 5_000)))
+            .collect();
+        let schedule = BatchScheduler::default().schedule(e.platform(), e.slots(), &jobs);
+        let windows: Vec<&Window> = schedule
+            .assignments
+            .iter()
+            .filter_map(|a| a.window.as_ref())
+            .collect();
+        let trace = verify(&e, &windows).unwrap();
+        for pair in trace.events.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! ASCII Gantt rendering of environments and windows.
+//!
+//! Renders per-node timelines — busy local jobs, free slots and a selected
+//! window's placements — the picture the paper's Fig. 1 sketches ("window
+//! with a rough right edge"). Used by examples and handy when debugging
+//! selection behaviour.
+//!
+//! ```text
+//! n0 |####....WWWWWW..........|  perf 2
+//! n1 |..WWWWWW#####...........|  perf 5
+//! ```
+//!
+//! `#` = busy with local jobs, `.` = free, `W` = the rendered window.
+
+use slotsel_core::node::Platform;
+use slotsel_core::slotlist::SlotList;
+use slotsel_core::time::Interval;
+use slotsel_core::window::Window;
+
+/// Characters used per timeline cell.
+const BUSY: char = '#';
+const FREE: char = '.';
+const WINDOW: char = 'W';
+
+/// Renders per-node timelines over `interval`, sampling `width` columns.
+///
+/// Nodes appear in id order; only nodes that have at least one slot or a
+/// window placement are rendered unless `all_nodes` is set. A cell shows
+/// `W` when the window occupies any part of it, otherwise `.` when any
+/// free slot covers it, otherwise `#`.
+///
+/// # Panics
+///
+/// Panics if `width` is zero or the interval is empty.
+#[must_use]
+pub fn render_gantt(
+    platform: &Platform,
+    slots: &SlotList,
+    window: Option<&Window>,
+    interval: Interval,
+    width: usize,
+    all_nodes: bool,
+) -> String {
+    assert!(width > 0, "gantt width must be positive");
+    assert!(!interval.is_empty(), "gantt interval must be non-empty");
+    let total = interval.length().ticks();
+    let cell_start = |col: usize| interval.start().ticks() + col as i64 * total / width as i64;
+
+    let mut out = String::new();
+    for node in platform {
+        let node_slots: Vec<&slotsel_core::slot::Slot> =
+            slots.iter().filter(|s| s.node() == node.id()).collect();
+        let placement = window.and_then(|w| {
+            w.slots()
+                .iter()
+                .find(|ws| ws.node() == node.id())
+                .map(|ws| Interval::with_length(w.start(), ws.length()))
+        });
+        if !all_nodes && node_slots.is_empty() && placement.is_none() {
+            continue;
+        }
+        let mut line = String::with_capacity(width);
+        for col in 0..width {
+            let span = Interval::new(
+                slotsel_core::time::TimePoint::new(cell_start(col)),
+                slotsel_core::time::TimePoint::new(cell_start(col + 1).max(cell_start(col) + 1)),
+            );
+            let ch = if placement.is_some_and(|p| p.overlaps(&span)) {
+                WINDOW
+            } else if node_slots.iter().any(|s| s.span().overlaps(&span)) {
+                FREE
+            } else {
+                BUSY
+            };
+            line.push(ch);
+        }
+        out.push_str(&format!(
+            "{:>4} |{line}|  perf {}\n",
+            node.id().to_string(),
+            node.performance().rate()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slotsel_core::{
+        Money, NodeId, NodeSpec, Performance, SlotId, TimeDelta, TimePoint, WindowSlot,
+    };
+
+    fn setup() -> (Platform, SlotList) {
+        let platform: Platform = (0..2)
+            .map(|i| {
+                NodeSpec::builder(i)
+                    .performance(Performance::new(2 + i))
+                    .build()
+            })
+            .collect();
+        let mut slots = SlotList::new();
+        // Node 0 free in [0, 50); node 1 free in [50, 100).
+        slots.add(
+            NodeId(0),
+            Interval::new(TimePoint::new(0), TimePoint::new(50)),
+            Performance::new(2),
+            Money::from_units(1),
+        );
+        slots.add(
+            NodeId(1),
+            Interval::new(TimePoint::new(50), TimePoint::new(100)),
+            Performance::new(3),
+            Money::from_units(1),
+        );
+        (platform, slots)
+    }
+
+    fn full_interval() -> Interval {
+        Interval::new(TimePoint::new(0), TimePoint::new(100))
+    }
+
+    #[test]
+    fn renders_free_and_busy_cells() {
+        let (platform, slots) = setup();
+        let chart = render_gantt(&platform, &slots, None, full_interval(), 10, true);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("|.....#####|"), "{chart}");
+        assert!(lines[1].contains("|#####.....|"), "{chart}");
+    }
+
+    #[test]
+    fn renders_window_cells() {
+        let (platform, slots) = setup();
+        let window = Window::new(
+            TimePoint::new(10),
+            vec![WindowSlot::new(
+                SlotId(0),
+                NodeId(0),
+                TimeDelta::new(20),
+                Money::from_units(1),
+            )],
+        );
+        let chart = render_gantt(&platform, &slots, Some(&window), full_interval(), 10, true);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert!(lines[0].contains("|.WW..#####|"), "{chart}");
+    }
+
+    #[test]
+    fn hides_idle_nodes_unless_asked() {
+        let platform: Platform = (0..2)
+            .map(|i| {
+                NodeSpec::builder(i)
+                    .performance(Performance::new(2))
+                    .build()
+            })
+            .collect();
+        let mut slots = SlotList::new();
+        slots.add(
+            NodeId(0),
+            Interval::new(TimePoint::new(0), TimePoint::new(10)),
+            Performance::new(2),
+            Money::from_units(1),
+        );
+        let some = render_gantt(&platform, &slots, None, full_interval(), 10, false);
+        assert_eq!(some.lines().count(), 1);
+        let all = render_gantt(&platform, &slots, None, full_interval(), 10, true);
+        assert_eq!(all.lines().count(), 2);
+    }
+
+    #[test]
+    fn line_width_matches_request() {
+        let (platform, slots) = setup();
+        for width in [7usize, 24, 60] {
+            let chart = render_gantt(&platform, &slots, None, full_interval(), width, true);
+            for line in chart.lines() {
+                let bar = line.split('|').nth(1).expect("bar present");
+                assert_eq!(bar.chars().count(), width);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_rejected() {
+        let (platform, slots) = setup();
+        let _ = render_gantt(&platform, &slots, None, full_interval(), 0, true);
+    }
+}

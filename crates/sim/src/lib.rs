@@ -1,0 +1,43 @@
+//! # slotsel-sim
+//!
+//! Simulation harness reproducing the evaluation of the PaCT 2013
+//! slot-selection paper:
+//!
+//! - [`quality`] — Figures 2–4: average start / runtime / finish /
+//!   processor time / cost of the windows each algorithm selects over
+//!   thousands of freshly generated environments;
+//! - [`scaling`] — Tables 1–2 and Figures 5–6: wall-clock working time
+//!   against the number of CPU nodes and the scheduling-interval length;
+//! - [`report`] — plain-text table and bar-chart rendering of the above;
+//! - [`config`] — the §3.1 parameters and the paper's reference numbers.
+//!
+//! ```no_run
+//! use slotsel_sim::config::QualityConfig;
+//! use slotsel_sim::quality;
+//!
+//! let results = quality::run(&QualityConfig::quick(100));
+//! let amp = results.algorithm("AMP").unwrap();
+//! println!("AMP average start time: {:.1}", amp.start.mean());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod batch_experiment;
+pub mod config;
+pub mod execution;
+pub mod gantt;
+pub mod metrics;
+pub mod quality;
+pub mod report;
+pub mod rolling;
+pub mod scaling;
+pub mod sensitivity;
+
+pub use batch_experiment::{BatchExperimentConfig, ObjectiveOutcome};
+pub use config::{QualityConfig, RequestConfig};
+pub use metrics::{MetricsAccumulator, RunningStats, WindowMetrics};
+pub use quality::QualityResults;
+pub use rolling::{RollingConfig, RollingOutcome};
+pub use scaling::{ScalingConfig, ScalingPoint};

@@ -1,0 +1,410 @@
+//! Streaming statistics and per-window metric records.
+
+use serde::{Deserialize, Serialize};
+
+use slotsel_core::window::Window;
+
+/// Welford's online mean/variance accumulator.
+///
+/// Numerically stable for the long (5000-cycle) experiment runs, and
+/// mergeable so replications can be accumulated across worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use slotsel_sim::metrics::RunningStats;
+///
+/// let mut stats = RunningStats::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     stats.push(x);
+/// }
+/// assert_eq!(stats.mean(), 2.0);
+/// assert_eq!(stats.count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite.
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "non-finite observation {x}");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation, or 0 for fewer than two observations.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Standard error of the mean, or 0 for fewer than two observations.
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count as f64 - 1.0)).sqrt() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Normal-approximation 95% confidence interval of the mean.
+    ///
+    /// Returns `(low, high)`; degenerate (the mean twice) for fewer than
+    /// two observations.
+    #[must_use]
+    pub fn confidence95(&self) -> (f64, f64) {
+        let half = 1.96 * self.std_error();
+        (self.mean() - half, self.mean() + half)
+    }
+
+    /// Smallest observation, or `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+/// The five quantities the paper's Figures 2–4 compare, extracted from one
+/// window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowMetrics {
+    /// Window start time.
+    pub start: f64,
+    /// Window runtime (longest composing slot).
+    pub runtime: f64,
+    /// Window finish time.
+    pub finish: f64,
+    /// Total processor time (sum of slot lengths).
+    pub proc_time: f64,
+    /// Total allocation cost.
+    pub cost: f64,
+}
+
+impl WindowMetrics {
+    /// Extracts the metrics from a window.
+    #[must_use]
+    pub fn of(window: &Window) -> Self {
+        WindowMetrics {
+            start: window.start().ticks() as f64,
+            runtime: window.runtime().ticks() as f64,
+            finish: window.finish().ticks() as f64,
+            proc_time: window.proc_time().ticks() as f64,
+            cost: window.total_cost().as_f64(),
+        }
+    }
+}
+
+/// Accumulated window metrics over many scheduling cycles, plus the number
+/// of cycles in which the algorithm failed to find a window.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsAccumulator {
+    /// Start-time statistics.
+    pub start: RunningStats,
+    /// Runtime statistics.
+    pub runtime: RunningStats,
+    /// Finish-time statistics.
+    pub finish: RunningStats,
+    /// Processor-time statistics.
+    pub proc_time: RunningStats,
+    /// Cost statistics.
+    pub cost: RunningStats,
+    /// Cycles where no window was found.
+    pub misses: u64,
+}
+
+impl MetricsAccumulator {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsAccumulator::default()
+    }
+
+    /// Records one found window.
+    pub fn push(&mut self, metrics: WindowMetrics) {
+        self.start.push(metrics.start);
+        self.runtime.push(metrics.runtime);
+        self.finish.push(metrics.finish);
+        self.proc_time.push(metrics.proc_time);
+        self.cost.push(metrics.cost);
+    }
+
+    /// Records a cycle in which no window was found.
+    pub fn push_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Merges a partial accumulator (from another worker) into this one.
+    pub fn merge(&mut self, other: &MetricsAccumulator) {
+        self.start.merge(&other.start);
+        self.runtime.merge(&other.runtime);
+        self.finish.merge(&other.finish);
+        self.proc_time.merge(&other.proc_time);
+        self.cost.merge(&other.cost);
+        self.misses += other.misses;
+    }
+
+    /// Number of cycles with a found window.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.start.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_basic() {
+        let mut s = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn single_observation_has_zero_std() {
+        let mut s = RunningStats::new();
+        s.push(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan() {
+        RunningStats::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn confidence_interval_shrinks_with_samples() {
+        let mut small = RunningStats::new();
+        let mut large = RunningStats::new();
+        for i in 0..10 {
+            small.push(f64::from(i % 5));
+        }
+        for i in 0..1_000 {
+            large.push(f64::from(i % 5));
+        }
+        let (lo_s, hi_s) = small.confidence95();
+        let (lo_l, hi_l) = large.confidence95();
+        assert!(
+            hi_l - lo_l < hi_s - lo_s,
+            "more samples must tighten the interval"
+        );
+        assert!(lo_l <= large.mean() && large.mean() <= hi_l);
+    }
+
+    #[test]
+    fn degenerate_confidence_interval() {
+        let mut s = RunningStats::new();
+        s.push(4.0);
+        assert_eq!(s.confidence95(), (4.0, 4.0));
+        assert_eq!(s.std_error(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = RunningStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &x in &data[..37] {
+            left.push(x);
+        }
+        for &x in &data[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.std_dev() - whole.std_dev()).abs() < 1e-9);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn window_metrics_extraction() {
+        use slotsel_core::money::Money;
+        use slotsel_core::node::NodeId;
+        use slotsel_core::slot::SlotId;
+        use slotsel_core::time::{TimeDelta, TimePoint};
+        use slotsel_core::window::WindowSlot;
+
+        let w = Window::new(
+            TimePoint::new(10),
+            vec![
+                WindowSlot::new(
+                    SlotId(0),
+                    NodeId(0),
+                    TimeDelta::new(30),
+                    Money::from_units(90),
+                ),
+                WindowSlot::new(
+                    SlotId(1),
+                    NodeId(1),
+                    TimeDelta::new(50),
+                    Money::from_units(110),
+                ),
+            ],
+        );
+        let m = WindowMetrics::of(&w);
+        assert_eq!(m.start, 10.0);
+        assert_eq!(m.runtime, 50.0);
+        assert_eq!(m.finish, 60.0);
+        assert_eq!(m.proc_time, 80.0);
+        assert_eq!(m.cost, 200.0);
+    }
+
+    #[test]
+    fn accumulator_counts_hits_and_misses() {
+        let mut acc = MetricsAccumulator::new();
+        acc.push(WindowMetrics {
+            start: 1.0,
+            runtime: 2.0,
+            finish: 3.0,
+            proc_time: 4.0,
+            cost: 5.0,
+        });
+        acc.push(WindowMetrics {
+            start: 3.0,
+            runtime: 4.0,
+            finish: 7.0,
+            proc_time: 8.0,
+            cost: 9.0,
+        });
+        acc.push_miss();
+        assert_eq!(acc.hits(), 2);
+        assert_eq!(acc.misses, 1);
+        assert_eq!(acc.start.mean(), 2.0);
+        assert_eq!(acc.cost.mean(), 7.0);
+    }
+
+    #[test]
+    fn accumulator_merge() {
+        let mut a = MetricsAccumulator::new();
+        let mut b = MetricsAccumulator::new();
+        a.push(WindowMetrics {
+            start: 1.0,
+            runtime: 1.0,
+            finish: 1.0,
+            proc_time: 1.0,
+            cost: 1.0,
+        });
+        b.push(WindowMetrics {
+            start: 3.0,
+            runtime: 3.0,
+            finish: 3.0,
+            proc_time: 3.0,
+            cost: 3.0,
+        });
+        b.push_miss();
+        a.merge(&b);
+        assert_eq!(a.hits(), 2);
+        assert_eq!(a.misses, 1);
+        assert_eq!(a.runtime.mean(), 2.0);
+    }
+}

@@ -1,0 +1,267 @@
+//! The quality experiment: Figures 2–4 of the paper.
+//!
+//! For every simulated scheduling cycle a fresh environment is generated and
+//! all algorithms search for the same predefined base job. The averages of
+//! the found windows' start, runtime, finish, processor time and cost over
+//! all cycles are exactly the bars of Figures 2(a)–4; the CSA column per
+//! figure is the alternative extreme by that figure's criterion among the
+//! set CSA allocated in the cycle.
+
+use std::thread;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use slotsel_baselines::{Alp, Backfill, FirstFit};
+use slotsel_core::algorithms::{Amp, MinCost, MinFinish, MinProcTime, MinRunTime, SlotSelector};
+use slotsel_core::criteria::{best_by, Criterion, WindowCriterion};
+use slotsel_core::csa::{Csa, CutPolicy};
+use slotsel_core::request::ResourceRequest;
+use slotsel_core::window::Window;
+
+use crate::config::QualityConfig;
+use crate::metrics::{MetricsAccumulator, RunningStats, WindowMetrics};
+
+/// Names of the five single-window algorithms, in the paper's order.
+pub const SINGLE_ALGORITHMS: [&str; 5] =
+    ["AMP", "MinFinish", "MinCost", "MinRunTime", "MinProcTime"];
+
+/// Names of the optional baseline algorithms (extension columns).
+pub const BASELINE_ALGORITHMS: [&str; 3] = ["FirstFit", "ALP", "Backfill"];
+
+/// Accumulated results of a quality experiment.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QualityResults {
+    /// Per-algorithm accumulated window metrics, keyed like
+    /// [`SINGLE_ALGORITHMS`].
+    pub algorithms: Vec<(String, MetricsAccumulator)>,
+    /// Number of alternatives CSA finds per cycle.
+    pub csa_alternatives: RunningStats,
+    /// CSA's criterion-extreme alternative metrics, one accumulator per
+    /// [`Criterion`] in [`Criterion::ALL`] order.
+    pub csa_by_criterion: Vec<(String, MetricsAccumulator)>,
+    /// Cycles simulated.
+    pub cycles: u64,
+}
+
+impl QualityResults {
+    fn empty(include_baselines: bool) -> Self {
+        let names = SINGLE_ALGORITHMS.iter().chain(
+            include_baselines
+                .then_some(BASELINE_ALGORITHMS.iter())
+                .into_iter()
+                .flatten(),
+        );
+        QualityResults {
+            algorithms: names
+                .map(|&n| (n.to_owned(), MetricsAccumulator::new()))
+                .collect(),
+            csa_alternatives: RunningStats::new(),
+            csa_by_criterion: Criterion::ALL
+                .iter()
+                .map(|c| (c.name().to_owned(), MetricsAccumulator::new()))
+                .collect(),
+            cycles: 0,
+        }
+    }
+
+    fn merge(&mut self, other: &QualityResults) {
+        for ((_, a), (_, b)) in self.algorithms.iter_mut().zip(&other.algorithms) {
+            a.merge(b);
+        }
+        self.csa_alternatives.merge(&other.csa_alternatives);
+        for ((_, a), (_, b)) in self
+            .csa_by_criterion
+            .iter_mut()
+            .zip(&other.csa_by_criterion)
+        {
+            a.merge(b);
+        }
+        self.cycles += other.cycles;
+    }
+
+    /// The accumulator of a single-window algorithm by name.
+    #[must_use]
+    pub fn algorithm(&self, name: &str) -> Option<&MetricsAccumulator> {
+        self.algorithms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, a)| a)
+    }
+
+    /// CSA's accumulator for the alternative extreme by `criterion`.
+    #[must_use]
+    pub fn csa(&self, criterion: Criterion) -> Option<&MetricsAccumulator> {
+        self.csa_by_criterion
+            .iter()
+            .find(|(n, _)| n == criterion.name())
+            .map(|(_, a)| a)
+    }
+}
+
+/// Runs one scheduling cycle against a fresh environment seeded with `seed`
+/// and records every algorithm's result into `results`.
+fn run_cycle(
+    config: &QualityConfig,
+    request: &ResourceRequest,
+    seed: u64,
+    results: &mut QualityResults,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let env = config.env.generate(&mut rng);
+    let (platform, slots) = (env.platform(), env.slots());
+
+    let mut record = |index: usize, window: Option<Window>| match window {
+        Some(w) => results.algorithms[index].1.push(WindowMetrics::of(&w)),
+        None => results.algorithms[index].1.push_miss(),
+    };
+    record(0, Amp.select(platform, slots, request));
+    record(1, MinFinish::new().select(platform, slots, request));
+    record(2, MinCost.select(platform, slots, request));
+    record(3, MinRunTime::new().select(platform, slots, request));
+    record(
+        4,
+        MinProcTime::with_seed(seed ^ 0xA5A5_A5A5).select(platform, slots, request),
+    );
+    if config.include_baselines {
+        record(5, FirstFit.select(platform, slots, request));
+        record(6, Alp.select(platform, slots, request));
+        record(7, Backfill.select(platform, slots, request));
+    }
+
+    let alternatives = Csa::new()
+        .cut_policy(CutPolicy::ReservationSpan)
+        .find_alternatives(platform, slots, request);
+    results.csa_alternatives.push(alternatives.len() as f64);
+    for (i, criterion) in Criterion::ALL.iter().enumerate() {
+        match best_by(criterion, &alternatives) {
+            Some(w) => results.csa_by_criterion[i].1.push(WindowMetrics::of(w)),
+            None => results.csa_by_criterion[i].1.push_miss(),
+        }
+    }
+}
+
+/// Runs the full quality experiment, parallelising cycles across threads.
+///
+/// Results are independent of the thread count: cycle `i` always runs with
+/// seed `config.seed + i`, and the mergeable accumulators make the final
+/// statistics identical to a sequential run (up to floating-point merge
+/// order in the variance, not the mean).
+#[must_use]
+pub fn run(config: &QualityConfig) -> QualityResults {
+    let request = config.request.to_request();
+    let threads = if config.threads == 0 {
+        thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        config.threads
+    };
+    let threads = threads.min(config.cycles.max(1) as usize).max(1);
+
+    let mut partials: Vec<QualityResults> = Vec::with_capacity(threads);
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let request = &request;
+                scope.spawn(move || {
+                    let mut local = QualityResults::empty(config.include_baselines);
+                    let mut cycle = worker as u64;
+                    while cycle < config.cycles {
+                        run_cycle(config, request, config.seed + cycle, &mut local);
+                        local.cycles += 1;
+                        cycle += threads as u64;
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            partials.push(handle.join().expect("worker panicked"));
+        }
+    });
+
+    let mut total = QualityResults::empty(config.include_baselines);
+    for partial in &partials {
+        total.merge(partial);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(cycles: u64) -> QualityConfig {
+        QualityConfig::quick(cycles)
+    }
+
+    #[test]
+    fn runs_all_algorithms_every_cycle() {
+        let results = run(&quick_config(8));
+        assert_eq!(results.cycles, 8);
+        for (name, acc) in &results.algorithms {
+            assert_eq!(acc.hits() + acc.misses, 8, "{name}");
+        }
+        assert_eq!(results.csa_alternatives.count(), 8);
+    }
+
+    #[test]
+    fn hundred_idle_ish_nodes_always_host_the_base_job() {
+        let results = run(&quick_config(12));
+        for (name, acc) in &results.algorithms {
+            assert_eq!(acc.misses, 0, "{name} missed on a 100-node environment");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_means() {
+        let mut sequential = quick_config(10);
+        sequential.threads = 1;
+        let mut parallel = quick_config(10);
+        parallel.threads = 4;
+        let a = run(&sequential);
+        let b = run(&parallel);
+        for ((name, x), (_, y)) in a.algorithms.iter().zip(&b.algorithms) {
+            assert!((x.cost.mean() - y.cost.mean()).abs() < 1e-9, "{name}");
+            assert!((x.start.mean() - y.start.mean()).abs() < 1e-9, "{name}");
+        }
+        assert!((a.csa_alternatives.mean() - b.csa_alternatives.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csa_extremes_dominate_per_criterion() {
+        // The CSA start-extreme must start no later than the CSA
+        // cost-extreme on average, and symmetrically for cost.
+        let results = run(&quick_config(10));
+        let by_start = results.csa(Criterion::EarliestStart).unwrap();
+        let by_cost = results.csa(Criterion::MinTotalCost).unwrap();
+        assert!(by_start.start.mean() <= by_cost.start.mean() + 1e-9);
+        assert!(by_cost.cost.mean() <= by_start.cost.mean() + 1e-9);
+    }
+
+    #[test]
+    fn baselines_included_on_request() {
+        let mut config = quick_config(5);
+        config.include_baselines = true;
+        let results = run(&config);
+        assert_eq!(results.algorithms.len(), 8);
+        let ff = results.algorithm("FirstFit").expect("baseline present");
+        assert_eq!(ff.hits() + ff.misses, 5);
+        let bf = results.algorithm("Backfill").expect("baseline present");
+        assert_eq!(
+            bf.misses, 0,
+            "backfilling ignores the budget, always finds a window"
+        );
+        // Plain config omits them.
+        let plain = run(&quick_config(2));
+        assert!(plain.algorithm("FirstFit").is_none());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let results = run(&quick_config(2));
+        assert!(results.algorithm("AMP").is_some());
+        assert!(results.algorithm("NoSuch").is_none());
+        assert!(results.csa(Criterion::MinRuntime).is_some());
+    }
+}

@@ -1,0 +1,249 @@
+//! Rolling-horizon batch simulation.
+//!
+//! The VO metascheduler runs cycle after cycle: each cycle sees a fresh
+//! scheduling interval (local load changes, new slots appear), schedules
+//! the pending batch with the two-phase scheme, and carries deferred jobs
+//! into the next cycle — with optional priority aging so nothing starves.
+//! The paper evaluates a single cycle in isolation; this module simulates
+//! the loop its scheme is designed to live in.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use slotsel_batch::{BatchScheduler, BatchSchedulerConfig};
+use slotsel_core::money::Money;
+use slotsel_core::request::{Job, JobId};
+use slotsel_env::EnvironmentConfig;
+
+/// Configuration of a rolling-horizon simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RollingConfig {
+    /// Environment generator for each cycle's horizon.
+    pub env: EnvironmentConfig,
+    /// The per-cycle scheduler settings.
+    pub scheduler: BatchSchedulerConfig,
+    /// Maximum number of cycles to simulate.
+    pub max_cycles: u32,
+    /// Priority increase applied to every deferred job per cycle (aging).
+    pub aging: u32,
+    /// Base RNG seed; cycle `i` generates its environment from `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for RollingConfig {
+    fn default() -> Self {
+        RollingConfig {
+            env: EnvironmentConfig::paper_default(),
+            scheduler: BatchSchedulerConfig::default(),
+            max_cycles: 20,
+            aging: 1,
+            seed: 31_337,
+        }
+    }
+}
+
+/// Per-cycle record of a rolling simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CycleRecord {
+    /// Cycle index, starting at 0.
+    pub cycle: u32,
+    /// Jobs pending at the start of the cycle.
+    pub pending: usize,
+    /// Jobs scheduled in this cycle.
+    pub scheduled: usize,
+    /// Money spent in this cycle.
+    pub spent: f64,
+}
+
+/// Outcome of a rolling simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RollingOutcome {
+    /// `(job, cycle scheduled in)` for every completed job.
+    pub completions: Vec<(JobId, u32)>,
+    /// Jobs still pending when the simulation stopped.
+    pub starved: Vec<JobId>,
+    /// Per-cycle records.
+    pub cycles: Vec<CycleRecord>,
+}
+
+impl RollingOutcome {
+    /// Number of cycles a job waited before being scheduled, if it was.
+    #[must_use]
+    pub fn wait_of(&self, job: JobId) -> Option<u32> {
+        self.completions
+            .iter()
+            .find(|(id, _)| *id == job)
+            .map(|&(_, c)| c)
+    }
+
+    /// Total money spent over all cycles.
+    #[must_use]
+    pub fn total_spent(&self) -> f64 {
+        self.cycles.iter().map(|c| c.spent).sum()
+    }
+}
+
+/// Runs the rolling simulation until the batch drains or `max_cycles` pass.
+///
+/// Jobs keep their identity across cycles; deferred jobs gain
+/// `config.aging` priority per cycle waited, so long-waiting jobs
+/// eventually outrank fresh high-priority work.
+#[must_use]
+pub fn simulate(config: &RollingConfig, jobs: Vec<Job>) -> RollingOutcome {
+    let scheduler = BatchScheduler::new(config.scheduler.clone());
+    let mut pending = jobs;
+    let mut completions = Vec::new();
+    let mut cycles = Vec::new();
+
+    for cycle in 0..config.max_cycles {
+        if pending.is_empty() {
+            break;
+        }
+        let env = config
+            .env
+            .generate(&mut StdRng::seed_from_u64(config.seed + u64::from(cycle)));
+        let schedule = scheduler.schedule(env.platform(), env.slots(), &pending);
+
+        let mut spent = Money::ZERO;
+        let mut still_pending = Vec::new();
+        for assignment in &schedule.assignments {
+            match &assignment.window {
+                Some(window) => {
+                    spent += window.total_cost();
+                    completions.push((assignment.job.id(), cycle));
+                }
+                None => {
+                    // Age the deferred job so it cannot starve.
+                    still_pending.push(Job::new(
+                        assignment.job.id(),
+                        assignment.job.priority() + config.aging,
+                        assignment.job.request().clone(),
+                    ));
+                }
+            }
+        }
+        cycles.push(CycleRecord {
+            cycle,
+            pending: pending.len(),
+            scheduled: pending.len() - still_pending.len(),
+            spent: spent.as_f64(),
+        });
+        pending = still_pending;
+    }
+
+    RollingOutcome {
+        completions,
+        starved: pending.iter().map(Job::id).collect(),
+        cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slotsel_core::node::Volume;
+    use slotsel_core::request::ResourceRequest;
+    use slotsel_env::NodeGenConfig;
+
+    fn job(id: u32, priority: u32, n: usize, volume: u64, budget: i64) -> Job {
+        Job::new(
+            JobId(id),
+            priority,
+            ResourceRequest::builder()
+                .node_count(n)
+                .volume(Volume::new(volume))
+                .budget(Money::from_units(budget))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn small_env_config() -> RollingConfig {
+        RollingConfig {
+            env: EnvironmentConfig {
+                nodes: NodeGenConfig::with_count(8),
+                ..EnvironmentConfig::paper_default()
+            },
+            ..RollingConfig::default()
+        }
+    }
+
+    #[test]
+    fn drains_a_feasible_batch() {
+        let config = small_env_config();
+        let jobs: Vec<Job> = (0..4).map(|i| job(i, 1, 2, 150, 2_000)).collect();
+        let outcome = simulate(&config, jobs);
+        assert!(outcome.starved.is_empty(), "{outcome:?}");
+        assert_eq!(outcome.completions.len(), 4);
+        assert!(outcome.total_spent() > 0.0);
+    }
+
+    #[test]
+    fn oversubscription_spills_into_later_cycles() {
+        let config = small_env_config();
+        // 10 jobs each needing most of the 8-node platform.
+        let jobs: Vec<Job> = (0..10).map(|i| job(i, 1, 6, 300, 20_000)).collect();
+        let outcome = simulate(&config, jobs);
+        let max_cycle = outcome
+            .completions
+            .iter()
+            .map(|&(_, c)| c)
+            .max()
+            .unwrap_or(0);
+        assert!(max_cycle > 0, "all 10 jobs cannot fit one cycle");
+        assert_eq!(
+            outcome.completions.len() + outcome.starved.len(),
+            10,
+            "every job is accounted for"
+        );
+    }
+
+    #[test]
+    fn aging_prevents_starvation_of_low_priority_jobs() {
+        let mut config = small_env_config();
+        config.aging = 3;
+        config.max_cycles = 30;
+        // One low-priority whale among high-priority minnows.
+        let mut jobs: Vec<Job> = (1..8).map(|i| job(i, 9, 5, 300, 20_000)).collect();
+        jobs.push(job(0, 1, 5, 300, 20_000));
+        let outcome = simulate(&config, jobs);
+        assert!(
+            outcome.wait_of(JobId(0)).is_some(),
+            "aged job must eventually be scheduled: {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn impossible_job_is_reported_starved() {
+        let mut config = small_env_config();
+        config.max_cycles = 3;
+        let jobs = vec![job(0, 5, 100, 300, 100_000)]; // 100 nodes on an 8-node platform
+        let outcome = simulate(&config, jobs);
+        assert_eq!(outcome.starved, vec![JobId(0)]);
+        assert_eq!(outcome.cycles.len(), 3);
+    }
+
+    #[test]
+    fn empty_batch_takes_no_cycles() {
+        let outcome = simulate(&small_env_config(), Vec::new());
+        assert!(outcome.cycles.is_empty());
+        assert!(outcome.completions.is_empty());
+    }
+
+    #[test]
+    fn records_are_internally_consistent() {
+        let config = small_env_config();
+        let jobs: Vec<Job> = (0..6).map(|i| job(i, i, 3, 200, 3_000)).collect();
+        let outcome = simulate(&config, jobs);
+        for pair in outcome.cycles.windows(2) {
+            assert_eq!(
+                pair[1].pending,
+                pair[0].pending - pair[0].scheduled,
+                "pending counts must chain"
+            );
+        }
+        let scheduled_total: usize = outcome.cycles.iter().map(|c| c.scheduled).sum();
+        assert_eq!(scheduled_total, outcome.completions.len());
+    }
+}

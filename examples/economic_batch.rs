@@ -1,0 +1,129 @@
+//! Economic batch scheduling: the two-phase VO cycle on a generated
+//! environment.
+//!
+//! Eight jobs of different sizes and priorities compete for a 40-node
+//! non-dedicated platform. Phase 1 allocates CSA alternatives per job;
+//! phase 2 picks one alternative per job under a VO budget, comparing two
+//! administrator objectives (cheapest batch vs earliest batch).
+//!
+//! ```text
+//! cargo run --example economic_batch
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use slotsel::batch::{BatchObjective, BatchSchedule, BatchScheduler, BatchSchedulerConfig};
+use slotsel::core::{Job, JobId, Money, RequestError, ResourceRequest, Volume};
+use slotsel::env::{EnvironmentConfig, NodeGenConfig};
+
+fn make_jobs() -> Result<Vec<Job>, RequestError> {
+    // (priority, parallel tasks, work volume, budget)
+    let specs: [(u32, usize, u64, i64); 8] = [
+        (9, 5, 300, 1_500),
+        (7, 3, 200, 700),
+        (7, 2, 400, 900),
+        (5, 4, 150, 700),
+        (4, 2, 250, 550),
+        (3, 6, 100, 800),
+        (2, 3, 300, 950),
+        (1, 2, 120, 300),
+    ];
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(priority, n, volume, budget))| {
+            Ok(Job::new(
+                JobId(i as u32),
+                priority,
+                ResourceRequest::builder()
+                    .node_count(n)
+                    .volume(Volume::new(volume))
+                    .budget(Money::from_units(budget))
+                    .build()?,
+            ))
+        })
+        .collect()
+}
+
+fn print_schedule(label: &str, schedule: &BatchSchedule) {
+    println!("{label}:");
+    for assignment in &schedule.assignments {
+        let job = &assignment.job;
+        match &assignment.window {
+            Some(w) => println!(
+                "  {} (prio {}): {:>2} alternatives, start {:>3}, finish {:>3}, cost {:>7}",
+                job.id(),
+                job.priority(),
+                assignment.alternatives_found,
+                w.start().ticks(),
+                w.finish().ticks(),
+                w.total_cost().to_string(),
+            ),
+            None => println!(
+                "  {} (prio {}): deferred to the next cycle ({} alternatives)",
+                job.id(),
+                job.priority(),
+                assignment.alternatives_found,
+            ),
+        }
+    }
+    println!(
+        "  => scheduled {}/{}, total cost {}, makespan {:?}, mean finish {:.1}\n",
+        schedule.scheduled(),
+        schedule.assignments.len(),
+        schedule.total_cost(),
+        schedule.makespan().map(|t| t.ticks()),
+        schedule.mean_finish().unwrap_or(f64::NAN),
+    );
+}
+
+fn main() -> Result<(), RequestError> {
+    let mut rng = StdRng::seed_from_u64(2013);
+    let env_config = EnvironmentConfig {
+        nodes: NodeGenConfig::with_count(40),
+        ..EnvironmentConfig::paper_default()
+    };
+    let env = env_config.generate(&mut rng);
+    println!(
+        "environment: {} nodes, {} free slots, mean occupancy {:.0}%\n",
+        env.platform().len(),
+        env.slots().len(),
+        env.mean_occupancy() * 100.0,
+    );
+
+    let jobs = make_jobs()?;
+
+    let cheap = BatchScheduler::new(BatchSchedulerConfig {
+        objective: BatchObjective::MinTotalCost,
+        ..Default::default()
+    })
+    .schedule(env.platform(), env.slots(), &jobs);
+    print_schedule("objective: minimise total batch cost", &cheap);
+
+    let early = BatchScheduler::new(BatchSchedulerConfig {
+        objective: BatchObjective::MinSumFinish,
+        ..Default::default()
+    })
+    .schedule(env.platform(), env.slots(), &jobs);
+    print_schedule("objective: minimise summed finish times", &early);
+
+    let capped = BatchScheduler::new(BatchSchedulerConfig {
+        objective: BatchObjective::MinSumFinish,
+        vo_budget: Some(3_000.0),
+        ..Default::default()
+    })
+    .schedule(env.platform(), env.slots(), &jobs);
+    print_schedule(
+        "objective: earliest batch under a 3000-credit VO budget",
+        &capped,
+    );
+
+    println!(
+        "the cost-driven schedule spends {} vs {} for the time-driven one;\n\
+         the VO budget trades scheduled jobs for spend.",
+        cheap.total_cost(),
+        early.total_cost(),
+    );
+    Ok(())
+}

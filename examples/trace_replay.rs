@@ -1,0 +1,90 @@
+//! Replaying a real-world-format workload trace as the non-dedicated load.
+//!
+//! Parses a Standard Workload Format (SWF) fragment — the format of the
+//! Parallel Workloads Archive logs — replays it onto a heterogeneous
+//! platform as the local load, and co-allocates a parallel job in the gaps.
+//!
+//! ```text
+//! cargo run --example trace_replay [path/to/trace.swf]
+//! ```
+
+use std::fs;
+
+use slotsel::core::{
+    Amp, Interval, MinFinish, Money, NodeSpec, Performance, Platform, ResourceRequest,
+    SlotSelector, TimePoint, Volume,
+};
+use slotsel::env::swf::{parse_swf, replay_onto};
+use slotsel::sim::gantt::render_gantt;
+
+/// A bundled fragment in SWF shape (job, submit, wait, runtime, procs, …).
+const BUNDLED_TRACE: &str = "\
+; bundled demo fragment, SWF fields: id submit wait runtime procs ...
+ 1    0   5   80  3  -1 -1 3 -1 -1 1 1 1 1 1 -1 -1 -1
+ 2   20   0  150  2  -1 -1 2 -1 -1 1 1 1 1 1 -1 -1 -1
+ 3   60  10   40  4  -1 -1 4 -1 -1 1 1 1 1 1 -1 -1 -1
+ 4  150   0  200  1  -1 -1 1 -1 -1 1 1 1 1 1 -1 -1 -1
+ 5  180  20   90  3  -1 -1 3 -1 -1 1 1 1 1 1 -1 -1 -1
+ 6  300   0  120  2  -1 -1 2 -1 -1 1 1 1 1 1 -1 -1 -1
+ 7  420   0   60  5  -1 -1 5 -1 -1 1 1 1 1 1 -1 -1 -1
+ 8  460  15  100  2  -1 -1 2 -1 -1 1 1 1 1 1 -1 -1 -1
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let text = match std::env::args().nth(1) {
+        Some(path) => fs::read_to_string(&path)?,
+        None => BUNDLED_TRACE.to_owned(),
+    };
+    let jobs = parse_swf(&text)?;
+    println!("parsed {} trace jobs", jobs.len());
+
+    // An 8-node platform with mixed speeds.
+    let platform: Platform = [3u32, 5, 7, 4, 9, 2, 6, 10]
+        .iter()
+        .enumerate()
+        .map(|(i, &perf)| {
+            NodeSpec::builder(i as u32)
+                .performance(Performance::new(perf))
+                .price_per_unit(Money::from_f64(f64::from(perf) * 1.05))
+                .build()
+        })
+        .collect();
+
+    let interval = Interval::new(TimePoint::new(0), TimePoint::new(600));
+    let slots = replay_onto(&platform, &jobs, interval);
+    println!(
+        "replayed onto {} nodes: {} free slots, {} free node-time\n",
+        platform.len(),
+        slots.len(),
+        slots.total_free_time()
+    );
+
+    let request = ResourceRequest::builder()
+        .node_count(3)
+        .volume(Volume::new(240))
+        .budget(Money::from_units(1_200))
+        .build()?;
+    let earliest = Amp.select(&platform, &slots, &request);
+    let finish = MinFinish::new().select(&platform, &slots, &request);
+    if let Some(w) = &earliest {
+        println!(
+            "AMP window: start {} finish {} cost {}",
+            w.start().ticks(),
+            w.finish().ticks(),
+            w.total_cost()
+        );
+    }
+    if let Some(w) = &finish {
+        println!(
+            "MinFinish window: start {} finish {} cost {}\n",
+            w.start().ticks(),
+            w.finish().ticks(),
+            w.total_cost()
+        );
+    }
+    print!(
+        "{}",
+        render_gantt(&platform, &slots, finish.as_ref(), interval, 72, true)
+    );
+    Ok(())
+}

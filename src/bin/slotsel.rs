@@ -1,0 +1,432 @@
+//! `slotsel` — command-line front end for the slot selection library.
+//!
+//! ```text
+//! slotsel generate --nodes 100 --interval 600 --seed 42 --out env.json
+//! slotsel info     --env env.json
+//! slotsel select   --env env.json --algorithm mincost --n 5 --volume 300 --budget 1500
+//! slotsel csa      --env env.json --n 5 --volume 300 --budget 1500 --criterion cost
+//! slotsel batch    --env env.json --jobs jobs.json --objective min-total-cost
+//! ```
+//!
+//! Environments are JSON files with a `platform` and a `slots` member (the
+//! library's own serde forms); `generate` produces them and `info`
+//! summarises them. `jobs.json` is an array of
+//! `{ "id": 0, "priority": 5, "node_count": 5, "volume": 300, "budget": 1500.0 }`
+//! objects.
+
+use std::fs;
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use slotsel::baselines::{Alp, Backfill, FirstFit};
+use slotsel::batch::{BatchObjective, BatchScheduler, BatchSchedulerConfig};
+use slotsel::core::{
+    best_by, Amp, Criterion, Csa, CutPolicy, EnergyScore, Job, JobId, MinAdditive, MinCost,
+    MinFinish, MinProcTime, MinRunTime, Money, Platform, PowerModel, ProcTimeScore,
+    ResourceRequest, SlotList, SlotSelector, TimeDelta, TimePoint, Volume, Window,
+};
+use slotsel::env::{EnvironmentConfig, NodeGenConfig};
+use slotsel::sim::gantt::render_gantt;
+
+/// The on-disk environment format.
+#[derive(Debug, Serialize, Deserialize)]
+struct EnvFile {
+    platform: Platform,
+    slots: SlotList,
+}
+
+/// The on-disk job format.
+#[derive(Debug, Serialize, Deserialize)]
+struct JobSpec {
+    id: u32,
+    #[serde(default)]
+    priority: u32,
+    node_count: usize,
+    volume: u64,
+    budget: f64,
+    #[serde(default)]
+    reference_span: Option<i64>,
+    #[serde(default)]
+    deadline: Option<i64>,
+}
+
+impl JobSpec {
+    fn to_request(&self) -> Result<ResourceRequest, String> {
+        let mut builder = ResourceRequest::builder()
+            .node_count(self.node_count)
+            .volume(Volume::new(self.volume))
+            .budget(Money::from_f64(self.budget));
+        if let Some(span) = self.reference_span {
+            builder = builder.reference_span(TimeDelta::new(span));
+        }
+        if let Some(deadline) = self.deadline {
+            builder = builder.deadline(TimePoint::new(deadline));
+        }
+        builder.build().map_err(|e| format!("job {}: {e}", self.id))
+    }
+}
+
+struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.raw
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.raw.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("{name}: cannot parse {v:?}")),
+        }
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.flag(name)
+            .ok_or_else(|| format!("missing required flag {name}"))
+    }
+}
+
+fn load_env(args: &Args) -> Result<EnvFile, String> {
+    let path = args.required("--env")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn request_from_args(args: &Args) -> Result<ResourceRequest, String> {
+    let spec = JobSpec {
+        id: 0,
+        priority: 0,
+        node_count: args.parsed("--n", 5usize)?,
+        volume: args.parsed("--volume", 300u64)?,
+        budget: args.parsed("--budget", 1500.0f64)?,
+        reference_span: args
+            .flag("--span")
+            .map(|v| v.parse())
+            .transpose()
+            .map_err(|_| "--span: not a number".to_owned())?,
+        deadline: args
+            .flag("--deadline")
+            .map(|v| v.parse())
+            .transpose()
+            .map_err(|_| "--deadline: not a number".to_owned())?,
+    };
+    spec.to_request()
+}
+
+fn print_window(label: &str, window: Option<&Window>) {
+    match window {
+        Some(w) => {
+            println!(
+                "{label}: start {} runtime {} finish {} proc {} cost {}",
+                w.start().ticks(),
+                w.runtime().ticks(),
+                w.finish().ticks(),
+                w.proc_time().ticks(),
+                w.total_cost()
+            );
+            for ws in w.slots() {
+                println!(
+                    "  {} on {}: [{}, {}) cost {}",
+                    ws.slot(),
+                    ws.node(),
+                    w.start().ticks(),
+                    (w.start() + ws.length()).ticks(),
+                    ws.cost()
+                );
+            }
+        }
+        None => println!("{label}: no suitable window"),
+    }
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let nodes: usize = args.parsed("--nodes", 100)?;
+    let interval: i64 = args.parsed("--interval", 600)?;
+    let seed: u64 = args.parsed("--seed", 42)?;
+    let non_linux: f64 = args.parsed("--non-linux", 0.0)?;
+    let config = EnvironmentConfig {
+        nodes: NodeGenConfig {
+            count: nodes,
+            non_linux_fraction: non_linux,
+            ..NodeGenConfig::paper_default()
+        },
+        interval_length: interval,
+        ..EnvironmentConfig::paper_default()
+    };
+    let env = config.generate(&mut StdRng::seed_from_u64(seed));
+    let file = EnvFile {
+        platform: env.platform().clone(),
+        slots: env.slots().clone(),
+    };
+    let json = serde_json::to_string_pretty(&file).map_err(|e| e.to_string())?;
+    match args.flag("--out") {
+        Some(path) => {
+            fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {nodes} nodes / {} slots to {path}", file.slots.len());
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let env = load_env(args)?;
+    println!("nodes: {}", env.platform.len());
+    println!("slots: {}", env.slots.len());
+    println!("total free node-time: {}", env.slots.total_free_time());
+    let (min_perf, max_perf) = env.platform.iter().fold((u32::MAX, 0), |(lo, hi), n| {
+        (
+            lo.min(n.performance().rate()),
+            hi.max(n.performance().rate()),
+        )
+    });
+    println!("performance range: [{min_perf}, {max_perf}]");
+    Ok(())
+}
+
+fn make_algorithm(name: &str) -> Result<Box<dyn SlotSelector>, String> {
+    Ok(match name {
+        "amp" => Box::new(Amp),
+        "minfinish" => Box::new(MinFinish::new()),
+        "mincost" => Box::new(MinCost),
+        "minruntime" => Box::new(MinRunTime::new()),
+        "minproctime" => Box::new(MinProcTime::new()),
+        "minproc-additive" => Box::new(MinAdditive::new(ProcTimeScore)),
+        "minenergy" => Box::new(MinAdditive::new(EnergyScore::new(PowerModel::default()))),
+        "firstfit" => Box::new(FirstFit),
+        "alp" => Box::new(Alp),
+        "backfill" => Box::new(Backfill),
+        other => {
+            return Err(format!(
+                "unknown algorithm {other:?}; expected amp|minfinish|mincost|minruntime|\
+                 minproctime|minproc-additive|minenergy|firstfit|alp|backfill"
+            ))
+        }
+    })
+}
+
+fn cmd_select(args: &Args) -> Result<(), String> {
+    let env = load_env(args)?;
+    let request = request_from_args(args)?;
+    let name = args.flag("--algorithm").unwrap_or("amp");
+    let mut algorithm = make_algorithm(name)?;
+    let window = algorithm.select(&env.platform, &env.slots, &request);
+    print_window(algorithm.name(), window.as_ref());
+    Ok(())
+}
+
+fn parse_criterion(name: &str) -> Result<Criterion, String> {
+    name.parse()
+        .map_err(|e: slotsel::core::criteria::ParseCriterionError| e.to_string())
+}
+
+fn cmd_csa(args: &Args) -> Result<(), String> {
+    let env = load_env(args)?;
+    let request = request_from_args(args)?;
+    let mut csa = Csa::new().cut_policy(CutPolicy::ReservationSpan);
+    if let Some(max) = args.flag("--max") {
+        csa = csa.max_alternatives(max.parse().map_err(|_| "--max: not a number".to_owned())?);
+    }
+    let alternatives = csa.find_alternatives(&env.platform, &env.slots, &request);
+    println!("{} alternatives found", alternatives.len());
+    match args.flag("--criterion") {
+        Some(name) => {
+            let criterion = parse_criterion(name)?;
+            print_window(
+                &format!("extreme by {criterion}"),
+                best_by(&criterion, &alternatives),
+            );
+        }
+        None => {
+            for criterion in Criterion::ALL {
+                if let Some(w) = best_by(&criterion, &alternatives) {
+                    println!(
+                        "  best {criterion:>8}: start {:>4} runtime {:>4} finish {:>4} cost {}",
+                        w.start().ticks(),
+                        w.runtime().ticks(),
+                        w.finish().ticks(),
+                        w.total_cost()
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_objective(name: &str) -> Result<BatchObjective, String> {
+    name.parse()
+        .map_err(|e: slotsel::batch::objective::ParseObjectiveError| e.to_string())
+}
+
+fn cmd_batch(args: &Args) -> Result<(), String> {
+    let env = load_env(args)?;
+    let jobs_path = args.required("--jobs")?;
+    let text = fs::read_to_string(jobs_path).map_err(|e| format!("{jobs_path}: {e}"))?;
+    let specs: Vec<JobSpec> =
+        serde_json::from_str(&text).map_err(|e| format!("{jobs_path}: {e}"))?;
+    let jobs: Vec<Job> = specs
+        .iter()
+        .map(|s| Ok(Job::new(JobId(s.id), s.priority, s.to_request()?)))
+        .collect::<Result<_, String>>()?;
+
+    let mut config = BatchSchedulerConfig::default();
+    if let Some(name) = args.flag("--objective") {
+        config.objective = parse_objective(name)?;
+    }
+    if let Some(budget) = args.flag("--vo-budget") {
+        config.vo_budget = Some(
+            budget
+                .parse()
+                .map_err(|_| "--vo-budget: not a number".to_owned())?,
+        );
+    }
+    let schedule = BatchScheduler::new(config).schedule(&env.platform, &env.slots, &jobs);
+    for assignment in &schedule.assignments {
+        match &assignment.window {
+            Some(w) => println!(
+                "{} (prio {}): start {} finish {} cost {}",
+                assignment.job.id(),
+                assignment.job.priority(),
+                w.start().ticks(),
+                w.finish().ticks(),
+                w.total_cost()
+            ),
+            None => println!(
+                "{} (prio {}): deferred",
+                assignment.job.id(),
+                assignment.job.priority()
+            ),
+        }
+    }
+    println!(
+        "scheduled {}/{} jobs, total cost {}, makespan {:?}",
+        schedule.scheduled(),
+        schedule.assignments.len(),
+        schedule.total_cost(),
+        schedule.makespan().map(TimePoint::ticks)
+    );
+    Ok(())
+}
+
+fn cmd_select_and_validate(args: &Args) -> Result<(), String> {
+    // select, dump the window as JSON, or validate a window file.
+    let env = load_env(args)?;
+    let request = request_from_args(args)?;
+    match args.flag("--window") {
+        Some(path) => {
+            let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let window: Window = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+            match slotsel::core::validate_window(&window, &env.platform, &env.slots, &request) {
+                Ok(()) => {
+                    println!("window is valid for the request on this environment");
+                    Ok(())
+                }
+                Err(violation) => Err(format!("window invalid: {violation}")),
+            }
+        }
+        None => {
+            // No window given: select one and print it as JSON, ready to be
+            // validated or archived.
+            let name = args.flag("--algorithm").unwrap_or("amp");
+            let mut algorithm = make_algorithm(name)?;
+            match algorithm.select(&env.platform, &env.slots, &request) {
+                Some(window) => {
+                    let json = serde_json::to_string_pretty(&window).map_err(|e| e.to_string())?;
+                    println!("{json}");
+                    Ok(())
+                }
+                None => Err("no suitable window".to_owned()),
+            }
+        }
+    }
+}
+
+fn cmd_gantt(args: &Args) -> Result<(), String> {
+    let env = load_env(args)?;
+    let width: usize = args.parsed("--width", 80)?;
+    let window = match args.flag("--algorithm") {
+        Some(name) => {
+            let request = request_from_args(args)?;
+            make_algorithm(name)?.select(&env.platform, &env.slots, &request)
+        }
+        None => None,
+    };
+    let end = env
+        .slots
+        .iter()
+        .map(|s| s.end())
+        .max()
+        .ok_or("environment has no slots")?;
+    let start = env
+        .slots
+        .iter()
+        .map(|s| s.start())
+        .min()
+        .expect("non-empty checked above")
+        .earliest(TimePoint::ZERO);
+    print!(
+        "{}",
+        render_gantt(
+            &env.platform,
+            &env.slots,
+            window.as_ref(),
+            slotsel::core::Interval::new(start, end),
+            width.max(1),
+            true,
+        )
+    );
+    Ok(())
+}
+
+const USAGE: &str = "\
+usage: slotsel <command> [flags]
+
+commands:
+  generate  --nodes N --interval L --seed S [--non-linux F] [--out FILE]
+  info      --env FILE
+  select    --env FILE --algorithm NAME [--n N --volume V --budget B --span T --deadline D]
+  csa       --env FILE [--criterion NAME] [--max N] [request flags]
+  batch     --env FILE --jobs FILE [--objective NAME] [--vo-budget B]
+  gantt     --env FILE [--width W] [--algorithm NAME + request flags]
+  validate  --env FILE [request flags] [--window FILE | --algorithm NAME]
+";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = raw.first().cloned() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = Args { raw };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&args),
+        "info" => cmd_info(&args),
+        "select" => cmd_select(&args),
+        "csa" => cmd_csa(&args),
+        "batch" => cmd_batch(&args),
+        "gantt" => cmd_gantt(&args),
+        "validate" => cmd_select_and_validate(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # slotsel
+//!
+//! Slot selection and co-allocation for parallel jobs on non-dedicated,
+//! heterogeneous distributed resources — a full reproduction of
+//!
+//! > V. Toporkov, A. Toporkova, A. Tselishchev, D. Yemelyanov.
+//! > *Slot Selection Algorithms in Distributed Computing with Non-dedicated
+//! > and Heterogeneous Resources.* PaCT 2013, LNCS 7979, pp. 120–134.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! - [`core`] — the slot/window model and the AEP algorithms (AMP,
+//!   MinFinish, MinCost, MinRunTime, MinProcTime) plus the CSA
+//!   multi-alternative scheme;
+//! - [`env`](mod@crate::env) — the §3.1 environment generator (heterogeneous nodes, market
+//!   pricing, hyper-geometric non-dedicated load);
+//! - [`baselines`] — first fit, backfilling, exhaustive search and exact
+//!   branch-and-bound references;
+//! - [`batch`] — the two-phase VO batch scheduling scheme;
+//! - [`sim`] — the experiment harness regenerating the paper's Figures 2–6
+//!   and Tables 1–2.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use slotsel::core::{Criterion, MinCost, SlotSelector, WindowCriterion};
+//! use slotsel::env::EnvironmentConfig;
+//! use slotsel::core::{Money, ResourceRequest, Volume};
+//!
+//! # fn main() -> Result<(), slotsel::core::RequestError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let env = EnvironmentConfig::paper_default().generate(&mut rng);
+//! let request = ResourceRequest::builder()
+//!     .node_count(5)
+//!     .volume(Volume::new(300))
+//!     .budget(Money::from_units(1500))
+//!     .build()?;
+//! let window = MinCost.select(env.platform(), env.slots(), &request).unwrap();
+//! println!("cheapest window: {:.1} credits", Criterion::MinTotalCost.score(&window));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
+//! the table/figure regeneration harness.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use slotsel_baselines as baselines;
+pub use slotsel_batch as batch;
+pub use slotsel_core as core;
+pub use slotsel_env as env;
+pub use slotsel_sim as sim;

@@ -1,0 +1,217 @@
+//! Cross-crate tests of the two-phase batch scheduling cycle on generated
+//! environments.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use slotsel::batch::{windows_conflict, BatchObjective, BatchScheduler, BatchSchedulerConfig};
+use slotsel::core::{Job, JobId, Money, RequestError, ResourceRequest, Volume, Window};
+use slotsel::env::{Environment, EnvironmentConfig, NodeGenConfig};
+
+fn env(seed: u64, nodes: usize) -> Environment {
+    let config = EnvironmentConfig {
+        nodes: NodeGenConfig::with_count(nodes),
+        ..EnvironmentConfig::paper_default()
+    };
+    config.generate(&mut StdRng::seed_from_u64(seed))
+}
+
+fn batch(sizes: &[(u32, usize, u64, i64)]) -> Result<Vec<Job>, RequestError> {
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &(priority, n, volume, budget))| {
+            Ok(Job::new(
+                JobId(i as u32),
+                priority,
+                ResourceRequest::builder()
+                    .node_count(n)
+                    .volume(Volume::new(volume))
+                    .budget(Money::from_units(budget))
+                    .build()?,
+            ))
+        })
+        .collect()
+}
+
+fn standard_batch() -> Vec<Job> {
+    batch(&[
+        (9, 5, 300, 1_500),
+        (7, 3, 200, 700),
+        (5, 4, 150, 700),
+        (4, 2, 250, 550),
+        (2, 6, 100, 800),
+        (1, 3, 300, 950),
+    ])
+    .expect("valid batch")
+}
+
+#[test]
+fn committed_windows_never_conflict() {
+    for seed in 0..15 {
+        let env = env(seed, 60);
+        let schedule =
+            BatchScheduler::default().schedule(env.platform(), env.slots(), &standard_batch());
+        let windows: Vec<&Window> = schedule
+            .assignments
+            .iter()
+            .filter_map(|a| a.window.as_ref())
+            .collect();
+        for i in 0..windows.len() {
+            for j in (i + 1)..windows.len() {
+                assert!(
+                    !windows_conflict(windows[i], windows[j]),
+                    "seed {seed}: {i} vs {j}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_committed_window_respects_its_job_budget() {
+    for seed in 20..30 {
+        let env = env(seed, 60);
+        let schedule =
+            BatchScheduler::default().schedule(env.platform(), env.slots(), &standard_batch());
+        for assignment in &schedule.assignments {
+            if let Some(w) = &assignment.window {
+                assert!(
+                    w.total_cost() <= assignment.job.request().budget(),
+                    "seed {seed}, {}",
+                    assignment.job.id()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn assignments_come_back_in_priority_order() {
+    let env = env(3, 60);
+    let schedule =
+        BatchScheduler::default().schedule(env.platform(), env.slots(), &standard_batch());
+    let priorities: Vec<u32> = schedule
+        .assignments
+        .iter()
+        .map(|a| a.job.priority())
+        .collect();
+    let mut sorted = priorities.clone();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    assert_eq!(priorities, sorted);
+}
+
+#[test]
+fn ample_capacity_schedules_everything() {
+    for seed in 40..45 {
+        let env = env(seed, 100);
+        let schedule =
+            BatchScheduler::default().schedule(env.platform(), env.slots(), &standard_batch());
+        assert_eq!(
+            schedule.deferred(),
+            0,
+            "seed {seed}: 100 nodes should host the whole batch"
+        );
+    }
+}
+
+#[test]
+fn cost_objective_is_cheaper_than_time_objective() {
+    let mut cheaper_or_equal = 0;
+    let runs = 10;
+    for seed in 50..50 + runs {
+        let env = env(seed, 80);
+        let jobs = standard_batch();
+        let by_cost = BatchScheduler::new(BatchSchedulerConfig {
+            objective: BatchObjective::MinTotalCost,
+            ..Default::default()
+        })
+        .schedule(env.platform(), env.slots(), &jobs);
+        let by_finish = BatchScheduler::new(BatchSchedulerConfig {
+            objective: BatchObjective::MinSumFinish,
+            ..Default::default()
+        })
+        .schedule(env.platform(), env.slots(), &jobs);
+        // Comparable only when both schedule the same number of jobs.
+        if by_cost.scheduled() == by_finish.scheduled()
+            && by_cost.total_cost() <= by_finish.total_cost()
+        {
+            cheaper_or_equal += 1;
+        }
+    }
+    assert!(
+        cheaper_or_equal >= runs * 7 / 10,
+        "cost objective cheaper in only {cheaper_or_equal}/{runs} runs"
+    );
+}
+
+#[test]
+fn vo_budget_caps_total_spend() {
+    for seed in 70..80 {
+        let env = env(seed, 80);
+        let budget = 2_000.0;
+        let schedule = BatchScheduler::new(BatchSchedulerConfig {
+            vo_budget: Some(budget),
+            ..Default::default()
+        })
+        .schedule(env.platform(), env.slots(), &standard_batch());
+        assert!(
+            schedule.total_cost() <= Money::from_f64(budget),
+            "seed {seed}: spent {}",
+            schedule.total_cost()
+        );
+        assert!(
+            schedule.scheduled() >= 1,
+            "seed {seed}: budget 2000 fits at least one job"
+        );
+    }
+}
+
+#[test]
+fn impossible_jobs_are_deferred_not_dropped_silently() {
+    let env = env(5, 20);
+    let jobs = batch(&[
+        (9, 5, 300, 1_500),
+        // 50 parallel tasks cannot exist on 20 nodes.
+        (8, 50, 100, 10_000),
+    ])
+    .expect("valid batch");
+    let schedule = BatchScheduler::default().schedule(env.platform(), env.slots(), &jobs);
+    assert_eq!(schedule.assignments.len(), 2);
+    let impossible = schedule
+        .assignments
+        .iter()
+        .find(|a| a.job.request().node_count() == 50)
+        .expect("assignment present");
+    assert!(impossible.window.is_none());
+    assert_eq!(impossible.alternatives_found, 0);
+    assert_eq!(schedule.scheduled(), 1);
+}
+
+#[test]
+fn committed_schedules_are_executable() {
+    // Independent physical audit: per-node exclusivity and containment in
+    // free time, regardless of what the scheduler's own conflict check
+    // believes.
+    for seed in 100..115 {
+        let env = env(seed, 60);
+        let schedule =
+            BatchScheduler::default().schedule(env.platform(), env.slots(), &standard_batch());
+        let windows: Vec<&Window> = schedule
+            .assignments
+            .iter()
+            .filter_map(|a| a.window.as_ref())
+            .collect();
+        slotsel::sim::execution::verify(&env, &windows)
+            .unwrap_or_else(|err| panic!("seed {seed}: {err}"));
+    }
+}
+
+#[test]
+fn empty_batch_yields_empty_schedule() {
+    let env = env(1, 30);
+    let schedule = BatchScheduler::default().schedule(env.platform(), env.slots(), &[]);
+    assert!(schedule.assignments.is_empty());
+    assert_eq!(schedule.scheduled(), 0);
+    assert_eq!(schedule.total_cost(), Money::ZERO);
+}

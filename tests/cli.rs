@@ -1,0 +1,267 @@
+//! End-to-end tests of the `slotsel` CLI binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn slotsel(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_slotsel"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("slotsel-cli-test-{}-{name}", std::process::id()));
+    path
+}
+
+fn generate_env(nodes: &str, seed: &str) -> PathBuf {
+    let path = temp_path(&format!("env-{nodes}-{seed}.json"));
+    let out = slotsel(&[
+        "generate",
+        "--nodes",
+        nodes,
+        "--interval",
+        "600",
+        "--seed",
+        seed,
+        "--out",
+        path.to_str().expect("utf-8 path"),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    path
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = slotsel(&[]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("usage:"));
+}
+
+#[test]
+fn help_succeeds() {
+    let out = slotsel(&["help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("generate"));
+    assert!(stdout(&out).contains("gantt"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = slotsel(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn generate_info_roundtrip() {
+    let env = generate_env("25", "9");
+    let out = slotsel(&["info", "--env", env.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("nodes: 25"), "{text}");
+    assert!(text.contains("performance range: [2, 10]"), "{text}");
+    let _ = std::fs::remove_file(env);
+}
+
+#[test]
+fn select_reports_a_window_for_every_algorithm() {
+    let env = generate_env("30", "11");
+    for algorithm in [
+        "amp",
+        "minfinish",
+        "mincost",
+        "minruntime",
+        "minproctime",
+        "minproc-additive",
+        "minenergy",
+        "firstfit",
+        "backfill",
+    ] {
+        let out = slotsel(&[
+            "select",
+            "--env",
+            env.to_str().unwrap(),
+            "--algorithm",
+            algorithm,
+            "--n",
+            "3",
+            "--volume",
+            "300",
+            "--budget",
+            "5000",
+        ]);
+        assert!(out.status.success(), "{algorithm}: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(
+            text.contains("start") && text.contains("cost"),
+            "{algorithm} produced {text}"
+        );
+    }
+    let _ = std::fs::remove_file(env);
+}
+
+#[test]
+fn select_rejects_unknown_algorithm() {
+    let env = generate_env("10", "1");
+    let out = slotsel(&[
+        "select",
+        "--env",
+        env.to_str().unwrap(),
+        "--algorithm",
+        "magic",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown algorithm"));
+    let _ = std::fs::remove_file(env);
+}
+
+#[test]
+fn csa_lists_per_criterion_extremes() {
+    let env = generate_env("30", "4");
+    let out = slotsel(&[
+        "csa",
+        "--env",
+        env.to_str().unwrap(),
+        "--n",
+        "3",
+        "--budget",
+        "5000",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("alternatives found"), "{text}");
+    for criterion in ["start", "finish", "cost", "runtime", "proctime"] {
+        assert!(
+            text.contains(&format!("best {criterion:>8}")),
+            "{criterion} missing\n{text}"
+        );
+    }
+    let _ = std::fs::remove_file(env);
+}
+
+#[test]
+fn batch_schedules_a_job_file() {
+    let env = generate_env("30", "6");
+    let jobs = temp_path("jobs.json");
+    std::fs::write(
+        &jobs,
+        r#"[
+            {"id": 0, "priority": 5, "node_count": 3, "volume": 300, "budget": 2000.0},
+            {"id": 1, "priority": 2, "node_count": 2, "volume": 200, "budget": 900.0}
+        ]"#,
+    )
+    .unwrap();
+    let out = slotsel(&[
+        "batch",
+        "--env",
+        env.to_str().unwrap(),
+        "--jobs",
+        jobs.to_str().unwrap(),
+        "--objective",
+        "min-sum-finish",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("scheduled 2/2"), "{text}");
+    let _ = std::fs::remove_file(env);
+    let _ = std::fs::remove_file(jobs);
+}
+
+#[test]
+fn batch_rejects_unknown_objective() {
+    let env = generate_env("10", "2");
+    let jobs = temp_path("jobs2.json");
+    std::fs::write(&jobs, "[]").unwrap();
+    let out = slotsel(&[
+        "batch",
+        "--env",
+        env.to_str().unwrap(),
+        "--jobs",
+        jobs.to_str().unwrap(),
+        "--objective",
+        "max-chaos",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown objective"));
+    let _ = std::fs::remove_file(env);
+    let _ = std::fs::remove_file(jobs);
+}
+
+#[test]
+fn gantt_renders_bars() {
+    let env = generate_env("12", "3");
+    let out = slotsel(&["gantt", "--env", env.to_str().unwrap(), "--width", "40"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert_eq!(text.lines().count(), 12);
+    assert!(text.contains('#') || text.contains('.'), "{text}");
+    let _ = std::fs::remove_file(env);
+}
+
+#[test]
+fn validate_roundtrip_and_rejection() {
+    let env = generate_env("25", "8");
+    let window = temp_path("window.json");
+    // Select a window as JSON…
+    let out = slotsel(&[
+        "validate",
+        "--env",
+        env.to_str().unwrap(),
+        "--algorithm",
+        "mincost",
+        "--n",
+        "3",
+        "--budget",
+        "5000",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    std::fs::write(&window, stdout(&out)).unwrap();
+    // …validate it against the same request…
+    let out = slotsel(&[
+        "validate",
+        "--env",
+        env.to_str().unwrap(),
+        "--n",
+        "3",
+        "--budget",
+        "5000",
+        "--window",
+        window.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("valid"));
+    // …and watch it fail against a tighter budget.
+    let out = slotsel(&[
+        "validate",
+        "--env",
+        env.to_str().unwrap(),
+        "--n",
+        "3",
+        "--budget",
+        "1",
+        "--window",
+        window.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("budget"));
+    let _ = std::fs::remove_file(env);
+    let _ = std::fs::remove_file(window);
+}
+
+#[test]
+fn missing_env_file_is_a_clean_error() {
+    let out = slotsel(&["info", "--env", "/nonexistent/slotsel.json"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("error:"));
+}

@@ -1,0 +1,174 @@
+//! CSA invariants on generated environments, and the relation between the
+//! single-run AEP algorithms and CSA's selection-phase extremes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use slotsel::core::{
+    best_by, Amp, Criterion, Csa, CutPolicy, MinCost, MinFinish, MinRunTime, Money,
+    ResourceRequest, SlotSelector, TimeDelta, Volume, WindowCriterion,
+};
+use slotsel::env::{Environment, EnvironmentConfig};
+
+fn paper_env(seed: u64) -> Environment {
+    EnvironmentConfig::paper_default().generate(&mut StdRng::seed_from_u64(seed))
+}
+
+fn paper_request() -> ResourceRequest {
+    ResourceRequest::builder()
+        .node_count(5)
+        .volume(Volume::new(300))
+        .budget(Money::from_units(1500))
+        .reference_span(TimeDelta::new(150))
+        .build()
+        .expect("valid request")
+}
+
+#[test]
+fn alternatives_are_pairwise_disjoint_and_budget_feasible() {
+    let request = paper_request();
+    for seed in 0..10 {
+        let env = paper_env(seed);
+        for policy in [
+            CutPolicy::WindowRuntime,
+            CutPolicy::TaskLength,
+            CutPolicy::ReservationSpan,
+        ] {
+            let alternatives = Csa::new().cut_policy(policy).find_alternatives(
+                env.platform(),
+                env.slots(),
+                &request,
+            );
+            assert!(!alternatives.is_empty(), "seed {seed}, {policy:?}");
+            for (i, a) in alternatives.iter().enumerate() {
+                assert!(a.total_cost() <= request.budget());
+                for b in &alternatives[i + 1..] {
+                    assert!(
+                        a.is_slot_disjoint(b),
+                        "seed {seed}, {policy:?}: shared slot"
+                    );
+                }
+            }
+            for pair in alternatives.windows(2) {
+                assert!(
+                    pair[0].start() <= pair[1].start(),
+                    "starts must be non-decreasing"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cut_policies_order_the_alternative_counts() {
+    // Holding slots longer can only reduce how many alternatives fit:
+    // TaskLength >= WindowRuntime >= ReservationSpan (span 150 >= runtime).
+    let request = paper_request();
+    for seed in 20..30 {
+        let env = paper_env(seed);
+        let count = |policy: CutPolicy| {
+            Csa::new()
+                .cut_policy(policy)
+                .find_alternatives(env.platform(), env.slots(), &request)
+                .len()
+        };
+        let task = count(CutPolicy::TaskLength);
+        let runtime = count(CutPolicy::WindowRuntime);
+        let span = count(CutPolicy::ReservationSpan);
+        assert!(task >= runtime, "seed {seed}: {task} < {runtime}");
+        assert!(runtime >= span, "seed {seed}: {runtime} < {span}");
+    }
+}
+
+#[test]
+fn csa_alternative_count_matches_paper_scale() {
+    // Paper §3.2: on average 57 alternatives at 100 nodes / interval 600.
+    let request = paper_request();
+    let runs = 40u64;
+    let total: usize = (0..runs)
+        .map(|seed| {
+            let env = paper_env(1_000 + seed);
+            Csa::new()
+                .cut_policy(CutPolicy::ReservationSpan)
+                .find_alternatives(env.platform(), env.slots(), &request)
+                .len()
+        })
+        .sum();
+    let mean = total as f64 / runs as f64;
+    assert!(
+        (40.0..=75.0).contains(&mean),
+        "mean alternatives {mean} far from the paper's 57"
+    );
+}
+
+#[test]
+fn single_aep_runs_are_at_least_as_good_as_csa_extremes() {
+    // The AEP algorithms optimise over *all* windows; CSA's extreme is over
+    // its disjoint alternatives only, so AEP must win or tie per criterion.
+    let request = paper_request();
+    for seed in 40..55 {
+        let env = paper_env(seed);
+        let (platform, slots) = (env.platform(), env.slots());
+        let alternatives = Csa::new()
+            .cut_policy(CutPolicy::ReservationSpan)
+            .find_alternatives(platform, slots, &request);
+
+        let amp = Amp.select(platform, slots, &request).expect("window");
+        let csa_start = best_by(&Criterion::EarliestStart, &alternatives).expect("alternatives");
+        assert!(amp.start() <= csa_start.start(), "seed {seed}");
+        // CSA's first alternative *is* an AMP window on the full list.
+        assert_eq!(amp.start(), alternatives[0].start(), "seed {seed}");
+
+        let cost = MinCost.select(platform, slots, &request).expect("window");
+        let csa_cost = best_by(&Criterion::MinTotalCost, &alternatives).expect("alternatives");
+        assert!(cost.total_cost() <= csa_cost.total_cost(), "seed {seed}");
+
+        let finish = MinFinish::new()
+            .select(platform, slots, &request)
+            .expect("window");
+        let csa_finish = best_by(&Criterion::EarliestFinish, &alternatives).expect("alternatives");
+        assert!(finish.finish() <= csa_finish.finish(), "seed {seed}");
+
+        let runtime = MinRunTime::new()
+            .select(platform, slots, &request)
+            .expect("window");
+        let csa_runtime = best_by(&Criterion::MinRuntime, &alternatives).expect("alternatives");
+        // MinRunTime's inner greedy is not exact, but its full-scan result
+        // still should not lose to a first-fit-built alternative set by a
+        // meaningful margin; allow equality of scores with a small slack of
+        // zero (strict dominance holds because both pick from the same
+        // anchors and the greedy dominates cheapest-n at each anchor, which
+        // is what AMP/CSA alternatives are built from).
+        assert!(runtime.runtime() <= csa_runtime.runtime(), "seed {seed}");
+    }
+}
+
+#[test]
+fn max_alternatives_prefix_matches_unlimited_search() {
+    let request = paper_request();
+    let env = paper_env(99);
+    let unlimited = Csa::new().find_alternatives(env.platform(), env.slots(), &request);
+    let capped =
+        Csa::new()
+            .max_alternatives(5)
+            .find_alternatives(env.platform(), env.slots(), &request);
+    assert_eq!(capped.len(), 5.min(unlimited.len()));
+    assert_eq!(&unlimited[..capped.len()], &capped[..]);
+}
+
+#[test]
+fn selection_phase_extremes_dominate_every_alternative() {
+    let request = paper_request();
+    let env = paper_env(7);
+    let alternatives = Csa::new().find_alternatives(env.platform(), env.slots(), &request);
+    assert!(alternatives.len() > 10);
+    for criterion in Criterion::ALL {
+        let best = best_by(&criterion, &alternatives).expect("non-empty");
+        for alternative in &alternatives {
+            assert!(
+                criterion.score(best) <= criterion.score(alternative),
+                "{criterion} extreme beaten"
+            );
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Reproducibility: every experiment is a pure function of its seed.
+
+use slotsel::sim::config::QualityConfig;
+use slotsel::sim::{quality, scaling};
+
+#[test]
+fn quality_experiment_is_bit_reproducible() {
+    let config = QualityConfig::quick(40);
+    let a = quality::run(&config);
+    let b = quality::run(&config);
+    let ja = serde_json::to_string(&a).expect("results serialize");
+    let jb = serde_json::to_string(&b).expect("results serialize");
+    assert_eq!(ja, jb, "identical configs must produce identical raw results");
+}
+
+#[test]
+fn different_seeds_produce_different_results() {
+    let a = quality::run(&QualityConfig::quick(20));
+    let mut other = QualityConfig::quick(20);
+    other.seed ^= 0xDEAD_BEEF;
+    let b = quality::run(&other);
+    assert_ne!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "changing the seed must change the sampled environments"
+    );
+}
+
+#[test]
+fn scaling_sweep_metrics_are_reproducible() {
+    // Wall-clock timings vary run to run; the *measured system quantities*
+    // (slot counts, alternative counts) must not.
+    let config = scaling::ScalingConfig::quick(5);
+    let a = scaling::sweep_nodes(&config, &[30, 60]);
+    let b = scaling::sweep_nodes(&config, &[30, 60]);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.parameter, y.parameter);
+        assert_eq!(x.slots.mean(), y.slots.mean());
+        assert_eq!(x.csa_alternatives.mean(), y.csa_alternatives.mean());
+    }
+}
+
+#[test]
+fn environment_serde_roundtrip_preserves_everything() {
+    use rand::SeedableRng;
+    use slotsel::env::{DomainConfig, EnvironmentConfig, NodeGenConfig};
+    let config = EnvironmentConfig {
+        nodes: NodeGenConfig {
+            domains: Some(DomainConfig {
+                count: 3,
+                price_spread: 0.5,
+            }),
+            ..NodeGenConfig::with_count(20)
+        },
+        ..EnvironmentConfig::paper_default()
+    };
+    let env = config.generate(&mut rand::rngs::StdRng::seed_from_u64(3));
+    let platform_json = serde_json::to_string(env.platform()).unwrap();
+    let slots_json = serde_json::to_string(env.slots()).unwrap();
+    let platform_back: slotsel::core::Platform = serde_json::from_str(&platform_json).unwrap();
+    let slots_back: slotsel::core::SlotList = serde_json::from_str(&slots_json).unwrap();
+    assert_eq!(env.platform(), &platform_back);
+    assert_eq!(env.slots(), &slots_back);
+    assert!(platform_back.iter().all(|n| n.domain().is_some()));
+}

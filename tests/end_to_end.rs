@@ -1,0 +1,280 @@
+//! End-to-end invariants: every algorithm, on generated environments,
+//! returns windows that are physically and economically valid, and the
+//! criterion-specific algorithms dominate the others on their own metric.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use slotsel::baselines::{Backfill, FirstFit};
+use slotsel::core::{
+    Amp, MinCost, MinFinish, MinProcTime, MinRunTime, Money, ResourceRequest, SlotSelector, Volume,
+    Window,
+};
+use slotsel::env::{Environment, EnvironmentConfig};
+
+fn paper_env(seed: u64) -> Environment {
+    EnvironmentConfig::paper_default().generate(&mut StdRng::seed_from_u64(seed))
+}
+
+fn paper_request() -> ResourceRequest {
+    ResourceRequest::builder()
+        .node_count(5)
+        .volume(Volume::new(300))
+        .budget(Money::from_units(1500))
+        .build()
+        .expect("valid request")
+}
+
+/// A window is valid when its slots sit on distinct admissible nodes, fit
+/// inside the advertised free spans, and have lengths/costs consistent with
+/// the node attributes.
+fn assert_window_valid(
+    env: &Environment,
+    request: &ResourceRequest,
+    window: &Window,
+    check_budget: bool,
+) {
+    assert_eq!(window.size(), request.node_count());
+    let mut nodes: Vec<_> = window.slots().iter().map(|ws| ws.node()).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    assert_eq!(nodes.len(), request.node_count(), "distinct nodes");
+
+    for ws in window.slots() {
+        let slot = env
+            .slots()
+            .get(ws.slot())
+            .unwrap_or_else(|| panic!("window references unknown slot {}", ws.slot()));
+        assert_eq!(slot.node(), ws.node());
+        // The task occupies [start, start + length) inside the free span.
+        assert!(
+            slot.start() <= window.start(),
+            "slot started before the window"
+        );
+        assert!(
+            window.start() + ws.length() <= slot.end(),
+            "task exceeds the free span"
+        );
+        // Length and cost consistent with node performance and price.
+        let node = env.platform().node(ws.node());
+        assert_eq!(ws.length(), request.volume().time_on(node.performance()));
+        assert_eq!(ws.cost(), node.price_per_unit() * ws.length().ticks());
+    }
+    if check_budget {
+        assert!(window.total_cost() <= request.budget(), "budget violated");
+    }
+}
+
+#[test]
+fn all_algorithms_produce_valid_windows_over_many_seeds() {
+    let request = paper_request();
+    for seed in 0..25 {
+        let env = paper_env(seed);
+        let (platform, slots) = (env.platform(), env.slots());
+        let cases: Vec<(&str, Option<Window>, bool)> = vec![
+            ("AMP", Amp.select(platform, slots, &request), true),
+            (
+                "MinFinish",
+                MinFinish::new().select(platform, slots, &request),
+                true,
+            ),
+            ("MinCost", MinCost.select(platform, slots, &request), true),
+            (
+                "MinRunTime",
+                MinRunTime::new().select(platform, slots, &request),
+                true,
+            ),
+            (
+                "MinProcTime",
+                MinProcTime::with_seed(seed).select(platform, slots, &request),
+                true,
+            ),
+            ("FirstFit", FirstFit.select(platform, slots, &request), true),
+            (
+                "Backfill",
+                Backfill.select(platform, slots, &request),
+                false,
+            ),
+        ];
+        for (name, window, check_budget) in cases {
+            let window = window.unwrap_or_else(|| {
+                panic!("{name} found no window on the 100-node environment (seed {seed})")
+            });
+            assert_window_valid(&env, &request, &window, check_budget);
+        }
+    }
+}
+
+#[test]
+fn criterion_algorithms_dominate_on_their_own_metric() {
+    let request = paper_request();
+    for seed in 100..120 {
+        let env = paper_env(seed);
+        let (platform, slots) = (env.platform(), env.slots());
+        let amp = Amp.select(platform, slots, &request).expect("window");
+        let finish = MinFinish::new()
+            .select(platform, slots, &request)
+            .expect("window");
+        let cost = MinCost.select(platform, slots, &request).expect("window");
+        let runtime = MinRunTime::new()
+            .select(platform, slots, &request)
+            .expect("window");
+
+        for other in [&amp, &finish, &cost] {
+            assert!(
+                runtime.runtime() <= other.runtime(),
+                "seed {seed}: MinRunTime beaten"
+            );
+        }
+        for other in [&amp, &runtime, &cost] {
+            assert!(
+                finish.finish() <= other.finish(),
+                "seed {seed}: MinFinish beaten"
+            );
+        }
+        for other in [&amp, &finish, &runtime] {
+            assert!(
+                cost.total_cost() <= other.total_cost(),
+                "seed {seed}: MinCost beaten"
+            );
+        }
+        for other in [&finish, &cost, &runtime] {
+            assert!(
+                amp.start() <= other.start(),
+                "seed {seed}: AMP beaten on start"
+            );
+        }
+    }
+}
+
+#[test]
+fn backfill_starts_no_later_than_budgeted_algorithms() {
+    let request = paper_request();
+    for seed in 200..215 {
+        let env = paper_env(seed);
+        let bf = Backfill
+            .select(env.platform(), env.slots(), &request)
+            .expect("window");
+        let amp = Amp
+            .select(env.platform(), env.slots(), &request)
+            .expect("window");
+        assert!(bf.start() <= amp.start(), "seed {seed}");
+    }
+}
+
+#[test]
+fn amp_starts_no_later_than_first_fit() {
+    let request = paper_request();
+    for seed in 300..315 {
+        let env = paper_env(seed);
+        let amp = Amp
+            .select(env.platform(), env.slots(), &request)
+            .expect("window");
+        if let Some(ff) = FirstFit.select(env.platform(), env.slots(), &request) {
+            assert!(amp.start() <= ff.start(), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn tighter_budget_never_improves_the_optimised_criterion() {
+    for seed in 400..410 {
+        let env = paper_env(seed);
+        let (platform, slots) = (env.platform(), env.slots());
+        let mut previous_cost: Option<Money> = None;
+        for budget in [600, 900, 1200, 1500, 3000] {
+            let request = ResourceRequest::builder()
+                .node_count(5)
+                .volume(Volume::new(300))
+                .budget(Money::from_units(budget))
+                .build()
+                .expect("valid");
+            if let Some(w) = MinCost.select(platform, slots, &request) {
+                if let Some(previous) = previous_cost {
+                    assert!(
+                        w.total_cost() <= previous,
+                        "seed {seed}: larger budget produced a pricier optimum"
+                    );
+                }
+                previous_cost = Some(w.total_cost());
+            } else {
+                assert!(
+                    previous_cost.is_none(),
+                    "seed {seed}: feasibility lost as budget grew"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn domain_restriction_keeps_windows_inside_one_site() {
+    use slotsel::core::NodeRequirements;
+    use slotsel::env::{DomainConfig, NodeGenConfig};
+    let config = EnvironmentConfig {
+        nodes: NodeGenConfig {
+            domains: Some(DomainConfig {
+                count: 4,
+                price_spread: 0.6,
+            }),
+            ..NodeGenConfig::with_count(100)
+        },
+        ..EnvironmentConfig::paper_default()
+    };
+    for seed in 0..10 {
+        let env = config.generate(&mut StdRng::seed_from_u64(seed));
+        let request = ResourceRequest::builder()
+            .node_count(5)
+            .volume(Volume::new(300))
+            .budget(Money::from_units(3_000))
+            .requirements(NodeRequirements::any().allowed_domains([1]))
+            .build()
+            .expect("valid request");
+        let window = MinCost
+            .select(env.platform(), env.slots(), &request)
+            .expect("domain 1 has ~25 nodes, plenty for 5 slots");
+        for ws in window.slots() {
+            assert_eq!(
+                env.platform().node(ws.node()).domain(),
+                Some(1),
+                "seed {seed}: task escaped the allowed domain"
+            );
+        }
+        // Cheaper domains exist: restricting to the priciest site must not
+        // be cheaper than the unrestricted optimum.
+        let unrestricted = ResourceRequest::builder()
+            .node_count(5)
+            .volume(Volume::new(300))
+            .budget(Money::from_units(3_000))
+            .build()
+            .expect("valid request");
+        let free = MinCost
+            .select(env.platform(), env.slots(), &unrestricted)
+            .expect("window");
+        assert!(free.total_cost() <= window.total_cost(), "seed {seed}");
+    }
+}
+
+#[test]
+fn infeasible_volume_returns_none_everywhere() {
+    let env = paper_env(1);
+    // Far more work than the interval can possibly host.
+    let request = ResourceRequest::builder()
+        .node_count(5)
+        .volume(Volume::new(100_000))
+        .budget(Money::from_units(1_000_000))
+        .build()
+        .expect("valid");
+    let (platform, slots) = (env.platform(), env.slots());
+    assert!(Amp.select(platform, slots, &request).is_none());
+    assert!(MinFinish::new().select(platform, slots, &request).is_none());
+    assert!(MinCost.select(platform, slots, &request).is_none());
+    assert!(MinRunTime::new()
+        .select(platform, slots, &request)
+        .is_none());
+    assert!(MinProcTime::with_seed(1)
+        .select(platform, slots, &request)
+        .is_none());
+    assert!(FirstFit.select(platform, slots, &request).is_none());
+    assert!(Backfill.select(platform, slots, &request).is_none());
+}

@@ -1,0 +1,96 @@
+//! Regression guard for the reproduced paper shapes: a moderate-size
+//! quality experiment must keep showing the orderings and ratios the paper
+//! reports (Figures 2–4, §3.2–3.3). If a refactor breaks the calibration
+//! or an algorithm's optimality, this fails before EXPERIMENTS.md goes
+//! stale.
+
+use slotsel::core::Criterion;
+use slotsel::sim::config::QualityConfig;
+use slotsel::sim::quality::{self, QualityResults};
+
+fn results() -> QualityResults {
+    // 400 cycles keeps the test a few seconds while leaving the means well
+    // inside the bands asserted below (full-scale numbers in EXPERIMENTS.md).
+    quality::run(&QualityConfig::quick(400))
+}
+
+#[test]
+fn paper_shapes_hold() {
+    let r = results();
+    let acc = |name: &str| r.algorithm(name).unwrap_or_else(|| panic!("{name} missing"));
+
+    // Fig. 2(a): AMP and MinFinish start at the interval head; MinCost
+    // mid-interval; MinProcTime near the end.
+    assert!(acc("AMP").start.mean() < 1.0);
+    assert!(acc("MinFinish").start.mean() < 1.0);
+    assert!(acc("MinCost").start.mean() > 80.0);
+    assert!(acc("MinProcTime").start.mean() > 250.0);
+
+    // Fig. 2(b): MinRunTime wins runtime; MinFinish within ~10%; AMP and
+    // MinCost the long tail.
+    let min_runtime = acc("MinRunTime").runtime.mean();
+    assert!(acc("MinFinish").runtime.mean() <= min_runtime * 1.10);
+    assert!(acc("AMP").runtime.mean() > min_runtime * 2.0);
+    assert!(acc("MinCost").runtime.mean() > min_runtime * 3.0);
+
+    // Fig. 3(a): MinFinish wins finish; MinCost finishes very late.
+    let min_finish = acc("MinFinish").finish.mean();
+    for name in ["AMP", "MinCost", "MinRunTime", "MinProcTime"] {
+        assert!(acc(name).finish.mean() >= min_finish, "{name}");
+    }
+    assert!(acc("MinCost").finish.mean() > 5.0 * min_finish);
+
+    // Fig. 3(b): MinRunTime wins processor time; AMP and MinCost consume
+    // the most.
+    let min_proc = acc("MinRunTime").proc_time.mean();
+    assert!(acc("AMP").proc_time.mean() > 1.5 * min_proc);
+    assert!(acc("MinCost").proc_time.mean() > 2.5 * min_proc);
+
+    // Fig. 4: MinCost saves 20-45% against the time-optimisers, which
+    // spend nearly the whole 1500 budget.
+    let cheap = acc("MinCost").cost.mean();
+    let dear = acc("MinRunTime").cost.mean();
+    assert!(dear > 1_400.0 && dear <= 1_500.0, "dear = {dear}");
+    assert!(cheap < 0.8 * dear, "cheap = {cheap} vs dear = {dear}");
+
+    // §3.2: ~57 CSA alternatives at the base configuration.
+    let alternatives = r.csa_alternatives.mean();
+    assert!(
+        (40.0..=75.0).contains(&alternatives),
+        "CSA alternatives {alternatives} left the paper band"
+    );
+
+    // CSA extremes sit between the single-run optimum and AMP.
+    let csa_cost = r.csa(Criterion::MinTotalCost).unwrap().cost.mean();
+    assert!(cheap <= csa_cost && csa_cost <= acc("AMP").cost.mean() + 1.0);
+    let csa_finish = r.csa(Criterion::EarliestFinish).unwrap().finish.mean();
+    assert!(min_finish <= csa_finish);
+    assert!(
+        csa_finish <= 2.0 * min_finish,
+        "paper: CSA finish ~1.5x MinFinish, got {}",
+        csa_finish / min_finish
+    );
+
+    // No algorithm ever missed on the 100-node environment.
+    for (name, acc) in &r.algorithms {
+        assert_eq!(acc.misses, 0, "{name}");
+    }
+}
+
+#[test]
+fn aep_advantage_over_amp_matches_s33() {
+    // §3.3: single AEP runs beat AMP by a double-digit percentage on their
+    // own criterion.
+    let r = results();
+    let amp = r.algorithm("AMP").expect("AMP present");
+    let advantage = |aep: f64, amp: f64| 100.0 * (amp - aep) / amp;
+    assert!(
+        advantage(r.algorithm("MinCost").unwrap().cost.mean(), amp.cost.mean()) > 10.0
+    );
+    assert!(
+        advantage(r.algorithm("MinFinish").unwrap().finish.mean(), amp.finish.mean()) > 10.0
+    );
+    assert!(
+        advantage(r.algorithm("MinRunTime").unwrap().runtime.mean(), amp.runtime.mean()) > 10.0
+    );
+}

@@ -1,0 +1,230 @@
+//! Stress and adversarial-input tests: large instances stay fast, and
+//! malformed or extreme inputs degrade gracefully instead of corrupting
+//! results.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use slotsel::baselines::FirstFit;
+use slotsel::core::{
+    Amp, Csa, CutPolicy, Interval, MinCost, MinFinish, MinRunTime, Money, NodeId, Performance,
+    Platform, ResourceRequest, Slot, SlotId, SlotList, SlotSelector, TimePoint, Volume,
+};
+use slotsel::env::EnvironmentConfig;
+
+fn request(n: usize, volume: u64, budget: i64) -> ResourceRequest {
+    ResourceRequest::builder()
+        .node_count(n)
+        .volume(Volume::new(volume))
+        .budget(Money::from_units(budget))
+        .build()
+        .expect("valid request")
+}
+
+#[test]
+fn large_environment_within_time_budget() {
+    // 400 nodes, interval 3600: ~8600 slots. Every algorithm must finish
+    // well within a second even in debug builds.
+    let config = EnvironmentConfig {
+        nodes: slotsel::env::NodeGenConfig::with_count(400),
+        interval_length: 3_600,
+        ..EnvironmentConfig::paper_default()
+    };
+    let env = config.generate(&mut StdRng::seed_from_u64(1));
+    assert!(
+        env.slots().len() > 4_000,
+        "expected a large slot list, got {}",
+        env.slots().len()
+    );
+    let req = request(5, 300, 1_500);
+
+    let t = Instant::now();
+    assert!(Amp.select(env.platform(), env.slots(), &req).is_some());
+    assert!(MinFinish::new()
+        .select(env.platform(), env.slots(), &req)
+        .is_some());
+    assert!(MinCost.select(env.platform(), env.slots(), &req).is_some());
+    assert!(MinRunTime::new()
+        .select(env.platform(), env.slots(), &req)
+        .is_some());
+    let elapsed = t.elapsed();
+    assert!(
+        elapsed.as_secs() < 30,
+        "algorithms took {elapsed:?} on the large instance"
+    );
+}
+
+#[test]
+fn csa_terminates_on_large_instances() {
+    let config = EnvironmentConfig {
+        nodes: slotsel::env::NodeGenConfig::with_count(200),
+        ..EnvironmentConfig::paper_default()
+    };
+    let env = config.generate(&mut StdRng::seed_from_u64(2));
+    let req = request(5, 300, 1_500);
+    let alternatives = Csa::new()
+        .cut_policy(CutPolicy::TaskLength) // tightest packing = most iterations
+        .find_alternatives(env.platform(), env.slots(), &req);
+    assert!(alternatives.len() > 50);
+    // Termination with a full consumption bound: every alternative removed
+    // at least n * min-task-length of free time.
+    let consumed_lower_bound = alternatives.len() as i64 * 5 * 30;
+    assert!(env.slots().total_free_time().ticks() >= consumed_lower_bound);
+}
+
+#[test]
+fn overlapping_per_node_slots_never_coallocate_one_node_twice() {
+    // Malformed input: three mutually overlapping slots on the same node.
+    let platform: Platform = (0..3).map(|i| node_spec(i, 4)).collect();
+    let slots = SlotList::from_slots(vec![
+        slot(0, 0, 0, 600, 4),
+        slot(1, 0, 10, 500, 4),
+        slot(2, 0, 20, 400, 4),
+        slot(3, 1, 0, 600, 4),
+        slot(4, 2, 0, 600, 4),
+    ]);
+    let req = request(3, 120, 100_000);
+    for algo in algorithms() {
+        let mut algo = algo;
+        if let Some(w) = algo.select(&platform, &slots, &req) {
+            let mut nodes: Vec<NodeId> = w.slots().iter().map(|s| s.node()).collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            assert_eq!(
+                nodes.len(),
+                req.node_count(),
+                "{} co-allocated a node twice",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_price_slots_are_legal() {
+    let platform: Platform = (0..2).map(|i| node_spec(i, 5)).collect();
+    let slots = SlotList::from_slots(vec![
+        Slot::new(
+            SlotId(0),
+            NodeId(0),
+            iv(0, 600),
+            Performance::new(5),
+            Money::ZERO,
+        ),
+        Slot::new(
+            SlotId(1),
+            NodeId(1),
+            iv(0, 600),
+            Performance::new(5),
+            Money::ZERO,
+        ),
+    ]);
+    let w = MinCost
+        .select(&platform, &slots, &request(2, 100, 1))
+        .expect("free slots fit any budget");
+    assert_eq!(w.total_cost(), Money::ZERO);
+}
+
+#[test]
+fn single_slot_platform_works() {
+    let platform: Platform = vec![node_spec(0, 3)].into_iter().collect();
+    let slots = SlotList::from_slots(vec![slot(0, 0, 100, 200, 3)]);
+    // Task of 300 work on perf 3 needs exactly the 100-long slot.
+    let w = Amp
+        .select(&platform, &slots, &request(1, 300, 100_000))
+        .expect("exact fit");
+    assert_eq!(w.start().ticks(), 100);
+    assert_eq!(w.runtime().ticks(), 100);
+    // One tick more work does not fit.
+    assert!(Amp
+        .select(&platform, &slots, &request(1, 301, 100_000))
+        .is_none());
+}
+
+#[test]
+fn empty_slot_list_returns_none_everywhere() {
+    let platform: Platform = (0..3).map(|i| node_spec(i, 4)).collect();
+    let slots = SlotList::new();
+    let req = request(1, 10, 1_000);
+    for algo in algorithms() {
+        let mut algo = algo;
+        assert!(
+            algo.select(&platform, &slots, &req).is_none(),
+            "{}",
+            algo.name()
+        );
+    }
+    assert!(Csa::new()
+        .find_alternatives(&platform, &slots, &req)
+        .is_empty());
+}
+
+#[test]
+fn huge_budget_does_not_overflow() {
+    let platform: Platform = (0..2).map(|i| node_spec(i, 4)).collect();
+    let slots = SlotList::from_slots(vec![slot(0, 0, 0, 600, 4), slot(1, 1, 0, 600, 4)]);
+    let req = ResourceRequest::builder()
+        .node_count(2)
+        .volume(Volume::new(100))
+        .budget(Money::MAX)
+        .build()
+        .expect("valid");
+    assert!(MinCost.select(&platform, &slots, &req).is_some());
+}
+
+#[test]
+fn deeply_fragmented_node_is_scanned_fully() {
+    // One node with 200 tiny slots, another with one big one. Only the big
+    // slot can host the task; the fragments must not confuse the scan.
+    let platform: Platform = (0..2).map(|i| node_spec(i, 2)).collect();
+    let mut raw = Vec::new();
+    for k in 0..200 {
+        raw.push(slot(k, 0, k as i64 * 3, k as i64 * 3 + 2, 2));
+    }
+    raw.push(slot(999, 1, 0, 600, 2));
+    let slots = SlotList::from_slots(raw);
+    let w = Amp
+        .select(&platform, &slots, &request(1, 100, 100_000))
+        .expect("big slot hosts it");
+    assert_eq!(w.slots()[0].node(), NodeId(1));
+    // Needing both nodes is impossible: node 0 has no 50-long slot.
+    assert!(FirstFit
+        .select(&platform, &slots, &request(2, 100, 100_000))
+        .is_none());
+}
+
+// ---- helpers ----
+
+fn node_spec(id: u32, perf: u32) -> slotsel::core::NodeSpec {
+    slotsel::core::NodeSpec::builder(id)
+        .performance(Performance::new(perf))
+        .price_per_unit(Money::from_units(i64::from(perf)))
+        .build()
+}
+
+fn iv(a: i64, b: i64) -> Interval {
+    Interval::new(TimePoint::new(a), TimePoint::new(b))
+}
+
+fn slot(id: u64, node: u32, start: i64, end: i64, perf: u32) -> Slot {
+    Slot::new(
+        SlotId(id),
+        NodeId(node),
+        iv(start, end),
+        Performance::new(perf),
+        Money::from_units(i64::from(perf)),
+    )
+}
+
+fn algorithms() -> Vec<Box<dyn SlotSelector>> {
+    vec![
+        Box::new(Amp),
+        Box::new(MinFinish::new()),
+        Box::new(MinCost),
+        Box::new(MinRunTime::new()),
+        Box::new(slotsel::core::MinProcTime::with_seed(3)),
+        Box::new(FirstFit),
+    ]
+}
