@@ -169,6 +169,29 @@ impl BatchScheduler {
         &self.config
     }
 
+    /// Re-admits returning jobs (deferred by a previous cycle, or whose
+    /// reservations were lost to a resource disruption) into a pending
+    /// batch.
+    ///
+    /// Each returning job's priority is bumped by `aging` so a job cannot
+    /// starve behind a stream of fresh high-priority work. If a returning
+    /// job's id is already pending, the pending copy is replaced — the
+    /// returning copy carries the newer (aged) priority.
+    pub fn readmit(
+        &self,
+        pending: &mut Vec<Job>,
+        returning: impl IntoIterator<Item = Job>,
+        aging: u32,
+    ) {
+        for job in returning {
+            let aged = Job::new(job.id(), job.priority() + aging, job.request().clone());
+            match pending.iter_mut().find(|p| p.id() == aged.id()) {
+                Some(existing) => *existing = aged,
+                None => pending.push(aged),
+            }
+        }
+    }
+
     /// Runs one scheduling cycle for `jobs` on the given environment.
     ///
     /// Jobs are processed in descending priority (ties broken by id for
@@ -566,6 +589,25 @@ mod tests {
         let tight = scheduler.schedule_min_makespan(&p, &slots, &jobs);
         assert_eq!(tight.scheduled(), plain.scheduled());
         assert!(tight.makespan().unwrap() <= plain.makespan().unwrap());
+    }
+
+    #[test]
+    fn readmit_ages_and_appends() {
+        let scheduler = BatchScheduler::default();
+        let mut pending = vec![job(0, 5, 2, 100, 1_000.0)];
+        scheduler.readmit(&mut pending, vec![job(1, 2, 2, 100, 1_000.0)], 3);
+        assert_eq!(pending.len(), 2);
+        assert_eq!(pending[1].id(), JobId(1));
+        assert_eq!(pending[1].priority(), 5, "priority 2 aged by 3");
+    }
+
+    #[test]
+    fn readmit_replaces_duplicate_ids() {
+        let scheduler = BatchScheduler::default();
+        let mut pending = vec![job(0, 1, 2, 100, 1_000.0), job(1, 1, 2, 100, 1_000.0)];
+        scheduler.readmit(&mut pending, vec![job(0, 4, 2, 100, 1_000.0)], 1);
+        assert_eq!(pending.len(), 2, "duplicate id must not grow the batch");
+        assert_eq!(pending[0].priority(), 5, "returning copy (aged) wins");
     }
 
     #[test]

@@ -16,7 +16,7 @@ fn mckp_classes(class_count: usize, items_per_class: usize, seed: u64) -> Vec<Ve
             (0..items_per_class)
                 .map(|_| MckpItem {
                     cost: Money::from_units(rng.gen_range(50..1_500)),
-                    value: -rng.gen_range(0.0..500.0),
+                    value: -rng.gen_range(0.0f64..500.0),
                 })
                 .collect()
         })

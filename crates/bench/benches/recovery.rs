@@ -1,0 +1,86 @@
+//! Per-cycle overhead of the fault-injection and recovery machinery:
+//! the disruption-free rolling simulation against the same workload with
+//! disruptions enabled under each recovery policy.
+//!
+//! The `baseline_*` pair isolates the cost of routing the disruption-free
+//! path through `simulate_with_recovery` (it must be negligible — the
+//! disabled model draws no RNG and alters no schedule); the policy
+//! benchmarks then show what detection + repair add per run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use slotsel_core::{Job, JobId, Money, ResourceRequest, Volume};
+use slotsel_env::{EnvironmentConfig, NodeGenConfig};
+use slotsel_sim::disruption::DisruptionConfig;
+use slotsel_sim::recovery::RecoveryPolicy;
+use slotsel_sim::rolling::{simulate, simulate_with_recovery, RollingConfig};
+
+fn workload() -> Vec<Job> {
+    (0..8)
+        .map(|i| {
+            Job::new(
+                JobId(i),
+                1 + i % 4,
+                ResourceRequest::builder()
+                    .node_count(3)
+                    .volume(Volume::new(200))
+                    .budget(Money::from_units(5_000))
+                    .build()
+                    .expect("valid request"),
+            )
+        })
+        .collect()
+}
+
+fn base_config() -> RollingConfig {
+    RollingConfig {
+        env: EnvironmentConfig {
+            nodes: NodeGenConfig::with_count(16),
+            ..EnvironmentConfig::paper_default()
+        },
+        max_cycles: 10,
+        ..RollingConfig::default()
+    }
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rolling_recovery");
+    group.sample_size(10);
+
+    group.bench_function("baseline_simulate", |b| {
+        let config = base_config();
+        b.iter(|| std::hint::black_box(simulate(&config, workload())))
+    });
+
+    group.bench_function("baseline_recovery_disabled", |b| {
+        let config = base_config();
+        b.iter(|| std::hint::black_box(simulate_with_recovery(&config, workload())))
+    });
+
+    let policies = [
+        ("abandon", RecoveryPolicy::Abandon),
+        (
+            "retry",
+            RecoveryPolicy::RetryNextCycle {
+                backoff: 0,
+                max_attempts: 5,
+            },
+        ),
+        ("migrate", RecoveryPolicy::Migrate),
+    ];
+    for (name, policy) in policies {
+        group.bench_function(format!("moderate_{name}"), |b| {
+            let config = RollingConfig {
+                disruption: Some(DisruptionConfig::moderate(7)),
+                recovery: policy,
+                ..base_config()
+            };
+            b.iter(|| std::hint::black_box(simulate_with_recovery(&config, workload())))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -42,8 +42,11 @@ fn main() {
     let out = Path::new(&out);
     fs::create_dir_all(out).unwrap_or_else(|e| panic!("create {}: {e}", out.display()));
 
-    let (cycles, runs, batch_cycles, sens_cycles) =
-        if fast { (300, 30, 30, 30) } else { (5_000, 1_000, 300, 300) };
+    let (cycles, runs, batch_cycles, sens_cycles) = if fast {
+        (300, 30, 30, 30)
+    } else {
+        (5_000, 1_000, 300, 300)
+    };
 
     // Figures 2-4 + §3.3.
     eprintln!("[1/6] quality experiment ({cycles} cycles)");
@@ -57,12 +60,34 @@ fn main() {
         results.csa_alternatives.mean(),
         paper::CSA_ALTERNATIVES
     );
-    let panels: [(&str, fn(&slotsel_sim::MetricsAccumulator) -> f64, Criterion); 5] = [
-        ("Fig. 2(a): average start time", metric::start, Criterion::EarliestStart),
-        ("Fig. 2(b): average runtime", metric::runtime, Criterion::MinRuntime),
-        ("Fig. 3(a): average finish time", metric::finish, Criterion::EarliestFinish),
-        ("Fig. 3(b): average CPU usage time", metric::proc_time, Criterion::MinProcTime),
-        ("Fig. 4: average job execution cost", metric::cost, Criterion::MinTotalCost),
+    type MetricFn = fn(&slotsel_sim::MetricsAccumulator) -> f64;
+    type Panel = (&'static str, MetricFn, Criterion);
+    let panels: [Panel; 5] = [
+        (
+            "Fig. 2(a): average start time",
+            metric::start,
+            Criterion::EarliestStart,
+        ),
+        (
+            "Fig. 2(b): average runtime",
+            metric::runtime,
+            Criterion::MinRuntime,
+        ),
+        (
+            "Fig. 3(a): average finish time",
+            metric::finish,
+            Criterion::EarliestFinish,
+        ),
+        (
+            "Fig. 3(b): average CPU usage time",
+            metric::proc_time,
+            Criterion::MinProcTime,
+        ),
+        (
+            "Fig. 4: average job execution cost",
+            metric::cost,
+            Criterion::MinTotalCost,
+        ),
     ];
     for (title, accessor, criterion) in panels {
         let series = quality_series(&results, accessor, criterion);
@@ -82,7 +107,11 @@ fn main() {
     table1.push('\n');
     table1.push_str(&render_scaling_series("nodes", &points));
     write(out, "table1.txt", &table1);
-    write(out, "table1.json", &serde_json::to_string_pretty(&points).expect("serialize"));
+    write(
+        out,
+        "table1.json",
+        &serde_json::to_string_pretty(&points).expect("serialize"),
+    );
 
     // Table 2 / Fig. 6.
     eprintln!("[3/6] interval sweep ({runs} runs per point)");
@@ -91,7 +120,11 @@ fn main() {
     table2.push('\n');
     table2.push_str(&render_scaling_series("interval", &points));
     write(out, "table2.txt", &table2);
-    write(out, "table2.json", &serde_json::to_string_pretty(&points).expect("serialize"));
+    write(
+        out,
+        "table2.json",
+        &serde_json::to_string_pretty(&points).expect("serialize"),
+    );
 
     // Batch objectives.
     eprintln!("[4/6] batch objectives ({batch_cycles} cycles)");
@@ -115,7 +148,12 @@ fn main() {
 
     // Sensitivity.
     eprintln!("[5/6] sensitivity sweep ({sens_cycles} cycles per point)");
-    let sens = sweep(&EnvironmentConfig::paper_default(), &default_grid(), sens_cycles, 5_150);
+    let sens = sweep(
+        &EnvironmentConfig::paper_default(),
+        &default_grid(),
+        sens_cycles,
+        5_150,
+    );
     let mut sensitivity = String::new();
     for point in &sens {
         let _ = writeln!(

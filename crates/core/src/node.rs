@@ -384,6 +384,20 @@ impl Platform {
     pub fn iter(&self) -> std::slice::Iter<'_, NodeSpec> {
         self.nodes.iter()
     }
+
+    /// Replaces a node's performance rate in place.
+    ///
+    /// Platforms are immutable during a scheduling cycle, but between
+    /// cycles a non-dedicated node may slow down (local load, thermal
+    /// throttling) or recover; fault-injection models use this to stretch
+    /// the "rough right edge" of already-selected windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this platform.
+    pub fn set_performance(&mut self, id: NodeId, performance: Performance) {
+        self.nodes[id.index()].performance = performance;
+    }
 }
 
 impl<'a> IntoIterator for &'a Platform {
@@ -487,6 +501,21 @@ mod tests {
         assert_eq!(platform.len(), 4);
         assert_eq!(platform.iter().count(), 4);
         assert_eq!((&platform).into_iter().count(), 4);
+    }
+
+    #[test]
+    fn set_performance_updates_one_node() {
+        let mut platform = Platform::new(vec![node(0, 2), node(1, 5)]);
+        platform.set_performance(NodeId(1), Performance::new(3));
+        assert_eq!(platform.node(NodeId(1)).performance().rate(), 3);
+        assert_eq!(platform.node(NodeId(0)).performance().rate(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn set_performance_rejects_foreign_id() {
+        let mut platform = Platform::new(vec![node(0, 2)]);
+        platform.set_performance(NodeId(5), Performance::new(3));
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use slotsel_core::node::Platform;
+use slotsel_core::node::{NodeId, Performance, Platform};
 use slotsel_core::slotlist::SlotList;
 use slotsel_core::time::{Interval, TimePoint};
 
@@ -157,6 +157,81 @@ impl Environment {
     #[must_use]
     pub fn interval(&self) -> Interval {
         self.interval
+    }
+
+    /// Revokes a span of free time on one node: the interval becomes busy
+    /// in the node's local schedule and the slot list is regenerated.
+    ///
+    /// Models the non-dedicated reality the paper assumes away during a
+    /// cycle — a local, higher-priority job claims the node after the slot
+    /// list was published, invalidating reservations that overlap it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` has no schedule in this environment.
+    pub fn revoke(&mut self, node: NodeId, span: Interval) {
+        self.schedule_mut(node).add_busy(span);
+        self.rebuild_slots();
+    }
+
+    /// Marks a node failed: its whole scheduling interval becomes busy, so
+    /// it contributes no slots until [`Environment::restore_node`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` has no schedule in this environment.
+    pub fn fail_node(&mut self, node: NodeId) {
+        self.schedule_mut(node).set_fully_busy();
+        self.rebuild_slots();
+    }
+
+    /// Restores a failed node as fully idle (its pre-failure local load is
+    /// gone with the failure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` has no schedule in this environment.
+    pub fn restore_node(&mut self, node: NodeId) {
+        self.schedule_mut(node).clear_busy();
+        self.rebuild_slots();
+    }
+
+    /// Changes a node's performance rate and refreshes the slot list so
+    /// slot attributes match the platform again.
+    ///
+    /// A degradation (lower rate) stretches the execution time of any
+    /// volume placed on the node — the "rough right edge" of an already
+    /// committed window grows and may no longer fit its free slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to the platform.
+    pub fn degrade_node(&mut self, node: NodeId, performance: Performance) {
+        self.platform.set_performance(node, performance);
+        self.rebuild_slots();
+    }
+
+    /// Regenerates the slot list from the current schedules and platform.
+    ///
+    /// Slot ids restart from zero in schedule order — exactly how
+    /// [`EnvironmentConfig::generate`] builds the initial list — so a
+    /// rebuilt unperturbed environment is identical to a fresh one.
+    pub fn rebuild_slots(&mut self) {
+        let mut slots = SlotList::new();
+        for schedule in &self.schedules {
+            let node = self.platform.node(schedule.node());
+            for free in schedule.free() {
+                slots.add(node.id(), free, node.performance(), node.price_per_unit());
+            }
+        }
+        self.slots = slots;
+    }
+
+    fn schedule_mut(&mut self, node: NodeId) -> &mut NodeSchedule {
+        self.schedules
+            .iter_mut()
+            .find(|s| s.node() == node)
+            .unwrap_or_else(|| panic!("no schedule for {node}"))
     }
 
     /// Mean occupancy across nodes.
@@ -309,5 +384,90 @@ mod tests {
         let b = env(21);
         assert_eq!(a.platform(), b.platform());
         assert_eq!(a.slots(), b.slots());
+    }
+
+    #[test]
+    fn rebuild_without_perturbation_is_identity() {
+        let mut e = env(30);
+        let before = e.slots().clone();
+        e.rebuild_slots();
+        assert_eq!(e.slots(), &before, "rebuild must reproduce generate()");
+    }
+
+    #[test]
+    fn revoke_removes_overlapped_free_time() {
+        use slotsel_core::node::NodeId;
+        let mut e = env(31);
+        let node = NodeId(0);
+        let span = Interval::new(TimePoint::new(100), TimePoint::new(200));
+        e.revoke(node, span);
+        assert!(
+            e.slots()
+                .iter()
+                .filter(|s| s.node() == node)
+                .all(|s| !s.span().overlaps(&span)),
+            "no free slot of the node may overlap the revoked span"
+        );
+        // Complement invariant still holds after the perturbation.
+        for schedule in e.schedules() {
+            let free_time: i64 = e
+                .slots()
+                .iter()
+                .filter(|s| s.node() == schedule.node())
+                .map(|s| s.length().ticks())
+                .sum();
+            let expected = schedule.interval().length().ticks() - schedule.busy_time().ticks();
+            assert_eq!(free_time, expected, "node {}", schedule.node());
+        }
+        assert!(e.slots().is_sorted());
+    }
+
+    #[test]
+    fn fail_and_restore_node() {
+        use slotsel_core::node::NodeId;
+        let mut e = env(32);
+        let node = NodeId(3);
+        let had_slots = e.slots().iter().any(|s| s.node() == node);
+        assert!(
+            had_slots,
+            "paper-default load leaves every node partly free"
+        );
+        e.fail_node(node);
+        assert!(e.slots().iter().all(|s| s.node() != node));
+        e.restore_node(node);
+        let free_after: i64 = e
+            .slots()
+            .iter()
+            .filter(|s| s.node() == node)
+            .map(|s| s.length().ticks())
+            .sum();
+        assert_eq!(
+            free_after,
+            e.interval().length().ticks(),
+            "restored node comes back fully idle"
+        );
+    }
+
+    #[test]
+    fn degrade_node_updates_slot_attributes() {
+        use slotsel_core::node::{NodeId, Performance};
+        let mut e = env(33);
+        let node = NodeId(7);
+        e.degrade_node(node, Performance::new(1));
+        assert_eq!(e.platform().node(node).performance(), Performance::new(1));
+        for slot in e.slots().iter().filter(|s| s.node() == node) {
+            assert_eq!(slot.performance(), Performance::new(1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no schedule for")]
+    fn revoke_unknown_node_panics() {
+        use slotsel_core::node::NodeId;
+        let mut e = env(34);
+        e.revoke(
+            NodeId(9_999),
+            Interval::new(TimePoint::new(0), TimePoint::new(10)),
+        );
     }
 }

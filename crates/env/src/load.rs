@@ -221,6 +221,57 @@ impl NodeSchedule {
         free
     }
 
+    /// Marks an additional interval as busy, merging it into the existing
+    /// busy set (the ordered/disjoint invariant is preserved by coalescing
+    /// overlapping or touching intervals).
+    ///
+    /// The interval is clamped to the scheduling interval; a span entirely
+    /// outside it is ignored. This models a local (higher-priority) job
+    /// arriving after the slot list was published — the resource domain
+    /// revokes the overlapped free time.
+    pub fn add_busy(&mut self, span: Interval) {
+        let Some(clamped) = self.interval.intersection(&span) else {
+            return;
+        };
+        if clamped.is_empty() {
+            return;
+        }
+        let mut start = clamped.start();
+        let mut end = clamped.end();
+        let mut merged = Vec::with_capacity(self.busy.len() + 1);
+        let mut placed = false;
+        for &b in &self.busy {
+            if b.end() < start || end < b.start() {
+                // Disjoint and not touching: keep, inserting the new
+                // interval at its sorted position.
+                if !placed && b.start() > end {
+                    merged.push(Interval::new(start, end));
+                    placed = true;
+                }
+                merged.push(b);
+            } else {
+                // Overlapping or touching: absorb into the new interval.
+                start = start.earliest(b.start());
+                end = end.latest(b.end());
+            }
+        }
+        if !placed {
+            merged.push(Interval::new(start, end));
+        }
+        self.busy = merged;
+    }
+
+    /// Marks the whole scheduling interval busy — the node has failed (or
+    /// was withdrawn) and offers no free time this cycle.
+    pub fn set_fully_busy(&mut self) {
+        self.busy = vec![self.interval];
+    }
+
+    /// Clears all busy time — the node came back fully idle.
+    pub fn clear_busy(&mut self) {
+        self.busy.clear();
+    }
+
     /// Generates a random schedule targeting the occupancy drawn from
     /// `config`, walking the timeline with alternating gaps and local jobs.
     pub fn generate<R: Rng + ?Sized>(
@@ -315,6 +366,57 @@ mod tests {
     #[should_panic(expected = "ordered and disjoint")]
     fn overlapping_busy_rejected() {
         let _ = NodeSchedule::new(NodeId(0), iv(0, 100), vec![iv(10, 30), iv(20, 40)]);
+    }
+
+    #[test]
+    fn add_busy_inserts_disjoint_interval_in_order() {
+        let mut s = NodeSchedule::new(NodeId(0), iv(0, 100), vec![iv(10, 20), iv(60, 70)]);
+        s.add_busy(iv(30, 40));
+        assert_eq!(s.busy(), &[iv(10, 20), iv(30, 40), iv(60, 70)]);
+        assert_eq!(
+            s.free(),
+            vec![iv(0, 10), iv(20, 30), iv(40, 60), iv(70, 100)]
+        );
+    }
+
+    #[test]
+    fn add_busy_merges_overlapping_and_touching_intervals() {
+        let mut s = NodeSchedule::new(NodeId(0), iv(0, 100), vec![iv(10, 20), iv(30, 40)]);
+        s.add_busy(iv(15, 30));
+        assert_eq!(s.busy(), &[iv(10, 40)]);
+        // The merged schedule still satisfies NodeSchedule's invariants.
+        let _ = NodeSchedule::new(s.node(), s.interval(), s.busy().to_vec());
+    }
+
+    #[test]
+    fn add_busy_clamps_to_the_scheduling_interval() {
+        let mut s = NodeSchedule::new(NodeId(0), iv(0, 100), vec![]);
+        s.add_busy(iv(-50, 10));
+        s.add_busy(iv(90, 500));
+        assert_eq!(s.busy(), &[iv(0, 10), iv(90, 100)]);
+        // Entirely outside: ignored.
+        let before = s.busy().to_vec();
+        s.add_busy(iv(200, 300));
+        assert_eq!(s.busy(), &before[..]);
+    }
+
+    #[test]
+    fn add_busy_absorbing_everything() {
+        let mut s = NodeSchedule::new(NodeId(0), iv(0, 100), vec![iv(10, 20), iv(40, 50)]);
+        s.add_busy(iv(0, 100));
+        assert_eq!(s.busy(), &[iv(0, 100)]);
+        assert!(s.free().is_empty());
+    }
+
+    #[test]
+    fn fail_and_restore_roundtrip() {
+        let mut s = NodeSchedule::new(NodeId(0), iv(0, 100), vec![iv(10, 20)]);
+        s.set_fully_busy();
+        assert_eq!(s.occupancy(), 1.0);
+        assert!(s.free().is_empty());
+        s.clear_busy();
+        assert_eq!(s.occupancy(), 0.0);
+        assert_eq!(s.free(), vec![iv(0, 100)]);
     }
 
     #[test]

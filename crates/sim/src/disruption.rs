@@ -1,0 +1,493 @@
+//! Deterministic fault injection between rolling-horizon cycles.
+//!
+//! The paper treats a published slot list as reliable for the whole cycle;
+//! non-dedicated resources are not. This module perturbs the environment
+//! *after* the scheduler commits its windows and *before* they execute,
+//! with three disruption kinds:
+//!
+//! - **slot revocations** — a local higher-priority job claims a span of
+//!   free time, optionally aimed at a committed window (the interesting
+//!   case; random revocations on a mostly-idle platform rarely hit);
+//! - **node failures** — MTBF/MTTR-style: a node goes fully busy for a
+//!   sampled repair time measured in cycles, then is restored;
+//! - **performance degradation** — a node's rate drops by a factor, which
+//!   stretches the execution time of any volume placed on it ("the rough
+//!   right edge" grows and may no longer fit its free slot).
+//!
+//! Everything draws from one seeded RNG owned by the [`DisruptionModel`],
+//! so a run is reproducible from `(environment seed, disruption seed)`
+//! alone, and a disabled model leaves the simulation bit-identical to the
+//! disruption-free code path (it draws nothing).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use slotsel_core::node::{NodeId, Performance};
+use slotsel_core::time::{Interval, TimeDelta, TimePoint};
+use slotsel_core::window::Window;
+use slotsel_env::Environment;
+
+/// Parameters of the fault-injection model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DisruptionConfig {
+    /// Expected revocations per cycle (fractional part is a Bernoulli
+    /// extra draw, so 1.5 means 1 or 2 per cycle).
+    pub revocation_rate: f64,
+    /// Revoked-span length range `[lo, hi]` in model-time units.
+    pub revocation_length: (i64, i64),
+    /// Fraction of revocations aimed at a committed window instead of a
+    /// uniformly random span (0 = all random, 1 = all targeted).
+    pub targeted_fraction: f64,
+    /// Mean cycles between failures per node; 0 disables failures.
+    pub node_mtbf_cycles: f64,
+    /// Mean cycles to repair a failed node (at least one full cycle).
+    pub node_mttr_cycles: f64,
+    /// Per-node probability of a performance degradation each cycle.
+    pub degradation_rate: f64,
+    /// Rate multiplier applied on degradation, in `(0, 1]`.
+    pub degradation_factor: f64,
+    /// Seed of the model's own RNG, independent of the environment seed.
+    pub seed: u64,
+}
+
+impl DisruptionConfig {
+    /// A moderate all-three-kinds model: roughly two revocations per
+    /// cycle (half of them targeted), occasional node failures and rare
+    /// halving degradations.
+    #[must_use]
+    pub fn moderate(seed: u64) -> Self {
+        DisruptionConfig {
+            revocation_rate: 2.0,
+            revocation_length: (30, 120),
+            targeted_fraction: 0.5,
+            node_mtbf_cycles: 50.0,
+            node_mttr_cycles: 2.0,
+            degradation_rate: 0.01,
+            degradation_factor: 0.5,
+            seed,
+        }
+    }
+
+    /// A revocation-heavy model aimed squarely at committed windows —
+    /// the adversarial end of the non-dedicated spectrum.
+    #[must_use]
+    pub fn adversarial(seed: u64) -> Self {
+        DisruptionConfig {
+            revocation_rate: 6.0,
+            revocation_length: (60, 200),
+            targeted_fraction: 0.9,
+            node_mtbf_cycles: 25.0,
+            node_mttr_cycles: 3.0,
+            degradation_rate: 0.03,
+            degradation_factor: 0.4,
+            seed,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.revocation_rate >= 0.0,
+            "revocation rate {} must be non-negative",
+            self.revocation_rate
+        );
+        assert!(
+            0 < self.revocation_length.0 && self.revocation_length.0 <= self.revocation_length.1,
+            "revocation length range {:?} invalid",
+            self.revocation_length
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.targeted_fraction),
+            "targeted fraction {} outside [0, 1]",
+            self.targeted_fraction
+        );
+        assert!(
+            self.node_mtbf_cycles >= 0.0 && self.node_mttr_cycles >= 0.0,
+            "MTBF/MTTR must be non-negative"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.degradation_rate),
+            "degradation rate {} outside [0, 1]",
+            self.degradation_rate
+        );
+        assert!(
+            self.degradation_factor > 0.0 && self.degradation_factor <= 1.0,
+            "degradation factor {} outside (0, 1]",
+            self.degradation_factor
+        );
+    }
+}
+
+/// One injected disruption, typed so recovery policies can react per kind.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DisruptionEvent {
+    /// A span of free time on `node` was claimed by local load.
+    SlotRevoked {
+        /// The node losing free time.
+        node: NodeId,
+        /// The revoked span.
+        span: Interval,
+    },
+    /// `node` failed and offers no slots until repaired.
+    NodeFailed {
+        /// The failed node.
+        node: NodeId,
+        /// Whole cycles until the node is restored.
+        repair_cycles: u32,
+    },
+    /// A previously failed node came back.
+    NodeRestored {
+        /// The repaired node.
+        node: NodeId,
+    },
+    /// `node` slowed down from `from` to `to`.
+    NodeDegraded {
+        /// The degraded node.
+        node: NodeId,
+        /// Rate before the degradation.
+        from: Performance,
+        /// Rate after the degradation.
+        to: Performance,
+    },
+}
+
+/// Seeded fault injector carrying per-node failure state across cycles.
+#[derive(Debug, Clone)]
+pub struct DisruptionModel {
+    config: DisruptionConfig,
+    rng: StdRng,
+    /// Cycle at which each currently failed node is restored.
+    failed_until: Vec<Option<u32>>,
+}
+
+impl DisruptionModel {
+    /// Creates a model from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is out of range (negative rates, empty
+    /// length range, fractions outside `[0, 1]`).
+    #[must_use]
+    pub fn new(config: DisruptionConfig) -> Self {
+        config.validate();
+        let rng = StdRng::seed_from_u64(config.seed);
+        DisruptionModel {
+            config,
+            rng,
+            failed_until: Vec::new(),
+        }
+    }
+
+    /// The model's configuration.
+    #[must_use]
+    pub fn config(&self) -> &DisruptionConfig {
+        &self.config
+    }
+
+    /// Nodes currently failed.
+    #[must_use]
+    pub fn failed_nodes(&self) -> Vec<NodeId> {
+        self.failed_until
+            .iter()
+            .enumerate()
+            .filter(|(_, until)| until.is_some())
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Injects one cycle's disruptions into `env`, right after `committed`
+    /// windows were selected on it. Returns the typed events in injection
+    /// order.
+    ///
+    /// The environment is regenerated fresh each cycle, so standing state
+    /// (nodes still under repair) is re-applied here before new faults are
+    /// drawn. RNG consumption depends only on the platform size and the
+    /// model's own draws — never on the environment's randomness — so runs
+    /// are reproducible per seed pair.
+    pub fn inject(
+        &mut self,
+        env: &mut Environment,
+        cycle: u32,
+        committed: &[&Window],
+    ) -> Vec<DisruptionEvent> {
+        let node_count = env.platform().len();
+        self.failed_until.resize(node_count, None);
+        let mut events = Vec::new();
+
+        // Repairs due this cycle.
+        for index in 0..node_count {
+            if let Some(until) = self.failed_until[index] {
+                if cycle >= until {
+                    self.failed_until[index] = None;
+                    events.push(DisruptionEvent::NodeRestored {
+                        node: NodeId(index as u32),
+                    });
+                }
+            }
+        }
+
+        // New failures.
+        if self.config.node_mtbf_cycles > 0.0 {
+            let failure_probability = (1.0 / self.config.node_mtbf_cycles).min(1.0);
+            for index in 0..node_count {
+                if self.failed_until[index].is_none() && self.rng.gen_bool(failure_probability) {
+                    let spread = self.rng.gen_range(0.5f64..1.5);
+                    let repair_cycles = (self.config.node_mttr_cycles * spread).round().max(1.0);
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    let repair_cycles = repair_cycles as u32;
+                    self.failed_until[index] = Some(cycle + repair_cycles);
+                    events.push(DisruptionEvent::NodeFailed {
+                        node: NodeId(index as u32),
+                        repair_cycles,
+                    });
+                }
+            }
+        }
+
+        // Apply the standing outages to this cycle's fresh environment.
+        for index in 0..node_count {
+            if self.failed_until[index].is_some() {
+                env.fail_node(NodeId(index as u32));
+            }
+        }
+
+        // Degradations (transient: each cycle regenerates the platform).
+        if self.config.degradation_rate > 0.0 {
+            for index in 0..node_count {
+                if self.failed_until[index].is_some() {
+                    continue;
+                }
+                if self.rng.gen_bool(self.config.degradation_rate) {
+                    let node = NodeId(index as u32);
+                    let from = env.platform().node(node).performance();
+                    let degraded = (f64::from(from.rate()) * self.config.degradation_factor)
+                        .floor()
+                        .max(1.0);
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    let to = Performance::new(degraded as u32);
+                    if to != from {
+                        env.degrade_node(node, to);
+                        events.push(DisruptionEvent::NodeDegraded { node, from, to });
+                    }
+                }
+            }
+        }
+
+        // Revocations.
+        let whole = self.config.revocation_rate.floor();
+        let fraction = self.config.revocation_rate - whole;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let mut count = whole as u32;
+        if fraction > 0.0 && self.rng.gen_bool(fraction) {
+            count += 1;
+        }
+        for _ in 0..count {
+            if let Some(event) = self.revoke_once(env, committed) {
+                events.push(event);
+            }
+        }
+
+        events
+    }
+
+    /// Draws and applies one revocation; `None` when the platform offers
+    /// nothing to revoke (empty, or all nodes failed).
+    fn revoke_once(
+        &mut self,
+        env: &mut Environment,
+        committed: &[&Window],
+    ) -> Option<DisruptionEvent> {
+        let interval = env.interval();
+        let (lo, hi) = self.config.revocation_length;
+        let length = TimeDelta::new(self.rng.gen_range(lo..=hi));
+
+        // Targeted: claim a committed reservation's node around its span,
+        // guaranteeing the disruption actually tests recovery. Random:
+        // uniform node and start over the scheduling interval.
+        let targeted = !committed.is_empty()
+            && self.config.targeted_fraction > 0.0
+            && self.rng.gen_bool(self.config.targeted_fraction);
+        let (node, start) = if targeted {
+            let window = committed[self.rng.gen_range(0..committed.len())];
+            let slot = &window.slots()[self.rng.gen_range(0..window.slots().len())];
+            (slot.node(), window.start())
+        } else {
+            let healthy: Vec<u32> = (0..env.platform().len() as u32)
+                .filter(|&i| {
+                    self.failed_until
+                        .get(i as usize)
+                        .is_none_or(|until| until.is_none())
+                })
+                .collect();
+            if healthy.is_empty() {
+                return None;
+            }
+            let node = NodeId(healthy[self.rng.gen_range(0..healthy.len())]);
+            let latest = (interval.end() - length).latest(interval.start());
+            let start = TimePoint::new(
+                self.rng
+                    .gen_range(interval.start().ticks()..=latest.ticks()),
+            );
+            (node, start)
+        };
+
+        let span = Interval::new(start, (start + length).earliest(interval.end()));
+        if span.is_empty() {
+            return None;
+        }
+        env.revoke(node, span);
+        Some(DisruptionEvent::SlotRevoked { node, span })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use slotsel_env::{EnvironmentConfig, NodeGenConfig};
+
+    fn env(seed: u64) -> Environment {
+        EnvironmentConfig {
+            nodes: NodeGenConfig::with_count(12),
+            ..EnvironmentConfig::paper_default()
+        }
+        .generate(&mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let run = || {
+            let mut model = DisruptionModel::new(DisruptionConfig::moderate(7));
+            let mut all = Vec::new();
+            for cycle in 0..5 {
+                let mut e = env(u64::from(cycle));
+                all.extend(model.inject(&mut e, cycle, &[]));
+            }
+            all
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let events_of = |seed| {
+            let mut model = DisruptionModel::new(DisruptionConfig::adversarial(seed));
+            let mut e = env(1);
+            model.inject(&mut e, 0, &[])
+        };
+        assert_ne!(events_of(1), events_of(2));
+    }
+
+    #[test]
+    fn revocations_remove_free_time() {
+        let mut model = DisruptionModel::new(DisruptionConfig {
+            revocation_rate: 4.0,
+            node_mtbf_cycles: 0.0,
+            degradation_rate: 0.0,
+            ..DisruptionConfig::moderate(3)
+        });
+        let mut e = env(2);
+        let free_before = e.slots().total_free_time();
+        let events = model.inject(&mut e, 0, &[]);
+        assert!(events
+            .iter()
+            .all(|ev| matches!(ev, DisruptionEvent::SlotRevoked { .. })));
+        assert!(!events.is_empty());
+        assert!(e.slots().total_free_time() <= free_before);
+    }
+
+    #[test]
+    fn failed_nodes_lose_all_slots_until_restored() {
+        let mut model = DisruptionModel::new(DisruptionConfig {
+            revocation_rate: 0.0,
+            node_mtbf_cycles: 1.0, // every healthy node fails each cycle
+            node_mttr_cycles: 1.0,
+            degradation_rate: 0.0,
+            ..DisruptionConfig::moderate(5)
+        });
+        let mut e = env(3);
+        let events = model.inject(&mut e, 0, &[]);
+        assert!(events
+            .iter()
+            .any(|ev| matches!(ev, DisruptionEvent::NodeFailed { .. })));
+        for node in model.failed_nodes() {
+            assert!(e.slots().iter().all(|s| s.node() != node));
+        }
+        // Eventually every failure is repaired.
+        let mut restored = false;
+        for cycle in 1..10 {
+            let mut e = env(u64::from(cycle) + 10);
+            let events = model.inject(&mut e, cycle, &[]);
+            restored |= events
+                .iter()
+                .any(|ev| matches!(ev, DisruptionEvent::NodeRestored { .. }));
+        }
+        assert!(restored);
+    }
+
+    #[test]
+    fn degradation_reduces_rates() {
+        let mut model = DisruptionModel::new(DisruptionConfig {
+            revocation_rate: 0.0,
+            node_mtbf_cycles: 0.0,
+            degradation_rate: 1.0,
+            degradation_factor: 0.5,
+            ..DisruptionConfig::moderate(11)
+        });
+        let mut e = env(4);
+        let before: Vec<u32> = e
+            .platform()
+            .iter()
+            .map(|n| n.performance().rate())
+            .collect();
+        let events = model.inject(&mut e, 0, &[]);
+        assert!(!events.is_empty());
+        for event in &events {
+            let DisruptionEvent::NodeDegraded { node, from, to } = event else {
+                panic!("unexpected {event:?}");
+            };
+            assert_eq!(from.rate(), before[node.index()]);
+            assert!(to.rate() < from.rate());
+            assert_eq!(e.platform().node(*node).performance(), *to);
+        }
+    }
+
+    #[test]
+    fn targeted_revocation_hits_a_committed_window() {
+        use slotsel_core::{Money, ResourceRequest, SlotSelector, Volume};
+        let e0 = env(5);
+        let request = ResourceRequest::builder()
+            .node_count(3)
+            .volume(Volume::new(200))
+            .budget(Money::from_units(100_000))
+            .build()
+            .unwrap();
+        let window = slotsel_core::Amp
+            .select(e0.platform(), e0.slots(), &request)
+            .expect("feasible");
+        let mut model = DisruptionModel::new(DisruptionConfig {
+            revocation_rate: 1.0,
+            targeted_fraction: 1.0,
+            node_mtbf_cycles: 0.0,
+            degradation_rate: 0.0,
+            ..DisruptionConfig::moderate(13)
+        });
+        let mut e = e0.clone();
+        let events = model.inject(&mut e, 0, &[&window]);
+        let DisruptionEvent::SlotRevoked { node, span } = &events[0] else {
+            panic!("expected a revocation, got {events:?}");
+        };
+        assert!(window.slots().iter().any(|ws| ws.node() == *node));
+        assert_eq!(span.start(), window.start(), "aimed at the window span");
+    }
+
+    #[test]
+    #[should_panic(expected = "revocation length range")]
+    fn invalid_config_rejected() {
+        let _ = DisruptionModel::new(DisruptionConfig {
+            revocation_length: (50, 10),
+            ..DisruptionConfig::moderate(0)
+        });
+    }
+}

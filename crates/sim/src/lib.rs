@@ -9,7 +9,11 @@
 //! - [`scaling`] — Tables 1–2 and Figures 5–6: wall-clock working time
 //!   against the number of CPU nodes and the scheduling-interval length;
 //! - [`report`] — plain-text table and bar-chart rendering of the above;
-//! - [`config`] — the §3.1 parameters and the paper's reference numbers.
+//! - [`config`] — the §3.1 parameters and the paper's reference numbers;
+//! - [`disruption`] / [`recovery`] — seeded fault injection between
+//!   rolling-horizon cycles (revocations, node failures, degradations)
+//!   and the policies that rescue the affected jobs, audited by
+//!   [`execution`] replay.
 //!
 //! ```no_run
 //! use slotsel_sim::config::QualityConfig;
@@ -26,10 +30,12 @@
 
 pub mod batch_experiment;
 pub mod config;
+pub mod disruption;
 pub mod execution;
 pub mod gantt;
 pub mod metrics;
 pub mod quality;
+pub mod recovery;
 pub mod report;
 pub mod rolling;
 pub mod scaling;
@@ -37,7 +43,9 @@ pub mod sensitivity;
 
 pub use batch_experiment::{BatchExperimentConfig, ObjectiveOutcome};
 pub use config::{QualityConfig, RequestConfig};
-pub use metrics::{MetricsAccumulator, RunningStats, WindowMetrics};
+pub use disruption::{DisruptionConfig, DisruptionEvent, DisruptionModel};
+pub use metrics::{MetricsAccumulator, RunningStats, SurvivalMetrics, WindowMetrics};
 pub use quality::QualityResults;
-pub use rolling::{RollingConfig, RollingOutcome};
+pub use recovery::RecoveryPolicy;
+pub use rolling::{RollingConfig, RollingOutcome, RollingReport};
 pub use scaling::{ScalingConfig, ScalingPoint};

@@ -4,6 +4,8 @@ use serde::{Deserialize, Serialize};
 
 use slotsel_core::window::Window;
 
+use crate::disruption::DisruptionEvent;
+
 /// Welford's online mean/variance accumulator.
 ///
 /// Numerically stable for the long (5000-cycle) experiment runs, and
@@ -21,13 +23,21 @@ use slotsel_core::window::Window;
 /// assert_eq!(stats.mean(), 2.0);
 /// assert_eq!(stats.count(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RunningStats {
     count: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+impl Default for RunningStats {
+    /// Same as [`RunningStats::new`]: the sentinel `min`/`max` must be
+    /// `±inf`, not the all-zeroes a derived `Default` would produce.
+    fn default() -> Self {
+        RunningStats::new()
+    }
 }
 
 impl RunningStats {
@@ -221,6 +231,80 @@ impl MetricsAccumulator {
     }
 }
 
+/// Survival bookkeeping of a fault-injected rolling simulation: what was
+/// injected, which committed windows it destroyed, and how many of their
+/// jobs the recovery policy saved.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SurvivalMetrics {
+    /// Free-time revocations injected.
+    pub revocations: u64,
+    /// Node failures injected.
+    pub node_failures: u64,
+    /// Node repairs completed.
+    pub node_restorations: u64,
+    /// Performance degradations injected.
+    pub degradations: u64,
+    /// Committed windows the disruptions made non-executable.
+    pub windows_disrupted: u64,
+    /// Victim jobs saved by an immediate migration.
+    pub rescued_by_migration: u64,
+    /// Victim jobs saved by re-enqueueing into a later cycle.
+    pub rescued_by_retry: u64,
+    /// Victim jobs that never completed (abandoned, retries exhausted,
+    /// migration infeasible, or still waiting when the run ended).
+    pub jobs_lost: u64,
+    /// Cycles between a job's disruption and its eventual completion
+    /// (0 for migrations, which recover within the same cycle).
+    pub recovery_latency_cycles: RunningStats,
+    /// Cost difference `migrated - original` per successful migration —
+    /// the budget overrun the rescue cost.
+    pub migration_overrun: RunningStats,
+    /// Repaired schedules that failed the replay audit. Recovery
+    /// re-validates everything it commits, so any non-zero count is a bug.
+    pub audit_failures: u64,
+}
+
+impl SurvivalMetrics {
+    /// Creates empty survival metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        SurvivalMetrics::default()
+    }
+
+    /// Counts one injected disruption event.
+    pub fn record_event(&mut self, event: &DisruptionEvent) {
+        match event {
+            DisruptionEvent::SlotRevoked { .. } => self.revocations += 1,
+            DisruptionEvent::NodeFailed { .. } => self.node_failures += 1,
+            DisruptionEvent::NodeRestored { .. } => self.node_restorations += 1,
+            DisruptionEvent::NodeDegraded { .. } => self.degradations += 1,
+        }
+    }
+
+    /// Total disruptions injected, over all kinds.
+    #[must_use]
+    pub fn events_injected(&self) -> u64 {
+        self.revocations + self.node_failures + self.node_restorations + self.degradations
+    }
+
+    /// Victim jobs that eventually completed, by either rescue path.
+    #[must_use]
+    pub fn rescued(&self) -> u64 {
+        self.rescued_by_migration + self.rescued_by_retry
+    }
+
+    /// Fraction of disrupted windows whose jobs still completed; 1 when
+    /// nothing was disrupted.
+    #[must_use]
+    pub fn survival_rate(&self) -> f64 {
+        let resolved = self.rescued() + self.jobs_lost;
+        if resolved == 0 {
+            return 1.0;
+        }
+        self.rescued() as f64 / resolved as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +465,40 @@ mod tests {
         assert_eq!(acc.misses, 1);
         assert_eq!(acc.start.mean(), 2.0);
         assert_eq!(acc.cost.mean(), 7.0);
+    }
+
+    #[test]
+    fn survival_metrics_count_events_and_rates() {
+        use slotsel_core::node::{NodeId, Performance};
+        use slotsel_core::time::{Interval, TimePoint};
+
+        let mut s = SurvivalMetrics::new();
+        assert_eq!(s.survival_rate(), 1.0, "no disruptions: perfect survival");
+        s.record_event(&DisruptionEvent::SlotRevoked {
+            node: NodeId(0),
+            span: Interval::new(TimePoint::new(0), TimePoint::new(10)),
+        });
+        s.record_event(&DisruptionEvent::NodeFailed {
+            node: NodeId(1),
+            repair_cycles: 2,
+        });
+        s.record_event(&DisruptionEvent::NodeRestored { node: NodeId(1) });
+        s.record_event(&DisruptionEvent::NodeDegraded {
+            node: NodeId(2),
+            from: Performance::new(8),
+            to: Performance::new(4),
+        });
+        assert_eq!(s.revocations, 1);
+        assert_eq!(s.node_failures, 1);
+        assert_eq!(s.node_restorations, 1);
+        assert_eq!(s.degradations, 1);
+        assert_eq!(s.events_injected(), 4);
+
+        s.rescued_by_migration = 2;
+        s.rescued_by_retry = 1;
+        s.jobs_lost = 1;
+        assert_eq!(s.rescued(), 3);
+        assert!((s.survival_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]

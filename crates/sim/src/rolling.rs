@@ -6,6 +6,14 @@
 //! into the next cycle — with optional priority aging so nothing starves.
 //! The paper evaluates a single cycle in isolation; this module simulates
 //! the loop its scheme is designed to live in.
+//!
+//! With a [`DisruptionConfig`] attached, every cycle additionally injects
+//! faults *after* the scheduler commits its windows (see
+//! [`crate::disruption`]), detects the victims by replaying the commit
+//! through the [`crate::execution`] audit, and applies the configured
+//! [`RecoveryPolicy`] ([`crate::recovery`]). Without one, the simulation
+//! is bit-identical to the disruption-free implementation — no extra RNG
+//! is drawn and no schedule is altered.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,7 +22,12 @@ use serde::{Deserialize, Serialize};
 use slotsel_batch::{BatchScheduler, BatchSchedulerConfig};
 use slotsel_core::money::Money;
 use slotsel_core::request::{Job, JobId};
+use slotsel_core::window::Window;
 use slotsel_env::EnvironmentConfig;
+
+use crate::disruption::{DisruptionConfig, DisruptionModel};
+use crate::metrics::SurvivalMetrics;
+use crate::recovery::{self, RecoveryPolicy};
 
 /// Configuration of a rolling-horizon simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -29,6 +42,14 @@ pub struct RollingConfig {
     pub aging: u32,
     /// Base RNG seed; cycle `i` generates its environment from `seed + i`.
     pub seed: u64,
+    /// Fault injection between commit and execution; `None` (the default)
+    /// reproduces the disruption-free simulation exactly.
+    #[serde(default)]
+    pub disruption: Option<DisruptionConfig>,
+    /// What to do with jobs whose committed windows a disruption destroys.
+    /// Ignored without a disruption model.
+    #[serde(default)]
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for RollingConfig {
@@ -39,6 +60,8 @@ impl Default for RollingConfig {
             max_cycles: 20,
             aging: 1,
             seed: 31_337,
+            disruption: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -84,35 +107,78 @@ impl RollingOutcome {
     }
 }
 
+/// Outcome of a fault-injected rolling simulation: the schedule history
+/// plus the survival bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RollingReport {
+    /// The schedule history (completions, starvations, per-cycle records).
+    pub outcome: RollingOutcome,
+    /// What was injected and how recovery fared. All-zero without a
+    /// disruption model.
+    pub survival: SurvivalMetrics,
+}
+
+/// A disruption victim waiting out its retry backoff.
+struct ParkedJob {
+    job: Job,
+    eligible_at: u32,
+}
+
 /// Runs the rolling simulation until the batch drains or `max_cycles` pass.
 ///
 /// Jobs keep their identity across cycles; deferred jobs gain
 /// `config.aging` priority per cycle waited, so long-waiting jobs
-/// eventually outrank fresh high-priority work.
+/// eventually outrank fresh high-priority work. Equivalent to
+/// [`simulate_with_recovery`] with the survival report dropped.
 #[must_use]
 pub fn simulate(config: &RollingConfig, jobs: Vec<Job>) -> RollingOutcome {
+    simulate_with_recovery(config, jobs).outcome
+}
+
+/// Runs the rolling simulation with fault injection and recovery, when
+/// `config.disruption` is set.
+///
+/// Each cycle: commit the batch, inject disruptions into the committed-on
+/// environment, replay every committed window through the execution audit
+/// to find the victims, then apply `config.recovery` — abandon the victim
+/// jobs, park them for a later cycle (priority-aged re-admission), or
+/// migrate them onto the surviving slots right away. Survivors and
+/// successful migrations complete in the cycle; everything that completes
+/// has passed the replay audit against the *perturbed* environment.
+#[must_use]
+pub fn simulate_with_recovery(config: &RollingConfig, jobs: Vec<Job>) -> RollingReport {
     let scheduler = BatchScheduler::new(config.scheduler.clone());
+    let mut model = config.disruption.clone().map(DisruptionModel::new);
+    let mut survival = SurvivalMetrics::new();
     let mut pending = jobs;
+    let mut parked: Vec<ParkedJob> = Vec::new();
+    let mut victim_since: Vec<(JobId, u32)> = Vec::new();
+    let mut attempts_of: Vec<(JobId, u32)> = Vec::new();
     let mut completions = Vec::new();
     let mut cycles = Vec::new();
 
     for cycle in 0..config.max_cycles {
-        if pending.is_empty() {
+        // Re-admit parked victims whose backoff elapsed (stable order).
+        let (ready, waiting): (Vec<ParkedJob>, Vec<ParkedJob>) =
+            parked.drain(..).partition(|p| p.eligible_at <= cycle);
+        parked = waiting;
+        for p in ready {
+            scheduler.readmit(&mut pending, [p.job], 0);
+        }
+
+        if pending.is_empty() && parked.is_empty() {
             break;
         }
-        let env = config
+        let mut env = config
             .env
             .generate(&mut StdRng::seed_from_u64(config.seed + u64::from(cycle)));
         let schedule = scheduler.schedule(env.platform(), env.slots(), &pending);
 
-        let mut spent = Money::ZERO;
+        let mut committed: Vec<(Job, Window)> = Vec::new();
         let mut still_pending = Vec::new();
-        for assignment in &schedule.assignments {
-            match &assignment.window {
-                Some(window) => {
-                    spent += window.total_cost();
-                    completions.push((assignment.job.id(), cycle));
-                }
+        for assignment in schedule.assignments {
+            match assignment.window {
+                Some(window) => committed.push((assignment.job, window)),
                 None => {
                     // Age the deferred job so it cannot starve.
                     still_pending.push(Job::new(
@@ -123,19 +189,153 @@ pub fn simulate(config: &RollingConfig, jobs: Vec<Job>) -> RollingOutcome {
                 }
             }
         }
+
+        let mut spent = Money::ZERO;
+        let mut completed_now = 0usize;
+        match &mut model {
+            None => {
+                // Disruption-free: every committed window executes.
+                for (job, window) in &committed {
+                    spent += window.total_cost();
+                    completions.push((job.id(), cycle));
+                }
+                completed_now = committed.len();
+            }
+            Some(model) => {
+                let window_refs: Vec<&Window> = committed.iter().map(|(_, w)| w).collect();
+                let events = model.inject(&mut env, cycle, &window_refs);
+                for event in &events {
+                    survival.record_event(event);
+                }
+
+                let pairs: Vec<(&Job, &Window)> = committed.iter().map(|(j, w)| (j, w)).collect();
+                let mut detection = recovery::detect_victims(&env, &pairs);
+                survival.windows_disrupted += detection.victim_indices.len() as u64;
+
+                // Survivors execute; a survivor that was some earlier
+                // cycle's victim is a retry rescue completing now.
+                for &index in &detection.survivor_indices {
+                    let (job, window) = &committed[index];
+                    spent += window.total_cost();
+                    completions.push((job.id(), cycle));
+                    completed_now += 1;
+                    if let Some(pos) = victim_since.iter().position(|(id, _)| *id == job.id()) {
+                        let (_, since) = victim_since.swap_remove(pos);
+                        survival.rescued_by_retry += 1;
+                        survival
+                            .recovery_latency_cycles
+                            .push(f64::from(cycle - since));
+                    }
+                }
+
+                // Victims go through the recovery policy.
+                for &index in &detection.victim_indices {
+                    let (job, window) = &committed[index];
+                    let first_hit = victim_since
+                        .iter()
+                        .position(|(id, _)| *id == job.id())
+                        .is_none();
+                    if first_hit {
+                        victim_since.push((job.id(), cycle));
+                    }
+                    match config.recovery {
+                        RecoveryPolicy::Abandon => {
+                            survival.jobs_lost += 1;
+                            victim_since.retain(|(id, _)| *id != job.id());
+                        }
+                        RecoveryPolicy::RetryNextCycle {
+                            backoff,
+                            max_attempts,
+                        } => {
+                            let attempts =
+                                match attempts_of.iter_mut().find(|(id, _)| *id == job.id()) {
+                                    Some((_, n)) => {
+                                        *n += 1;
+                                        *n
+                                    }
+                                    None => {
+                                        attempts_of.push((job.id(), 1));
+                                        1
+                                    }
+                                };
+                            if attempts > max_attempts {
+                                survival.jobs_lost += 1;
+                                victim_since.retain(|(id, _)| *id != job.id());
+                            } else {
+                                parked.push(ParkedJob {
+                                    job: Job::new(
+                                        job.id(),
+                                        job.priority() + config.aging,
+                                        job.request().clone(),
+                                    ),
+                                    eligible_at: cycle + 1 + backoff,
+                                });
+                            }
+                        }
+                        RecoveryPolicy::Migrate => {
+                            let remaining = config
+                                .scheduler
+                                .vo_budget
+                                .map(|budget| Money::from_f64(budget) - spent);
+                            match recovery::migrate_window(
+                                &env,
+                                &detection.survivor_windows,
+                                job,
+                                remaining,
+                            ) {
+                                Some(migrated) => {
+                                    survival.rescued_by_migration += 1;
+                                    survival.recovery_latency_cycles.push(0.0);
+                                    survival.migration_overrun.push(
+                                        migrated.total_cost().as_f64()
+                                            - window.total_cost().as_f64(),
+                                    );
+                                    spent += migrated.total_cost();
+                                    completions.push((job.id(), cycle));
+                                    completed_now += 1;
+                                    detection.survivor_windows.push(migrated);
+                                }
+                                None => survival.jobs_lost += 1,
+                            }
+                            victim_since.retain(|(id, _)| *id != job.id());
+                        }
+                    }
+                }
+
+                // The repaired schedule (survivors + migrations) must
+                // replay cleanly against the perturbed environment; the
+                // recovery paths maintain this, the audit enforces it.
+                let repaired: Vec<&Window> = detection.survivor_windows.iter().collect();
+                if crate::execution::verify(&env, &repaired).is_err() {
+                    survival.audit_failures += 1;
+                }
+            }
+        }
+
         cycles.push(CycleRecord {
             cycle,
             pending: pending.len(),
-            scheduled: pending.len() - still_pending.len(),
+            scheduled: completed_now,
             spent: spent.as_f64(),
         });
         pending = still_pending;
     }
 
-    RollingOutcome {
-        completions,
-        starved: pending.iter().map(Job::id).collect(),
-        cycles,
+    // Victims still waiting (parked or re-pending) when the run ended
+    // never recovered.
+    survival.jobs_lost += victim_since.len() as u64;
+
+    RollingReport {
+        outcome: RollingOutcome {
+            completions,
+            starved: pending
+                .iter()
+                .map(Job::id)
+                .chain(parked.iter().map(|p| p.job.id()))
+                .collect(),
+            cycles,
+        },
+        survival,
     }
 }
 
@@ -229,6 +429,122 @@ mod tests {
         let outcome = simulate(&small_env_config(), Vec::new());
         assert!(outcome.cycles.is_empty());
         assert!(outcome.completions.is_empty());
+    }
+
+    fn disrupted_config(recovery: RecoveryPolicy) -> RollingConfig {
+        RollingConfig {
+            max_cycles: 30,
+            disruption: Some(DisruptionConfig::adversarial(99)),
+            recovery,
+            ..small_env_config()
+        }
+    }
+
+    #[test]
+    fn no_disruption_model_reports_zero_survival_metrics() {
+        let config = small_env_config();
+        let jobs: Vec<Job> = (0..4).map(|i| job(i, 1, 2, 150, 2_000)).collect();
+        let report = simulate_with_recovery(&config, jobs);
+        assert_eq!(report.survival, SurvivalMetrics::new());
+        assert_eq!(report.outcome.completions.len(), 4);
+    }
+
+    #[test]
+    fn simulate_equals_simulate_with_recovery_without_disruptions() {
+        let config = small_env_config();
+        let jobs: Vec<Job> = (0..6).map(|i| job(i, i, 3, 200, 3_000)).collect();
+        let plain = simulate(&config, jobs.clone());
+        let report = simulate_with_recovery(&config, jobs);
+        assert_eq!(plain, report.outcome);
+    }
+
+    #[test]
+    fn adversarial_disruptions_hit_committed_windows() {
+        let jobs: Vec<Job> = (0..6).map(|i| job(i, 1, 3, 200, 5_000)).collect();
+        let report = simulate_with_recovery(&disrupted_config(RecoveryPolicy::Abandon), jobs);
+        assert!(report.survival.revocations > 0, "{:?}", report.survival);
+        assert!(
+            report.survival.windows_disrupted > 0,
+            "targeted revocations must destroy some committed windows: {:?}",
+            report.survival
+        );
+        assert_eq!(
+            report.survival.jobs_lost, report.survival.windows_disrupted,
+            "Abandon loses every victim exactly once"
+        );
+        assert_eq!(report.survival.rescued(), 0);
+        assert_eq!(report.survival.audit_failures, 0);
+    }
+
+    #[test]
+    fn retry_rescues_jobs_abandon_loses() {
+        let jobs = |()| -> Vec<Job> { (0..6).map(|i| job(i, 1, 3, 200, 5_000)).collect() };
+        let abandon = simulate_with_recovery(&disrupted_config(RecoveryPolicy::Abandon), jobs(()));
+        let retry = simulate_with_recovery(
+            &disrupted_config(RecoveryPolicy::RetryNextCycle {
+                backoff: 0,
+                max_attempts: 5,
+            }),
+            jobs(()),
+        );
+        assert!(abandon.survival.windows_disrupted > 0);
+        assert!(
+            retry.survival.rescued_by_retry > 0,
+            "retry must rescue at least one victim: {:?}",
+            retry.survival
+        );
+        assert!(retry.outcome.completions.len() > abandon.outcome.completions.len());
+        assert_eq!(retry.survival.audit_failures, 0);
+        // Retry rescues take at least one cycle each.
+        assert!(retry.survival.recovery_latency_cycles.min().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn migrate_rescues_within_the_same_cycle() {
+        let jobs: Vec<Job> = (0..6).map(|i| job(i, 1, 3, 200, 5_000)).collect();
+        let report = simulate_with_recovery(&disrupted_config(RecoveryPolicy::Migrate), jobs);
+        assert!(report.survival.windows_disrupted > 0);
+        assert!(
+            report.survival.rescued_by_migration > 0,
+            "an 8-node, lightly loaded platform leaves room to migrate: {:?}",
+            report.survival
+        );
+        assert_eq!(report.survival.audit_failures, 0);
+        if report.survival.rescued_by_migration > 0 {
+            assert_eq!(
+                report.survival.recovery_latency_cycles.max().unwrap(),
+                0.0,
+                "migrations recover in-cycle"
+            );
+        }
+        assert_eq!(
+            report.survival.migration_overrun.count(),
+            report.survival.rescued_by_migration
+        );
+    }
+
+    #[test]
+    fn disrupted_runs_are_deterministic() {
+        let jobs = |()| -> Vec<Job> { (0..5).map(|i| job(i, 1, 3, 200, 5_000)).collect() };
+        let config = disrupted_config(RecoveryPolicy::Migrate);
+        let a = simulate_with_recovery(&config, jobs(()));
+        let b = simulate_with_recovery(&config, jobs(()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rolling_config_with_disruption_roundtrips_through_serde() {
+        let config = disrupted_config(RecoveryPolicy::RetryNextCycle {
+            backoff: 1,
+            max_attempts: 3,
+        });
+        let json = serde_json::to_string(&config).unwrap();
+        let back: RollingConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(config, back);
+        // Legacy configs without the new fields still deserialize.
+        let legacy = serde_json::to_string(&small_env_config()).unwrap();
+        let legacy_back: RollingConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(legacy_back.disruption, small_env_config().disruption);
     }
 
     #[test]

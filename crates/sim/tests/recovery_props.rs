@@ -1,0 +1,241 @@
+//! Property-based tests for the fault-injection and recovery subsystem.
+//!
+//! Two guarantees are checked for arbitrary disruption severities, recovery
+//! policies, and seeds:
+//!
+//! 1. every schedule that survives recovery passes the execution replay
+//!    audit against the *perturbed* environment — no double-booked node,
+//!    no task outside a free slot;
+//! 2. with the disruption model disabled, the rolling simulation is
+//!    bit-identical to the disruption-free implementation.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use slotsel_batch::{BatchScheduler, BatchSchedulerConfig};
+use slotsel_core::money::Money;
+use slotsel_core::node::Volume;
+use slotsel_core::request::{Job, JobId, ResourceRequest};
+use slotsel_env::{EnvironmentConfig, NodeGenConfig};
+use slotsel_sim::disruption::{DisruptionConfig, DisruptionModel};
+use slotsel_sim::recovery::{self, RecoveryPolicy};
+use slotsel_sim::rolling::{simulate, simulate_with_recovery, RollingConfig};
+use slotsel_sim::{execution, SurvivalMetrics};
+
+fn job(id: u32, priority: u32, nodes: usize, volume: u64, budget: i64) -> Job {
+    Job::new(
+        JobId(id),
+        priority,
+        ResourceRequest::builder()
+            .node_count(nodes)
+            .volume(Volume::new(volume))
+            .budget(Money::from_units(budget))
+            .build()
+            .unwrap(),
+    )
+}
+
+fn arb_jobs() -> impl Strategy<Value = Vec<Job>> {
+    proptest::collection::vec((1u32..5, 1usize..4, 50u64..300, 2_000i64..8_000), 1..8).prop_map(
+        |specs| {
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (priority, nodes, volume, budget))| {
+                    job(i as u32, priority, nodes, volume, budget)
+                })
+                .collect()
+        },
+    )
+}
+
+fn arb_disruption() -> impl Strategy<Value = DisruptionConfig> {
+    (
+        0.0f64..6.0,             // revocation rate
+        (10i64..60, 60i64..200), // revocation length band
+        0.0f64..1.0,             // targeted fraction
+        5.0f64..80.0,            // MTBF cycles
+        1.0f64..5.0,             // MTTR cycles
+        0.0f64..0.05,            // degradation rate
+        0.2f64..0.9,             // degradation factor
+        any::<u64>(),            // seed
+    )
+        .prop_map(
+            |(rate, (lo, hi), targeted, mtbf, mttr, degr_rate, degr_factor, seed)| {
+                DisruptionConfig {
+                    revocation_rate: rate,
+                    revocation_length: (lo, hi),
+                    targeted_fraction: targeted,
+                    node_mtbf_cycles: mtbf,
+                    node_mttr_cycles: mttr,
+                    degradation_rate: degr_rate,
+                    degradation_factor: degr_factor,
+                    seed,
+                }
+            },
+        )
+}
+
+fn arb_policy() -> impl Strategy<Value = RecoveryPolicy> {
+    prop_oneof![
+        Just(RecoveryPolicy::Abandon),
+        (0u32..3, 1u32..6).prop_map(|(backoff, max_attempts)| {
+            RecoveryPolicy::RetryNextCycle {
+                backoff,
+                max_attempts,
+            }
+        }),
+        Just(RecoveryPolicy::Migrate),
+    ]
+}
+
+fn small_config(seed: u64) -> RollingConfig {
+    RollingConfig {
+        env: EnvironmentConfig {
+            nodes: NodeGenConfig::with_count(8),
+            ..EnvironmentConfig::paper_default()
+        },
+        max_cycles: 15,
+        seed,
+        ..RollingConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // The headline guarantee: whatever the disruptions and whatever the
+    // policy, everything that completes has re-passed the replay audit
+    // against the perturbed environment, and no job is double-counted.
+    #[test]
+    fn recovered_schedules_pass_the_replay_audit(
+        jobs in arb_jobs(),
+        disruption in arb_disruption(),
+        policy in arb_policy(),
+        seed in any::<u64>(),
+    ) {
+        let total = jobs.len();
+        let config = RollingConfig {
+            disruption: Some(disruption),
+            recovery: policy,
+            ..small_config(seed)
+        };
+        let report = simulate_with_recovery(&config, jobs);
+
+        prop_assert_eq!(
+            report.survival.audit_failures, 0,
+            "a repaired schedule failed the replay audit: {:?}",
+            report.survival
+        );
+
+        // Conservation: every job either completed, is still waiting, or
+        // was recorded lost — exactly once.
+        prop_assert_eq!(
+            report.outcome.completions.len()
+                + report.outcome.starved.len()
+                + report.survival.jobs_lost as usize,
+            total
+        );
+
+        // Each rescue or loss corresponds to at least one destroyed window.
+        prop_assert!(
+            report.survival.rescued() + report.survival.jobs_lost
+                <= report.survival.windows_disrupted
+                || report.survival.windows_disrupted == 0
+        );
+    }
+
+    // Survivor sets returned by victim detection always replay cleanly,
+    // and a successful migration keeps the joint schedule clean.
+    #[test]
+    fn survivors_and_migrations_verify_jointly(
+        jobs in arb_jobs(),
+        disruption in arb_disruption(),
+        seed in any::<u64>(),
+    ) {
+        let config = small_config(seed);
+        let mut env = config.env.generate(&mut StdRng::seed_from_u64(seed));
+        let scheduler = BatchScheduler::new(BatchSchedulerConfig::default());
+        let schedule = scheduler.schedule(env.platform(), env.slots(), &jobs);
+        let committed: Vec<(Job, slotsel_core::window::Window)> = schedule
+            .assignments
+            .into_iter()
+            .filter_map(|a| a.window.map(|w| (a.job, w)))
+            .collect();
+
+        let mut model = DisruptionModel::new(disruption);
+        let windows: Vec<&slotsel_core::window::Window> =
+            committed.iter().map(|(_, w)| w).collect();
+        model.inject(&mut env, 0, &windows);
+
+        let pairs: Vec<(&Job, &slotsel_core::window::Window)> =
+            committed.iter().map(|(j, w)| (j, w)).collect();
+        let mut detection = recovery::detect_victims(&env, &pairs);
+
+        let survivors: Vec<&slotsel_core::window::Window> =
+            detection.survivor_windows.iter().collect();
+        prop_assert!(
+            execution::verify(&env, &survivors).is_ok(),
+            "survivor set failed the replay audit"
+        );
+        prop_assert_eq!(
+            detection.survivor_indices.len() + detection.victim_indices.len(),
+            committed.len()
+        );
+
+        // Migrating any victim must leave the joint schedule clean.
+        for &index in &detection.victim_indices.clone() {
+            let (job, _) = &committed[index];
+            if let Some(migrated) =
+                recovery::migrate_window(&env, &detection.survivor_windows, job, None)
+            {
+                detection.survivor_windows.push(migrated);
+                let repaired: Vec<&slotsel_core::window::Window> =
+                    detection.survivor_windows.iter().collect();
+                prop_assert!(
+                    execution::verify(&env, &repaired).is_ok(),
+                    "migration broke the joint schedule"
+                );
+            }
+        }
+    }
+
+    // Disabled disruption model: `simulate_with_recovery` is bit-identical
+    // to `simulate` — same completions, same cycle records, same
+    // serialization — and reports all-zero survival metrics.
+    #[test]
+    fn zero_disruption_runs_are_bit_identical(
+        jobs in arb_jobs(),
+        seed in any::<u64>(),
+    ) {
+        let config = small_config(seed);
+        let plain = simulate(&config, jobs.clone());
+        let report = simulate_with_recovery(&config, jobs);
+
+        prop_assert_eq!(&plain, &report.outcome);
+        prop_assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&report.outcome).unwrap()
+        );
+        prop_assert_eq!(report.survival, SurvivalMetrics::new());
+    }
+
+    // The same disrupted configuration replays to the same report.
+    #[test]
+    fn disrupted_runs_are_deterministic(
+        jobs in arb_jobs(),
+        disruption in arb_disruption(),
+        policy in arb_policy(),
+        seed in any::<u64>(),
+    ) {
+        let config = RollingConfig {
+            disruption: Some(disruption),
+            recovery: policy,
+            ..small_config(seed)
+        };
+        let a = simulate_with_recovery(&config, jobs.clone());
+        let b = simulate_with_recovery(&config, jobs);
+        prop_assert_eq!(a, b);
+    }
+}

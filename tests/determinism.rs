@@ -10,7 +10,10 @@ fn quality_experiment_is_bit_reproducible() {
     let b = quality::run(&config);
     let ja = serde_json::to_string(&a).expect("results serialize");
     let jb = serde_json::to_string(&b).expect("results serialize");
-    assert_eq!(ja, jb, "identical configs must produce identical raw results");
+    assert_eq!(
+        ja, jb,
+        "identical configs must produce identical raw results"
+    );
 }
 
 #[test]

@@ -17,7 +17,10 @@ fn results() -> QualityResults {
 #[test]
 fn paper_shapes_hold() {
     let r = results();
-    let acc = |name: &str| r.algorithm(name).unwrap_or_else(|| panic!("{name} missing"));
+    let acc = |name: &str| {
+        r.algorithm(name)
+            .unwrap_or_else(|| panic!("{name} missing"))
+    };
 
     // Fig. 2(a): AMP and MinFinish start at the interval head; MinCost
     // mid-interval; MinProcTime near the end.
@@ -84,13 +87,17 @@ fn aep_advantage_over_amp_matches_s33() {
     let r = results();
     let amp = r.algorithm("AMP").expect("AMP present");
     let advantage = |aep: f64, amp: f64| 100.0 * (amp - aep) / amp;
+    assert!(advantage(r.algorithm("MinCost").unwrap().cost.mean(), amp.cost.mean()) > 10.0);
     assert!(
-        advantage(r.algorithm("MinCost").unwrap().cost.mean(), amp.cost.mean()) > 10.0
+        advantage(
+            r.algorithm("MinFinish").unwrap().finish.mean(),
+            amp.finish.mean()
+        ) > 10.0
     );
     assert!(
-        advantage(r.algorithm("MinFinish").unwrap().finish.mean(), amp.finish.mean()) > 10.0
-    );
-    assert!(
-        advantage(r.algorithm("MinRunTime").unwrap().runtime.mean(), amp.runtime.mean()) > 10.0
+        advantage(
+            r.algorithm("MinRunTime").unwrap().runtime.mean(),
+            amp.runtime.mean()
+        ) > 10.0
     );
 }

@@ -1,0 +1,495 @@
+//! `#[derive(Serialize, Deserialize)]` for the workspace's mini serde.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the input item
+//! is parsed directly from the `proc_macro` token stream into a small
+//! shape description, and the generated impl is rendered as a string and
+//! re-parsed into a token stream.
+//!
+//! Supported shapes: named-field structs, tuple/newtype structs, unit
+//! structs, and enums with unit/newtype/tuple/struct variants (externally
+//! tagged, matching upstream serde's default). The only honoured field
+//! attribute is `#[serde(default)]`. Generic types are rejected with a
+//! compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    default: bool,
+}
+
+/// The field shape of a struct or enum variant.
+enum Fields {
+    Named(Vec<Field>),
+    /// Tuple fields; the payload is the arity.
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` for a plain struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_serialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize` for a plain struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Consumes attribute tokens (`#[...]` or `#![...]`) at `index`, returning
+/// whether any of them was `#[serde(default)]`.
+fn skip_attributes(tokens: &[TokenTree], index: &mut usize) -> bool {
+    let mut has_default = false;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*index) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *index += 1;
+        if let Some(TokenTree::Punct(bang)) = tokens.get(*index) {
+            if bang.as_char() == '!' {
+                *index += 1;
+            }
+        }
+        if let Some(TokenTree::Group(group)) = tokens.get(*index) {
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            if let (Some(TokenTree::Ident(head)), Some(TokenTree::Group(args))) =
+                (inner.first(), inner.get(1))
+            {
+                if head.to_string() == "serde" && args.stream().to_string().contains("default") {
+                    has_default = true;
+                }
+            }
+            *index += 1;
+        }
+    }
+    has_default
+}
+
+/// Consumes a `pub` / `pub(...)` visibility at `index`.
+fn skip_visibility(tokens: &[TokenTree], index: &mut usize) {
+    if let Some(TokenTree::Ident(ident)) = tokens.get(*index) {
+        if ident.to_string() == "pub" {
+            *index += 1;
+            if let Some(TokenTree::Group(group)) = tokens.get(*index) {
+                if group.delimiter() == Delimiter::Parenthesis {
+                    *index += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skips a type expression, stopping at a `,` at angle-bracket depth 0.
+fn skip_type(tokens: &[TokenTree], index: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(token) = tokens.get(*index) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *index += 1;
+    }
+}
+
+/// Parses `name: Type, ...` named fields from a brace group's tokens.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut index = 0;
+    while index < tokens.len() {
+        let default = skip_attributes(tokens, &mut index);
+        skip_visibility(tokens, &mut index);
+        let Some(TokenTree::Ident(name)) = tokens.get(index) else {
+            break;
+        };
+        let name = name.to_string();
+        index += 1;
+        // Expect ':'; then skip the type.
+        match tokens.get(index) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => index += 1,
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(tokens, &mut index);
+        // Skip the ',' separator if present.
+        if let Some(TokenTree::Punct(p)) = tokens.get(index) {
+            if p.as_char() == ',' {
+                index += 1;
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Counts tuple fields in a paren group's tokens (split on depth-0 commas).
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    let mut saw_content_since_comma = false;
+    for token in tokens {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    count += 1;
+                    saw_content_since_comma = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_content_since_comma = true;
+    }
+    // A trailing comma adds no field.
+    if !saw_content_since_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut index = 0;
+    while index < tokens.len() {
+        skip_attributes(tokens, &mut index);
+        let Some(TokenTree::Ident(name)) = tokens.get(index) else {
+            break;
+        };
+        let name = name.to_string();
+        index += 1;
+        let fields = match tokens.get(index) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+                index += 1;
+                Fields::Named(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+                index += 1;
+                Fields::Tuple(count_tuple_fields(&inner))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant `= expr` and the ',' separator.
+        while let Some(token) = tokens.get(index) {
+            if let TokenTree::Punct(p) = token {
+                if p.as_char() == ',' {
+                    index += 1;
+                    break;
+                }
+            }
+            index += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut index = 0;
+    loop {
+        skip_attributes(&tokens, &mut index);
+        skip_visibility(&tokens, &mut index);
+        match tokens.get(index) {
+            Some(TokenTree::Ident(ident)) => {
+                let word = ident.to_string();
+                if word == "struct" || word == "enum" {
+                    break;
+                }
+                index += 1; // e.g. `unsafe`, `extern` — not expected, but skip.
+            }
+            Some(_) => index += 1,
+            None => panic!("derive input contains no struct or enum"),
+        }
+    }
+    let is_enum = matches!(&tokens[index], TokenTree::Ident(i) if i.to_string() == "enum");
+    index += 1;
+    let Some(TokenTree::Ident(name)) = tokens.get(index) else {
+        panic!("expected item name");
+    };
+    let name = name.to_string();
+    index += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(index) {
+        assert!(
+            p.as_char() != '<',
+            "mini serde_derive does not support generic type `{name}`"
+        );
+    }
+    let shape = if is_enum {
+        match tokens.get(index) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+                Shape::Enum(parse_variants(&inner))
+            }
+            other => panic!("expected enum body for `{name}`, got {other:?}"),
+        }
+    } else {
+        match tokens.get(index) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+                Shape::Struct(Fields::Named(parse_named_fields(&inner)))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+                Shape::Struct(Fields::Tuple(count_tuple_fields(&inner)))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct(Fields::Unit),
+            other => panic!("expected struct body for `{name}`, got {other:?}"),
+        }
+    };
+    Item { name, shape }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn render_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let mut pushes = String::new();
+            for field in fields {
+                pushes.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{0}\"), \
+                     ::serde::Serialize::to_value(&self.{0})));\n",
+                    field.name
+                ));
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(__fields)"
+            )
+        }
+        Shape::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::Struct(Fields::Tuple(arity)) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_owned(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\
+                         ::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    Fields::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("__x{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_value(__x0)".to_owned()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), {payload})]),\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), \
+                                     ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(\
+                             ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Object(::std::vec![{inner}]))]),\n",
+                            binds = binders.join(", "),
+                            inner = pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn render_named_construction(
+    type_name: &str,
+    constructor: &str,
+    fields: &[Field],
+    source: &str,
+) -> String {
+    let mut inits = String::new();
+    for field in fields {
+        let fname = &field.name;
+        let missing = if field.default {
+            "::std::default::Default::default()".to_owned()
+        } else {
+            // Upstream serde resolves a missing field by deserializing from
+            // "nothing", which succeeds exactly for Option-like types; a
+            // Null probe reproduces that without knowing the field type.
+            format!(
+                "::serde::Deserialize::from_value(&::serde::Value::Null).map_err(|_| \
+                 ::serde::DeError::missing_field(\"{type_name}\", \"{fname}\"))?"
+            )
+        };
+        inits.push_str(&format!(
+            "{fname}: match ::serde::__find({source}, \"{fname}\") {{\n\
+             Some(__x) => ::serde::Deserialize::from_value(__x)\
+             .map_err(|e| e.in_field(\"{type_name}\", \"{fname}\"))?,\n\
+             None => {missing},\n}},\n"
+        ));
+    }
+    format!("{constructor} {{\n{inits}}}")
+}
+
+fn render_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let construction = render_named_construction(name, name, fields, "__fields");
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Object(__fields) => ::std::result::Result::Ok({construction}),\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::expected(\"object for {name}\", __value)),\n\
+                 }}"
+            )
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Shape::Struct(Fields::Tuple(arity)) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Array(__items) if __items.len() == {arity} => \
+                 ::std::result::Result::Ok({name}({items})),\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"array of {arity} for {name}\", __value)),\n}}",
+                items = items.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Unit) => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                        // Also accept the externally tagged `{"V": null}` form.
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__payload)?)),\n"
+                    )),
+                    Fields::Tuple(arity) => {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => match __payload {{\n\
+                             ::serde::Value::Array(__items) if __items.len() == {arity} => \
+                             ::std::result::Result::Ok({name}::{vname}({items})),\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::expected(\
+                             \"array of {arity} for {name}::{vname}\", __payload)),\n}},\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let construction = render_named_construction(
+                            &format!("{name}::{vname}"),
+                            &format!("{name}::{vname}"),
+                            fields,
+                            "__inner",
+                        );
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => match __payload {{\n\
+                             ::serde::Value::Object(__inner) => \
+                             ::std::result::Result::Ok({construction}),\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::expected(\
+                             \"object for {name}::{vname}\", __payload)),\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                 ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__fields[0];\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"string or single-key object for {name}\", __value)),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
