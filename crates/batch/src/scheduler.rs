@@ -17,6 +17,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use slotsel_obs::{NoopRecorder, Recorder, Stopwatch, TraceEvent};
+
 use slotsel_core::money::Money;
 use slotsel_core::node::Platform;
 use slotsel_core::request::Job;
@@ -197,14 +199,48 @@ impl BatchScheduler {
     /// Jobs are processed in descending priority (ties broken by id for
     /// determinism). The returned schedule contains one [`Assignment`] per
     /// input job.
+    ///
+    /// Equivalent to [`schedule_traced`](Self::schedule_traced) with a
+    /// [`NoopRecorder`]; the probes compile away on this path.
     #[must_use]
     pub fn schedule(&self, platform: &Platform, slots: &SlotList, jobs: &[Job]) -> BatchSchedule {
+        self.schedule_traced(platform, slots, jobs, &mut NoopRecorder)
+    }
+
+    /// Runs one scheduling cycle with observability probes.
+    ///
+    /// On top of [`schedule`](Self::schedule)'s behaviour, the cycle
+    /// reports to `recorder`:
+    ///
+    /// - [`TraceEvent::BatchStarted`], then per job a
+    ///   [`TraceEvent::AlternativesFound`] as phase 1 searches it;
+    /// - [`TraceEvent::MckpSolved`] with the knapsack instance size and
+    ///   whether the exact DP (vs the greedy fallback) produced the picks;
+    /// - per job a [`TraceEvent::JobCommitted`] or
+    ///   [`TraceEvent::JobDeferred`] as the commit step resolves conflicts;
+    /// - wall-clock timings for the three steps (`"batch.phase1"`,
+    ///   `"batch.phase2"`, `"batch.commit"`).
+    #[must_use]
+    pub fn schedule_traced<R: Recorder>(
+        &self,
+        platform: &Platform,
+        slots: &SlotList,
+        jobs: &[Job],
+        recorder: &mut R,
+    ) -> BatchSchedule {
         let mut ordered: Vec<&Job> = jobs.iter().collect();
         ordered.sort_by_key(|j| (std::cmp::Reverse(j.priority()), j.id()));
+
+        if recorder.enabled() {
+            recorder.emit(TraceEvent::BatchStarted {
+                jobs: jobs.len() as u64,
+            });
+        }
 
         // Phase 1: alternatives per job, all on the same slot list. A job
         // with a directed-search override gets its single criterion-extreme
         // alternative; the rest get the broad CSA set.
+        let watch = Stopwatch::start_if(recorder.enabled());
         let default_search = SearchStrategy::Csa {
             max_alternatives: self.config.max_alternatives_per_job,
         };
@@ -217,12 +253,23 @@ impl BatchScheduler {
                     .iter()
                     .find(|(id, _)| *id == job.id())
                     .map_or(default_search, |&(_, s)| s);
-                strategy.find_alternatives(platform, slots, job.request())
+                let found = strategy.find_alternatives(platform, slots, job.request());
+                if recorder.enabled() {
+                    recorder.emit(TraceEvent::AlternativesFound {
+                        job: u64::from(job.id().0),
+                        count: found.len() as u64,
+                    });
+                }
+                found
             })
             .collect();
+        if let Some(watch) = watch {
+            recorder.time_ns("batch.phase1", watch.elapsed_ns());
+        }
 
         // Phase 2: one alternative per schedulable job, extreme by the
         // batch objective under the VO budget.
+        let watch = Stopwatch::start_if(recorder.enabled());
         let schedulable: Vec<usize> = alternatives
             .iter()
             .enumerate()
@@ -253,11 +300,24 @@ impl BatchScheduler {
         // Preferred picks; fall back to per-job best value when even the
         // cheapest combination overruns the VO budget (some jobs will then
         // be dropped at commit).
-        let preferred: Vec<usize> = mckp::solve(&classes, vo_budget)
+        let exact = mckp::solve(&classes, vo_budget);
+        let solved_exactly = exact.is_some();
+        let preferred: Vec<usize> = exact
             .or_else(|| mckp::solve_greedy(&classes, vo_budget))
             .map_or_else(|| vec![0; schedulable.len()], |s| s.chosen);
+        if recorder.enabled() {
+            recorder.emit(TraceEvent::MckpSolved {
+                classes: classes.len() as u64,
+                items: classes.iter().map(Vec::len).sum::<usize>() as u64,
+                exact: solved_exactly,
+            });
+        }
+        if let Some(watch) = watch {
+            recorder.time_ns("batch.phase2", watch.elapsed_ns());
+        }
 
         // Commit in priority order with conflict resolution.
+        let watch = Stopwatch::start_if(recorder.enabled());
         let mut committed: Vec<Window> = Vec::new();
         let mut spent = Money::ZERO;
         let mut assignments: Vec<Assignment> = Vec::with_capacity(ordered.len());
@@ -290,11 +350,27 @@ impl BatchScheduler {
                 spent += w.total_cost();
                 committed.push(w.clone());
             }
+            if recorder.enabled() {
+                match &window {
+                    Some(w) => recorder.emit(TraceEvent::JobCommitted {
+                        job: u64::from(job.id().0),
+                        start: w.start().ticks(),
+                        finish: w.finish().ticks(),
+                        cost: w.total_cost().as_f64(),
+                    }),
+                    None => recorder.emit(TraceEvent::JobDeferred {
+                        job: u64::from(job.id().0),
+                    }),
+                }
+            }
             assignments.push(Assignment {
                 job: (*job).clone(),
                 window,
                 alternatives_found: alts.len(),
             });
+        }
+        if let Some(watch) = watch {
+            recorder.time_ns("batch.commit", watch.elapsed_ns());
         }
         BatchSchedule { assignments }
     }
@@ -608,6 +684,79 @@ mod tests {
         scheduler.readmit(&mut pending, vec![job(0, 4, 2, 100, 1_000.0)], 1);
         assert_eq!(pending.len(), 2, "duplicate id must not grow the batch");
         assert_eq!(pending[0].priority(), 5, "returning copy (aged) wins");
+    }
+
+    #[test]
+    fn traced_schedule_matches_untraced_and_reports_batch_events() {
+        use slotsel_obs::MemoryRecorder;
+
+        let p = platform(4, 2, 1.0);
+        let slots = idle(&p, 600);
+        // Job 2 requests more nodes than the platform has, so it finds no
+        // alternatives and is deferred.
+        let jobs = vec![
+            job(0, 3, 2, 100, 1_000.0),
+            job(1, 1, 2, 100, 1_000.0),
+            job(2, 2, 9, 100, 1_000.0),
+        ];
+        let scheduler = BatchScheduler::default();
+        let plain = scheduler.schedule(&p, &slots, &jobs);
+        let mut recorder = MemoryRecorder::new();
+        let traced = scheduler.schedule_traced(&p, &slots, &jobs, &mut recorder);
+
+        // The instrumented path must not change scheduling decisions.
+        assert_eq!(plain, traced);
+        assert_eq!(traced.scheduled(), 2);
+        assert_eq!(traced.deferred(), 1);
+
+        let started: Vec<_> = recorder
+            .events_where(|e| matches!(e, TraceEvent::BatchStarted { .. }))
+            .collect();
+        assert_eq!(started, [&TraceEvent::BatchStarted { jobs: 3 }]);
+
+        // One alternatives report per job, in priority order.
+        let alt_jobs: Vec<u64> = recorder
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::AlternativesFound { job, count } => Some((*job, *count)),
+                _ => None,
+            })
+            .map(|(job, count)| {
+                if job == 2 {
+                    assert_eq!(count, 0, "oversized job finds no alternatives");
+                } else {
+                    assert!(count > 0);
+                }
+                job
+            })
+            .collect();
+        assert_eq!(alt_jobs, [0, 2, 1], "phase 1 visits jobs by priority");
+
+        // One MCKP report covering exactly the schedulable jobs.
+        let mckp: Vec<_> = recorder
+            .events_where(|e| matches!(e, TraceEvent::MckpSolved { .. }))
+            .collect();
+        assert_eq!(mckp.len(), 1);
+        if let TraceEvent::MckpSolved { classes, items, .. } = mckp[0] {
+            assert_eq!(*classes, 2, "only jobs with alternatives enter MCKP");
+            assert!(*items >= *classes);
+        }
+
+        // Commit outcomes mirror the returned assignments.
+        let committed: Vec<_> = recorder
+            .events_where(|e| matches!(e, TraceEvent::JobCommitted { .. }))
+            .collect();
+        assert_eq!(committed.len(), 2);
+        let deferred: Vec<_> = recorder
+            .events_where(|e| matches!(e, TraceEvent::JobDeferred { .. }))
+            .collect();
+        assert_eq!(deferred, [&TraceEvent::JobDeferred { job: 2 }]);
+
+        for phase in ["batch.phase1", "batch.phase2", "batch.commit"] {
+            let timer = recorder.timer(phase).expect(phase);
+            assert_eq!(timer.count(), 1, "{phase} timed once");
+        }
     }
 
     #[test]

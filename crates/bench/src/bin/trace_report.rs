@@ -1,0 +1,344 @@
+//! Aggregates a JSONL trace (see `slotsel-obs`) into per-algorithm and
+//! per-subsystem summary tables.
+//!
+//! ```text
+//! cargo run --release -p slotsel-bench --bin trace-report -- <trace.jsonl>
+//! ```
+//!
+//! The input is a file of one JSON object per line as written by
+//! `slotsel_obs::TraceRecorder` — for example the trace produced by
+//! `cargo run --release --example fault_tolerant_rolling`. The output
+//! mirrors the paper's table format: one row per selection policy with
+//! its scan statistics, followed by batch-scheduling, rolling-cycle and
+//! disruption/recovery summaries when the trace contains those events.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use slotsel_obs::{Histogram, Timer, TraceEvent, TraceReader};
+
+/// Scan statistics accumulated per selection policy.
+#[derive(Default)]
+struct PolicyStats {
+    scans: u64,
+    found: u64,
+    slots_total: Histogram,
+    slots_admitted: Histogram,
+    slots_rejected: Histogram,
+    windows_evaluated: Histogram,
+    peak_alive: Histogram,
+    best_updates: Histogram,
+    best_score: Histogram,
+    pending_updates: u64,
+}
+
+/// Batch-scheduler statistics across all cycles in the trace.
+#[derive(Default)]
+struct BatchStats {
+    batches: u64,
+    jobs: Histogram,
+    alternatives: Histogram,
+    mckp_classes: Histogram,
+    mckp_items: Histogram,
+    mckp_exact: u64,
+    mckp_total: u64,
+    committed: u64,
+    deferred: u64,
+    commit_cost: Histogram,
+}
+
+/// Rolling-simulation and disruption/recovery statistics.
+#[derive(Default)]
+struct RollingStats {
+    cycles: u64,
+    pending: Histogram,
+    scheduled: Histogram,
+    spent: Histogram,
+    revocations: u64,
+    node_failures: u64,
+    node_restorations: u64,
+    degradations: u64,
+    audits_survived: u64,
+    audits_failed: u64,
+    rescued_retry: u64,
+    rescued_migrate: u64,
+    lost: u64,
+    parked: u64,
+    readmitted: u64,
+}
+
+#[derive(Default)]
+struct Report {
+    events: u64,
+    policies: BTreeMap<String, PolicyStats>,
+    batch: BatchStats,
+    rolling: RollingStats,
+    counters: BTreeMap<String, u64>,
+    samples: BTreeMap<String, Histogram>,
+    timers: BTreeMap<String, Timer>,
+}
+
+impl Report {
+    #[allow(clippy::cast_precision_loss)]
+    fn ingest(&mut self, event: TraceEvent) {
+        self.events += 1;
+        match event {
+            TraceEvent::Count { name, delta } => {
+                *self.counters.entry(name).or_default() += delta;
+            }
+            TraceEvent::Sample { name, value } => {
+                self.samples.entry(name).or_default().observe(value);
+            }
+            TraceEvent::Timing { name, nanos } => {
+                self.timers.entry(name).or_default().record_ns(nanos);
+            }
+            TraceEvent::ScanStarted {
+                policy,
+                slots_total,
+                ..
+            } => {
+                let stats = self.policies.entry(policy).or_default();
+                stats.slots_total.observe(slots_total as f64);
+                stats.pending_updates = 0;
+            }
+            TraceEvent::BestUpdated { policy, .. } => {
+                self.policies.entry(policy).or_default().pending_updates += 1;
+            }
+            TraceEvent::ScanFinished {
+                policy,
+                slots_admitted,
+                slots_rejected,
+                windows_evaluated,
+                peak_alive,
+                found,
+                best_score,
+            } => {
+                let stats = self.policies.entry(policy).or_default();
+                stats.scans += 1;
+                stats.slots_admitted.observe(slots_admitted as f64);
+                stats.slots_rejected.observe(slots_rejected as f64);
+                stats.windows_evaluated.observe(windows_evaluated as f64);
+                stats.peak_alive.observe(peak_alive as f64);
+                stats.best_updates.observe(stats.pending_updates as f64);
+                stats.pending_updates = 0;
+                if found {
+                    stats.found += 1;
+                    stats.best_score.observe(best_score);
+                }
+            }
+            TraceEvent::BatchStarted { jobs } => {
+                self.batch.batches += 1;
+                self.batch.jobs.observe(jobs as f64);
+            }
+            TraceEvent::AlternativesFound { count, .. } => {
+                self.batch.alternatives.observe(count as f64);
+            }
+            TraceEvent::MckpSolved {
+                classes,
+                items,
+                exact,
+            } => {
+                self.batch.mckp_total += 1;
+                self.batch.mckp_exact += u64::from(exact);
+                self.batch.mckp_classes.observe(classes as f64);
+                self.batch.mckp_items.observe(items as f64);
+            }
+            TraceEvent::JobCommitted { cost, .. } => {
+                self.batch.committed += 1;
+                self.batch.commit_cost.observe(cost);
+            }
+            TraceEvent::JobDeferred { .. } => self.batch.deferred += 1,
+            TraceEvent::CycleStarted { pending, .. } => {
+                self.rolling.cycles += 1;
+                self.rolling.pending.observe(pending as f64);
+            }
+            TraceEvent::CycleFinished {
+                scheduled, spent, ..
+            } => {
+                self.rolling.scheduled.observe(scheduled as f64);
+                self.rolling.spent.observe(spent);
+            }
+            TraceEvent::SlotRevoked { .. } => self.rolling.revocations += 1,
+            TraceEvent::NodeFailed { .. } => self.rolling.node_failures += 1,
+            TraceEvent::NodeRestored { .. } => self.rolling.node_restorations += 1,
+            TraceEvent::NodeDegraded { .. } => self.rolling.degradations += 1,
+            TraceEvent::WindowAudited { survived, .. } => {
+                if survived {
+                    self.rolling.audits_survived += 1;
+                } else {
+                    self.rolling.audits_failed += 1;
+                }
+            }
+            TraceEvent::JobRescued { via, .. } => {
+                if via == "migrate" {
+                    self.rolling.rescued_migrate += 1;
+                } else {
+                    self.rolling.rescued_retry += 1;
+                }
+            }
+            TraceEvent::JobLost { .. } => self.rolling.lost += 1,
+            TraceEvent::JobParked { .. } => self.rolling.parked += 1,
+            TraceEvent::JobReadmitted { .. } => self.rolling.readmitted += 1,
+        }
+    }
+}
+
+fn mean(histogram: &Histogram) -> f64 {
+    histogram.mean().unwrap_or(0.0)
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn render(report: &Report) {
+    println!("trace events: {}", report.events);
+
+    if !report.policies.is_empty() {
+        println!("\nAEP scans (means per scan, by selection policy)\n");
+        println!(
+            "{:<12} {:>7} {:>7} {:>9} {:>9} {:>9} {:>10} {:>9} {:>12}",
+            "policy",
+            "scans",
+            "found",
+            "slots",
+            "admitted",
+            "rejected",
+            "windows",
+            "alive",
+            "best score"
+        );
+        for (policy, s) in &report.policies {
+            println!(
+                "{:<12} {:>7} {:>6.1}% {:>9.1} {:>9.1} {:>9.1} {:>10.1} {:>9.1} {:>12.2}",
+                policy,
+                s.scans,
+                if s.scans == 0 {
+                    0.0
+                } else {
+                    100.0 * s.found as f64 / s.scans as f64
+                },
+                mean(&s.slots_total),
+                mean(&s.slots_admitted),
+                mean(&s.slots_rejected),
+                mean(&s.windows_evaluated),
+                mean(&s.peak_alive),
+                mean(&s.best_score),
+            );
+        }
+    }
+
+    if report.batch.batches > 0 {
+        let b = &report.batch;
+        println!("\nBatch scheduling\n");
+        println!(
+            "  cycles {:>6}   jobs/cycle {:>6.1}   alternatives/job {:>6.1}",
+            b.batches,
+            mean(&b.jobs),
+            mean(&b.alternatives)
+        );
+        println!(
+            "  MCKP: {} solved ({} exact, {} greedy), {:.1} classes x {:.1} items avg",
+            b.mckp_total,
+            b.mckp_exact,
+            b.mckp_total - b.mckp_exact,
+            mean(&b.mckp_classes),
+            mean(&b.mckp_items)
+        );
+        println!(
+            "  committed {:>6}   deferred {:>6}   mean window cost {:>10.2}",
+            b.committed,
+            b.deferred,
+            mean(&b.commit_cost)
+        );
+    }
+
+    if report.rolling.cycles > 0 {
+        let r = &report.rolling;
+        println!("\nRolling simulation\n");
+        println!(
+            "  cycles {:>6}   pending/cycle {:>6.1}   completed/cycle {:>6.1}   spent/cycle {:>10.2}",
+            r.cycles,
+            mean(&r.pending),
+            mean(&r.scheduled),
+            mean(&r.spent)
+        );
+        let disruptions = r.revocations + r.node_failures + r.node_restorations + r.degradations;
+        if disruptions + r.audits_survived + r.audits_failed > 0 {
+            println!("\nDisruptions and recovery\n");
+            println!(
+                "  revocations {:>5}   failures {:>5}   restorations {:>5}   degradations {:>5}",
+                r.revocations, r.node_failures, r.node_restorations, r.degradations
+            );
+            println!(
+                "  window audits: {} survived, {} destroyed",
+                r.audits_survived, r.audits_failed
+            );
+            println!(
+                "  rescued by retry {:>5}   by migration {:>5}   lost {:>5}   parked {:>5}   readmitted {:>5}",
+                r.rescued_retry, r.rescued_migrate, r.lost, r.parked, r.readmitted
+            );
+        }
+    }
+
+    if !report.counters.is_empty() {
+        println!("\nCounters\n");
+        for (name, total) in &report.counters {
+            println!("  {name:<28} {total:>12}");
+        }
+    }
+    if !report.samples.is_empty() {
+        println!("\nDistributions\n");
+        for (name, h) in &report.samples {
+            println!(
+                "  {name:<28} n={:<8} mean={:<10.2} min={:<10.2} max={:<10.2}",
+                h.count(),
+                mean(h),
+                h.min().unwrap_or(0.0),
+                h.max().unwrap_or(0.0)
+            );
+        }
+    }
+    if !report.timers.is_empty() {
+        println!("\nTimings (wall clock)\n");
+        for (name, t) in &report.timers {
+            println!(
+                "  {name:<28} n={:<8} total={:<10.3}ms mean={:<10.4}ms max={:<10.4}ms",
+                t.count(),
+                t.total_ms(),
+                t.mean_ms().unwrap_or(0.0),
+                t.max_ms().unwrap_or(0.0)
+            );
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(path) = args.get(1).filter(|p| !p.starts_with('-')) else {
+        eprintln!("usage: trace-report <trace.jsonl>");
+        eprintln!("aggregates a slotsel-obs JSONL trace into summary tables");
+        return ExitCode::FAILURE;
+    };
+
+    let file = match File::open(path) {
+        Ok(file) => file,
+        Err(error) => {
+            eprintln!("trace-report: cannot open {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut report = Report::default();
+    for event in TraceReader::new(BufReader::new(file)) {
+        match event {
+            Ok(event) => report.ingest(event),
+            Err(error) => {
+                eprintln!("trace-report: {path}: {error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("# {path}");
+    render(&report);
+    ExitCode::SUCCESS
+}

@@ -52,6 +52,8 @@
 //! # }
 //! ```
 
+use slotsel_obs::{NoopRecorder, Recorder, Stopwatch, TraceEvent};
+
 use crate::node::Platform;
 use crate::request::ResourceRequest;
 use crate::selectors::{build_window, Candidate};
@@ -109,6 +111,9 @@ pub struct ScanStats {
     /// Slots admitted into the extended window (passed the hardware check
     /// and were long enough in principle).
     pub slots_admitted: usize,
+    /// Slots visited but never admitted: wrong hardware for the request,
+    /// or too short for the task even when fully used.
+    pub slots_rejected: usize,
     /// Scan steps at which a suitable window existed and was evaluated.
     pub windows_evaluated: usize,
     /// Largest size the extended window reached.
@@ -145,6 +150,9 @@ pub fn scan(
 /// that are too short for the task even when fully used, never enter the
 /// extended window. With a deadline set, candidates that cannot complete by
 /// it are pruned and the scan stops once window starts pass the deadline.
+///
+/// Equivalent to [`scan_traced`] with a [`NoopRecorder`]; the probes
+/// compile away entirely on this path.
 #[must_use]
 pub fn scan_with(
     platform: &Platform,
@@ -153,10 +161,45 @@ pub fn scan_with(
     policy: &mut dyn SelectionPolicy,
     options: ScanOptions,
 ) -> ScanOutcome {
+    scan_traced(platform, slots, request, policy, options, &mut NoopRecorder)
+}
+
+/// Runs the AEP scan with observability probes.
+///
+/// On top of [`scan_with`]'s behaviour, the scan reports to `recorder`:
+///
+/// - [`TraceEvent::ScanStarted`] / [`TraceEvent::ScanFinished`] bracketing
+///   the scan, the latter carrying the full [`ScanStats`];
+/// - [`TraceEvent::BestUpdated`] for every improvement of the best-so-far
+///   window (the paper's `maxCriterion` updates);
+/// - an `"aep.alive"` sample of the extended-window size at every
+///   admission, and an `"aep.scan"` wall-clock timing for the whole scan.
+///
+/// All probes are gated on [`Recorder::enabled`]: with the default
+/// [`NoopRecorder`] (a constant `false`) the instrumented branches are
+/// dead code and this function monomorphises to the uninstrumented scan.
+#[must_use]
+pub fn scan_traced<R: Recorder>(
+    platform: &Platform,
+    slots: &SlotList,
+    request: &ResourceRequest,
+    policy: &mut dyn SelectionPolicy,
+    options: ScanOptions,
+    recorder: &mut R,
+) -> ScanOutcome {
     let n = request.node_count();
     let mut alive: Vec<Candidate> = Vec::new();
     let mut stats = ScanStats::default();
     let mut best: Option<(f64, Window)> = None;
+
+    let watch = Stopwatch::start_if(recorder.enabled());
+    if recorder.enabled() {
+        recorder.emit(TraceEvent::ScanStarted {
+            policy: policy.name().to_string(),
+            nodes_requested: n as u64,
+            slots_total: slots.len() as u64,
+        });
+    }
 
     for slot in slots {
         let window_start = slot.start();
@@ -180,10 +223,12 @@ pub fn scan_with(
             .get(slot.node())
             .is_some_and(|node| request.requirements().admits(node));
         if !admitted {
+            stats.slots_rejected += 1;
             continue;
         }
         let candidate = Candidate::new(*slot, request.volume());
         if slot.length() < candidate.length {
+            stats.slots_rejected += 1;
             continue; // Too short even when fully used.
         }
         // A node hosts at most one task: a newer slot on the same node
@@ -202,6 +247,10 @@ pub fn scan_with(
                     .is_none_or(|d| window_start + c.length <= d)
         });
         stats.peak_extended_window = stats.peak_extended_window.max(alive.len());
+        if recorder.enabled() {
+            #[allow(clippy::cast_precision_loss)]
+            recorder.observe("aep.alive", alive.len() as f64);
+        }
 
         if alive.len() < n {
             continue;
@@ -213,11 +262,34 @@ pub fn scan_with(
             stats.windows_evaluated += 1;
             let improved = best.as_ref().is_none_or(|(s, _)| score < *s);
             if improved {
+                if recorder.enabled() {
+                    recorder.emit(TraceEvent::BestUpdated {
+                        policy: policy.name().to_string(),
+                        step: stats.slots_admitted as u64,
+                        window_start: window_start.ticks(),
+                        score,
+                    });
+                }
                 best = Some((score, window));
             }
             if policy.stop_at_first() {
                 break;
             }
+        }
+    }
+
+    if recorder.enabled() {
+        recorder.emit(TraceEvent::ScanFinished {
+            policy: policy.name().to_string(),
+            slots_admitted: stats.slots_admitted as u64,
+            slots_rejected: stats.slots_rejected as u64,
+            windows_evaluated: stats.windows_evaluated as u64,
+            peak_alive: stats.peak_extended_window as u64,
+            found: best.is_some(),
+            best_score: best.as_ref().map_or(0.0, |(score, _)| *score),
+        });
+        if let Some(watch) = watch {
+            recorder.time_ns("aep.scan", watch.elapsed_ns());
         }
     }
 
@@ -617,6 +689,100 @@ mod tests {
             pruned.best.as_ref().map(Window::finish)
         );
         assert!(pruned.stats.slots_admitted <= plain.stats.slots_admitted);
+    }
+
+    #[test]
+    fn traced_scan_matches_untraced_and_reports_consistent_events() {
+        use slotsel_obs::MemoryRecorder;
+
+        let p = platform(&[2, 4, 8, 3]);
+        let mut slots = full_slots(&p, 600);
+        // One slot on an unknown node: must show up as a rejection.
+        slots.add(
+            NodeId(77),
+            Interval::new(TimePoint::new(5), TimePoint::new(600)),
+            Performance::new(2),
+            Money::from_units(1),
+        );
+        let req = request(2, 100, 100_000);
+
+        let mut plain_policy = CheapestBy {
+            criterion: Criterion::MinTotalCost,
+            first: false,
+        };
+        let plain = scan_with(&p, &slots, &req, &mut plain_policy, ScanOptions::default());
+
+        let mut traced_policy = CheapestBy {
+            criterion: Criterion::MinTotalCost,
+            first: false,
+        };
+        let mut recorder = MemoryRecorder::new();
+        let traced = scan_traced(
+            &p,
+            &slots,
+            &req,
+            &mut traced_policy,
+            ScanOptions::default(),
+            &mut recorder,
+        );
+
+        // Identical outcome with and without probes.
+        assert_eq!(plain.stats, traced.stats);
+        assert_eq!(
+            plain.best.as_ref().map(Window::total_cost),
+            traced.best.as_ref().map(Window::total_cost)
+        );
+        assert_eq!(plain.stats.slots_rejected, 1);
+
+        // The emitted ScanFinished mirrors the returned stats.
+        let finished = recorder
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                slotsel_obs::TraceEvent::ScanFinished {
+                    slots_admitted,
+                    slots_rejected,
+                    windows_evaluated,
+                    peak_alive,
+                    found,
+                    ..
+                } => Some((
+                    *slots_admitted,
+                    *slots_rejected,
+                    *windows_evaluated,
+                    *peak_alive,
+                    *found,
+                )),
+                _ => None,
+            })
+            .expect("a ScanFinished event");
+        assert_eq!(
+            finished,
+            (
+                traced.stats.slots_admitted as u64,
+                traced.stats.slots_rejected as u64,
+                traced.stats.windows_evaluated as u64,
+                traced.stats.peak_extended_window as u64,
+                traced.best.is_some(),
+            )
+        );
+        // One alive-set sample per admission; a timing for the scan.
+        assert_eq!(
+            recorder.samples("aep.alive").unwrap().count(),
+            traced.stats.slots_admitted as u64
+        );
+        assert_eq!(recorder.timer("aep.scan").unwrap().count(), 1);
+        // Scores only ever improve across BestUpdated events.
+        let scores: Vec<f64> = recorder
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                slotsel_obs::TraceEvent::BestUpdated { score, .. } => Some(*score),
+                _ => None,
+            })
+            .collect();
+        assert!(!scores.is_empty());
+        assert!(scores.windows(2).all(|w| w[1] < w[0]));
     }
 
     #[test]

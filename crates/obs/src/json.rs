@@ -1,0 +1,431 @@
+//! A minimal, deterministic JSON writer and parser.
+//!
+//! The observability layer must stay dependency-free (it sits *below*
+//! `slotsel-core` in the workspace graph), so it carries its own JSON
+//! support — just enough for the flat event objects of [`crate::event`]:
+//! objects, strings, integers, floats and booleans. No arrays, no nesting,
+//! no `null`: the event schema never produces them, and rejecting them
+//! keeps the parser honest about what a trace line may contain.
+//!
+//! Determinism is the point. [`ObjectWriter`] emits fields in exactly the
+//! call order, floats are formatted with Rust's shortest-round-trip
+//! `Display`, and no timestamps or hash-map iteration are involved — so
+//! the same events always serialize to the same bytes, which is what lets
+//! traces be compared byte-for-byte across runs (see the determinism
+//! property test in `slotsel-sim`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON scalar: the only value kinds event fields may hold.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonScalar {
+    /// A string value, unescaped.
+    Str(String),
+    /// A number; kept as `f64`, which is lossless for every integer the
+    /// event schema emits (all are well below 2^53).
+    Num(f64),
+    /// A boolean value.
+    Bool(bool),
+}
+
+impl JsonScalar {
+    /// The string payload, if this scalar is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonScalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this scalar is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonScalar::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this scalar is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonScalar::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed flat JSON object: field name to scalar value.
+///
+/// Backed by a `BTreeMap` so lookups are simple; the *writer* side never
+/// touches a map, so serialization order stays the caller's call order.
+pub type JsonObject = BTreeMap<String, JsonScalar>;
+
+/// Builds one flat JSON object as a single line, fields in call order.
+///
+/// ```
+/// use slotsel_obs::json::ObjectWriter;
+///
+/// let mut w = ObjectWriter::new();
+/// w.str_field("type", "scan_started");
+/// w.u64_field("slots", 42);
+/// assert_eq!(w.finish(), r#"{"type":"scan_started","slots":42}"#);
+/// ```
+#[derive(Debug)]
+pub struct ObjectWriter {
+    buf: String,
+    first: bool,
+}
+
+impl Default for ObjectWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObjectWriter {
+    /// Starts an empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        ObjectWriter {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        escape_into(name, &mut self.buf);
+        self.buf.push_str("\":");
+    }
+
+    /// Appends a string field.
+    pub fn str_field(&mut self, name: &str, value: &str) {
+        self.key(name);
+        self.buf.push('"');
+        escape_into(value, &mut self.buf);
+        self.buf.push('"');
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn u64_field(&mut self, name: &str, value: u64) {
+        self.key(name);
+        let _ = write!(self.buf, "{value}");
+    }
+
+    /// Appends a signed integer field.
+    pub fn i64_field(&mut self, name: &str, value: i64) {
+        self.key(name);
+        let _ = write!(self.buf, "{value}");
+    }
+
+    /// Appends a float field, using Rust's shortest-round-trip formatting.
+    ///
+    /// Non-finite values have no JSON representation; they are clamped to
+    /// the literal `0` with a `"non_finite"` marker string appended under
+    /// `<name>_invalid` so the anomaly stays visible in the trace.
+    pub fn f64_field(&mut self, name: &str, value: f64) {
+        if value.is_finite() {
+            self.key(name);
+            if value == value.trunc() && value.abs() < 1e15 {
+                // Keep integral floats readable (`3` not `3.0`): JSON does
+                // not distinguish, and the parser reads both identically.
+                let _ = write!(self.buf, "{}", value.trunc() as i64);
+            } else {
+                let _ = write!(self.buf, "{value}");
+            }
+        } else {
+            self.key(name);
+            self.buf.push('0');
+            self.str_field(&format!("{name}_invalid"), "non_finite");
+        }
+    }
+
+    /// Appends a boolean field.
+    pub fn bool_field(&mut self, name: &str, value: bool) {
+        self.key(name);
+        self.buf.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Closes the object and returns the single-line JSON string.
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Error from [`parse_object`]: what went wrong and roughly where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the line at which parsing failed.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one flat JSON object line into a [`JsonObject`].
+///
+/// Accepts exactly the subset [`ObjectWriter`] produces (plus arbitrary
+/// inter-token whitespace): a single object of string/number/boolean
+/// fields. Nested objects, arrays and `null` are rejected.
+pub fn parse_object(line: &str) -> Result<JsonObject, JsonError> {
+    let mut parser = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    parser.expect(b'{')?;
+    let mut object = JsonObject::new();
+    parser.skip_ws();
+    if parser.peek() == Some(b'}') {
+        parser.pos += 1;
+    } else {
+        loop {
+            parser.skip_ws();
+            let key = parser.string()?;
+            parser.skip_ws();
+            parser.expect(b':')?;
+            parser.skip_ws();
+            let value = parser.scalar()?;
+            object.insert(key, value);
+            parser.skip_ws();
+            match parser.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => return parser.fail("expected ',' or '}'"),
+            }
+        }
+    }
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return parser.fail("trailing content after object");
+    }
+    Ok(object)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn fail<T>(&self, message: &str) -> Result<T, JsonError> {
+        Err(JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, expected: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.fail(&format!("expected '{}'", expected as char))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return self.fail("unterminated string"),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let digit = match self.next() {
+                                Some(d @ b'0'..=b'9') => u32::from(d - b'0'),
+                                Some(d @ b'a'..=b'f') => u32::from(d - b'a') + 10,
+                                Some(d @ b'A'..=b'F') => u32::from(d - b'A') + 10,
+                                _ => return self.fail("bad \\u escape"),
+                            };
+                            code = code * 16 + digit;
+                        }
+                        match char::from_u32(code) {
+                            Some(c) => out.push(c),
+                            // Surrogates never appear: the writer escapes
+                            // only control characters this way.
+                            None => return self.fail("\\u escape is not a scalar value"),
+                        }
+                    }
+                    _ => return self.fail("unknown escape"),
+                },
+                Some(b) if b < 0x20 => return self.fail("raw control character in string"),
+                Some(b) => {
+                    // Re-assemble UTF-8 runs starting at this byte.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    for _ in 1..len {
+                        self.next();
+                    }
+                    match std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return self.fail("invalid UTF-8"),
+                    }
+                }
+            }
+        }
+    }
+
+    fn scalar(&mut self) -> Result<JsonScalar, JsonError> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonScalar::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonScalar::Bool(true)),
+            Some(b'f') => self.literal("false", JsonScalar::Bool(false)),
+            Some(b'-' | b'0'..=b'9') => {
+                let start = self.pos;
+                while matches!(
+                    self.peek(),
+                    Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+                ) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .expect("number bytes are ASCII");
+                text.parse::<f64>()
+                    .map(JsonScalar::Num)
+                    .or_else(|_| self.fail("malformed number"))
+            }
+            _ => self.fail("expected a string, number or boolean"),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonScalar) -> Result<JsonScalar, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.fail(&format!("expected '{word}'"))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xF0..=0xF7 => 4,
+        0xE0..=0xEF => 3,
+        0xC0..=0xDF => 2,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_fields_in_call_order() {
+        let mut w = ObjectWriter::new();
+        w.str_field("b", "x");
+        w.u64_field("a", 1);
+        w.bool_field("c", false);
+        assert_eq!(w.finish(), r#"{"b":"x","a":1,"c":false}"#);
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(ObjectWriter::new().finish(), "{}");
+        assert_eq!(parse_object("{}").unwrap(), JsonObject::new());
+    }
+
+    #[test]
+    fn escapes_and_unescapes() {
+        let nasty = "a\"b\\c\nd\te\u{1}f — ünïcødé";
+        let mut w = ObjectWriter::new();
+        w.str_field("s", nasty);
+        let line = w.finish();
+        let parsed = parse_object(&line).unwrap();
+        assert_eq!(parsed["s"].as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn numbers_round_trip() {
+        let mut w = ObjectWriter::new();
+        w.i64_field("i", -42);
+        w.u64_field("u", u64::from(u32::MAX));
+        w.f64_field("f", 0.1 + 0.2);
+        w.f64_field("whole", 3.0);
+        let parsed = parse_object(&w.finish()).unwrap();
+        assert_eq!(parsed["i"].as_f64(), Some(-42.0));
+        assert_eq!(parsed["u"].as_f64(), Some(f64::from(u32::MAX)));
+        assert_eq!(parsed["f"].as_f64(), Some(0.1 + 0.2));
+        assert_eq!(parsed["whole"].as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn non_finite_floats_are_marked() {
+        let mut w = ObjectWriter::new();
+        w.f64_field("x", f64::NAN);
+        let parsed = parse_object(&w.finish()).unwrap();
+        assert_eq!(parsed["x"].as_f64(), Some(0.0));
+        assert_eq!(parsed["x_invalid"].as_str(), Some("non_finite"));
+    }
+
+    #[test]
+    fn rejects_nesting_arrays_and_null() {
+        assert!(parse_object(r#"{"a":[1]}"#).is_err());
+        assert!(parse_object(r#"{"a":{"b":1}}"#).is_err());
+        assert!(parse_object(r#"{"a":null}"#).is_err());
+        assert!(parse_object(r#"{"a":1} extra"#).is_err());
+        assert!(parse_object(r#"{"a":1"#).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! # slotsel-obs
+//!
+//! The observability layer of the slotsel workspace: a zero-dependency
+//! instrumentation substrate for the AEP scan, the two-phase batch
+//! scheduler and the rolling-horizon simulation.
+//!
+//! The paper's entire evaluation (Figures 2–6, Tables 1–2) is built from
+//! per-scan behaviour — windows examined, criterion values, working time —
+//! that the algorithms compute and would otherwise throw away. This crate
+//! is how that telemetry gets out:
+//!
+//! - [`recorder::Recorder`] — the probe interface the hot paths are
+//!   generic over, with three stock implementations:
+//!   [`recorder::NoopRecorder`] (the default; compiles to the
+//!   uninstrumented code), [`recorder::TraceRecorder`] (streams JSONL)
+//!   and [`recorder::MemoryRecorder`] (in-process aggregates);
+//! - [`event::TraceEvent`] — the typed event schema, documented in
+//!   `docs/OBSERVABILITY.md`, with a stable, deterministic JSONL wire
+//!   format and a round-trip decoder;
+//! - [`stats`] — counter / histogram / timer aggregation primitives plus
+//!   the [`stats::Stopwatch`] used to feed timers;
+//! - [`read`] — streaming trace reader for report tooling;
+//! - [`json`] — the minimal deterministic JSON writer/parser underneath
+//!   (this crate sits *below* `slotsel-core` and carries no
+//!   dependencies, vendored or otherwise).
+//!
+//! ## Determinism
+//!
+//! Every event except [`event::TraceEvent::Timing`] is a pure function of
+//! the simulation's seed and configuration. A
+//! [`recorder::TraceRecorder::deterministic`] sink drops the timing
+//! channel, making the whole trace byte-reproducible — the property
+//! `slotsel-sim` pins with a test, and what makes traces diffable
+//! artifacts in regression hunts.
+//!
+//! ## Example
+//!
+//! ```
+//! use slotsel_obs::event::TraceEvent;
+//! use slotsel_obs::recorder::{Recorder, TraceRecorder};
+//!
+//! let mut recorder = TraceRecorder::deterministic(Vec::new());
+//! recorder.emit(TraceEvent::CycleStarted { cycle: 0, pending: 4 });
+//! recorder.count("aep.slots_rejected", 2);
+//! let bytes = recorder.finish().unwrap();
+//!
+//! let events = slotsel_obs::read::read_trace(&bytes[..]).unwrap();
+//! assert_eq!(events.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod json;
+pub mod read;
+pub mod recorder;
+pub mod stats;
+
+pub use event::{EventDecodeError, TraceEvent};
+pub use read::{read_trace, TraceReader};
+pub use recorder::{MemoryRecorder, NoopRecorder, Recorder, TraceRecorder};
+pub use stats::{Counter, Histogram, Stopwatch, Timer};

@@ -1,0 +1,116 @@
+//! Reading JSONL traces back into events.
+//!
+//! The consuming side of the trace pipeline: `trace-report` in
+//! `slotsel-bench` and the round-trip tests both go through
+//! [`read_trace`] / [`TraceReader`] rather than hand-parsing lines.
+
+use std::io::BufRead;
+
+use crate::event::{EventDecodeError, TraceEvent};
+
+/// A decoding failure, with the 1-based line number it occurred on.
+#[derive(Debug)]
+pub struct TraceReadError {
+    /// 1-based line number of the offending line.
+    pub line: u64,
+    /// What went wrong on that line.
+    pub cause: TraceReadCause,
+}
+
+/// The underlying cause of a [`TraceReadError`].
+#[derive(Debug)]
+pub enum TraceReadCause {
+    /// The line could not be read from the source at all.
+    Io(std::io::Error),
+    /// The line was read but is not a valid event.
+    Decode(EventDecodeError),
+}
+
+impl std::fmt::Display for TraceReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.cause {
+            TraceReadCause::Io(e) => write!(f, "line {}: {e}", self.line),
+            TraceReadCause::Decode(e) => write!(f, "line {}: {e}", self.line),
+        }
+    }
+}
+
+impl std::error::Error for TraceReadError {}
+
+/// Streams events out of a JSONL trace, one per non-blank line.
+#[derive(Debug)]
+pub struct TraceReader<R: BufRead> {
+    source: R,
+    line: u64,
+}
+
+impl<R: BufRead> TraceReader<R> {
+    /// Wraps a buffered source.
+    pub fn new(source: R) -> Self {
+        TraceReader { source, line: 0 }
+    }
+}
+
+impl<R: BufRead> Iterator for TraceReader<R> {
+    type Item = Result<TraceEvent, TraceReadError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let mut buf = String::new();
+            self.line += 1;
+            match self.source.read_line(&mut buf) {
+                Ok(0) => return None,
+                Ok(_) => {
+                    let line = buf.trim();
+                    if line.is_empty() {
+                        continue; // Blank lines separate sections, legally.
+                    }
+                    return Some(TraceEvent::from_json_line(line).map_err(|cause| {
+                        TraceReadError {
+                            line: self.line,
+                            cause: TraceReadCause::Decode(cause),
+                        }
+                    }));
+                }
+                Err(e) => {
+                    return Some(Err(TraceReadError {
+                        line: self.line,
+                        cause: TraceReadCause::Io(e),
+                    }))
+                }
+            }
+        }
+    }
+}
+
+/// Reads a whole trace into memory, failing on the first bad line.
+pub fn read_trace<R: BufRead>(source: R) -> Result<Vec<TraceEvent>, TraceReadError> {
+    TraceReader::new(source).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_lines_skipping_blanks() {
+        let text = "{\"type\":\"job_lost\",\"cycle\":1,\"job\":2}\n\n\
+                    {\"type\":\"job_deferred\",\"job\":3}\n";
+        let events = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(
+            events,
+            vec![
+                TraceEvent::JobLost { cycle: 1, job: 2 },
+                TraceEvent::JobDeferred { job: 3 },
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_the_offending_line_number() {
+        let text = "{\"type\":\"job_deferred\",\"job\":3}\nnot json\n";
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.cause, TraceReadCause::Decode(_)));
+    }
+}

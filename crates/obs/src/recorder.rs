@@ -1,0 +1,370 @@
+//! The [`Recorder`] trait and its three stock implementations.
+//!
+//! Instrumented hot paths are generic over `R: Recorder`; the compiler
+//! monomorphises each call site, so the [`NoopRecorder`] path — whose
+//! methods are empty and whose [`Recorder::enabled`] is a constant
+//! `false` — compiles to exactly the uninstrumented code. The other two
+//! implementations trade where the data goes: [`TraceRecorder`] streams
+//! every event to a JSONL sink, [`MemoryRecorder`] folds everything into
+//! in-process aggregates.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+
+use crate::event::TraceEvent;
+use crate::stats::{Counter, Histogram, Timer};
+
+/// A sink for observability data from instrumented hot paths.
+///
+/// The three channel methods ([`count`](Recorder::count),
+/// [`observe`](Recorder::observe), [`time_ns`](Recorder::time_ns)) carry
+/// unstructured name/value pairs; [`emit`](Recorder::emit) carries the
+/// typed [`TraceEvent`]s. Call sites should gate any work spent *building*
+/// an event (formatting, cloning, clock reads) on
+/// [`enabled`](Recorder::enabled).
+pub trait Recorder {
+    /// `false` when recording is a no-op and call sites may skip building
+    /// events entirely. Constant per implementation so the branch folds.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Increments the named counter by `delta`.
+    fn count(&mut self, name: &'static str, delta: u64);
+
+    /// Adds one sample to the named distribution.
+    fn observe(&mut self, name: &'static str, value: f64);
+
+    /// Records one duration, in nanoseconds, under the named timer.
+    fn time_ns(&mut self, name: &'static str, nanos: u64);
+
+    /// Records one structured trace event.
+    fn emit(&mut self, event: TraceEvent);
+}
+
+/// The default recorder: drops everything, compiles to nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn count(&mut self, _name: &'static str, _delta: u64) {}
+
+    #[inline(always)]
+    fn observe(&mut self, _name: &'static str, _value: f64) {}
+
+    #[inline(always)]
+    fn time_ns(&mut self, _name: &'static str, _nanos: u64) {}
+
+    #[inline(always)]
+    fn emit(&mut self, _event: TraceEvent) {}
+}
+
+/// Every `&mut R: Recorder` is itself a recorder, so call sites can pass
+/// their recorder down without giving it up.
+impl<R: Recorder + ?Sized> Recorder for &mut R {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn count(&mut self, name: &'static str, delta: u64) {
+        (**self).count(name, delta);
+    }
+
+    fn observe(&mut self, name: &'static str, value: f64) {
+        (**self).observe(name, value);
+    }
+
+    fn time_ns(&mut self, name: &'static str, nanos: u64) {
+        (**self).time_ns(name, nanos);
+    }
+
+    fn emit(&mut self, event: TraceEvent) {
+        (**self).emit(event);
+    }
+}
+
+/// Streams every recording as one JSONL line to a [`Write`] sink.
+///
+/// The channel methods are wrapped into the [`TraceEvent::Count`],
+/// [`TraceEvent::Sample`] and [`TraceEvent::Timing`] variants, so the
+/// trace is a single homogeneous event stream.
+///
+/// In [deterministic mode](TraceRecorder::deterministic) the
+/// [`Timing`](TraceEvent::Timing) channel — the only wall-clock-dependent
+/// one — is dropped, making the byte stream a pure function of the
+/// simulation's seed and configuration.
+///
+/// Write errors do not panic and cannot be returned from the recording
+/// methods; the first one is kept and surfaced by
+/// [`finish`](TraceRecorder::finish).
+#[derive(Debug)]
+pub struct TraceRecorder<W: Write> {
+    sink: W,
+    include_timings: bool,
+    error: Option<std::io::Error>,
+    lines: u64,
+}
+
+impl<W: Write> TraceRecorder<W> {
+    /// A recorder writing every event, timings included.
+    pub fn new(sink: W) -> Self {
+        TraceRecorder {
+            sink,
+            include_timings: true,
+            error: None,
+            lines: 0,
+        }
+    }
+
+    /// A recorder whose output is byte-reproducible across runs: identical
+    /// seed and configuration produce an identical trace. Drops the
+    /// wall-clock [`Timing`](TraceEvent::Timing) events.
+    pub fn deterministic(sink: W) -> Self {
+        TraceRecorder {
+            sink,
+            include_timings: false,
+            error: None,
+            lines: 0,
+        }
+    }
+
+    /// Lines successfully written so far.
+    #[must_use]
+    pub fn lines_written(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes the sink and returns it, or the first write error.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+
+    fn write_line(&mut self, event: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = event.to_json_line();
+        if let Err(error) = self
+            .sink
+            .write_all(line.as_bytes())
+            .and_then(|()| self.sink.write_all(b"\n"))
+        {
+            self.error = Some(error);
+        } else {
+            self.lines += 1;
+        }
+    }
+}
+
+impl<W: Write> Recorder for TraceRecorder<W> {
+    fn count(&mut self, name: &'static str, delta: u64) {
+        self.write_line(&TraceEvent::Count {
+            name: name.to_string(),
+            delta,
+        });
+    }
+
+    fn observe(&mut self, name: &'static str, value: f64) {
+        self.write_line(&TraceEvent::Sample {
+            name: name.to_string(),
+            value,
+        });
+    }
+
+    fn time_ns(&mut self, name: &'static str, nanos: u64) {
+        if self.include_timings {
+            self.write_line(&TraceEvent::Timing {
+                name: name.to_string(),
+                nanos,
+            });
+        }
+    }
+
+    fn emit(&mut self, event: TraceEvent) {
+        self.write_line(&event);
+    }
+}
+
+/// Aggregates everything in memory: counters, histograms, timers and the
+/// raw event list.
+///
+/// The workhorse for tests ("did the scan admit what the stats claim?")
+/// and for quick in-process summaries without a trace file. Aggregates
+/// are keyed by name in sorted maps, so iteration order is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemoryRecorder {
+    counters: BTreeMap<&'static str, Counter>,
+    samples: BTreeMap<&'static str, Histogram>,
+    timers: BTreeMap<&'static str, Timer>,
+    events: Vec<TraceEvent>,
+}
+
+impl MemoryRecorder {
+    /// An empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        MemoryRecorder::default()
+    }
+
+    /// Total of the named counter, or 0 if it never fired.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, Counter::total)
+    }
+
+    /// The named sample distribution, if it received any samples.
+    #[must_use]
+    pub fn samples(&self, name: &str) -> Option<&Histogram> {
+        self.samples.get(name)
+    }
+
+    /// The named timer, if it recorded any durations.
+    #[must_use]
+    pub fn timer(&self, name: &str) -> Option<&Timer> {
+        self.timers.get(name)
+    }
+
+    /// All structured events, in emission order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The structured events matching `predicate`.
+    pub fn events_where<'a>(
+        &'a self,
+        predicate: impl Fn(&TraceEvent) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| predicate(e))
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn count(&mut self, name: &'static str, delta: u64) {
+        self.counters.entry(name).or_default().add(delta);
+    }
+
+    fn observe(&mut self, name: &'static str, value: f64) {
+        self.samples.entry(name).or_default().observe(value);
+    }
+
+    fn time_ns(&mut self, name: &'static str, nanos: u64) {
+        self.timers.entry(name).or_default().record_ns(nanos);
+    }
+
+    fn emit(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled_and_silent() {
+        let mut r = NoopRecorder;
+        assert!(!r.enabled());
+        r.count("x", 1);
+        r.observe("y", 2.0);
+        r.time_ns("z", 3);
+        r.emit(TraceEvent::BatchStarted { jobs: 1 });
+        assert_eq!(r, NoopRecorder);
+    }
+
+    #[test]
+    fn memory_recorder_aggregates() {
+        let mut r = MemoryRecorder::new();
+        assert!(r.enabled());
+        r.count("hits", 2);
+        r.count("hits", 3);
+        r.observe("size", 4.0);
+        r.observe("size", 8.0);
+        r.time_ns("work", 1_000_000);
+        r.emit(TraceEvent::BatchStarted { jobs: 6 });
+        assert_eq!(r.counter("hits"), 5);
+        assert_eq!(r.counter("misses"), 0);
+        assert_eq!(r.samples("size").unwrap().mean(), Some(6.0));
+        assert_eq!(r.timer("work").unwrap().mean_ms(), Some(1.0));
+        assert_eq!(r.events().len(), 1);
+    }
+
+    #[test]
+    fn trace_recorder_writes_jsonl() {
+        let mut r = TraceRecorder::new(Vec::new());
+        r.count("hits", 1);
+        r.time_ns("work", 42);
+        r.emit(TraceEvent::JobDeferred { job: 9 });
+        assert_eq!(r.lines_written(), 3);
+        let bytes = r.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let events: Vec<TraceEvent> = text
+            .lines()
+            .map(|l| TraceEvent::from_json_line(l).unwrap())
+            .collect();
+        assert_eq!(
+            events,
+            vec![
+                TraceEvent::Count {
+                    name: "hits".into(),
+                    delta: 1
+                },
+                TraceEvent::Timing {
+                    name: "work".into(),
+                    nanos: 42
+                },
+                TraceEvent::JobDeferred { job: 9 },
+            ]
+        );
+    }
+
+    #[test]
+    fn deterministic_mode_drops_timings() {
+        let mut r = TraceRecorder::deterministic(Vec::new());
+        r.time_ns("work", 42);
+        r.count("hits", 1);
+        assert_eq!(r.lines_written(), 1);
+        let text = String::from_utf8(r.finish().unwrap()).unwrap();
+        assert!(!text.contains("timing"));
+        assert!(text.contains("count"));
+    }
+
+    #[test]
+    fn mut_reference_forwards() {
+        let mut inner = MemoryRecorder::new();
+        {
+            let outer: &mut MemoryRecorder = &mut inner;
+            assert!(Recorder::enabled(&outer));
+            outer.count("x", 1);
+        }
+        assert_eq!(inner.counter("x"), 1);
+    }
+
+    #[test]
+    fn write_errors_are_kept_not_panicked() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("broken pipe"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut r = TraceRecorder::new(Broken);
+        r.count("x", 1);
+        r.count("x", 1);
+        assert_eq!(r.lines_written(), 0);
+        assert!(r.finish().is_err());
+    }
+}

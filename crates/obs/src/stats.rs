@@ -1,0 +1,243 @@
+//! Aggregation primitives: counters, histograms and timers.
+//!
+//! These are the in-memory side of the observability layer. Probes emit
+//! raw increments and samples through a [`crate::recorder::Recorder`];
+//! these types fold them into the summary statistics the reports print
+//! (count / min / mean / max, totals, rates). They are also what the
+//! `trace-report` tool in `slotsel-bench` uses to aggregate a JSONL trace
+//! back into per-algorithm tables.
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    total: u64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `delta` to the counter.
+    pub fn add(&mut self, delta: u64) {
+        self.total = self.total.saturating_add(delta);
+    }
+
+    /// The accumulated total.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// A streaming summary of a distribution: count, sum, min, max.
+///
+/// Constant-space (no stored samples), which is what lets `trace-report`
+/// chew through arbitrarily long traces.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Folds one sample in.
+    pub fn observe(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Number of samples observed.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` before the first observation.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` before the first observation.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean, or `None` before the first observation.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        #[allow(clippy::cast_precision_loss)]
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+/// A duration aggregator: a [`Histogram`] over nanoseconds with
+/// millisecond accessors for report rendering.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Timer {
+    histogram: Histogram,
+}
+
+impl Timer {
+    /// An empty timer.
+    #[must_use]
+    pub fn new() -> Self {
+        Timer::default()
+    }
+
+    /// Folds one duration (in nanoseconds) in.
+    pub fn record_ns(&mut self, nanos: u64) {
+        #[allow(clippy::cast_precision_loss)]
+        self.histogram.observe(nanos as f64);
+    }
+
+    /// Number of durations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.histogram.count()
+    }
+
+    /// Total recorded time, in milliseconds.
+    #[must_use]
+    pub fn total_ms(&self) -> f64 {
+        self.histogram.sum() / 1e6
+    }
+
+    /// Mean duration in milliseconds, or `None` before the first record.
+    #[must_use]
+    pub fn mean_ms(&self) -> Option<f64> {
+        self.histogram.mean().map(|ns| ns / 1e6)
+    }
+
+    /// Largest duration in milliseconds, or `None` before the first record.
+    #[must_use]
+    pub fn max_ms(&self) -> Option<f64> {
+        self.histogram.max().map(|ns| ns / 1e6)
+    }
+
+    /// The underlying nanosecond histogram.
+    #[must_use]
+    pub fn histogram(&self) -> &Histogram {
+        &self.histogram
+    }
+}
+
+/// Measures one wall-clock span for [`crate::recorder::Recorder::time_ns`].
+///
+/// Instrumented call sites gate the clock read on
+/// [`crate::recorder::Recorder::enabled`], so the uninstrumented path
+/// never touches `Instant`:
+///
+/// ```
+/// use slotsel_obs::recorder::{MemoryRecorder, Recorder};
+/// use slotsel_obs::stats::Stopwatch;
+///
+/// let mut recorder = MemoryRecorder::new();
+/// let watch = Stopwatch::start_if(recorder.enabled());
+/// // … the measured hot path …
+/// if let Some(watch) = watch {
+///     recorder.time_ns("hot_path", watch.elapsed_ns());
+/// }
+/// assert_eq!(recorder.timer("hot_path").unwrap().count(), 1);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: std::time::Instant,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch {
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Starts a stopwatch only when `enabled`; the `None` branch costs a
+    /// single predictable comparison on the uninstrumented path.
+    #[must_use]
+    pub fn start_if(enabled: bool) -> Option<Self> {
+        enabled.then(Stopwatch::start)
+    }
+
+    /// Nanoseconds elapsed since the start, saturated to `u64`.
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_saturates() {
+        let mut c = Counter::new();
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.total(), 7);
+        c.add(u64::MAX);
+        assert_eq!(c.total(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_tracks_count_min_mean_max() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        for v in [4.0, -2.0, 10.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), Some(-2.0));
+        assert_eq!(h.max(), Some(10.0));
+        assert_eq!(h.mean(), Some(4.0));
+    }
+
+    #[test]
+    fn timer_converts_to_milliseconds() {
+        let mut t = Timer::new();
+        t.record_ns(2_000_000);
+        t.record_ns(4_000_000);
+        assert_eq!(t.count(), 2);
+        assert_eq!(t.mean_ms(), Some(3.0));
+        assert_eq!(t.max_ms(), Some(4.0));
+        assert_eq!(t.total_ms(), 6.0);
+    }
+
+    #[test]
+    fn stopwatch_measures_something_nonnegative() {
+        let w = Stopwatch::start();
+        assert!(w.elapsed_ns() < u64::MAX);
+        assert!(Stopwatch::start_if(false).is_none());
+        assert!(Stopwatch::start_if(true).is_some());
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the event schema: serialization is total and
+//! `from_json_line` is the exact inverse of `to_json_line`, for arbitrary
+//! field contents — including hostile strings and extreme numerics.
+
+use proptest::prelude::*;
+
+use slotsel_obs::TraceEvent;
+
+/// Arbitrary Unicode strings, biased toward JSON-hostile content
+/// (quotes, backslashes, control characters, astral-plane chars).
+fn arb_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u32..0x0011_0000, 0..24).prop_map(|codes| {
+        codes
+            .into_iter()
+            .filter_map(|c| match c % 8 {
+                0 => Some('"'),
+                1 => Some('\\'),
+                2 => char::from_u32(c % 0x20), // control characters
+                _ => char::from_u32(c),        // anything valid, or skipped
+            })
+            .collect()
+    })
+}
+
+fn arb_f64() -> impl Strategy<Value = f64> {
+    (-1.0e12f64..1.0e12).prop_map(|v| v)
+}
+
+proptest! {
+    #[test]
+    fn count_round_trips(name in arb_string(), delta in 0u64..u64::from(u32::MAX)) {
+        // `name` is &'static str at the Recorder interface but arbitrary
+        // in the schema itself; the event type carries a String.
+        let event = TraceEvent::Count { name, delta };
+        let line = event.to_json_line();
+        prop_assert_eq!(TraceEvent::from_json_line(&line).unwrap(), event);
+    }
+
+    #[test]
+    fn sample_round_trips(name in arb_string(), value in arb_f64()) {
+        let event = TraceEvent::Sample { name, value };
+        let line = event.to_json_line();
+        prop_assert_eq!(TraceEvent::from_json_line(&line).unwrap(), event);
+    }
+
+    #[test]
+    fn scan_finished_round_trips(
+        policy in arb_string(),
+        admitted in 0u64..1_000_000,
+        rejected in 0u64..1_000_000,
+        evaluated in 0u64..1_000_000,
+        peak in 0u64..1_000_000,
+        found in any::<bool>(),
+        score in arb_f64(),
+    ) {
+        let event = TraceEvent::ScanFinished {
+            policy,
+            slots_admitted: admitted,
+            slots_rejected: rejected,
+            windows_evaluated: evaluated,
+            peak_alive: peak,
+            found,
+            best_score: score,
+        };
+        let line = event.to_json_line();
+        prop_assert_eq!(TraceEvent::from_json_line(&line).unwrap(), event);
+    }
+
+    #[test]
+    fn job_committed_round_trips(
+        job in 0u64..1_000_000,
+        start in -1_000_000i64..1_000_000,
+        finish in -1_000_000i64..1_000_000,
+        cost in arb_f64(),
+    ) {
+        let event = TraceEvent::JobCommitted { job, start, finish, cost };
+        let line = event.to_json_line();
+        prop_assert_eq!(TraceEvent::from_json_line(&line).unwrap(), event);
+    }
+
+    #[test]
+    fn rescue_round_trips(cycle in 0u64..10_000, job in 0u64..10_000, via in arb_string()) {
+        let event = TraceEvent::JobRescued { cycle, job, via };
+        let line = event.to_json_line();
+        prop_assert_eq!(TraceEvent::from_json_line(&line).unwrap(), event);
+    }
+
+    #[test]
+    fn serialized_lines_never_contain_raw_newlines(name in arb_string(), value in arb_f64()) {
+        let line = TraceEvent::Sample { name, value }.to_json_line();
+        prop_assert!(!line.contains('\n'), "JSONL lines must be single lines: {}", line);
+        prop_assert!(!line.contains('\r'));
+    }
+}

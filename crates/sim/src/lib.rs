@@ -47,5 +47,8 @@ pub use disruption::{DisruptionConfig, DisruptionEvent, DisruptionModel};
 pub use metrics::{MetricsAccumulator, RunningStats, SurvivalMetrics, WindowMetrics};
 pub use quality::QualityResults;
 pub use recovery::RecoveryPolicy;
-pub use rolling::{RollingConfig, RollingOutcome, RollingReport};
+pub use rolling::{
+    simulate, simulate_with_recovery, simulate_with_recovery_traced, RollingConfig, RollingOutcome,
+    RollingReport,
+};
 pub use scaling::{ScalingConfig, ScalingPoint};

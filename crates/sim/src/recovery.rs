@@ -13,6 +13,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use slotsel_obs::{NoopRecorder, Recorder, TraceEvent};
+
 use slotsel_core::money::Money;
 use slotsel_core::node::Platform;
 use slotsel_core::request::Job;
@@ -90,8 +92,22 @@ pub fn stretched(platform: &Platform, job: &Job, window: &Window) -> Window {
 /// if the joint replay audit fails (free time revoked, node failed, or a
 /// stretched edge colliding with an earlier survivor) the window is a
 /// victim. The returned survivor set always passes the joint audit.
+///
+/// Equivalent to [`detect_victims_traced`] with a [`NoopRecorder`].
 #[must_use]
 pub fn detect_victims(env: &Environment, committed: &[(&Job, &Window)]) -> VictimReport {
+    detect_victims_traced(env, committed, &mut NoopRecorder)
+}
+
+/// [`detect_victims`] with observability probes: every committed window's
+/// replay verdict is reported to `recorder` as a
+/// [`TraceEvent::WindowAudited`], in commit order.
+#[must_use]
+pub fn detect_victims_traced<R: Recorder>(
+    env: &Environment,
+    committed: &[(&Job, &Window)],
+    recorder: &mut R,
+) -> VictimReport {
     let mut report = VictimReport {
         survivor_indices: Vec::new(),
         victim_indices: Vec::new(),
@@ -101,11 +117,18 @@ pub fn detect_victims(env: &Environment, committed: &[(&Job, &Window)]) -> Victi
         let candidate = stretched(env.platform(), job, window);
         report.survivor_windows.push(candidate);
         let refs: Vec<&Window> = report.survivor_windows.iter().collect();
-        if execution::verify(env, &refs).is_ok() {
+        let survived = execution::verify(env, &refs).is_ok();
+        if survived {
             report.survivor_indices.push(index);
         } else {
             report.survivor_windows.pop();
             report.victim_indices.push(index);
+        }
+        if recorder.enabled() {
+            recorder.emit(TraceEvent::WindowAudited {
+                job: u64::from(job.id().0),
+                survived,
+            });
         }
     }
     report

@@ -19,13 +19,15 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use slotsel_obs::{NoopRecorder, Recorder, Stopwatch, TraceEvent};
+
 use slotsel_batch::{BatchScheduler, BatchSchedulerConfig};
 use slotsel_core::money::Money;
 use slotsel_core::request::{Job, JobId};
 use slotsel_core::window::Window;
 use slotsel_env::EnvironmentConfig;
 
-use crate::disruption::{DisruptionConfig, DisruptionModel};
+use crate::disruption::{DisruptionConfig, DisruptionEvent, DisruptionModel};
 use crate::metrics::SurvivalMetrics;
 use crate::recovery::{self, RecoveryPolicy};
 
@@ -145,8 +147,40 @@ pub fn simulate(config: &RollingConfig, jobs: Vec<Job>) -> RollingOutcome {
 /// migrate them onto the surviving slots right away. Survivors and
 /// successful migrations complete in the cycle; everything that completes
 /// has passed the replay audit against the *perturbed* environment.
+///
+/// Equivalent to [`simulate_with_recovery_traced`] with a
+/// [`NoopRecorder`]; the probes compile away on this path.
 #[must_use]
 pub fn simulate_with_recovery(config: &RollingConfig, jobs: Vec<Job>) -> RollingReport {
+    simulate_with_recovery_traced(config, jobs, &mut NoopRecorder)
+}
+
+/// Runs the fault-injected rolling simulation with observability probes.
+///
+/// On top of [`simulate_with_recovery`]'s behaviour, the run reports to
+/// `recorder`:
+///
+/// - [`TraceEvent::CycleStarted`] / [`TraceEvent::CycleFinished`] around
+///   every executed cycle, plus a `"rolling.cycle"` wall-clock timing;
+/// - the per-cycle batch scheduling events (the cycle calls
+///   [`BatchScheduler::schedule_traced`] on the same recorder);
+/// - every injected disruption ([`TraceEvent::SlotRevoked`],
+///   [`TraceEvent::NodeFailed`], [`TraceEvent::NodeRestored`],
+///   [`TraceEvent::NodeDegraded`]);
+/// - every replay-audit verdict ([`TraceEvent::WindowAudited`]) and
+///   recovery decision ([`TraceEvent::JobRescued`],
+///   [`TraceEvent::JobLost`], [`TraceEvent::JobParked`],
+///   [`TraceEvent::JobReadmitted`]).
+///
+/// With a deterministic sink (one that drops wall-clock timings, such as
+/// [`slotsel_obs::TraceRecorder::deterministic`]), the emitted trace is a
+/// pure function of `(config, jobs)` — byte-identical across runs.
+#[must_use]
+pub fn simulate_with_recovery_traced<R: Recorder>(
+    config: &RollingConfig,
+    jobs: Vec<Job>,
+    recorder: &mut R,
+) -> RollingReport {
     let scheduler = BatchScheduler::new(config.scheduler.clone());
     let mut model = config.disruption.clone().map(DisruptionModel::new);
     let mut survival = SurvivalMetrics::new();
@@ -163,16 +197,29 @@ pub fn simulate_with_recovery(config: &RollingConfig, jobs: Vec<Job>) -> Rolling
             parked.drain(..).partition(|p| p.eligible_at <= cycle);
         parked = waiting;
         for p in ready {
+            if recorder.enabled() {
+                recorder.emit(TraceEvent::JobReadmitted {
+                    cycle: u64::from(cycle),
+                    job: u64::from(p.job.id().0),
+                });
+            }
             scheduler.readmit(&mut pending, [p.job], 0);
         }
 
         if pending.is_empty() && parked.is_empty() {
             break;
         }
+        let watch = Stopwatch::start_if(recorder.enabled());
+        if recorder.enabled() {
+            recorder.emit(TraceEvent::CycleStarted {
+                cycle: u64::from(cycle),
+                pending: pending.len() as u64,
+            });
+        }
         let mut env = config
             .env
             .generate(&mut StdRng::seed_from_u64(config.seed + u64::from(cycle)));
-        let schedule = scheduler.schedule(env.platform(), env.slots(), &pending);
+        let schedule = scheduler.schedule_traced(env.platform(), env.slots(), &pending, recorder);
 
         let mut committed: Vec<(Job, Window)> = Vec::new();
         let mut still_pending = Vec::new();
@@ -206,10 +253,13 @@ pub fn simulate_with_recovery(config: &RollingConfig, jobs: Vec<Job>) -> Rolling
                 let events = model.inject(&mut env, cycle, &window_refs);
                 for event in &events {
                     survival.record_event(event);
+                    if recorder.enabled() {
+                        recorder.emit(disruption_trace_event(cycle, event));
+                    }
                 }
 
                 let pairs: Vec<(&Job, &Window)> = committed.iter().map(|(j, w)| (j, w)).collect();
-                let mut detection = recovery::detect_victims(&env, &pairs);
+                let mut detection = recovery::detect_victims_traced(&env, &pairs, &mut *recorder);
                 survival.windows_disrupted += detection.victim_indices.len() as u64;
 
                 // Survivors execute; a survivor that was some earlier
@@ -225,6 +275,13 @@ pub fn simulate_with_recovery(config: &RollingConfig, jobs: Vec<Job>) -> Rolling
                         survival
                             .recovery_latency_cycles
                             .push(f64::from(cycle - since));
+                        if recorder.enabled() {
+                            recorder.emit(TraceEvent::JobRescued {
+                                cycle: u64::from(cycle),
+                                job: u64::from(job.id().0),
+                                via: "retry".to_owned(),
+                            });
+                        }
                     }
                 }
 
@@ -242,6 +299,12 @@ pub fn simulate_with_recovery(config: &RollingConfig, jobs: Vec<Job>) -> Rolling
                         RecoveryPolicy::Abandon => {
                             survival.jobs_lost += 1;
                             victim_since.retain(|(id, _)| *id != job.id());
+                            if recorder.enabled() {
+                                recorder.emit(TraceEvent::JobLost {
+                                    cycle: u64::from(cycle),
+                                    job: u64::from(job.id().0),
+                                });
+                            }
                         }
                         RecoveryPolicy::RetryNextCycle {
                             backoff,
@@ -261,14 +324,28 @@ pub fn simulate_with_recovery(config: &RollingConfig, jobs: Vec<Job>) -> Rolling
                             if attempts > max_attempts {
                                 survival.jobs_lost += 1;
                                 victim_since.retain(|(id, _)| *id != job.id());
+                                if recorder.enabled() {
+                                    recorder.emit(TraceEvent::JobLost {
+                                        cycle: u64::from(cycle),
+                                        job: u64::from(job.id().0),
+                                    });
+                                }
                             } else {
+                                let eligible_at = cycle + 1 + backoff;
+                                if recorder.enabled() {
+                                    recorder.emit(TraceEvent::JobParked {
+                                        cycle: u64::from(cycle),
+                                        job: u64::from(job.id().0),
+                                        eligible_at: u64::from(eligible_at),
+                                    });
+                                }
                                 parked.push(ParkedJob {
                                     job: Job::new(
                                         job.id(),
                                         job.priority() + config.aging,
                                         job.request().clone(),
                                     ),
-                                    eligible_at: cycle + 1 + backoff,
+                                    eligible_at,
                                 });
                             }
                         }
@@ -294,8 +371,23 @@ pub fn simulate_with_recovery(config: &RollingConfig, jobs: Vec<Job>) -> Rolling
                                     completions.push((job.id(), cycle));
                                     completed_now += 1;
                                     detection.survivor_windows.push(migrated);
+                                    if recorder.enabled() {
+                                        recorder.emit(TraceEvent::JobRescued {
+                                            cycle: u64::from(cycle),
+                                            job: u64::from(job.id().0),
+                                            via: "migrate".to_owned(),
+                                        });
+                                    }
                                 }
-                                None => survival.jobs_lost += 1,
+                                None => {
+                                    survival.jobs_lost += 1;
+                                    if recorder.enabled() {
+                                        recorder.emit(TraceEvent::JobLost {
+                                            cycle: u64::from(cycle),
+                                            job: u64::from(job.id().0),
+                                        });
+                                    }
+                                }
                             }
                             victim_since.retain(|(id, _)| *id != job.id());
                         }
@@ -312,6 +404,16 @@ pub fn simulate_with_recovery(config: &RollingConfig, jobs: Vec<Job>) -> Rolling
             }
         }
 
+        if recorder.enabled() {
+            recorder.emit(TraceEvent::CycleFinished {
+                cycle: u64::from(cycle),
+                scheduled: completed_now as u64,
+                spent: spent.as_f64(),
+            });
+        }
+        if let Some(watch) = watch {
+            recorder.time_ns("rolling.cycle", watch.elapsed_ns());
+        }
         cycles.push(CycleRecord {
             cycle,
             pending: pending.len(),
@@ -324,6 +426,15 @@ pub fn simulate_with_recovery(config: &RollingConfig, jobs: Vec<Job>) -> Rolling
     // Victims still waiting (parked or re-pending) when the run ended
     // never recovered.
     survival.jobs_lost += victim_since.len() as u64;
+    if recorder.enabled() {
+        let last_cycle = cycles.last().map_or(0, |c| c.cycle);
+        for (id, _) in &victim_since {
+            recorder.emit(TraceEvent::JobLost {
+                cycle: u64::from(last_cycle),
+                job: u64::from(id.0),
+            });
+        }
+    }
 
     RollingReport {
         outcome: RollingOutcome {
@@ -336,6 +447,37 @@ pub fn simulate_with_recovery(config: &RollingConfig, jobs: Vec<Job>) -> Rolling
             cycles,
         },
         survival,
+    }
+}
+
+/// Maps an injected [`DisruptionEvent`] to its trace representation.
+fn disruption_trace_event(cycle: u32, event: &DisruptionEvent) -> TraceEvent {
+    let cycle = u64::from(cycle);
+    match event {
+        DisruptionEvent::SlotRevoked { node, span } => TraceEvent::SlotRevoked {
+            cycle,
+            node: u64::from(node.0),
+            span_start: span.start().ticks(),
+            span_end: span.end().ticks(),
+        },
+        DisruptionEvent::NodeFailed {
+            node,
+            repair_cycles,
+        } => TraceEvent::NodeFailed {
+            cycle,
+            node: u64::from(node.0),
+            repair_cycles: u64::from(*repair_cycles),
+        },
+        DisruptionEvent::NodeRestored { node } => TraceEvent::NodeRestored {
+            cycle,
+            node: u64::from(node.0),
+        },
+        DisruptionEvent::NodeDegraded { node, from, to } => TraceEvent::NodeDegraded {
+            cycle,
+            node: u64::from(node.0),
+            from_rate: u64::from(from.rate()),
+            to_rate: u64::from(to.rate()),
+        },
     }
 }
 

@@ -8,15 +8,25 @@
 //! aging, `Migrate` re-runs the AEP search over the surviving slots in the
 //! same cycle.
 //!
+//! Each policy's run is also recorded as a deterministic JSONL trace
+//! under `target/traces/`, ready for the aggregation tool:
+//!
 //! ```text
 //! cargo run --example fault_tolerant_rolling
+//! cargo run --release -p slotsel-bench --bin trace-report -- \
+//!     target/traces/fault_tolerant_rolling_migrate.jsonl
 //! ```
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::PathBuf;
 
 use slotsel::core::{Job, JobId, Money, RequestError, ResourceRequest, Volume};
 use slotsel::env::{EnvironmentConfig, NodeGenConfig};
+use slotsel::obs::TraceRecorder;
 use slotsel::sim::disruption::DisruptionConfig;
 use slotsel::sim::recovery::RecoveryPolicy;
-use slotsel::sim::rolling::{simulate_with_recovery, RollingConfig, RollingReport};
+use slotsel::sim::rolling::{simulate_with_recovery_traced, RollingConfig, RollingReport};
 
 fn workload() -> Result<Vec<Job>, RequestError> {
     (0..10)
@@ -34,7 +44,10 @@ fn workload() -> Result<Vec<Job>, RequestError> {
         .collect()
 }
 
-fn run(policy: RecoveryPolicy) -> Result<RollingReport, RequestError> {
+/// Runs one policy while recording a deterministic (timing-free) JSONL
+/// trace to `trace_path`; the same seed and config always produce the
+/// same bytes.
+fn run(policy: RecoveryPolicy, trace_path: &PathBuf) -> Result<RollingReport, RequestError> {
     let config = RollingConfig {
         env: EnvironmentConfig {
             nodes: NodeGenConfig::with_count(8),
@@ -45,7 +58,11 @@ fn run(policy: RecoveryPolicy) -> Result<RollingReport, RequestError> {
         recovery: policy,
         ..RollingConfig::default()
     };
-    Ok(simulate_with_recovery(&config, workload()?))
+    let sink = BufWriter::new(File::create(trace_path).expect("create trace file"));
+    let mut recorder = TraceRecorder::deterministic(sink);
+    let report = simulate_with_recovery_traced(&config, workload()?, &mut recorder);
+    recorder.finish().expect("flush trace file");
+    Ok(report)
 }
 
 fn main() -> Result<(), RequestError> {
@@ -70,9 +87,18 @@ fn main() -> Result<(), RequestError> {
         "policy", "completed", "disrupted", "rescued", "lost", "audit", "survival"
     );
 
+    let trace_dir = PathBuf::from("target/traces");
+    std::fs::create_dir_all(&trace_dir).expect("create target/traces");
+
     let mut completed = Vec::new();
+    let mut traces = Vec::new();
     for (name, policy) in policies {
-        let report = run(policy)?;
+        let trace_path = trace_dir.join(format!(
+            "fault_tolerant_rolling_{}.jsonl",
+            name.to_lowercase()
+        ));
+        let report = run(policy, &trace_path)?;
+        traces.push(trace_path);
         let s = &report.survival;
         println!(
             "{:<16} {:>9} {:>9} {:>8} {:>8} {:>6} {:>9.0}%",
@@ -102,6 +128,11 @@ fn main() -> Result<(), RequestError> {
     println!(
         "\nEvery completed schedule re-passed the execution replay audit \
          against the perturbed environment (audit column is failures)."
+    );
+    println!("\nPer-policy JSONL traces written; aggregate one with e.g.");
+    println!(
+        "  cargo run --release -p slotsel-bench --bin trace-report -- {}",
+        traces.last().expect("three traces written").display()
     );
     Ok(())
 }

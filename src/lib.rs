@@ -18,7 +18,11 @@
 //!   branch-and-bound references;
 //! - [`batch`] — the two-phase VO batch scheduling scheme;
 //! - [`sim`] — the experiment harness regenerating the paper's Figures 2–6
-//!   and Tables 1–2.
+//!   and Tables 1–2;
+//! - [`obs`] — the zero-dependency observability layer: the [`obs::Recorder`]
+//!   probes threaded through the AEP scan, the batch scheduler and the
+//!   rolling simulation, and the deterministic JSONL trace format the
+//!   `trace-report` tool aggregates.
 //!
 //! ## Quick start
 //!
@@ -52,4 +56,5 @@ pub use slotsel_baselines as baselines;
 pub use slotsel_batch as batch;
 pub use slotsel_core as core;
 pub use slotsel_env as env;
+pub use slotsel_obs as obs;
 pub use slotsel_sim as sim;
