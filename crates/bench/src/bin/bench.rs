@@ -1,0 +1,321 @@
+//! `bench` — before/after benchmarks for the incremental-pool scan and the
+//! parallel sweeps, written to `BENCH_SCAN.json`.
+//!
+//! Two experiment families, both on fixed seeds:
+//!
+//! - **scan micro-benchmarks** — every policy's full AEP scan over a fixed
+//!   generated environment, timing the historical sort-per-step scan
+//!   ([`slotsel_core::reference`]) against the incremental
+//!   [`CandidatePool`](slotsel_core::pool::CandidatePool) scan and
+//!   reporting the median of the repeats;
+//! - **sweep macro-benchmarks** — the batch-experiment, sensitivity and
+//!   scaling sweeps run serially and through
+//!   [`slotsel_sim::parallel`], comparing wall-clock.
+//!
+//! ```text
+//! cargo run --release --bin bench            # full fixtures, repo medians
+//! cargo run --release --bin bench -- --smoke # tiny fixture for CI
+//! ```
+//!
+//! Flags: `--smoke` (tiny fixture, few repeats), `--repeats N`,
+//! `--out PATH` (default `BENCH_SCAN.json` in the working directory).
+//! The report is validated by parsing it back before the process exits.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use slotsel_bench::numeric_flag;
+use slotsel_core::aep::{scan_with, ScanOptions, SelectionPolicy};
+use slotsel_core::algorithms::{Amp, MinCost, MinFinish, MinProcTime, MinRunTime};
+use slotsel_core::reference::reference_scan_with;
+use slotsel_core::request::ResourceRequest;
+use slotsel_env::EnvironmentConfig;
+use slotsel_sim::batch_experiment::{self, BatchExperimentConfig};
+use slotsel_sim::config::RequestConfig;
+use slotsel_sim::parallel::Parallelism;
+use slotsel_sim::scaling::{self, ScalingConfig};
+use slotsel_sim::sensitivity;
+
+/// Seed of every generated benchmark environment.
+const ENV_SEED: u64 = 0xF1C5_2013;
+/// Seed of the MinProcTime draws (fresh generator per scan repeat).
+const PROC_SEED: u64 = 0x0510_57E1;
+
+/// The report written to `BENCH_SCAN.json`.
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchReport {
+    /// Report format tag.
+    schema: String,
+    /// `full` or `smoke`.
+    mode: String,
+    /// Scan repeats behind each median.
+    repeats: u64,
+    /// Before/after medians per (policy, fixture).
+    scan: Vec<ScanRow>,
+    /// Serial vs parallel sweep wall-clock.
+    sweeps: Vec<SweepRow>,
+}
+
+/// One scan micro-benchmark: a policy on a fixture, before vs after.
+#[derive(Debug, Serialize, Deserialize)]
+struct ScanRow {
+    policy: String,
+    fixture: String,
+    nodes: u64,
+    slots: u64,
+    reference_median_ms: f64,
+    pool_median_ms: f64,
+    speedup: f64,
+}
+
+/// One sweep macro-benchmark: serial vs worker-pool wall-clock.
+#[derive(Debug, Serialize, Deserialize)]
+struct SweepRow {
+    sweep: String,
+    cells: u64,
+    workers: u64,
+    serial_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of no samples");
+    samples.sort_unstable_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn time_ms<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t = Instant::now();
+    let r = f();
+    (t.elapsed().as_secs_f64() * 1e3, r)
+}
+
+/// Times one policy's reference and pool scans over `repeats` alternating
+/// runs and returns the row. Both paths must select the same window — a
+/// speedup against a scan that picks differently would be meaningless.
+///
+/// `scan` runs one scan with a **freshly constructed** policy: the
+/// reference path when the argument is true, the pool path otherwise,
+/// returning the best window's total cost as the agreement check.
+fn scan_row(
+    policy_name: &str,
+    fixture: &str,
+    nodes: u64,
+    slots: u64,
+    repeats: u64,
+    scan: &mut dyn FnMut(bool) -> Option<f64>,
+) -> ScanRow {
+    let mut reference_ms = Vec::with_capacity(repeats as usize);
+    let mut pool_ms = Vec::with_capacity(repeats as usize);
+    for _ in 0..repeats {
+        let (ms, reference_best) = time_ms(|| scan(true));
+        reference_ms.push(ms);
+        let (ms, pool_best) = time_ms(|| scan(false));
+        pool_ms.push(ms);
+        assert_eq!(
+            reference_best, pool_best,
+            "{policy_name} on {fixture}: reference and pool scans disagree"
+        );
+    }
+    let reference_median_ms = median(&mut reference_ms);
+    let pool_median_ms = median(&mut pool_ms);
+    ScanRow {
+        policy: policy_name.to_owned(),
+        fixture: fixture.to_owned(),
+        nodes,
+        slots,
+        reference_median_ms,
+        pool_median_ms,
+        speedup: reference_median_ms / pool_median_ms.max(1e-9),
+    }
+}
+
+/// A named scan runner: true runs the reference path, false the pool path;
+/// returns the best window's total cost.
+type Runner<'a> = (&'a str, Box<dyn FnMut(bool) -> Option<f64> + 'a>);
+
+fn scan_benchmarks(fixtures: &[(&str, usize)], repeats: u64) -> Vec<ScanRow> {
+    let request: ResourceRequest = RequestConfig::paper_default().to_request();
+    let mut rows = Vec::new();
+    for &(fixture, nodes) in fixtures {
+        let env = EnvironmentConfig::with_node_count(nodes)
+            .generate(&mut StdRng::seed_from_u64(ENV_SEED));
+        let run = |policy: &mut dyn SelectionPolicy, reference: bool| -> Option<f64> {
+            let outcome = if reference {
+                reference_scan_with(
+                    env.platform(),
+                    env.slots(),
+                    &request,
+                    policy,
+                    ScanOptions::default(),
+                )
+            } else {
+                scan_with(
+                    env.platform(),
+                    env.slots(),
+                    &request,
+                    policy,
+                    ScanOptions::default(),
+                )
+            };
+            outcome.best.map(|w| w.total_cost().as_f64())
+        };
+        // Each runner constructs its policy per scan, so MinProcTime's
+        // generator restarts identically for every repeat and both paths.
+        let mut runners: Vec<Runner> = vec![
+            ("AMP", Box::new(|r| run(&mut Amp.policy(), r))),
+            ("MinCost", Box::new(|r| run(&mut MinCost.policy(), r))),
+            (
+                "MinRunTime",
+                Box::new(|r| run(&mut MinRunTime::new().policy(), r)),
+            ),
+            (
+                "MinFinish",
+                Box::new(|r| run(&mut MinFinish::new().policy(), r)),
+            ),
+            (
+                "MinProcTime",
+                Box::new(|r| {
+                    let mut algo = MinProcTime::with_seed(PROC_SEED);
+                    let mut policy = algo.policy();
+                    run(&mut policy, r)
+                }),
+            ),
+        ];
+        for (name, scan) in &mut runners {
+            let row = scan_row(
+                name,
+                fixture,
+                env.platform().len() as u64,
+                env.slots().len() as u64,
+                repeats,
+                scan,
+            );
+            println!(
+                "scan  {:<12} {:<6} {:>4} nodes  reference {:>8.3} ms  pool {:>8.3} ms  {:>5.2}x",
+                row.policy,
+                row.fixture,
+                row.nodes,
+                row.reference_median_ms,
+                row.pool_median_ms,
+                row.speedup
+            );
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+fn sweep_benchmarks(smoke: bool) -> Vec<SweepRow> {
+    let workers = Parallelism::Auto.workers(usize::MAX) as u64;
+    let mut rows = Vec::new();
+
+    let batch = BatchExperimentConfig {
+        cycles: if smoke { 2 } else { 8 },
+        ..BatchExperimentConfig::standard()
+    };
+    let (serial_ms, serial) = time_ms(|| batch_experiment::run(&batch));
+    let (parallel_ms, parallel) = time_ms(|| batch_experiment::run_with(&batch, Parallelism::Auto));
+    assert_eq!(serial, parallel, "batch sweep must be deterministic");
+    rows.push(SweepRow {
+        sweep: "batch_experiment".to_owned(),
+        cells: batch.cycles,
+        workers,
+        serial_ms,
+        parallel_ms,
+        speedup: serial_ms / parallel_ms.max(1e-9),
+    });
+
+    let env = EnvironmentConfig::paper_default();
+    let points = sensitivity::default_grid();
+    let cycles = if smoke { 2 } else { 12 };
+    let (serial_ms, serial) = time_ms(|| sensitivity::sweep(&env, &points, cycles, ENV_SEED));
+    let (parallel_ms, parallel) =
+        time_ms(|| sensitivity::sweep_with(&env, &points, cycles, ENV_SEED, Parallelism::Auto));
+    assert_eq!(serial, parallel, "sensitivity sweep must be deterministic");
+    rows.push(SweepRow {
+        sweep: "sensitivity".to_owned(),
+        cells: points.len() as u64 * cycles,
+        workers,
+        serial_ms,
+        parallel_ms,
+        speedup: serial_ms / parallel_ms.max(1e-9),
+    });
+
+    let scaling_config = ScalingConfig::quick(if smoke { 2 } else { 16 });
+    let nodes: &[usize] = if smoke { &[20] } else { &[50, 100] };
+    let (serial_ms, serial) = time_ms(|| scaling::sweep_nodes(&scaling_config, nodes));
+    let (parallel_ms, parallel) =
+        time_ms(|| scaling::sweep_nodes_with(&scaling_config, nodes, Parallelism::Auto));
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.slots, p.slots, "scaling environments must match");
+        assert_eq!(s.csa_alternatives, p.csa_alternatives);
+    }
+    rows.push(SweepRow {
+        sweep: "scaling_nodes".to_owned(),
+        cells: scaling_config.runs * nodes.len() as u64,
+        workers,
+        serial_ms,
+        parallel_ms,
+        speedup: serial_ms / parallel_ms.max(1e-9),
+    });
+
+    for row in &rows {
+        println!(
+            "sweep {:<18} {:>4} cells  serial {:>9.1} ms  parallel {:>9.1} ms  {:>5.2}x ({} workers)",
+            row.sweep, row.cells, row.serial_ms, row.parallel_ms, row.speedup, row.workers
+        );
+    }
+    rows
+}
+
+/// Parses the written report back and checks its shape — the same check the
+/// CI smoke job relies on.
+fn validate(path: &str) {
+    let raw = std::fs::read_to_string(path).expect("report must be readable");
+    let report: BenchReport = serde_json::from_str(&raw).expect("report must parse");
+    assert_eq!(report.schema, "slotsel-bench-scan/1");
+    assert!(!report.scan.is_empty(), "scan rows present");
+    assert!(!report.sweeps.is_empty(), "sweep rows present");
+    for row in &report.scan {
+        assert!(
+            row.reference_median_ms > 0.0 && row.pool_median_ms > 0.0,
+            "{}: medians must be positive",
+            row.policy
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let repeats = numeric_flag(&args, "--repeats", if smoke { 3 } else { 15 });
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_SCAN.json".to_owned());
+
+    let fixtures: &[(&str, usize)] = if smoke {
+        &[("smoke", 24)]
+    } else {
+        &[("small", 100), ("large", 400)]
+    };
+
+    let report = BenchReport {
+        schema: "slotsel-bench-scan/1".to_owned(),
+        mode: if smoke { "smoke" } else { "full" }.to_owned(),
+        repeats,
+        scan: scan_benchmarks(fixtures, repeats),
+        sweeps: sweep_benchmarks(smoke),
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").expect("report must be writable");
+    validate(&out);
+    println!("wrote {out}");
+}

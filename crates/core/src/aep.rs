@@ -8,10 +8,14 @@
 //! a [`SelectionPolicy`] to pick the best `n`-subset and scores the
 //! resulting window. The best-scoring window over all steps is returned.
 //!
-//! The scan never looks back: it visits each of the `m` slots exactly once,
-//! giving the linear complexity in `m` (and quadratic in the number of CPU
-//! nodes, via the pruning loop) that the paper claims for all AEP
-//! implementations.
+//! The scan never looks back: it visits each of the `m` slots exactly once.
+//! The extended window lives in an incremental [`CandidatePool`] that keeps
+//! the candidates cost- and length-ordered across steps (`O(log m')` per
+//! admission/eviction), so the per-step subset selection never re-sorts —
+//! this is what actually delivers the linear-in-`m` working time the paper
+//! claims for all AEP implementations (§2.2, Table 1). The historical
+//! sort-per-step formulation is retained verbatim in [`crate::reference`]
+//! as a correctness oracle and benchmark baseline.
 //!
 //! # Examples
 //!
@@ -55,8 +59,9 @@
 use slotsel_obs::{NoopRecorder, Recorder, Stopwatch, TraceEvent};
 
 use crate::node::Platform;
+use crate::pool::CandidatePool;
 use crate::request::ResourceRequest;
-use crate::selectors::{build_window, Candidate};
+use crate::selectors::Candidate;
 use crate::slotlist::SlotList;
 use crate::time::TimePoint;
 use crate::window::Window;
@@ -74,12 +79,40 @@ pub trait SelectionPolicy {
     /// Picks the indices of the best `n`-subset of `alive` for a window
     /// anchored at `window_start`, or `None` when no subset satisfies the
     /// budget.
+    ///
+    /// This is the slice-based formulation: `alive` lists the extended
+    /// window in admission order and the returned indices point into it.
+    /// The scan itself calls [`pick_pool`](SelectionPolicy::pick_pool);
+    /// policies that only implement `pick` are adapted automatically.
     fn pick(
         &mut self,
         window_start: TimePoint,
         alive: &[Candidate],
         request: &ResourceRequest,
     ) -> Option<Vec<usize>>;
+
+    /// Picks the best `n`-subset directly from the scan's incremental
+    /// [`CandidatePool`], returning arena ids.
+    ///
+    /// The pool keeps the extended window cost- and length-ordered across
+    /// scan steps, so overriding this method lets a policy skip the
+    /// per-step re-sorting entirely (the built-in algorithms all do). The
+    /// default implementation is a compatibility shim: it materialises the
+    /// alive set in admission order — exactly the slice the historical scan
+    /// passed — delegates to [`pick`](SelectionPolicy::pick), and maps the
+    /// returned slice indices back to arena ids. Overrides must pick the
+    /// same subsets `pick` would, in the same order.
+    fn pick_pool(
+        &mut self,
+        window_start: TimePoint,
+        pool: &CandidatePool,
+        request: &ResourceRequest,
+    ) -> Option<Vec<usize>> {
+        let ids = pool.alive_ids();
+        let alive: Vec<Candidate> = ids.iter().map(|&id| *pool.candidate(id)).collect();
+        let picked = self.pick(window_start, &alive, request)?;
+        Some(picked.into_iter().map(|i| ids[i]).collect())
+    }
 
     /// Scores a picked window; **lower is better**.
     fn score(&self, window: &Window) -> f64;
@@ -188,14 +221,18 @@ pub fn scan_traced<R: Recorder>(
     recorder: &mut R,
 ) -> ScanOutcome {
     let n = request.node_count();
-    let mut alive: Vec<Candidate> = Vec::new();
+    let mut pool = CandidatePool::new();
     let mut stats = ScanStats::default();
     let mut best: Option<(f64, Window)> = None;
 
     let watch = Stopwatch::start_if(recorder.enabled());
-    if recorder.enabled() {
+    // The policy name is fetched (and allocated) once per scan, not once
+    // per emitted event — `pick` can fire thousands of events on long
+    // slot lists.
+    let policy_name: Option<String> = recorder.enabled().then(|| policy.name().to_string());
+    if let Some(name) = &policy_name {
         recorder.emit(TraceEvent::ScanStarted {
-            policy: policy.name().to_string(),
+            policy: name.clone(),
             nodes_requested: n as u64,
             slots_total: slots.len() as u64,
         });
@@ -231,40 +268,33 @@ pub fn scan_traced<R: Recorder>(
             stats.slots_rejected += 1;
             continue; // Too short even when fully used.
         }
-        // A node hosts at most one task: a newer slot on the same node
-        // supersedes an older candidate (only possible with overlapping
-        // per-node slots, which well-formed inputs do not contain).
-        alive.retain(|c| c.slot.node() != candidate.slot.node());
-        alive.push(candidate);
+        // Admission supersedes any candidate on the same node (a node hosts
+        // at most one task); advancing to this window start then evicts
+        // every candidate whose remainder became too short or, under a
+        // deadline, that can no longer finish in time. Both are O(log m')
+        // pool updates instead of full passes over the alive set.
+        pool.admit(candidate, request.deadline());
         stats.slots_admitted += 1;
-
-        // Prune candidates whose remainder is now too short, and, under a
-        // deadline, those that can no longer finish in time.
-        alive.retain(|c| {
-            c.alive_at(window_start)
-                && request
-                    .deadline()
-                    .is_none_or(|d| window_start + c.length <= d)
-        });
-        stats.peak_extended_window = stats.peak_extended_window.max(alive.len());
+        pool.advance(window_start);
+        stats.peak_extended_window = stats.peak_extended_window.max(pool.len());
         if recorder.enabled() {
             #[allow(clippy::cast_precision_loss)]
-            recorder.observe("aep.alive", alive.len() as f64);
+            recorder.observe("aep.alive", pool.len() as f64);
         }
 
-        if alive.len() < n {
+        if pool.len() < n {
             continue;
         }
-        if let Some(picked) = policy.pick(window_start, &alive, request) {
+        if let Some(picked) = policy.pick_pool(window_start, &pool, request) {
             debug_assert_eq!(picked.len(), n, "policy must pick exactly n slots");
-            let window = build_window(window_start, &alive, &picked);
+            let window = pool.build_window(window_start, &picked);
             let score = policy.score(&window);
             stats.windows_evaluated += 1;
             let improved = best.as_ref().is_none_or(|(s, _)| score < *s);
             if improved {
-                if recorder.enabled() {
+                if let Some(name) = &policy_name {
                     recorder.emit(TraceEvent::BestUpdated {
-                        policy: policy.name().to_string(),
+                        policy: name.clone(),
                         step: stats.slots_admitted as u64,
                         window_start: window_start.ticks(),
                         score,
@@ -278,9 +308,9 @@ pub fn scan_traced<R: Recorder>(
         }
     }
 
-    if recorder.enabled() {
+    if let Some(name) = policy_name {
         recorder.emit(TraceEvent::ScanFinished {
-            policy: policy.name().to_string(),
+            policy: name,
             slots_admitted: stats.slots_admitted as u64,
             slots_rejected: stats.slots_rejected as u64,
             windows_evaluated: stats.windows_evaluated as u64,

@@ -2,6 +2,7 @@
 
 use crate::aep::{scan, SelectionPolicy};
 use crate::node::Platform;
+use crate::pool::CandidatePool;
 use crate::request::ResourceRequest;
 use crate::selectors::{cheapest_n, Candidate};
 use crate::slotlist::SlotList;
@@ -57,6 +58,13 @@ impl Amp {
     pub fn new() -> Self {
         Amp
     }
+
+    /// The scan policy behind [`select`](SlotSelector::select), for driving
+    /// [`crate::aep::scan_traced`] or the reference scan directly.
+    #[must_use]
+    pub fn policy(&self) -> impl SelectionPolicy {
+        AmpPolicy
+    }
 }
 
 struct AmpPolicy;
@@ -73,6 +81,15 @@ impl SelectionPolicy for AmpPolicy {
         request: &ResourceRequest,
     ) -> Option<Vec<usize>> {
         cheapest_n(alive, request.node_count(), request.budget())
+    }
+
+    fn pick_pool(
+        &mut self,
+        _window_start: TimePoint,
+        pool: &CandidatePool,
+        request: &ResourceRequest,
+    ) -> Option<Vec<usize>> {
+        pool.cheapest_n(request.node_count(), request.budget())
     }
 
     fn score(&self, window: &Window) -> f64 {

@@ -2,6 +2,7 @@
 
 use crate::aep::{scan, SelectionPolicy};
 use crate::node::Platform;
+use crate::pool::CandidatePool;
 use crate::request::ResourceRequest;
 use crate::selectors::{cheapest_n, Candidate};
 use crate::slotlist::SlotList;
@@ -31,6 +32,13 @@ impl MinCost {
     pub fn new() -> Self {
         MinCost
     }
+
+    /// The scan policy behind [`select`](SlotSelector::select), for driving
+    /// [`crate::aep::scan_traced`] or the reference scan directly.
+    #[must_use]
+    pub fn policy(&self) -> impl SelectionPolicy {
+        MinCostPolicy
+    }
 }
 
 struct MinCostPolicy;
@@ -47,6 +55,15 @@ impl SelectionPolicy for MinCostPolicy {
         request: &ResourceRequest,
     ) -> Option<Vec<usize>> {
         cheapest_n(alive, request.node_count(), request.budget())
+    }
+
+    fn pick_pool(
+        &mut self,
+        _window_start: TimePoint,
+        pool: &CandidatePool,
+        request: &ResourceRequest,
+    ) -> Option<Vec<usize>> {
+        pool.cheapest_n(request.node_count(), request.budget())
     }
 
     fn score(&self, window: &Window) -> f64 {

@@ -2,6 +2,7 @@
 
 use crate::aep::{scan_with, ScanOptions, SelectionPolicy};
 use crate::node::Platform;
+use crate::pool::CandidatePool;
 use crate::request::ResourceRequest;
 use crate::selectors::{min_runtime_exact, min_runtime_greedy, Candidate};
 use crate::slotlist::SlotList;
@@ -67,6 +68,17 @@ impl MinFinish {
     pub fn is_pruned(&self) -> bool {
         self.prune
     }
+
+    /// The scan policy behind [`select`](SlotSelector::select), for driving
+    /// [`crate::aep::scan_traced`] or the reference scan directly. Pruning
+    /// is a scan option, not part of the policy; pass it via
+    /// [`ScanOptions`].
+    #[must_use]
+    pub fn policy(&self) -> impl SelectionPolicy {
+        MinFinishPolicy {
+            selection: self.selection,
+        }
+    }
 }
 
 struct MinFinishPolicy {
@@ -90,6 +102,22 @@ impl SelectionPolicy for MinFinishPolicy {
             }
             RuntimeSelection::Exact => {
                 min_runtime_exact(alive, request.node_count(), request.budget())
+            }
+        }
+    }
+
+    fn pick_pool(
+        &mut self,
+        _window_start: TimePoint,
+        pool: &CandidatePool,
+        request: &ResourceRequest,
+    ) -> Option<Vec<usize>> {
+        match self.selection {
+            RuntimeSelection::Greedy => {
+                pool.min_runtime_greedy(request.node_count(), request.budget())
+            }
+            RuntimeSelection::Exact => {
+                pool.min_runtime_exact(request.node_count(), request.budget())
             }
         }
     }

@@ -2,6 +2,7 @@
 
 use crate::aep::{scan, SelectionPolicy};
 use crate::node::Platform;
+use crate::pool::CandidatePool;
 use crate::request::ResourceRequest;
 use crate::rng::SplitMix64;
 use crate::selectors::{random_feasible, Candidate};
@@ -68,6 +69,17 @@ impl MinProcTime {
         self.attempts = attempts.max(1);
         self
     }
+
+    /// The scan policy behind [`select`](SlotSelector::select), for driving
+    /// [`crate::aep::scan_traced`] or the reference scan directly. The
+    /// policy borrows (and advances) this algorithm's generator.
+    #[must_use]
+    pub fn policy(&mut self) -> impl SelectionPolicy + '_ {
+        MinProcTimePolicy {
+            rng: &mut self.rng,
+            attempts: self.attempts,
+        }
+    }
 }
 
 impl Default for MinProcTime {
@@ -94,6 +106,22 @@ impl SelectionPolicy for MinProcTimePolicy<'_> {
     ) -> Option<Vec<usize>> {
         random_feasible(
             alive,
+            request.node_count(),
+            request.budget(),
+            self.rng,
+            self.attempts,
+        )
+    }
+
+    fn pick_pool(
+        &mut self,
+        _window_start: TimePoint,
+        pool: &CandidatePool,
+        request: &ResourceRequest,
+    ) -> Option<Vec<usize>> {
+        // The infeasible-draw fallback inside reuses the pool's maintained
+        // cost order instead of re-deriving it with a per-step sort.
+        pool.random_feasible(
             request.node_count(),
             request.budget(),
             self.rng,

@@ -2,6 +2,7 @@
 
 use crate::aep::{scan, SelectionPolicy};
 use crate::node::Platform;
+use crate::pool::CandidatePool;
 use crate::request::ResourceRequest;
 use crate::selectors::{min_runtime_exact, min_runtime_greedy, Candidate};
 use crate::slotlist::SlotList;
@@ -46,6 +47,15 @@ impl MinRunTime {
     pub fn selection(&self) -> RuntimeSelection {
         self.selection
     }
+
+    /// The scan policy behind [`select`](SlotSelector::select), for driving
+    /// [`crate::aep::scan_traced`] or the reference scan directly.
+    #[must_use]
+    pub fn policy(&self) -> impl SelectionPolicy {
+        MinRuntimePolicy {
+            selection: self.selection,
+        }
+    }
 }
 
 pub(super) struct MinRuntimePolicy {
@@ -69,6 +79,22 @@ impl SelectionPolicy for MinRuntimePolicy {
             }
             RuntimeSelection::Exact => {
                 min_runtime_exact(alive, request.node_count(), request.budget())
+            }
+        }
+    }
+
+    fn pick_pool(
+        &mut self,
+        _window_start: TimePoint,
+        pool: &CandidatePool,
+        request: &ResourceRequest,
+    ) -> Option<Vec<usize>> {
+        match self.selection {
+            RuntimeSelection::Greedy => {
+                pool.min_runtime_greedy(request.node_count(), request.budget())
+            }
+            RuntimeSelection::Exact => {
+                pool.min_runtime_exact(request.node_count(), request.budget())
             }
         }
     }

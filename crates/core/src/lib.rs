@@ -104,6 +104,8 @@ pub mod energy;
 pub mod error;
 pub mod money;
 pub mod node;
+pub mod pool;
+pub mod reference;
 pub mod request;
 pub mod rng;
 pub mod selectors;
@@ -122,6 +124,8 @@ pub use energy::{window_energy, EnergyScore, PowerModel};
 pub use error::{CutError, RequestError};
 pub use money::Money;
 pub use node::{NodeId, NodeSpec, OsFamily, Performance, Platform, Volume};
+pub use pool::CandidatePool;
+pub use reference::{reference_scan, reference_scan_traced, reference_scan_with};
 pub use request::{Job, JobId, NodeRequirements, ResourceRequest};
 pub use slot::{Slot, SlotId};
 pub use slotlist::{SlotList, SlotListStats};

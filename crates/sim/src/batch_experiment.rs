@@ -20,6 +20,7 @@ use slotsel_core::request::{Job, JobId, ResourceRequest};
 use slotsel_env::EnvironmentConfig;
 
 use crate::metrics::RunningStats;
+use crate::parallel::{self, Parallelism};
 
 /// One job template of the standard batch.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -143,13 +144,53 @@ pub struct ObjectiveOutcome {
     pub mean_finish: RunningStats,
 }
 
+/// One cycle's raw measurements, one row per objective.
+type CycleRow = (f64, f64, Option<f64>, Option<f64>);
+
 /// Runs the experiment: every objective over `config.cycles` environments.
 ///
 /// Cycle `i` uses the same environment for every objective, so outcomes are
-/// directly comparable.
+/// directly comparable. Equivalent to [`run_with`] on the calling thread.
 #[must_use]
 pub fn run(config: &BatchExperimentConfig) -> Vec<ObjectiveOutcome> {
+    run_with(config, Parallelism::Serial)
+}
+
+/// Runs the experiment, fanning the cycles out over a worker pool.
+///
+/// Every cycle derives its environment from `seed + cycle` and shares no
+/// state with other cycles, so they parallelise freely; the per-objective
+/// statistics are folded serially in cycle order afterwards, which makes
+/// the result **bit-identical** to the serial run for any [`Parallelism`]
+/// (see [`crate::parallel`] for the contract).
+#[must_use]
+pub fn run_with(config: &BatchExperimentConfig, parallelism: Parallelism) -> Vec<ObjectiveOutcome> {
     let jobs = config.build_jobs();
+    let cycles: Vec<u64> = (0..config.cycles).collect();
+    let per_cycle: Vec<Vec<CycleRow>> = parallel::map(parallelism, &cycles, |_, &cycle| {
+        let env = config
+            .env
+            .generate(&mut StdRng::seed_from_u64(config.seed + cycle));
+        BatchObjective::ALL
+            .iter()
+            .map(|&objective| {
+                let scheduler = BatchScheduler::new(BatchSchedulerConfig {
+                    objective,
+                    max_alternatives_per_job: config.max_alternatives_per_job,
+                    vo_budget: None,
+                    ..Default::default()
+                });
+                let schedule = scheduler.schedule(env.platform(), env.slots(), &jobs);
+                (
+                    schedule.scheduled() as f64,
+                    schedule.total_cost().as_f64(),
+                    schedule.makespan().map(|m| m.ticks() as f64),
+                    schedule.mean_finish(),
+                )
+            })
+            .collect()
+    });
+
     let mut outcomes: Vec<ObjectiveOutcome> = BatchObjective::ALL
         .iter()
         .map(|&objective| ObjectiveOutcome {
@@ -160,25 +201,16 @@ pub fn run(config: &BatchExperimentConfig) -> Vec<ObjectiveOutcome> {
             mean_finish: RunningStats::new(),
         })
         .collect();
-
-    for cycle in 0..config.cycles {
-        let env = config
-            .env
-            .generate(&mut StdRng::seed_from_u64(config.seed + cycle));
-        for outcome in &mut outcomes {
-            let scheduler = BatchScheduler::new(BatchSchedulerConfig {
-                objective: outcome.objective,
-                max_alternatives_per_job: config.max_alternatives_per_job,
-                vo_budget: None,
-                ..Default::default()
-            });
-            let schedule = scheduler.schedule(env.platform(), env.slots(), &jobs);
-            outcome.scheduled.push(schedule.scheduled() as f64);
-            outcome.total_cost.push(schedule.total_cost().as_f64());
-            if let Some(makespan) = schedule.makespan() {
-                outcome.makespan.push(makespan.ticks() as f64);
+    for rows in per_cycle {
+        for (outcome, (scheduled, total_cost, makespan, mean_finish)) in
+            outcomes.iter_mut().zip(rows)
+        {
+            outcome.scheduled.push(scheduled);
+            outcome.total_cost.push(total_cost);
+            if let Some(makespan) = makespan {
+                outcome.makespan.push(makespan);
             }
-            if let Some(finish) = schedule.mean_finish() {
+            if let Some(finish) = mean_finish {
                 outcome.mean_finish.push(finish);
             }
         }

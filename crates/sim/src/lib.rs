@@ -8,6 +8,8 @@
 //!   thousands of freshly generated environments;
 //! - [`scaling`] — Tables 1–2 and Figures 5–6: wall-clock working time
 //!   against the number of CPU nodes and the scheduling-interval length;
+//! - [`parallel`] — deterministic scoped-thread fan-out powering the
+//!   `*_with` variants of the sweeps;
 //! - [`report`] — plain-text table and bar-chart rendering of the above;
 //! - [`config`] — the §3.1 parameters and the paper's reference numbers;
 //! - [`disruption`] / [`recovery`] — seeded fault injection between
@@ -34,6 +36,7 @@ pub mod disruption;
 pub mod execution;
 pub mod gantt;
 pub mod metrics;
+pub mod parallel;
 pub mod quality;
 pub mod recovery;
 pub mod report;
@@ -45,6 +48,7 @@ pub use batch_experiment::{BatchExperimentConfig, ObjectiveOutcome};
 pub use config::{QualityConfig, RequestConfig};
 pub use disruption::{DisruptionConfig, DisruptionEvent, DisruptionModel};
 pub use metrics::{MetricsAccumulator, RunningStats, SurvivalMetrics, WindowMetrics};
+pub use parallel::Parallelism;
 pub use quality::QualityResults;
 pub use recovery::RecoveryPolicy;
 pub use rolling::{

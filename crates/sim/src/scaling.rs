@@ -23,6 +23,7 @@ use slotsel_env::EnvironmentConfig;
 
 use crate::config::RequestConfig;
 use crate::metrics::RunningStats;
+use crate::parallel::{self, Parallelism};
 
 /// Algorithm order of the timing tables, matching the paper's rows.
 pub const TIMED_ALGORITHMS: [&str; 6] = [
@@ -99,12 +100,75 @@ impl ScalingPoint {
     }
 }
 
+/// One experiment's raw measurements: slots generated, CSA alternatives,
+/// and the wall-clock of every timed algorithm.
+struct RunMeasurement {
+    slots: f64,
+    alternatives: f64,
+    timings_ms: [f64; TIMED_ALGORITHMS.len()],
+}
+
+fn measure_run(
+    env_config: &EnvironmentConfig,
+    config: &ScalingConfig,
+    parameter: i64,
+    run: u64,
+) -> RunMeasurement {
+    let request: ResourceRequest = config.request.to_request();
+    let mut rng = StdRng::seed_from_u64(config.seed + run + parameter as u64 * 0x1000_0000);
+    let env = env_config.generate(&mut rng);
+    let (platform, slots) = (env.platform(), env.slots());
+    let mut timings_ms = [0.0; TIMED_ALGORITHMS.len()];
+
+    let t = Instant::now();
+    let alternatives = Csa::new()
+        .cut_policy(CutPolicy::ReservationSpan)
+        .find_alternatives(platform, slots, &request);
+    timings_ms[0] = t.elapsed().as_secs_f64() * 1e3;
+
+    let mut amp = Amp;
+    let mut min_runtime = MinRunTime::new();
+    let mut min_finish = MinFinish::new();
+    let mut min_proc = MinProcTime::with_seed(config.seed ^ run);
+    let mut min_cost = MinCost;
+    let timed: [(usize, &mut dyn SlotSelector); 5] = [
+        (1, &mut amp),
+        (2, &mut min_runtime),
+        (3, &mut min_finish),
+        (4, &mut min_proc),
+        (5, &mut min_cost),
+    ];
+    for (index, algorithm) in timed {
+        let t = Instant::now();
+        let window = algorithm.select(platform, slots, &request);
+        timings_ms[index] = t.elapsed().as_secs_f64() * 1e3;
+        // Keep the optimiser from discarding the work.
+        std::hint::black_box(&window);
+    }
+
+    RunMeasurement {
+        slots: env.slots().len() as f64,
+        alternatives: alternatives.len() as f64,
+        timings_ms,
+    }
+}
+
 fn measure_point(
     env_config: &EnvironmentConfig,
     config: &ScalingConfig,
     parameter: i64,
+    parallelism: Parallelism,
 ) -> ScalingPoint {
-    let request: ResourceRequest = config.request.to_request();
+    let runs: Vec<u64> = (0..config.runs).collect();
+    // Every run derives its environment and RNG from (seed, run, parameter)
+    // alone, so runs fan out freely; the statistics are folded serially in
+    // run order. Seed-derived fields (slots, alternatives) are therefore
+    // identical under any parallelism — the wall-clock samples are live
+    // measurements and remain subject to scheduling noise.
+    let measurements = parallel::map(parallelism, &runs, |_, &run| {
+        measure_run(env_config, config, parameter, run)
+    });
+
     let mut slots_stats = RunningStats::new();
     let mut alt_stats = RunningStats::new();
     let mut timings: Vec<(String, RunningStats)> = TIMED_ALGORITHMS
@@ -113,42 +177,14 @@ fn measure_point(
         .collect();
     let mut csa_total_ms = 0.0;
     let mut csa_total_alts = 0.0;
-
-    for run in 0..config.runs {
-        let mut rng = StdRng::seed_from_u64(config.seed + run + parameter as u64 * 0x1000_0000);
-        let env = env_config.generate(&mut rng);
-        slots_stats.push(env.slots().len() as f64);
-        let (platform, slots) = (env.platform(), env.slots());
-
-        let t = Instant::now();
-        let alternatives = Csa::new()
-            .cut_policy(CutPolicy::ReservationSpan)
-            .find_alternatives(platform, slots, &request);
-        let csa_ms = t.elapsed().as_secs_f64() * 1e3;
-        timings[0].1.push(csa_ms);
-        alt_stats.push(alternatives.len() as f64);
-        csa_total_ms += csa_ms;
-        csa_total_alts += alternatives.len() as f64;
-
-        let mut amp = Amp;
-        let mut min_runtime = MinRunTime::new();
-        let mut min_finish = MinFinish::new();
-        let mut min_proc = MinProcTime::with_seed(config.seed ^ run);
-        let mut min_cost = MinCost;
-        let timed: [(usize, &mut dyn SlotSelector); 5] = [
-            (1, &mut amp),
-            (2, &mut min_runtime),
-            (3, &mut min_finish),
-            (4, &mut min_proc),
-            (5, &mut min_cost),
-        ];
-        for (index, algorithm) in timed {
-            let t = Instant::now();
-            let window = algorithm.select(platform, slots, &request);
-            timings[index].1.push(t.elapsed().as_secs_f64() * 1e3);
-            // Keep the optimiser from discarding the work.
-            std::hint::black_box(&window);
+    for m in measurements {
+        slots_stats.push(m.slots);
+        alt_stats.push(m.alternatives);
+        for (slot, &ms) in timings.iter_mut().zip(&m.timings_ms) {
+            slot.1.push(ms);
         }
+        csa_total_ms += m.timings_ms[0];
+        csa_total_alts += m.alternatives;
     }
 
     ScalingPoint {
@@ -167,11 +203,27 @@ fn measure_point(
 /// Table 1 / Figure 5: sweep over CPU-node counts at interval length 600.
 #[must_use]
 pub fn sweep_nodes(config: &ScalingConfig, node_counts: &[usize]) -> Vec<ScalingPoint> {
+    sweep_nodes_with(config, node_counts, Parallelism::Serial)
+}
+
+/// [`sweep_nodes`] with the runs of each point fanned out over a worker
+/// pool.
+///
+/// Structure and seed-derived statistics (slot counts, CSA alternatives)
+/// are identical to the serial sweep; wall-clock samples are measurements
+/// and vary run to run. Timing tables meant for the paper comparison
+/// should still be gathered serially.
+#[must_use]
+pub fn sweep_nodes_with(
+    config: &ScalingConfig,
+    node_counts: &[usize],
+    parallelism: Parallelism,
+) -> Vec<ScalingPoint> {
     node_counts
         .iter()
         .map(|&count| {
             let env = EnvironmentConfig::with_node_count(count);
-            measure_point(&env, config, count as i64)
+            measure_point(&env, config, count as i64, parallelism)
         })
         .collect()
 }
@@ -179,11 +231,22 @@ pub fn sweep_nodes(config: &ScalingConfig, node_counts: &[usize]) -> Vec<Scaling
 /// Table 2 / Figure 6: sweep over interval lengths at 100 nodes.
 #[must_use]
 pub fn sweep_interval(config: &ScalingConfig, lengths: &[i64]) -> Vec<ScalingPoint> {
+    sweep_interval_with(config, lengths, Parallelism::Serial)
+}
+
+/// [`sweep_interval`] with the runs of each point fanned out over a worker
+/// pool; same contract as [`sweep_nodes_with`].
+#[must_use]
+pub fn sweep_interval_with(
+    config: &ScalingConfig,
+    lengths: &[i64],
+    parallelism: Parallelism,
+) -> Vec<ScalingPoint> {
     lengths
         .iter()
         .map(|&length| {
             let env = EnvironmentConfig::with_interval_length(length);
-            measure_point(&env, config, length)
+            measure_point(&env, config, length, parallelism)
         })
         .collect()
 }

@@ -19,6 +19,7 @@ use slotsel_core::request::ResourceRequest;
 use slotsel_env::EnvironmentConfig;
 
 use crate::metrics::{MetricsAccumulator, WindowMetrics};
+use crate::parallel::{self, Parallelism};
 use crate::quality::SINGLE_ALGORITHMS;
 
 /// One point of the sweep: a request shape.
@@ -77,7 +78,8 @@ impl SensitivityPoint {
 /// Sweeps the given request points, `cycles` environments per point.
 ///
 /// The same environment seeds are reused across points so differences are
-/// attributable to the request shape alone.
+/// attributable to the request shape alone. Equivalent to [`sweep_with`] on
+/// the calling thread.
 #[must_use]
 pub fn sweep(
     env: &EnvironmentConfig,
@@ -85,35 +87,71 @@ pub fn sweep(
     cycles: u64,
     seed: u64,
 ) -> Vec<SensitivityPoint> {
-    points
+    sweep_with(env, points, cycles, seed, Parallelism::Serial)
+}
+
+/// [`sweep`] with the (point, cycle) cells fanned out over a worker pool.
+///
+/// Every cell derives its environment from `seed + cycle` and its
+/// MinProcTime generator from `seed ^ cycle`, independent of every other
+/// cell; the per-point accumulators are folded serially in cycle order
+/// afterwards, which makes the result **bit-identical** to the serial
+/// sweep for any [`Parallelism`] (see [`crate::parallel`]).
+#[must_use]
+pub fn sweep_with(
+    env: &EnvironmentConfig,
+    points: &[RequestPoint],
+    cycles: u64,
+    seed: u64,
+    parallelism: Parallelism,
+) -> Vec<SensitivityPoint> {
+    let cells: Vec<(usize, u64)> = points
         .iter()
-        .map(|&point| {
-            let mut algorithms: Vec<(String, MetricsAccumulator)> = SINGLE_ALGORITHMS
+        .enumerate()
+        .flat_map(|(i, point)| {
+            // Infeasible request shapes contribute no cells, exactly like
+            // the serial sweep's `if let Some(request)` guard.
+            let feasible = point.to_request().is_some();
+            (0..if feasible { cycles } else { 0 }).map(move |cycle| (i, cycle))
+        })
+        .collect();
+
+    let measured: Vec<[Option<WindowMetrics>; SINGLE_ALGORITHMS.len()]> =
+        parallel::map(parallelism, &cells, |_, &(point_index, cycle)| {
+            let request = points[point_index]
+                .to_request()
+                .expect("only feasible points produce cells");
+            let environment = env.generate(&mut StdRng::seed_from_u64(seed + cycle));
+            let (platform, slots) = (environment.platform(), environment.slots());
+            [
+                Amp.select(platform, slots, &request),
+                MinFinish::new().select(platform, slots, &request),
+                MinCost.select(platform, slots, &request),
+                MinRunTime::new().select(platform, slots, &request),
+                MinProcTime::with_seed(seed ^ cycle).select(platform, slots, &request),
+            ]
+            .map(|window| window.as_ref().map(WindowMetrics::of))
+        });
+
+    let mut results: Vec<SensitivityPoint> = points
+        .iter()
+        .map(|&point| SensitivityPoint {
+            point,
+            algorithms: SINGLE_ALGORITHMS
                 .iter()
                 .map(|&n| (n.to_owned(), MetricsAccumulator::new()))
-                .collect();
-            if let Some(request) = point.to_request() {
-                for cycle in 0..cycles {
-                    let environment = env.generate(&mut StdRng::seed_from_u64(seed + cycle));
-                    let (platform, slots) = (environment.platform(), environment.slots());
-                    let windows = [
-                        Amp.select(platform, slots, &request),
-                        MinFinish::new().select(platform, slots, &request),
-                        MinCost.select(platform, slots, &request),
-                        MinRunTime::new().select(platform, slots, &request),
-                        MinProcTime::with_seed(seed ^ cycle).select(platform, slots, &request),
-                    ];
-                    for ((_, acc), window) in algorithms.iter_mut().zip(windows) {
-                        match window {
-                            Some(w) => acc.push(WindowMetrics::of(&w)),
-                            None => acc.push_miss(),
-                        }
-                    }
-                }
-            }
-            SensitivityPoint { point, algorithms }
+                .collect(),
         })
-        .collect()
+        .collect();
+    for (&(point_index, _), row) in cells.iter().zip(measured) {
+        for ((_, acc), metrics) in results[point_index].algorithms.iter_mut().zip(row) {
+            match metrics {
+                Some(m) => acc.push(m),
+                None => acc.push_miss(),
+            }
+        }
+    }
+    results
 }
 
 /// The default sweep grid: parallelism, volume and budget each varied

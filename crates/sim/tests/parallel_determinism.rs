@@ -1,0 +1,79 @@
+//! Parallel sweeps must be bit-identical to their serial counterparts
+//! wherever the output is seed-derived, and structurally identical where it
+//! is a live measurement (wall-clock timings).
+
+use slotsel_env::EnvironmentConfig;
+use slotsel_sim::batch_experiment::{self, BatchExperimentConfig};
+use slotsel_sim::parallel::Parallelism;
+use slotsel_sim::scaling::{self, ScalingConfig};
+use slotsel_sim::sensitivity::{self, RequestPoint};
+
+#[test]
+fn batch_experiment_parallel_is_bit_identical_to_serial() {
+    let config = BatchExperimentConfig {
+        cycles: 8,
+        ..BatchExperimentConfig::standard()
+    };
+    let serial = batch_experiment::run(&config);
+    for parallelism in [Parallelism::Auto, Parallelism::Threads(3)] {
+        let parallel = batch_experiment::run_with(&config, parallelism);
+        // ObjectiveOutcome is PartialEq over raw f64 accumulators: equality
+        // here means the fold order (and so every intermediate rounding)
+        // was preserved exactly.
+        assert_eq!(serial, parallel, "{parallelism:?}");
+    }
+}
+
+#[test]
+fn sensitivity_parallel_is_bit_identical_to_serial() {
+    let env = EnvironmentConfig::paper_default();
+    let points = [
+        RequestPoint::paper(),
+        RequestPoint {
+            node_count: 2,
+            volume: 100,
+            budget: 400.0,
+        },
+        // An infeasible shape: must yield empty accumulators on both paths.
+        RequestPoint {
+            node_count: 0,
+            ..RequestPoint::paper()
+        },
+    ];
+    let serial = sensitivity::sweep(&env, &points, 5, 424_242);
+    for parallelism in [Parallelism::Auto, Parallelism::Threads(2)] {
+        let parallel = sensitivity::sweep_with(&env, &points, 5, 424_242, parallelism);
+        assert_eq!(serial, parallel, "{parallelism:?}");
+    }
+}
+
+#[test]
+fn scaling_parallel_matches_serial_on_seed_derived_fields() {
+    let config = ScalingConfig::quick(4);
+    let serial = scaling::sweep_nodes(&config, &[20, 40]);
+    let parallel = scaling::sweep_nodes_with(&config, &[20, 40], Parallelism::Threads(4));
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        // Environments and algorithm results derive from the seed alone, so
+        // these agree exactly; the timing samples are wall-clock and only
+        // their shape is comparable.
+        assert_eq!(s.parameter, p.parameter);
+        assert_eq!(s.slots, p.slots);
+        assert_eq!(s.csa_alternatives, p.csa_alternatives);
+        assert_eq!(s.timings_ms.len(), p.timings_ms.len());
+        for ((sn, ss), (pn, ps)) in s.timings_ms.iter().zip(&p.timings_ms) {
+            assert_eq!(sn, pn);
+            assert_eq!(ss.count(), ps.count());
+        }
+    }
+}
+
+#[test]
+fn scaling_interval_sweep_parallel_matches_serial_structure() {
+    let config = ScalingConfig::quick(3);
+    let serial = scaling::sweep_interval(&config, &[600]);
+    let parallel = scaling::sweep_interval_with(&config, &[600], Parallelism::Auto);
+    assert_eq!(serial[0].parameter, parallel[0].parameter);
+    assert_eq!(serial[0].slots, parallel[0].slots);
+    assert_eq!(serial[0].csa_alternatives, parallel[0].csa_alternatives);
+}
