@@ -48,28 +48,7 @@ pub fn exhaustive_best<C: WindowCriterion + ?Sized>(
                 break;
             }
         }
-        // Alive candidates at this anchor, one per node.
-        let mut alive: Vec<Candidate> = Vec::new();
-        for slot in slots {
-            if slot.start() > anchor {
-                break; // List is ordered; later slots have not started.
-            }
-            let admitted = platform
-                .get(slot.node())
-                .is_some_and(|node| request.requirements().admits(node));
-            if !admitted || !slot.fits(anchor, request.volume()) {
-                continue;
-            }
-            let candidate = Candidate::new(*slot, request.volume());
-            if request
-                .deadline()
-                .is_some_and(|d| anchor + candidate.length > d)
-            {
-                continue;
-            }
-            alive.retain(|c| c.slot.node() != slot.node());
-            alive.push(candidate);
-        }
+        let alive = alive_at_anchor(platform, slots, request, anchor);
         if alive.len() < n {
             continue;
         }
@@ -95,6 +74,56 @@ pub fn exhaustive_best<C: WindowCriterion + ?Sized>(
         });
     }
     best.map(|(_, w)| w)
+}
+
+/// The candidates alive at `anchor`, one per node (each node's latest
+/// started, still-fitting slot), after the request's hardware and deadline
+/// filters — the exact per-anchor selection universe the AEP scan sees.
+///
+/// Shared by the exhaustive enumeration, the branch-and-bound anchor sweep
+/// ([`crate::oracle::bnb_best`]) and the fuzzer's oracle size gate.
+#[must_use]
+pub fn alive_at_anchor(
+    platform: &Platform,
+    slots: &SlotList,
+    request: &ResourceRequest,
+    anchor: slotsel_core::TimePoint,
+) -> Vec<Candidate> {
+    let mut alive: Vec<Candidate> = Vec::new();
+    for slot in slots {
+        if slot.start() > anchor {
+            break; // List is ordered; later slots have not started.
+        }
+        let admitted = platform
+            .get(slot.node())
+            .is_some_and(|node| request.requirements().admits(node));
+        if !admitted || !slot.fits(anchor, request.volume()) {
+            continue;
+        }
+        let candidate = Candidate::new(*slot, request.volume());
+        if request
+            .deadline()
+            .is_some_and(|d| anchor + candidate.length > d)
+        {
+            continue;
+        }
+        alive.retain(|c| c.slot.node() != slot.node());
+        alive.push(candidate);
+    }
+    alive
+}
+
+/// The subset count `C(alive, n)` the exhaustive search would enumerate at
+/// `anchor`. Saturates instead of overflowing.
+#[must_use]
+pub fn subsets_at_anchor(
+    platform: &Platform,
+    slots: &SlotList,
+    request: &ResourceRequest,
+    anchor: slotsel_core::TimePoint,
+) -> u64 {
+    let alive = alive_at_anchor(platform, slots, request, anchor);
+    binomial(alive.len() as u64, request.node_count() as u64)
 }
 
 fn binomial(n: u64, k: u64) -> u64 {

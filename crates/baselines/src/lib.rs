@@ -25,9 +25,11 @@ pub mod backfill;
 pub mod bnb;
 pub mod exhaustive;
 pub mod first_fit;
+pub mod oracle;
 
 pub use alp::Alp;
 pub use backfill::Backfill;
 pub use bnb::{solve as bnb_solve, BnbSolution};
 pub use exhaustive::exhaustive_best;
 pub use first_fit::FirstFit;
+pub use oracle::{bnb_best, exhaustive_best_checked, subset_space, OracleTooLarge};

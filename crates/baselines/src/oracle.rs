@@ -1,0 +1,218 @@
+//! Oracle entry points sized for fuzzing.
+//!
+//! The differential fuzzer (`slotsel-fuzz`) cross-checks millions of
+//! randomized scenarios against the exact baselines. The raw
+//! [`crate::exhaustive::exhaustive_best`] is the right ground truth but has
+//! two properties that make it awkward inside a generative loop: it panics
+//! when an anchor's subset count blows past its safety bound, and it
+//! enumerates `C(m', n)` subsets even for additive criteria where branch
+//! and bound prunes most of the space. This module wraps both baselines
+//! behind fuzzer-friendly doors:
+//!
+//! - [`subset_space`] pre-computes the worst anchor's subset count so a
+//!   generator can size scenarios to the oracle instead of catching
+//!   panics;
+//! - [`exhaustive_best_checked`] refuses oversized scenarios with an error
+//!   value instead of a panic;
+//! - [`bnb_best`] runs the same anchor sweep but solves each per-anchor
+//!   selection with [`crate::bnb::solve`] — exact for the additive
+//!   criteria (total cost, total processor time), and an independent
+//!   second oracle to cross-check the exhaustive enumeration itself.
+
+use slotsel_core::criteria::{Criterion, WindowCriterion};
+use slotsel_core::node::Platform;
+use slotsel_core::request::ResourceRequest;
+use slotsel_core::selectors::{build_window, Candidate};
+use slotsel_core::slotlist::SlotList;
+use slotsel_core::window::Window;
+
+use crate::exhaustive::{alive_at_anchor, exhaustive_best, subsets_at_anchor};
+
+/// The exhaustive oracle refused a scenario: some anchor's subset count
+/// exceeds `limit`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleTooLarge {
+    /// Worst per-anchor subset count found.
+    pub subsets: u64,
+    /// The limit that was applied.
+    pub limit: u64,
+}
+
+impl std::fmt::Display for OracleTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "exhaustive oracle refused: {} subsets at the worst anchor exceeds the {} limit",
+            self.subsets, self.limit
+        )
+    }
+}
+
+impl std::error::Error for OracleTooLarge {}
+
+/// The worst per-anchor subset count `max C(m', n)` this scenario would
+/// make the exhaustive oracle enumerate. Saturates at `u64::MAX`.
+#[must_use]
+pub fn subset_space(platform: &Platform, slots: &SlotList, request: &ResourceRequest) -> u64 {
+    slots
+        .iter()
+        .map(|anchor| subsets_at_anchor(platform, slots, request, anchor.start()))
+        .max()
+        .unwrap_or(0)
+}
+
+/// [`exhaustive_best`] behind a size gate: refuses scenarios whose worst
+/// anchor would enumerate more than `limit` subsets, instead of panicking
+/// deep inside the search.
+///
+/// # Errors
+///
+/// Returns [`OracleTooLarge`] when the scenario exceeds `limit`.
+pub fn exhaustive_best_checked<C: WindowCriterion + ?Sized>(
+    platform: &Platform,
+    slots: &SlotList,
+    request: &ResourceRequest,
+    criterion: &C,
+    limit: u64,
+) -> Result<Option<Window>, OracleTooLarge> {
+    let subsets = subset_space(platform, slots, request);
+    if subsets > limit {
+        return Err(OracleTooLarge { subsets, limit });
+    }
+    Ok(exhaustive_best(platform, slots, request, criterion))
+}
+
+/// Exact best window for an **additive** criterion via a branch-and-bound
+/// anchor sweep.
+///
+/// Runs the same anchor enumeration as the exhaustive search, but solves
+/// each anchor's `n`-subset selection with [`crate::bnb::solve`] instead
+/// of enumerating every subset. Supported criteria are the additive ones —
+/// [`Criterion::MinTotalCost`] (per-candidate score: cost) and
+/// [`Criterion::MinProcTime`] (per-candidate score: length); for anything
+/// else the per-step objective is not a sum over candidates and this
+/// returns `None` unconditionally, so callers must gate on
+/// [`is_additive`].
+#[must_use]
+pub fn bnb_best(
+    platform: &Platform,
+    slots: &SlotList,
+    request: &ResourceRequest,
+    criterion: Criterion,
+) -> Option<Window> {
+    if !is_additive(criterion) {
+        return None;
+    }
+    let n = request.node_count();
+    let mut best: Option<(f64, Window)> = None;
+    for anchor_slot in slots {
+        let anchor = anchor_slot.start();
+        if let Some(deadline) = request.deadline() {
+            if anchor >= deadline {
+                break;
+            }
+        }
+        let alive = alive_at_anchor(platform, slots, request, anchor);
+        if alive.len() < n {
+            continue;
+        }
+        let score = |c: &Candidate| match criterion {
+            Criterion::MinTotalCost => c.cost.as_f64(),
+            Criterion::MinProcTime => c.length.ticks() as f64,
+            _ => unreachable!("gated on is_additive"),
+        };
+        if let Some(solution) = crate::bnb::solve(&alive, n, request.budget(), score) {
+            let window = build_window(anchor, &alive, &solution.picked);
+            let window_score = criterion.score(&window);
+            if best.as_ref().is_none_or(|(s, _)| window_score < *s) {
+                best = Some((window_score, window));
+            }
+        }
+    }
+    best.map(|(_, w)| w)
+}
+
+/// Whether a criterion decomposes into a sum of per-candidate scores, i.e.
+/// whether [`bnb_best`] is exact for it.
+#[must_use]
+pub fn is_additive(criterion: Criterion) -> bool {
+    matches!(criterion, Criterion::MinTotalCost | Criterion::MinProcTime)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slotsel_core::money::Money;
+    use slotsel_core::node::{NodeSpec, Performance, Volume};
+    use slotsel_core::time::{Interval, TimePoint};
+
+    fn scenario(node_count: usize, n: usize) -> (Platform, SlotList, ResourceRequest) {
+        let platform: Platform = (0..node_count as u32)
+            .map(|i| {
+                NodeSpec::builder(i)
+                    .performance(Performance::new(1 + i % 4))
+                    .price_per_unit(Money::from_units(i64::from(1 + (i * 7) % 5)))
+                    .build()
+            })
+            .collect();
+        let mut slots = SlotList::new();
+        for (i, node) in platform.iter().enumerate() {
+            let start = (i as i64 * 53) % 200;
+            slots.add(
+                node.id(),
+                Interval::new(TimePoint::new(start), TimePoint::new(start + 500)),
+                node.performance(),
+                node.price_per_unit(),
+            );
+        }
+        let request = ResourceRequest::builder()
+            .node_count(n)
+            .volume(Volume::new(120))
+            .budget(Money::from_units(100_000))
+            .build()
+            .unwrap();
+        (platform, slots, request)
+    }
+
+    #[test]
+    fn bnb_best_matches_exhaustive_on_additive_criteria() {
+        let (platform, slots, request) = scenario(7, 3);
+        for criterion in [Criterion::MinTotalCost, Criterion::MinProcTime] {
+            let exhaustive = exhaustive_best(&platform, &slots, &request, &criterion);
+            let bnb = bnb_best(&platform, &slots, &request, criterion);
+            assert_eq!(
+                exhaustive.map(|w| criterion.score(&w)),
+                bnb.map(|w| criterion.score(&w)),
+                "{criterion} disagrees"
+            );
+        }
+    }
+
+    #[test]
+    fn bnb_best_declines_non_additive_criteria() {
+        let (platform, slots, request) = scenario(5, 2);
+        assert!(!is_additive(Criterion::MinRuntime));
+        assert!(bnb_best(&platform, &slots, &request, Criterion::MinRuntime).is_none());
+    }
+
+    #[test]
+    fn checked_oracle_refuses_oversized_scenarios() {
+        let (platform, slots, request) = scenario(10, 5);
+        let space = subset_space(&platform, &slots, &request);
+        assert!(space > 0);
+        let refused =
+            exhaustive_best_checked(&platform, &slots, &request, &Criterion::MinTotalCost, 1)
+                .unwrap_err();
+        assert_eq!(refused.limit, 1);
+        assert!(refused.subsets >= space);
+        let allowed = exhaustive_best_checked(
+            &platform,
+            &slots,
+            &request,
+            &Criterion::MinTotalCost,
+            u64::MAX,
+        )
+        .unwrap();
+        assert!(allowed.is_some());
+    }
+}

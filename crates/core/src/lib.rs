@@ -108,6 +108,7 @@ pub mod pool;
 pub mod reference;
 pub mod request;
 pub mod rng;
+pub mod scenario;
 pub mod selectors;
 pub mod slot;
 pub mod slotlist;
@@ -127,6 +128,7 @@ pub use node::{NodeId, NodeSpec, OsFamily, Performance, Platform, Volume};
 pub use pool::CandidatePool;
 pub use reference::{reference_scan, reference_scan_traced, reference_scan_with};
 pub use request::{Job, JobId, NodeRequirements, ResourceRequest};
+pub use scenario::Scenario;
 pub use slot::{Slot, SlotId};
 pub use slotlist::{SlotList, SlotListStats};
 pub use time::{Interval, TimeDelta, TimePoint};

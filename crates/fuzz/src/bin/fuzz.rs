@@ -1,0 +1,149 @@
+//! Campaign driver for the differential scenario fuzzer.
+//!
+//! ```text
+//! cargo run -p slotsel-fuzz --release --bin fuzz -- \
+//!     --cases 1000 --tier tiny --seed 1 [--write-corpus] [--corpus-dir DIR]
+//! ```
+//!
+//! Runs `--cases` generated scenarios through the full check battery
+//! (every policy, both scans, oracles where applicable, metamorphic
+//! transforms, disruption replay). Failures are shrunk and printed; with
+//! `--write-corpus` each shrunk counterexample is also written to the
+//! corpus directory as a replayable JSON entry. Exit code 1 when any
+//! failure was found, 2 on usage errors.
+
+use std::process::ExitCode;
+
+use slotsel_fuzz::corpus::{write_entry, CorpusEntry};
+use slotsel_fuzz::engine::check_case;
+use slotsel_fuzz::scenario::{ScenarioGen, SizeTier};
+use slotsel_fuzz::shrink::shrink_failure;
+
+struct Options {
+    cases: u64,
+    seed: u64,
+    tier: SizeTier,
+    write_corpus: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        cases: 200,
+        seed: 0x0510_75E1,
+        tier: SizeTier::Tiny,
+        write_corpus: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--cases" => {
+                options.cases = value("--cases")?
+                    .parse()
+                    .map_err(|e| format!("--cases: {e}"))?;
+            }
+            "--seed" => {
+                options.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--tier" => {
+                let name = value("--tier")?;
+                options.tier = SizeTier::parse(&name)
+                    .ok_or_else(|| format!("unknown tier '{name}' (tiny|small|paper)"))?;
+            }
+            "--corpus-dir" => {
+                // corpus::corpus_dir honours this env var; set it for the
+                // rest of the process.
+                std::env::set_var("SLOTSEL_CORPUS_DIR", value("--corpus-dir")?);
+            }
+            "--write-corpus" => options.write_corpus = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: fuzz [--cases N] [--seed S] [--tier tiny|small|paper] \
+                     [--corpus-dir DIR] [--write-corpus]"
+                        .to_owned(),
+                )
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let gen = ScenarioGen::new(options.seed, options.tier);
+    let mut total_failures = 0u64;
+    let mut disrupted_cases = 0u64;
+    for index in 0..options.cases {
+        let case = gen.case(index);
+        if case.disruption.is_some() {
+            disrupted_cases += 1;
+        }
+        let failures = check_case(&case);
+        for failure in failures {
+            total_failures += 1;
+            let shrunk = shrink_failure(&failure);
+            eprintln!(
+                "FAIL case={} seed={:#018x} check={} policy={} — {}",
+                case.index,
+                case.seed,
+                shrunk.check.name(),
+                shrunk.policy.map_or("-", |p| p.name()),
+                shrunk.detail
+            );
+            eprintln!(
+                "     shrunk to {} nodes / {} slots",
+                shrunk.scenario.platform.len(),
+                shrunk.scenario.slots.len()
+            );
+            if options.write_corpus {
+                let entry = CorpusEntry::from_failure(
+                    &format!("fuzz-{:016x}-{}", case.seed, shrunk.check.name()),
+                    &format!(
+                        "found by campaign seed {:#x}, case {}: {}",
+                        options.seed, case.index, shrunk.detail
+                    ),
+                    &shrunk,
+                );
+                match write_entry(&entry) {
+                    Ok(path) => eprintln!("     wrote {}", path.display()),
+                    Err(e) => eprintln!("     could not write corpus entry: {e}"),
+                }
+            }
+        }
+        if (index + 1) % 500 == 0 {
+            eprintln!(
+                "… {}/{} cases, {} failures so far",
+                index + 1,
+                options.cases,
+                total_failures
+            );
+        }
+    }
+
+    println!(
+        "fuzz: {} cases (tier {:?}, seed {:#x}), {} with disruption schedules, {} failures",
+        options.cases,
+        gen.tier(),
+        options.seed,
+        disrupted_cases,
+        total_failures
+    );
+    if total_failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

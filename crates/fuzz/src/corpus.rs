@@ -1,0 +1,186 @@
+//! The committed counterexample corpus.
+//!
+//! Every shrunk counterexample the fuzzer finds is written to
+//! `tests/corpus/` at the repository root as a self-describing JSON entry.
+//! A generated test harness (see this crate's `build.rs`) replays every
+//! entry as a plain `#[test]` on each `cargo test` run, asserting the
+//! recorded check now **passes** — the corpus is a regression guard, so an
+//! entry re-failing means the bug it documented has come back.
+//!
+//! Entries carry a schema tag so future format changes can migrate old
+//! files instead of mis-parsing them.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use slotsel_core::scenario::Scenario;
+
+use crate::engine::{run_check, CheckKind, Failure, PolicyKind};
+
+/// Format tag written into every entry.
+pub const SCHEMA: &str = "slotsel-fuzz-corpus/1";
+
+/// One replayable counterexample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusEntry {
+    /// Format tag; must equal [`SCHEMA`].
+    pub schema: String,
+    /// Stable kebab-case name (doubles as the file stem).
+    pub name: String,
+    /// The check that originally failed.
+    pub check: CheckKind,
+    /// The policy involved, when the check is per-policy.
+    pub policy: Option<PolicyKind>,
+    /// Seed for the randomized policy.
+    pub seed: u64,
+    /// What the entry documents: the original disagreement, in prose.
+    pub note: String,
+    /// The shrunk scenario.
+    pub scenario: Scenario,
+}
+
+impl CorpusEntry {
+    /// Builds an entry from a (preferably shrunk) failure.
+    #[must_use]
+    pub fn from_failure(name: &str, note: &str, failure: &Failure) -> Self {
+        CorpusEntry {
+            schema: SCHEMA.to_owned(),
+            name: name.to_owned(),
+            check: failure.check,
+            policy: failure.policy,
+            seed: failure.seed,
+            note: note.to_owned(),
+            scenario: failure.scenario.clone(),
+        }
+    }
+
+    /// Replays the entry, asserting the recorded check passes on the
+    /// current code.
+    ///
+    /// # Errors
+    ///
+    /// Returns the check's failure description when the regression has
+    /// come back, or a schema/validity complaint for malformed entries.
+    pub fn replay(&self) -> Result<(), String> {
+        if self.schema != SCHEMA {
+            return Err(format!(
+                "corpus entry '{}' has schema '{}', expected '{SCHEMA}'",
+                self.name, self.schema
+            ));
+        }
+        self.scenario
+            .validate()
+            .map_err(|e| format!("corpus entry '{}' is structurally invalid: {e}", self.name))?;
+        run_check(&self.scenario, self.check, self.policy, self.seed).map_err(|detail| {
+            format!(
+                "corpus entry '{}' regressed ({} check): {detail}",
+                self.name,
+                self.check.name()
+            )
+        })
+    }
+}
+
+/// The corpus directory: `$SLOTSEL_CORPUS_DIR` when set, otherwise
+/// `tests/corpus/` at the repository root.
+#[must_use]
+pub fn corpus_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("SLOTSEL_CORPUS_DIR") {
+        return PathBuf::from(dir);
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("tests")
+        .join("corpus")
+}
+
+/// Loads an entry from a JSON file.
+///
+/// # Errors
+///
+/// Returns a description of the I/O or parse error.
+pub fn load_entry(path: &Path) -> Result<CorpusEntry, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
+}
+
+/// Loads every `*.json` entry in the corpus directory, sorted by file name
+/// for deterministic replay order. An absent directory is an empty corpus.
+///
+/// # Errors
+///
+/// Returns the first load error encountered.
+pub fn load_all() -> Result<Vec<(PathBuf, CorpusEntry)>, String> {
+    let dir = corpus_dir();
+    let Ok(listing) = fs::read_dir(&dir) else {
+        return Ok(Vec::new());
+    };
+    let mut paths: Vec<PathBuf> = listing
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| load_entry(&p).map(|entry| (p, entry)))
+        .collect()
+}
+
+/// Writes an entry as pretty-printed JSON into the corpus directory,
+/// creating it if needed. Returns the path written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_entry(entry: &CorpusEntry) -> io::Result<PathBuf> {
+    let dir = corpus_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{}.json", entry.name));
+    let json = serde_json::to_string_pretty(entry)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    fs::write(&path, json + "\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ScenarioGen, SizeTier};
+
+    fn sample_entry() -> CorpusEntry {
+        let scenario = ScenarioGen::new(11, SizeTier::Tiny).case(1).scenario;
+        CorpusEntry {
+            schema: SCHEMA.to_owned(),
+            name: "sample".to_owned(),
+            check: CheckKind::PoolVsReference,
+            policy: Some(PolicyKind::MinCost),
+            seed: 4,
+            note: "round-trip fixture".to_owned(),
+            scenario,
+        }
+    }
+
+    #[test]
+    fn entries_round_trip_through_json() {
+        let entry = sample_entry();
+        let json = serde_json::to_string(&entry).unwrap();
+        let back: CorpusEntry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name, entry.name);
+        assert_eq!(back.check, entry.check);
+        assert_eq!(back.policy, entry.policy);
+        assert_eq!(back.scenario, entry.scenario);
+        back.replay().unwrap();
+    }
+
+    #[test]
+    fn replay_rejects_unknown_schemas() {
+        let mut entry = sample_entry();
+        entry.schema = "slotsel-fuzz-corpus/99".to_owned();
+        assert!(entry.replay().unwrap_err().contains("schema"));
+    }
+}

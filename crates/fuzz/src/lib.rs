@@ -1,0 +1,46 @@
+//! # slotsel-fuzz
+//!
+//! Differential scenario fuzzer for the AEP slot-selection algorithms.
+//!
+//! The paper's central claim is behavioural: the linear-scan algorithms
+//! find the same windows an exhaustive search would, at a fraction of the
+//! cost. This crate stress-tests that claim mechanically:
+//!
+//! - [`scenario::ScenarioGen`] composes heterogeneous node sets, SWF-style
+//!   background load, pricing models, boundary-hugging requests and
+//!   disruption schedules into seeded, replayable [`Scenario`]s
+//!   (documented size tiers: tiny / small / paper-scale);
+//! - [`engine`] drives every policy through both scan formulations,
+//!   cross-checks small scenarios against the exhaustive and
+//!   branch-and-bound oracles, and asserts metamorphic invariants
+//!   (time-shift invariance, price-scaling equivariance, node-permutation
+//!   invariance, budget monotonicity, dominated-slot monotonicity);
+//! - [`mod@shrink`] greedily minimises any failing scenario while the
+//!   failure keeps reproducing;
+//! - [`corpus`] persists shrunk counterexamples to `tests/corpus/` as
+//!   JSON, where a generated harness replays each one as a normal
+//!   `#[test]` forever after;
+//! - `mutants` (behind `--features mutants`) seeds ten realistic bugs
+//!   the engine must detect — the fuzzer's own regression test.
+//!
+//! The `fuzz` binary runs campaigns: `cargo run -p slotsel-fuzz --bin fuzz
+//! -- --cases 1000 --tier tiny`.
+//!
+//! [`Scenario`]: slotsel_core::scenario::Scenario
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod corpus;
+pub mod engine;
+#[cfg(feature = "mutants")]
+pub mod mutants;
+pub mod rng;
+pub mod scenario;
+pub mod shrink;
+
+pub use corpus::CorpusEntry;
+pub use engine::{check_case, check_scenario, run_check, CheckKind, Failure, PolicyKind};
+pub use scenario::{disrupted_scenario, GeneratedCase, ScenarioGen, SizeTier};
+pub use shrink::{shrink, shrink_failure, shrink_with};

@@ -1,0 +1,394 @@
+//! Intentionally-wrong scan and policy variants ("mutants").
+//!
+//! Compiled only under `--features mutants`, never by default. Each mutant
+//! plants one realistic bug — an off-by-one on the deadline break, a
+//! dropped liveness prune, a strict instead of inclusive budget comparison
+//! — and the detection suite asserts the differential engine notices every
+//! one of them within a few hundred tiny scenarios. This is a live
+//! measurement of the fuzzer's teeth: a check battery that cannot catch a
+//! seeded bug would not catch a real one either.
+
+use slotsel_core::aep::{ScanOutcome, ScanStats, SelectionPolicy};
+use slotsel_core::algorithms::{
+    Amp, MinCost, MinFinish, MinProcTime, MinRunTime, RuntimeSelection,
+};
+use slotsel_core::criteria::WindowCriterion;
+use slotsel_core::money::Money;
+use slotsel_core::request::ResourceRequest;
+use slotsel_core::scenario::Scenario;
+use slotsel_core::selectors::{build_window, cheapest_n, min_runtime_exact, Candidate};
+use slotsel_core::time::TimePoint;
+use slotsel_core::validate::validate_window;
+use slotsel_core::window::Window;
+
+use slotsel_baselines::oracle::exhaustive_best_checked;
+
+use crate::engine::{PolicyKind, ScanSide, ORACLE_SUBSET_LIMIT};
+
+/// Bugs planted inside the scan loop (the policy stays healthy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanBug {
+    /// Deadline entirely ignored: no anchor break, no candidate pruning.
+    IgnoreDeadline,
+    /// Anchor break uses `>` instead of `>=`: one extra scan step at an
+    /// anchor exactly on the deadline.
+    LateDeadlineBreak,
+    /// The first slot of the list is never scanned.
+    SkipFirstSlot,
+    /// Candidates are never pruned when their slot's remainder gets too
+    /// short — stale entries linger in the extended window.
+    StaleAlive,
+    /// A node's older slot is not superseded when a newer one is admitted,
+    /// so one node can appear twice in a window.
+    NoSupersede,
+    /// `slots_rejected` is never counted.
+    UncountedRejects,
+}
+
+/// Bugs planted inside the per-step selection (the scan stays healthy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyBug {
+    /// MinCost feasibility uses `< budget` instead of `<= budget`.
+    StrictBudgetMinCost,
+    /// MinCost picks the first `n` admitted candidates instead of the
+    /// cheapest `n`.
+    FirstNMinCost,
+    /// MinCost stops at the first suitable window like AMP does.
+    StopAtFirstMinCost,
+    /// MinRunTime(exact) picks the `n` longest placements instead of the
+    /// `n` shortest.
+    LongestRuntime,
+}
+
+/// What kind of code the bug lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutantKind {
+    /// Buggy scan loop driving a healthy policy.
+    Scan(ScanBug),
+    /// Healthy scan loop driving a buggy policy.
+    Policy(PolicyBug),
+}
+
+/// One seeded bug the engine must be able to detect.
+#[derive(Debug, Clone, Copy)]
+pub struct Mutant {
+    /// Stable name for reports.
+    pub name: &'static str,
+    /// The healthy policy this mutant masquerades as.
+    pub policy: PolicyKind,
+    /// Where the bug is planted.
+    pub kind: MutantKind,
+}
+
+/// Every seeded mutant.
+#[must_use]
+pub fn all() -> Vec<Mutant> {
+    vec![
+        Mutant {
+            name: "scan-ignore-deadline",
+            policy: PolicyKind::Amp,
+            kind: MutantKind::Scan(ScanBug::IgnoreDeadline),
+        },
+        Mutant {
+            name: "scan-late-deadline-break",
+            policy: PolicyKind::MinCost,
+            kind: MutantKind::Scan(ScanBug::LateDeadlineBreak),
+        },
+        Mutant {
+            name: "scan-skip-first-slot",
+            policy: PolicyKind::Amp,
+            kind: MutantKind::Scan(ScanBug::SkipFirstSlot),
+        },
+        Mutant {
+            name: "scan-stale-alive",
+            policy: PolicyKind::MinFinishExact,
+            kind: MutantKind::Scan(ScanBug::StaleAlive),
+        },
+        Mutant {
+            name: "scan-no-supersede",
+            policy: PolicyKind::MinCost,
+            kind: MutantKind::Scan(ScanBug::NoSupersede),
+        },
+        Mutant {
+            name: "scan-uncounted-rejects",
+            policy: PolicyKind::MinProcTime,
+            kind: MutantKind::Scan(ScanBug::UncountedRejects),
+        },
+        Mutant {
+            name: "policy-strict-budget",
+            policy: PolicyKind::MinCost,
+            kind: MutantKind::Policy(PolicyBug::StrictBudgetMinCost),
+        },
+        Mutant {
+            name: "policy-first-n",
+            policy: PolicyKind::MinCost,
+            kind: MutantKind::Policy(PolicyBug::FirstNMinCost),
+        },
+        Mutant {
+            name: "policy-stop-at-first",
+            policy: PolicyKind::MinCost,
+            kind: MutantKind::Policy(PolicyBug::StopAtFirstMinCost),
+        },
+        Mutant {
+            name: "policy-longest-runtime",
+            policy: PolicyKind::MinRunTimeExact,
+            kind: MutantKind::Policy(PolicyBug::LongestRuntime),
+        },
+    ]
+}
+
+impl Mutant {
+    /// Runs the mutant over a scenario.
+    #[must_use]
+    pub fn run(&self, scenario: &Scenario, seed: u64) -> ScanOutcome {
+        match self.kind {
+            MutantKind::Scan(bug) => with_policy(self.policy, seed, |policy| {
+                buggy_reference_scan(scenario, policy, bug)
+            }),
+            MutantKind::Policy(bug) => {
+                let mut policy = BuggyPolicy { bug };
+                scenario.scan_reference(&mut policy)
+            }
+        }
+    }
+}
+
+/// Whether the engine's check battery notices the mutant on this scenario:
+/// any divergence from the healthy scan (window, score or stats), an
+/// invalid window, or a disagreement with the exhaustive oracle counts.
+#[must_use]
+pub fn caught_on(mutant: &Mutant, scenario: &Scenario, seed: u64) -> bool {
+    // A mutant that trips a model invariant (e.g. a duplicate-node window
+    // from the missing supersede) panics inside the scan — the loudest
+    // possible detection.
+    let buggy =
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| mutant.run(scenario, seed)))
+        {
+            Ok(outcome) => outcome,
+            Err(_) => return true,
+        };
+    let healthy = mutant.policy.scan(scenario, seed, ScanSide::Reference);
+    if buggy.stats != healthy.stats {
+        return true;
+    }
+    let criterion = mutant.policy.criterion();
+    match (&buggy.best, &healthy.best) {
+        (None, Some(_)) | (Some(_), None) => return true,
+        (Some(b), Some(h)) => {
+            if (criterion.score(b) - criterion.score(h)).abs() > 1e-6 {
+                return true;
+            }
+            if validate_window(b, &scenario.platform, &scenario.slots, &scenario.request).is_err()
+                || b.total_cost() > scenario.request.budget()
+                || scenario.request.deadline().is_some_and(|d| b.finish() > d)
+            {
+                return true;
+            }
+        }
+        (None, None) => {}
+    }
+    // Independent oracle cross-check, for bugs that happen to corrupt both
+    // scans symmetrically.
+    if let Ok(oracle) = exhaustive_best_checked(
+        &scenario.platform,
+        &scenario.slots,
+        &scenario.request,
+        &criterion,
+        ORACLE_SUBSET_LIMIT,
+    ) {
+        match (&buggy.best, &oracle) {
+            (None, Some(_)) | (Some(_), None) => return true,
+            (Some(b), Some(o)) => {
+                let (bs, os) = (criterion.score(b), criterion.score(o));
+                if mutant.policy.is_exact() && (bs - os).abs() > 1e-6 {
+                    return true;
+                }
+                if bs < os - 1e-6 {
+                    return true;
+                }
+            }
+            (None, None) => {}
+        }
+    }
+    false
+}
+
+fn with_policy<R>(kind: PolicyKind, seed: u64, f: impl FnOnce(&mut dyn SelectionPolicy) -> R) -> R {
+    match kind {
+        PolicyKind::Amp => f(&mut Amp.policy()),
+        PolicyKind::MinCost => f(&mut MinCost.policy()),
+        PolicyKind::MinRunTimeGreedy => {
+            f(&mut MinRunTime::with_selection(RuntimeSelection::Greedy).policy())
+        }
+        PolicyKind::MinRunTimeExact => {
+            f(&mut MinRunTime::with_selection(RuntimeSelection::Exact).policy())
+        }
+        PolicyKind::MinFinishGreedy => {
+            f(&mut MinFinish::with_selection(RuntimeSelection::Greedy).policy())
+        }
+        PolicyKind::MinFinishExact => {
+            f(&mut MinFinish::with_selection(RuntimeSelection::Exact).policy())
+        }
+        PolicyKind::MinProcTime => {
+            let mut algo = MinProcTime::with_seed(seed);
+            let mut policy = algo.policy();
+            f(&mut policy)
+        }
+    }
+}
+
+/// The sort-per-step reference loop with one [`ScanBug`] planted.
+fn buggy_reference_scan(
+    scenario: &Scenario,
+    policy: &mut dyn SelectionPolicy,
+    bug: ScanBug,
+) -> ScanOutcome {
+    let request = &scenario.request;
+    let platform = &scenario.platform;
+    let n = request.node_count();
+    let mut alive: Vec<Candidate> = Vec::new();
+    let mut stats = ScanStats::default();
+    let mut best: Option<(f64, Window)> = None;
+
+    for (index, slot) in scenario.slots.iter().enumerate() {
+        if bug == ScanBug::SkipFirstSlot && index == 0 {
+            continue;
+        }
+        let window_start = slot.start();
+        if let Some(deadline) = request.deadline() {
+            let past = match bug {
+                ScanBug::IgnoreDeadline => false,
+                ScanBug::LateDeadlineBreak => window_start > deadline,
+                _ => window_start >= deadline,
+            };
+            if past {
+                break;
+            }
+        }
+        let admitted = platform
+            .get(slot.node())
+            .is_some_and(|node| request.requirements().admits(node));
+        if !admitted {
+            if bug != ScanBug::UncountedRejects {
+                stats.slots_rejected += 1;
+            }
+            continue;
+        }
+        let candidate = Candidate::new(*slot, request.volume());
+        if slot.length() < candidate.length {
+            if bug != ScanBug::UncountedRejects {
+                stats.slots_rejected += 1;
+            }
+            continue;
+        }
+        let survives = |c: &Candidate| {
+            let live = bug == ScanBug::StaleAlive || c.alive_at(window_start);
+            let in_time = bug == ScanBug::IgnoreDeadline
+                || request
+                    .deadline()
+                    .is_none_or(|d| window_start + c.length <= d);
+            live && in_time
+        };
+        if bug == ScanBug::NoSupersede {
+            alive.retain(|c| survives(c));
+        } else {
+            alive.retain(|c| c.slot.node() != candidate.slot.node() && survives(c));
+        }
+        if survives(&candidate) {
+            alive.push(candidate);
+        }
+        stats.slots_admitted += 1;
+        stats.peak_extended_window = stats.peak_extended_window.max(alive.len());
+
+        if alive.len() < n {
+            continue;
+        }
+        if let Some(picked) = policy.pick(window_start, &alive, request) {
+            let window = build_window(window_start, &alive, &picked);
+            let score = policy.score(&window);
+            stats.windows_evaluated += 1;
+            if best.as_ref().is_none_or(|(s, _)| score < *s) {
+                best = Some((score, window));
+            }
+            if policy.stop_at_first() {
+                break;
+            }
+        }
+    }
+
+    ScanOutcome {
+        best: best.map(|(_, w)| w),
+        stats,
+    }
+}
+
+/// A healthy-looking policy with one [`PolicyBug`] planted.
+struct BuggyPolicy {
+    bug: PolicyBug,
+}
+
+impl BuggyPolicy {
+    fn pick_indices(&self, alive: &[Candidate], request: &ResourceRequest) -> Option<Vec<usize>> {
+        let n = request.node_count();
+        if alive.len() < n {
+            return None;
+        }
+        match self.bug {
+            PolicyBug::StrictBudgetMinCost => {
+                let mut order: Vec<usize> = (0..alive.len()).collect();
+                order.sort_by_key(|&i| (alive[i].cost, i));
+                let picked: Vec<usize> = order[..n].to_vec();
+                let total: Money = picked.iter().map(|&i| alive[i].cost).sum();
+                (total < request.budget()).then_some(picked) // BUG: strict.
+            }
+            PolicyBug::FirstNMinCost => {
+                let picked: Vec<usize> = (0..n).collect(); // BUG: not cheapest.
+                let total: Money = picked.iter().map(|&i| alive[i].cost).sum();
+                (total <= request.budget()).then_some(picked)
+            }
+            PolicyBug::StopAtFirstMinCost => cheapest_n(alive, n, request.budget()),
+            PolicyBug::LongestRuntime => {
+                let mut order: Vec<usize> = (0..alive.len()).collect();
+                // BUG: longest placements first instead of shortest.
+                order.sort_by_key(|&i| (std::cmp::Reverse(alive[i].length), i));
+                let picked: Vec<usize> = order[..n].to_vec();
+                let total: Money = picked.iter().map(|&i| alive[i].cost).sum();
+                if total <= request.budget() {
+                    Some(picked)
+                } else {
+                    // Stay feasibility-correct so only the score is wrong.
+                    min_runtime_exact(alive, n, request.budget())
+                }
+            }
+        }
+    }
+}
+
+impl SelectionPolicy for BuggyPolicy {
+    fn name(&self) -> &str {
+        match self.bug {
+            PolicyBug::LongestRuntime => "MinRunTime[mutant]",
+            _ => "MinCost[mutant]",
+        }
+    }
+
+    fn pick(
+        &mut self,
+        _window_start: TimePoint,
+        alive: &[Candidate],
+        request: &ResourceRequest,
+    ) -> Option<Vec<usize>> {
+        self.pick_indices(alive, request)
+    }
+
+    fn score(&self, window: &Window) -> f64 {
+        match self.bug {
+            PolicyBug::LongestRuntime => window.runtime().ticks() as f64,
+            _ => window.total_cost().as_f64(),
+        }
+    }
+
+    fn stop_at_first(&self) -> bool {
+        self.bug == PolicyBug::StopAtFirstMinCost
+    }
+}

@@ -1,0 +1,392 @@
+//! Structured scenario generation.
+//!
+//! [`ScenarioGen`] composes the ingredients the paper's experimental setup
+//! varies — heterogeneous node sets, SWF-style background load carved into
+//! per-node busy bursts, several pricing models, resource requests with
+//! boundary-hugging budgets and deadlines, and optional disruption
+//! schedules — into a seeded, fully reproducible [`Scenario`]. The same
+//! `(campaign seed, case index)` pair always yields the same case, so every
+//! failure the engine reports is replayable from two integers.
+//!
+//! # Size tiers
+//!
+//! | tier | nodes | horizon | purpose |
+//! |------|-------|---------|---------|
+//! | [`SizeTier::Tiny`] | 2–6 | 120 ticks | oracle always applicable; mutation smoke tests |
+//! | [`SizeTier::Small`] | 4–14 | 600 ticks | oracle gated by [`crate::engine::ORACLE_SUBSET_LIMIT`] |
+//! | [`SizeTier::PaperScale`] | 40–100 | 600 ticks | differential + metamorphic checks only |
+
+use slotsel_core::algorithms::MinCost;
+use slotsel_core::money::Money;
+use slotsel_core::node::{NodeSpec, Performance, Platform, Volume};
+use slotsel_core::request::{NodeRequirements, ResourceRequest};
+use slotsel_core::scenario::Scenario;
+use slotsel_core::slotlist::SlotList;
+use slotsel_core::time::{Interval, TimePoint};
+use slotsel_env::load::NodeSchedule;
+use slotsel_env::Environment;
+use slotsel_sim::disruption::{DisruptionConfig, DisruptionModel};
+
+use crate::rng::{case_seed, SplitMix64};
+
+/// How big a generated scenario is, and therefore which oracles apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeTier {
+    /// 2–6 nodes on a 120-tick horizon. Small enough that the exhaustive
+    /// oracle always runs; the default for mutation smoke tests.
+    Tiny,
+    /// 4–14 nodes on a 600-tick horizon. The exhaustive oracle runs when
+    /// the worst anchor's subset count stays under the engine limit.
+    Small,
+    /// 40–100 nodes on a 600-tick horizon — the scale of the paper's
+    /// simulated environment. Only the differential and metamorphic checks
+    /// apply.
+    PaperScale,
+}
+
+impl SizeTier {
+    /// Parses a command-line tier name.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<SizeTier> {
+        match name {
+            "tiny" => Some(SizeTier::Tiny),
+            "small" => Some(SizeTier::Small),
+            "paper" | "paper-scale" => Some(SizeTier::PaperScale),
+            _ => None,
+        }
+    }
+
+    /// Inclusive node-count range.
+    #[must_use]
+    pub fn node_range(self) -> (usize, usize) {
+        match self {
+            SizeTier::Tiny => (2, 6),
+            SizeTier::Small => (4, 14),
+            SizeTier::PaperScale => (40, 100),
+        }
+    }
+
+    /// Scheduling-interval length in ticks.
+    #[must_use]
+    pub fn horizon(self) -> i64 {
+        match self {
+            SizeTier::Tiny => 120,
+            SizeTier::Small | SizeTier::PaperScale => 600,
+        }
+    }
+}
+
+/// One generated case: the scenario plus the context needed to rebuild the
+/// environment it came from (for disruption replay).
+#[derive(Debug, Clone)]
+pub struct GeneratedCase {
+    /// Case index within the campaign.
+    pub index: u64,
+    /// The derived per-case seed (determines everything below).
+    pub seed: u64,
+    /// The scan input under test.
+    pub scenario: Scenario,
+    /// The per-node background-load schedules the slots were carved from.
+    pub schedules: Vec<NodeSchedule>,
+    /// The scheduling interval.
+    pub interval: Interval,
+    /// Disruption schedule to replay on top, when this case exercises the
+    /// non-dedicated-resource path.
+    pub disruption: Option<DisruptionConfig>,
+}
+
+/// Seeded scenario generator for one campaign.
+#[derive(Debug, Clone)]
+pub struct ScenarioGen {
+    base_seed: u64,
+    tier: SizeTier,
+}
+
+impl ScenarioGen {
+    /// Creates a generator for a campaign.
+    #[must_use]
+    pub fn new(base_seed: u64, tier: SizeTier) -> Self {
+        ScenarioGen { base_seed, tier }
+    }
+
+    /// The tier this generator draws from.
+    #[must_use]
+    pub fn tier(&self) -> SizeTier {
+        self.tier
+    }
+
+    /// Generates case `index` of the campaign. Deterministic: the same
+    /// `(base_seed, tier, index)` always produces the same case.
+    #[must_use]
+    pub fn case(&self, index: u64) -> GeneratedCase {
+        let seed = case_seed(self.base_seed, index);
+        let mut rng = SplitMix64::new(seed);
+
+        let (lo, hi) = self.tier.node_range();
+        let node_count = rng.range_i64(lo as i64, hi as i64) as usize;
+        let horizon = self.tier.horizon();
+        let interval = Interval::new(TimePoint::new(0), TimePoint::new(horizon));
+
+        let platform = generate_platform(&mut rng, node_count);
+        let (slots, schedules) = generate_slots(&mut rng, &platform, interval);
+        let request = generate_request(&mut rng, &platform, &slots, horizon);
+
+        let disruption = if rng.percent(30) {
+            Some(DisruptionConfig::moderate(seed ^ 0x0D15_FAC7))
+        } else if rng.percent(15) {
+            Some(DisruptionConfig::adversarial(seed ^ 0x0D15_FAC7))
+        } else {
+            None
+        };
+
+        GeneratedCase {
+            index,
+            seed,
+            scenario: Scenario::new(platform, slots, request),
+            schedules,
+            interval,
+            disruption,
+        }
+    }
+}
+
+/// Replays the case's disruption schedule on the environment it was carved
+/// from and returns the disrupted scenario (same request, post-disruption
+/// platform and slots). `None` when the case carries no disruption.
+#[must_use]
+pub fn disrupted_scenario(case: &GeneratedCase) -> Option<Scenario> {
+    let config = case.disruption.clone()?;
+    let mut env = Environment::from_parts(
+        case.scenario.platform.clone(),
+        case.scenario.slots.clone(),
+        case.schedules.clone(),
+        case.interval,
+    );
+    let mut model = DisruptionModel::new(config);
+    model.inject(&mut env, 0, &[]);
+    Some(Scenario::new(
+        env.platform().clone(),
+        env.slots().clone(),
+        case.scenario.request.clone(),
+    ))
+}
+
+fn generate_platform(rng: &mut SplitMix64, node_count: usize) -> Platform {
+    // One pricing model per scenario: uniform random, performance-
+    // proportional (paper-style "you get what you pay for"), or inverse
+    // (adversarial: slow nodes are expensive), plus rare zero-price nodes.
+    let pricing = rng.below(3);
+    (0..node_count as u32)
+        .map(|i| {
+            let perf = rng.range_i64(1, 10) as u32;
+            let price = if rng.percent(4) {
+                Money::ZERO
+            } else {
+                match pricing {
+                    0 => Money::from_units(rng.range_i64(1, 9)),
+                    1 => Money::from_millis(i64::from(perf) * rng.range_i64(800, 1_200)),
+                    _ => Money::from_millis((11 - i64::from(perf)) * rng.range_i64(800, 1_200)),
+                }
+            };
+            NodeSpec::builder(i)
+                .performance(Performance::new(perf))
+                .price_per_unit(price)
+                .build()
+        })
+        .collect()
+}
+
+/// Carves each node's horizon into busy bursts (the SWF-style background
+/// load of a non-dedicated resource) and derives the free slots from the
+/// complement, exactly the way the environment generator does.
+fn generate_slots(
+    rng: &mut SplitMix64,
+    platform: &Platform,
+    interval: Interval,
+) -> (SlotList, Vec<NodeSchedule>) {
+    let horizon = interval.length().ticks();
+    let mut slots = SlotList::new();
+    let mut schedules = Vec::with_capacity(platform.len());
+    for node in platform {
+        let occupancy = 0.05 + 0.45 * rng.f64();
+        let mut busy = Vec::new();
+        let mut t = interval.start().ticks();
+        // Rarely leave a node completely free (a dedicated resource) or
+        // completely busy (an all-equal degenerate the scan must skip).
+        if rng.percent(6) {
+            if rng.percent(50) {
+                busy.push(interval);
+                t = interval.end().ticks();
+            } else {
+                t = interval.end().ticks();
+            }
+        }
+        while t < interval.end().ticks() {
+            let free_len = rng.range_i64(horizon / 20 + 1, horizon / 3 + 1);
+            let free_end = (t + free_len).min(interval.end().ticks());
+            // Busy burst sized so the long-run busy fraction tracks the
+            // sampled occupancy.
+            let busy_len =
+                ((free_len as f64) * occupancy / (1.0 - occupancy) * (0.5 + rng.f64())) as i64;
+            let busy_end = (free_end + busy_len.max(0)).min(interval.end().ticks());
+            if busy_end > free_end {
+                busy.push(Interval::new(
+                    TimePoint::new(free_end),
+                    TimePoint::new(busy_end),
+                ));
+            }
+            t = busy_end.max(free_end + 1);
+        }
+        let schedule = NodeSchedule::new(node.id(), interval, busy);
+        for span in schedule.free() {
+            if span.length().ticks() > 0 {
+                slots.add(node.id(), span, node.performance(), node.price_per_unit());
+            }
+        }
+        schedules.push(schedule);
+    }
+    // Occasionally publish a "refreshed" slot that overlaps one a node
+    // already advertises (slot lists after partial reservations and
+    // releases look like this). This is what exercises the scan's
+    // same-node supersede logic — with purely disjoint per-node spans the
+    // older candidate is always dead before the newer slot starts.
+    if rng.percent(25) && !slots.is_empty() {
+        let base = *slots
+            .as_slice()
+            .get(rng.below(slots.len() as u64) as usize)
+            .expect("index in range");
+        let len = base.length().ticks();
+        if len >= 4 {
+            let mid = base.start().ticks() + len / 2;
+            let end = (base.end().ticks() + len / 2).min(interval.end().ticks());
+            if end > mid {
+                slots.add(
+                    base.node(),
+                    Interval::new(TimePoint::new(mid), TimePoint::new(end)),
+                    base.performance(),
+                    base.price_per_unit(),
+                );
+            }
+        }
+    }
+    (slots, schedules)
+}
+
+fn generate_request(
+    rng: &mut SplitMix64,
+    platform: &Platform,
+    slots: &SlotList,
+    horizon: i64,
+) -> ResourceRequest {
+    let node_count = platform.len();
+    // ~8% of requests ask for more nodes than exist — the scan must return
+    // no window without panicking.
+    let n = if rng.percent(8) {
+        node_count + rng.range_i64(1, 3) as usize
+    } else {
+        rng.range_i64(1, (node_count.min(7)) as i64) as usize
+    };
+    let volume = Volume::new(rng.range_i64(5, (horizon / 2).max(6)) as u64);
+
+    let requirements = if rng.percent(70) {
+        NodeRequirements::any()
+    } else if rng.percent(65) {
+        NodeRequirements::any().min_performance(Performance::new(rng.range_i64(1, 6) as u32))
+    } else {
+        NodeRequirements::any().max_price_per_unit(Money::from_units(rng.range_i64(2, 9)))
+    };
+
+    let generous = Money::from_units(5_000_000);
+    let probe = ResourceRequest::builder()
+        .node_count(n)
+        .volume(volume)
+        .budget(generous)
+        .requirements(requirements.clone())
+        .build()
+        .expect("probe request is structurally valid");
+    // Probe the cost optimum so budgets can sit exactly on the feasibility
+    // boundary (or one milli-credit below it).
+    let optimum = Scenario::new(platform.clone(), slots.clone(), probe.clone())
+        .scan_pool(&mut MinCost.policy())
+        .best;
+
+    let budget = match (rng.below(100), &optimum) {
+        (0..=39, _) | (_, None) => generous,
+        (40..=64, Some(w)) => Money::from_millis(w.total_cost().millis().max(1)),
+        (65..=79, Some(w)) if w.total_cost().millis() > 1 => {
+            Money::from_millis(w.total_cost().millis() - 1)
+        }
+        (_, Some(w)) => {
+            let base = w.total_cost().millis().max(1);
+            Money::from_millis(base + base * rng.range_i64(0, 100) / 100)
+        }
+    };
+
+    let deadline = if rng.percent(55) {
+        None
+    } else if let Some(w) = &optimum {
+        match rng.below(100) {
+            0..=24 => Some(w.finish()),
+            25..=39 => Some(TimePoint::new(w.finish().ticks() - 1)),
+            40..=54 => slots.iter().next().map(|s| s.start()),
+            _ => Some(TimePoint::new(rng.range_i64(1, horizon))),
+        }
+    } else {
+        Some(TimePoint::new(rng.range_i64(1, horizon)))
+    };
+
+    let mut builder = probe
+        .into_builder()
+        .budget(budget)
+        .requirements(requirements);
+    if let Some(d) = deadline {
+        builder = builder.deadline(d);
+    }
+    builder.build().expect("generated request is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let gen = ScenarioGen::new(99, SizeTier::Tiny);
+        let a = gen.case(3);
+        let b = gen.case(3);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.scenario, b.scenario);
+        assert_eq!(a.disruption.is_some(), b.disruption.is_some());
+    }
+
+    #[test]
+    fn generated_scenarios_validate() {
+        for tier in [SizeTier::Tiny, SizeTier::Small, SizeTier::PaperScale] {
+            let gen = ScenarioGen::new(7, tier);
+            for i in 0..10 {
+                let case = gen.case(i);
+                case.scenario.validate().unwrap_or_else(|e| {
+                    panic!("tier {tier:?} case {i} generated an invalid scenario: {e}")
+                });
+                let (lo, hi) = tier.node_range();
+                assert!((lo..=hi).contains(&case.scenario.platform.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn disrupted_scenarios_still_validate() {
+        let gen = ScenarioGen::new(21, SizeTier::Small);
+        let mut disrupted_seen = 0;
+        for i in 0..40 {
+            let case = gen.case(i);
+            if let Some(scenario) = disrupted_scenario(&case) {
+                disrupted_seen += 1;
+                scenario
+                    .validate()
+                    .unwrap_or_else(|e| panic!("case {i} disrupted scenario invalid: {e}"));
+            }
+        }
+        assert!(disrupted_seen > 0, "no case drew a disruption schedule");
+    }
+}

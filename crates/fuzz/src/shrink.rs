@@ -1,0 +1,342 @@
+//! Greedy counterexample shrinking.
+//!
+//! A raw failure from a paper-scale campaign can involve a hundred nodes
+//! and hundreds of slots; almost all of them are noise. [`shrink`] reduces
+//! the embedded scenario while the failure keeps reproducing, in three
+//! greedy passes run to a fixpoint:
+//!
+//! 1. **drop nodes** — remove one node (and its slots), remapping the
+//!    survivors onto dense ids;
+//! 2. **drop slots** — remove one slot at a time;
+//! 3. **round values** — snap slot times to multiples of 10, prices and
+//!    the budget to whole credits, the volume to a multiple of 5.
+//!
+//! Each candidate mutation is kept only when [`run_check`] still fails, so
+//! the output reproduces the exact same disagreement as the input.
+
+use slotsel_core::money::Money;
+use slotsel_core::node::{NodeId, Platform, Volume};
+use slotsel_core::scenario::Scenario;
+use slotsel_core::slot::Slot;
+use slotsel_core::slotlist::SlotList;
+use slotsel_core::time::{Interval, TimePoint};
+
+use crate::engine::{run_check, Failure};
+
+/// Maximum full passes before giving up on reaching a fixpoint.
+const MAX_PASSES: usize = 8;
+
+/// Shrinks a failure's scenario as far as the failure keeps reproducing.
+/// Returns the (possibly unchanged) minimal scenario found.
+#[must_use]
+pub fn shrink(failure: &Failure) -> Scenario {
+    let still_fails = |candidate: &Scenario| {
+        candidate.validate().is_ok()
+            && run_check(candidate, failure.check, failure.policy, failure.seed).is_err()
+    };
+    shrink_with(&failure.scenario, &still_fails)
+}
+
+/// Shrinks `scenario` under an arbitrary "still interesting" predicate.
+/// Exposed separately so the shrinker itself is testable against synthetic
+/// predicates and reusable for mutant counterexamples.
+#[must_use]
+pub fn shrink_with(scenario: &Scenario, still_fails: &dyn Fn(&Scenario) -> bool) -> Scenario {
+    let mut current = scenario.clone();
+    if !still_fails(&current) {
+        return current; // Not reproducible; nothing to minimise.
+    }
+    for _ in 0..MAX_PASSES {
+        let mut progressed = false;
+        progressed |= drop_nodes(&mut current, still_fails);
+        progressed |= drop_slots(&mut current, still_fails);
+        progressed |= round_values(&mut current, still_fails);
+        if !progressed {
+            break;
+        }
+    }
+    current
+}
+
+fn try_replace(
+    current: &mut Scenario,
+    candidate: Scenario,
+    still_fails: &dyn Fn(&Scenario) -> bool,
+) -> bool {
+    if still_fails(&candidate) {
+        *current = candidate;
+        true
+    } else {
+        false
+    }
+}
+
+fn drop_nodes(current: &mut Scenario, still_fails: &dyn Fn(&Scenario) -> bool) -> bool {
+    let mut progressed = false;
+    let mut victim = 0u32;
+    while (victim as usize) < current.platform.len() {
+        if current.platform.len() <= 1 {
+            break;
+        }
+        if try_replace(current, without_node(current, NodeId(victim)), still_fails) {
+            // Ids above the victim shifted down; retry the same index.
+            progressed = true;
+        } else {
+            victim += 1;
+        }
+    }
+    progressed
+}
+
+/// Removes one node, its slots, and re-densifies node ids (platforms
+/// require the dense sequence `0..len`).
+fn without_node(scenario: &Scenario, victim: NodeId) -> Scenario {
+    let remap = |id: NodeId| {
+        if id.0 > victim.0 {
+            NodeId(id.0 - 1)
+        } else {
+            id
+        }
+    };
+    let platform: Platform = scenario
+        .platform
+        .iter()
+        .filter(|node| node.id() != victim)
+        .map(|node| {
+            let mut builder = slotsel_core::NodeSpec::builder(remap(node.id()).0)
+                .performance(node.performance())
+                .price_per_unit(node.price_per_unit())
+                .clock_mhz(node.clock_mhz())
+                .ram_mb(node.ram_mb())
+                .disk_gb(node.disk_gb())
+                .os(node.os());
+            if let Some(domain) = node.domain() {
+                builder = builder.domain(domain);
+            }
+            builder.build()
+        })
+        .collect();
+    let slots: Vec<Slot> = scenario
+        .slots
+        .iter()
+        .filter(|slot| slot.node() != victim)
+        .map(|slot| {
+            Slot::new(
+                slot.id(),
+                remap(slot.node()),
+                slot.span(),
+                slot.performance(),
+                slot.price_per_unit(),
+            )
+        })
+        .collect();
+    Scenario::new(
+        platform,
+        SlotList::from_slots(slots),
+        scenario.request.clone(),
+    )
+}
+
+fn drop_slots(current: &mut Scenario, still_fails: &dyn Fn(&Scenario) -> bool) -> bool {
+    let mut progressed = false;
+    let mut index = 0;
+    while index < current.slots.len() {
+        if current.slots.len() <= 1 {
+            break;
+        }
+        let slots: Vec<Slot> = current
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != index)
+            .map(|(_, s)| *s)
+            .collect();
+        let candidate = Scenario::new(
+            current.platform.clone(),
+            SlotList::from_slots(slots),
+            current.request.clone(),
+        );
+        if try_replace(current, candidate, still_fails) {
+            progressed = true; // Same index now names the next slot.
+        } else {
+            index += 1;
+        }
+    }
+    progressed
+}
+
+fn round_values(current: &mut Scenario, still_fails: &dyn Fn(&Scenario) -> bool) -> bool {
+    let mut progressed = false;
+
+    // Snap each slot span to multiples of 10 (start down, end up keeps the
+    // slot non-empty and any contained window feasible-ish; the predicate
+    // has the final word anyway).
+    for index in 0..current.slots.len() {
+        let slot = *current.slots.as_slice().get(index).expect("index in range");
+        let start = slot.start().ticks() / 10 * 10;
+        let end = (slot.end().ticks() + 9) / 10 * 10;
+        if start == slot.start().ticks() && end == slot.end().ticks() {
+            continue;
+        }
+        let rounded = slot.with_span(
+            slot.id(),
+            Interval::new(TimePoint::new(start), TimePoint::new(end)),
+        );
+        let slots: Vec<Slot> = current
+            .slots
+            .iter()
+            .map(|s| if s.id() == slot.id() { rounded } else { *s })
+            .collect();
+        let candidate = Scenario::new(
+            current.platform.clone(),
+            SlotList::from_slots(slots),
+            current.request.clone(),
+        );
+        progressed |= try_replace(current, candidate, still_fails);
+    }
+
+    // Round prices down to whole credits (keeping them non-negative).
+    let platform: Platform = current
+        .platform
+        .iter()
+        .map(|node| {
+            let price = Money::from_units(node.price_per_unit().millis() / 1_000);
+            let mut builder = slotsel_core::NodeSpec::builder(node.id().0)
+                .performance(node.performance())
+                .price_per_unit(price)
+                .clock_mhz(node.clock_mhz())
+                .ram_mb(node.ram_mb())
+                .disk_gb(node.disk_gb())
+                .os(node.os());
+            if let Some(domain) = node.domain() {
+                builder = builder.domain(domain);
+            }
+            builder.build()
+        })
+        .collect();
+    let slots: Vec<Slot> = current
+        .slots
+        .iter()
+        .map(|s| {
+            Slot::new(
+                s.id(),
+                s.node(),
+                s.span(),
+                s.performance(),
+                Money::from_units(s.price_per_unit().millis() / 1_000),
+            )
+        })
+        .collect();
+    let candidate = Scenario::new(
+        platform,
+        SlotList::from_slots(slots),
+        current.request.clone(),
+    );
+    progressed |= try_replace(current, candidate, still_fails);
+
+    // Round the budget down to whole credits and the volume to a multiple
+    // of 5 (both must stay positive to keep the request buildable).
+    let budget_units = current.request.budget().millis() / 1_000;
+    if budget_units > 0 {
+        let candidate = rebuild_request(current, |b| b.budget(Money::from_units(budget_units)));
+        progressed |= try_replace(current, candidate, still_fails);
+    }
+    let volume = current.request.volume().work() / 5 * 5;
+    if volume > 0 && volume != current.request.volume().work() {
+        let candidate = rebuild_request(current, |b| b.volume(Volume::new(volume)));
+        progressed |= try_replace(current, candidate, still_fails);
+    }
+
+    progressed
+}
+
+fn rebuild_request(
+    scenario: &Scenario,
+    tweak: impl FnOnce(
+        slotsel_core::request::ResourceRequestBuilder,
+    ) -> slotsel_core::request::ResourceRequestBuilder,
+) -> Scenario {
+    match tweak(scenario.request.clone().into_builder()).build() {
+        Ok(request) => Scenario::new(scenario.platform.clone(), scenario.slots.clone(), request),
+        // An invalid tweak simply never replaces the current scenario.
+        Err(_) => scenario.clone(),
+    }
+}
+
+/// Convenience: shrink, then return a [`Failure`] with the minimal
+/// scenario swapped in.
+#[must_use]
+pub fn shrink_failure(failure: &Failure) -> Failure {
+    let minimal = shrink(failure);
+    Failure {
+        scenario: minimal,
+        ..failure.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{CheckKind, PolicyKind};
+    use crate::scenario::{ScenarioGen, SizeTier};
+    use slotsel_core::node::Performance;
+    use slotsel_core::slot::SlotId;
+
+    /// A scenario with a rogue slot pointing at a node outside the
+    /// platform: fails `ScenarioValidity` and must keep failing it all the
+    /// way down to a single slot.
+    fn invalid_scenario() -> Scenario {
+        let mut scenario = ScenarioGen::new(5, SizeTier::Small).case(2).scenario;
+        let next_id = scenario.slots.iter().map(|s| s.id().0 + 1).max().unwrap();
+        let rogue = Slot::new(
+            SlotId(next_id),
+            NodeId(900),
+            Interval::new(TimePoint::new(0), TimePoint::new(50)),
+            Performance::new(1),
+            Money::from_units(1),
+        );
+        scenario.slots = scenario.slots.iter().copied().chain([rogue]).collect();
+        scenario
+    }
+
+    #[test]
+    fn shrinks_an_invalidity_failure_to_a_handful_of_slots() {
+        let scenario = invalid_scenario();
+        let failure = Failure {
+            check: CheckKind::ScenarioValidity,
+            policy: None,
+            detail: String::new(),
+            seed: 0,
+            scenario: scenario.clone(),
+        };
+        // `shrink` itself refuses `validate()`-failing candidates, so drive
+        // `shrink_with` with the raw check as the predicate.
+        let still_fails =
+            |s: &Scenario| run_check(s, CheckKind::ScenarioValidity, None, 0).is_err();
+        let minimal = shrink_with(&failure.scenario, &still_fails);
+        assert!(
+            minimal.slots.len() <= 2,
+            "kept {} slots",
+            minimal.slots.len()
+        );
+        assert!(minimal.platform.len() <= 1);
+        assert!(still_fails(&minimal), "shrunk scenario no longer fails");
+        assert!(
+            minimal.slots.len() < scenario.slots.len(),
+            "no shrinking happened"
+        );
+    }
+
+    #[test]
+    fn passing_scenarios_are_returned_untouched() {
+        let scenario = ScenarioGen::new(5, SizeTier::Tiny).case(0).scenario;
+        let failure = Failure {
+            check: CheckKind::PoolVsReference,
+            policy: Some(PolicyKind::MinCost),
+            detail: String::new(),
+            seed: 0,
+            scenario: scenario.clone(),
+        };
+        assert_eq!(shrink(&failure), scenario);
+    }
+}

@@ -1,0 +1,39 @@
+//! Mutation smoke suite: the engine must detect every seeded bug.
+//!
+//! Run with `cargo test -p slotsel-fuzz --features mutants`.
+
+#![cfg(feature = "mutants")]
+
+use slotsel_fuzz::mutants::{all, caught_on};
+use slotsel_fuzz::scenario::{ScenarioGen, SizeTier};
+
+const CASES: u64 = 400;
+
+#[test]
+fn at_least_eight_mutants_are_seeded() {
+    assert!(all().len() >= 8, "only {} mutants seeded", all().len());
+}
+
+#[test]
+fn every_mutant_is_detected() {
+    let gen = ScenarioGen::new(0xDEAD_10CC, SizeTier::Tiny);
+    let mut missed = Vec::new();
+    for mutant in all() {
+        let mut caught_at = None;
+        for index in 0..CASES {
+            let case = gen.case(index);
+            if caught_on(&mutant, &case.scenario, case.seed) {
+                caught_at = Some(index);
+                break;
+            }
+        }
+        match caught_at {
+            Some(index) => eprintln!("mutant {:<26} caught at case {index}", mutant.name),
+            None => missed.push(mutant.name),
+        }
+    }
+    assert!(
+        missed.is_empty(),
+        "mutants not detected within {CASES} tiny scenarios: {missed:?}"
+    );
+}

@@ -1,0 +1,96 @@
+//! Regenerates the canonical committed corpus entries.
+//!
+//! Each entry is the shrunk form of a scenario on which a seeded mutant
+//! was caught — the smallest input that would re-expose that class of bug
+//! if it were ever introduced for real. On the healthy code every entry
+//! replays green, which is exactly what the corpus harness asserts.
+//!
+//! Run manually after changing the generator, the engine, or the entry
+//! format:
+//!
+//! ```text
+//! cargo test -p slotsel-fuzz --features mutants --test seed_corpus -- --ignored
+//! ```
+
+#![cfg(feature = "mutants")]
+
+use slotsel_fuzz::corpus::{write_entry, CorpusEntry};
+use slotsel_fuzz::engine::{run_check, CheckKind, Failure};
+use slotsel_fuzz::mutants::{all, caught_on};
+use slotsel_fuzz::scenario::{ScenarioGen, SizeTier};
+use slotsel_fuzz::shrink::shrink_with;
+
+/// Which mutants become corpus entries, the check that guards against
+/// their bug class, and the committed file name.
+const SEEDS: &[(&str, CheckKind, &str, &str)] = &[
+    (
+        "scan-late-deadline-break",
+        CheckKind::PoolVsReference,
+        "deadline-boundary-anchor",
+        "an anchor exactly on the deadline: an off-by-one in the scan's deadline break shows up as a pool/reference divergence here",
+    ),
+    (
+        "scan-no-supersede",
+        CheckKind::PoolVsReference,
+        "same-node-overlapping-slots",
+        "a node advertising two overlapping slots: dropping the same-node supersede lets one node fill two window places",
+    ),
+    (
+        "policy-strict-budget",
+        CheckKind::OracleAgreement,
+        "budget-exactly-on-boundary",
+        "budget equal to the cheapest window's cost: a strict (<) budget comparison flips feasibility against the oracle",
+    ),
+    (
+        "policy-longest-runtime",
+        CheckKind::OracleAgreement,
+        "runtime-selection-optimality",
+        "a window where the exact runtime selection is strictly better than other feasible picks: a wrong per-step selection misses the oracle score",
+    ),
+];
+
+#[test]
+#[ignore = "writes tests/corpus/; run explicitly to regenerate the seed entries"]
+fn regenerate_seed_corpus() {
+    let gen = ScenarioGen::new(0xDEAD_10CC, SizeTier::Tiny);
+    let mutants = all();
+    for &(mutant_name, check, file_name, note) in SEEDS {
+        let mutant = mutants
+            .iter()
+            .find(|m| m.name == mutant_name)
+            .unwrap_or_else(|| panic!("unknown mutant {mutant_name}"));
+        // Find the first campaign scenario that exposes the mutant …
+        let (scenario, seed) = (0..2_000)
+            .map(|i| gen.case(i))
+            .find(|case| caught_on(mutant, &case.scenario, case.seed))
+            .map(|case| (case.scenario, case.seed))
+            .unwrap_or_else(|| panic!("{mutant_name} not caught within 2000 scenarios"));
+        // … shrink it while the mutant stays caught …
+        let minimal = shrink_with(&scenario, &|s| caught_on(mutant, s, seed));
+        assert!(caught_on(mutant, &minimal, seed));
+        // … and record it under the check that guards this bug class. The
+        // healthy code must pass that check on the minimal scenario.
+        run_check(&minimal, check, Some(mutant.policy), seed).unwrap_or_else(|e| {
+            panic!("healthy code fails {check:?} on the {file_name} entry: {e}")
+        });
+        let entry = CorpusEntry::from_failure(
+            file_name,
+            note,
+            &Failure {
+                check,
+                policy: Some(mutant.policy),
+                detail: String::new(),
+                seed,
+                scenario: minimal,
+            },
+        );
+        let path = write_entry(&entry).expect("write corpus entry");
+        eprintln!("wrote {}", path.display());
+    }
+    // Keep the guard honest: every written entry replays.
+    for (path, entry) in slotsel_fuzz::corpus::load_all().unwrap() {
+        entry
+            .replay()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    }
+}

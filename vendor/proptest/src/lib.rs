@@ -8,6 +8,16 @@
 //!   but not a minimised input.
 //! - `prop_assume!` rejects the sample; a test fails if rejections exceed
 //!   20× the requested case count.
+//! - `PROPTEST_CASES=<n>` overrides every property's case count at run
+//!   time (including counts set via `#![proptest_config(...)]`), and
+//!   `PROPTEST_SEED=<u64|0xhex>` perturbs every per-test seed by a fixed
+//!   value so CI can explore fresh streams while staying reproducible.
+//! - Failure persistence: each failing case reports the RNG state it was
+//!   generated from; appending that seed to
+//!   `proptest-regressions/<module__path__test>.txt` under the test
+//!   crate's manifest directory makes every later run replay it first,
+//!   before fresh generation (the upstream regression-file workflow,
+//!   adapted to this shim's seed model).
 //!
 //! Supported surface: range strategies over the primitive numeric types,
 //! tuples up to arity 8, `Vec<impl Strategy>`, [`prop::collection::vec`],
@@ -24,7 +34,8 @@ pub mod test_runner {
     /// Configuration accepted by `#![proptest_config(...)]`.
     #[derive(Debug, Clone)]
     pub struct ProptestConfig {
-        /// Number of accepted cases each property must pass.
+        /// Number of accepted cases each property must pass. Overridden at
+        /// run time by the `PROPTEST_CASES` environment variable.
         pub cases: u32,
     }
 
@@ -39,6 +50,87 @@ pub mod test_runner {
         fn default() -> Self {
             ProptestConfig { cases: 64 }
         }
+    }
+
+    /// Parses a seed-like environment value: decimal or `0x`-prefixed hex.
+    fn parse_u64(value: &str) -> Option<u64> {
+        let value = value.trim();
+        if let Some(hex) = value
+            .strip_prefix("0x")
+            .or_else(|| value.strip_prefix("0X"))
+        {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            value.parse().ok()
+        }
+    }
+
+    /// The run's case-count override, if `PROPTEST_CASES` is set and valid.
+    pub fn env_cases() -> Option<u32> {
+        std::env::var("PROPTEST_CASES").ok()?.trim().parse().ok()
+    }
+
+    /// Applies the `PROPTEST_CASES` override to a configured case count.
+    pub fn resolve_cases(configured: u32) -> u32 {
+        env_cases().unwrap_or(configured)
+    }
+
+    /// The run's seed perturbation, if `PROPTEST_SEED` is set and valid
+    /// (decimal or `0x`-prefixed hex).
+    pub fn env_seed() -> Option<u64> {
+        parse_u64(&std::env::var("PROPTEST_SEED").ok()?)
+    }
+
+    /// The base RNG seed for a named test: the FNV-1a hash of the name,
+    /// XOR-perturbed by `PROPTEST_SEED` when that is set. Equal names and
+    /// environments always produce equal seeds.
+    pub fn seed_for_test(name: &str) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        match env_seed() {
+            Some(seed) => hash ^ seed.rotate_left(17),
+            None => hash,
+        }
+    }
+
+    /// The regression file path for a test: `proptest-regressions/` under
+    /// the test crate's manifest directory, one file per test, `::`
+    /// separators flattened to `__`.
+    pub fn regression_file(manifest_dir: &str, test_path: &str) -> std::path::PathBuf {
+        std::path::Path::new(manifest_dir)
+            .join("proptest-regressions")
+            .join(format!("{}.txt", test_path.replace("::", "__")))
+    }
+
+    /// Loads the persisted regression seeds for a test, in file order.
+    ///
+    /// Missing files mean no seeds; lines starting with `#` and blank
+    /// lines are ignored; each remaining line holds one seed (decimal or
+    /// `0x`-hex). Malformed lines are skipped rather than failing the
+    /// test, so a hand-edited file cannot turn the suite red by itself.
+    pub fn persisted_seeds(manifest_dir: &str, test_path: &str) -> Vec<u64> {
+        let path = regression_file(manifest_dir, test_path);
+        let Ok(contents) = std::fs::read_to_string(&path) else {
+            return Vec::new();
+        };
+        contents
+            .lines()
+            .map(str::trim)
+            .filter(|line| !line.is_empty() && !line.starts_with('#'))
+            .filter_map(parse_u64)
+            .collect()
+    }
+
+    /// The message telling a developer how to persist a failing case.
+    pub fn persistence_hint(manifest_dir: &str, test_path: &str, seed: u64) -> String {
+        format!(
+            "to replay this case first on every future run, append the line `{:#018x}` to {}",
+            seed,
+            regression_file(manifest_dir, test_path).display(),
+        )
     }
 
     /// Why a single generated case did not succeed.
@@ -70,15 +162,18 @@ pub mod test_runner {
         }
 
         /// Creates the generator for a named test: the seed is an FNV-1a
-        /// hash of the name, so every run of the same test sees the same
-        /// sequence of cases.
+        /// hash of the name (perturbed by `PROPTEST_SEED` when set), so
+        /// every run of the same test in the same environment sees the
+        /// same sequence of cases.
         pub fn for_test(name: &str) -> Self {
-            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-            for byte in name.bytes() {
-                hash ^= u64::from(byte);
-                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-            }
-            TestRng::from_seed(hash)
+            TestRng::from_seed(crate::test_runner::seed_for_test(name))
+        }
+
+        /// The current RNG state. Captured before a case is generated, it
+        /// is the seed that replays exactly that case via
+        /// [`TestRng::from_seed`] — the unit of failure persistence.
+        pub fn state(&self) -> u64 {
+            self.state
         }
 
         /// Returns the next 64 uniformly distributed bits.
@@ -502,11 +597,45 @@ macro_rules! __proptest_impl {
         $(
             #[test]
             fn $name() {
-                let __config = $config;
+                let mut __config = $config;
+                __config.cases = $crate::test_runner::resolve_cases(__config.cases);
                 let __strategy = ( $( $strategy, )+ );
-                let mut __rng = $crate::test_runner::TestRng::for_test(
-                    concat!(module_path!(), "::", stringify!($name)),
-                );
+                let __test_path = concat!(module_path!(), "::", stringify!($name));
+                let __manifest_dir = env!("CARGO_MANIFEST_DIR");
+
+                // Committed regression seeds replay first: one forced case
+                // per seed, so past shrunk failures are re-checked before
+                // any fresh generation. A `prop_assume!` rejection skips
+                // the seed (the persisted case no longer reaches the body).
+                for __seed in
+                    $crate::test_runner::persisted_seeds(__manifest_dir, __test_path)
+                {
+                    let mut __rng = $crate::test_runner::TestRng::from_seed(__seed);
+                    let ( $( $arg, )+ ) =
+                        $crate::strategy::Strategy::generate(&__strategy, &mut __rng);
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__message),
+                        ) => {
+                            panic!(
+                                "proptest `{}` failed replaying persisted seed {:#018x}: {}",
+                                stringify!($name),
+                                __seed,
+                                __message,
+                            );
+                        }
+                    }
+                }
+
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_test(__test_path);
                 let mut __accepted: u32 = 0;
                 let mut __attempts: u32 = 0;
                 while __accepted < __config.cases {
@@ -516,6 +645,7 @@ macro_rules! __proptest_impl {
                         "proptest `{}`: too many samples rejected by prop_assume!",
                         stringify!($name),
                     );
+                    let __case_seed = __rng.state();
                     let ( $( $arg, )+ ) =
                         $crate::strategy::Strategy::generate(&__strategy, &mut __rng);
                     let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
@@ -530,10 +660,16 @@ macro_rules! __proptest_impl {
                             $crate::test_runner::TestCaseError::Fail(__message),
                         ) => {
                             panic!(
-                                "proptest `{}` failed on accepted case {}: {}",
+                                "proptest `{}` failed on accepted case {} (case seed {:#018x}): {}\n{}",
                                 stringify!($name),
                                 __accepted + 1,
+                                __case_seed,
                                 __message,
+                                $crate::test_runner::persistence_hint(
+                                    __manifest_dir,
+                                    __test_path,
+                                    __case_seed,
+                                ),
                             );
                         }
                     }
@@ -689,5 +825,46 @@ mod tests {
         let mut a = TestRng::for_test("x");
         let mut b = TestRng::for_test("x");
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn regression_file_flattens_module_separators() {
+        let path = crate::test_runner::regression_file("/tmp/crate", "a::b::test_name");
+        assert_eq!(
+            path,
+            std::path::Path::new("/tmp/crate/proptest-regressions/a__b__test_name.txt")
+        );
+    }
+
+    #[test]
+    fn persisted_seeds_parse_decimal_hex_and_skip_comments() {
+        let dir = std::env::temp_dir().join(format!(
+            "proptest-shim-test-{}-{:x}",
+            std::process::id(),
+            TestRng::for_test("persisted_seeds").next_u64(),
+        ));
+        std::fs::create_dir_all(dir.join("proptest-regressions")).unwrap();
+        std::fs::write(
+            dir.join("proptest-regressions/m__t.txt"),
+            "# past shrunk failure\n42\n0xdeadbeef\n\nnot-a-seed\n",
+        )
+        .unwrap();
+        let dir_str = dir.to_str().unwrap();
+        assert_eq!(
+            crate::test_runner::persisted_seeds(dir_str, "m::t"),
+            vec![42, 0xdead_beef]
+        );
+        assert!(crate::test_runner::persisted_seeds(dir_str, "m::missing").is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn case_seed_replays_the_same_case() {
+        let mut stream = TestRng::for_test("replay");
+        let _ = stream.next_u64();
+        let seed = stream.state();
+        let from_stream = stream.next_u64();
+        let mut replayed = TestRng::from_seed(seed);
+        assert_eq!(replayed.next_u64(), from_stream);
     }
 }
