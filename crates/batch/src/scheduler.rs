@@ -17,7 +17,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use slotsel_obs::{NoopRecorder, Recorder, Stopwatch, TraceEvent};
+use slotsel_obs::{Metrics, NoopMetrics, NoopRecorder, Recorder, Stopwatch, TraceEvent};
 
 use slotsel_core::money::Money;
 use slotsel_core::node::Platform;
@@ -228,6 +228,33 @@ impl BatchScheduler {
         jobs: &[Job],
         recorder: &mut R,
     ) -> BatchSchedule {
+        self.schedule_metered(platform, slots, jobs, recorder, &NoopMetrics)
+    }
+
+    /// Runs one scheduling cycle with both event tracing and live metrics.
+    ///
+    /// On top of [`schedule_traced`](Self::schedule_traced)'s behaviour,
+    /// the cycle records to `metrics` (all names prefixed `slotsel_`):
+    ///
+    /// - `batch_total`, `batch_jobs_total`, `batch_jobs_scheduled_total`,
+    ///   `batch_jobs_deferred_total` — counters over the cycle's outcome;
+    /// - `mckp_total{mode="exact"|"greedy"|"fallback"}` — which phase-2
+    ///   solver produced the picks;
+    /// - `batch_phase_seconds{phase=…}` — a histogram per step;
+    /// - `batch_alternatives_per_job` — the phase-1 fan-out distribution.
+    ///
+    /// With [`NoopMetrics`] (or a disabled sink) every probe compiles away
+    /// and the schedule is identical to the untraced path, bit for bit.
+    #[must_use]
+    pub fn schedule_metered<R: Recorder, M: Metrics>(
+        &self,
+        platform: &Platform,
+        slots: &SlotList,
+        jobs: &[Job],
+        recorder: &mut R,
+        metrics: &M,
+    ) -> BatchSchedule {
+        let metered = metrics.enabled();
         let mut ordered: Vec<&Job> = jobs.iter().collect();
         ordered.sort_by_key(|j| (std::cmp::Reverse(j.priority()), j.id()));
 
@@ -240,7 +267,7 @@ impl BatchScheduler {
         // Phase 1: alternatives per job, all on the same slot list. A job
         // with a directed-search override gets its single criterion-extreme
         // alternative; the rest get the broad CSA set.
-        let watch = Stopwatch::start_if(recorder.enabled());
+        let watch = Stopwatch::start_if(recorder.enabled() || metered);
         let default_search = SearchStrategy::Csa {
             max_alternatives: self.config.max_alternatives_per_job,
         };
@@ -253,23 +280,41 @@ impl BatchScheduler {
                     .iter()
                     .find(|(id, _)| *id == job.id())
                     .map_or(default_search, |&(_, s)| s);
-                let found = strategy.find_alternatives(platform, slots, job.request());
+                let found =
+                    strategy.find_alternatives_metered(platform, slots, job.request(), metrics);
                 if recorder.enabled() {
                     recorder.emit(TraceEvent::AlternativesFound {
                         job: u64::from(job.id().0),
                         count: found.len() as u64,
                     });
                 }
+                if metered {
+                    metrics.observe(
+                        "slotsel_batch_alternatives_per_job",
+                        &[],
+                        found.len() as f64,
+                    );
+                }
                 found
             })
             .collect();
         if let Some(watch) = watch {
-            recorder.time_ns("batch.phase1", watch.elapsed_ns());
+            let elapsed_ns = watch.elapsed_ns();
+            if recorder.enabled() {
+                recorder.time_ns("batch.phase1", elapsed_ns);
+            }
+            if metered {
+                metrics.observe(
+                    "slotsel_batch_phase_seconds",
+                    &[("phase", "alternatives")],
+                    elapsed_ns as f64 * 1e-9,
+                );
+            }
         }
 
         // Phase 2: one alternative per schedulable job, extreme by the
         // batch objective under the VO budget.
-        let watch = Stopwatch::start_if(recorder.enabled());
+        let watch = Stopwatch::start_if(recorder.enabled() || metered);
         let schedulable: Vec<usize> = alternatives
             .iter()
             .enumerate()
@@ -302,8 +347,20 @@ impl BatchScheduler {
         // be dropped at commit).
         let exact = mckp::solve(&classes, vo_budget);
         let solved_exactly = exact.is_some();
+        let greedy = if solved_exactly {
+            None
+        } else {
+            mckp::solve_greedy(&classes, vo_budget)
+        };
+        let mckp_mode = if solved_exactly {
+            "exact"
+        } else if greedy.is_some() {
+            "greedy"
+        } else {
+            "fallback"
+        };
         let preferred: Vec<usize> = exact
-            .or_else(|| mckp::solve_greedy(&classes, vo_budget))
+            .or(greedy)
             .map_or_else(|| vec![0; schedulable.len()], |s| s.chosen);
         if recorder.enabled() {
             recorder.emit(TraceEvent::MckpSolved {
@@ -312,12 +369,25 @@ impl BatchScheduler {
                 exact: solved_exactly,
             });
         }
+        if metered {
+            metrics.counter_add("slotsel_mckp_total", &[("mode", mckp_mode)], 1);
+        }
         if let Some(watch) = watch {
-            recorder.time_ns("batch.phase2", watch.elapsed_ns());
+            let elapsed_ns = watch.elapsed_ns();
+            if recorder.enabled() {
+                recorder.time_ns("batch.phase2", elapsed_ns);
+            }
+            if metered {
+                metrics.observe(
+                    "slotsel_batch_phase_seconds",
+                    &[("phase", "mckp")],
+                    elapsed_ns as f64 * 1e-9,
+                );
+            }
         }
 
         // Commit in priority order with conflict resolution.
-        let watch = Stopwatch::start_if(recorder.enabled());
+        let watch = Stopwatch::start_if(recorder.enabled() || metered);
         let mut committed: Vec<Window> = Vec::new();
         let mut spent = Money::ZERO;
         let mut assignments: Vec<Assignment> = Vec::with_capacity(ordered.len());
@@ -370,9 +440,35 @@ impl BatchScheduler {
             });
         }
         if let Some(watch) = watch {
-            recorder.time_ns("batch.commit", watch.elapsed_ns());
+            let elapsed_ns = watch.elapsed_ns();
+            if recorder.enabled() {
+                recorder.time_ns("batch.commit", elapsed_ns);
+            }
+            if metered {
+                metrics.observe(
+                    "slotsel_batch_phase_seconds",
+                    &[("phase", "commit")],
+                    elapsed_ns as f64 * 1e-9,
+                );
+            }
         }
-        BatchSchedule { assignments }
+        let schedule = BatchSchedule { assignments };
+        if metered {
+            metrics.counter_add("slotsel_batch_total", &[], 1);
+            metrics.counter_add("slotsel_batch_jobs_total", &[], jobs.len() as u64);
+            metrics.counter_add(
+                "slotsel_batch_jobs_scheduled_total",
+                &[],
+                schedule.scheduled() as u64,
+            );
+            metrics.counter_add(
+                "slotsel_batch_jobs_deferred_total",
+                &[],
+                schedule.deferred() as u64,
+            );
+            metrics.gauge_set("slotsel_batch_spent_credits", &[], spent.as_f64());
+        }
+        schedule
     }
 }
 

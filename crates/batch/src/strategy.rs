@@ -10,6 +10,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use slotsel_obs::{Metrics, NoopMetrics};
+
 use slotsel_core::algorithms::{MinCost, MinFinish, MinProcTime, MinRunTime};
 use slotsel_core::criteria::Criterion;
 use slotsel_core::csa::{Csa, CutPolicy};
@@ -50,22 +52,44 @@ impl SearchStrategy {
         slots: &SlotList,
         request: &ResourceRequest,
     ) -> Vec<Window> {
+        self.find_alternatives_metered(platform, slots, request, &NoopMetrics)
+    }
+
+    /// Like [`find_alternatives`](Self::find_alternatives), threading a
+    /// live-metrics sink into the underlying scans. With [`NoopMetrics`]
+    /// this is the uninstrumented search, bit for bit.
+    #[must_use]
+    pub fn find_alternatives_metered(
+        &self,
+        platform: &Platform,
+        slots: &SlotList,
+        request: &ResourceRequest,
+        metrics: &dyn Metrics,
+    ) -> Vec<Window> {
         match *self {
             SearchStrategy::Csa { max_alternatives } => Csa::new()
                 .cut_policy(CutPolicy::ReservationSpan)
                 .max_alternatives(max_alternatives)
-                .find_alternatives(platform, slots, request),
+                .find_alternatives_metered(platform, slots, request, &mut Amp, metrics),
             SearchStrategy::Directed(criterion) => {
                 let window = match criterion {
-                    Criterion::EarliestStart => Amp.select(platform, slots, request),
-                    Criterion::EarliestFinish => MinFinish::new().select(platform, slots, request),
-                    Criterion::MinTotalCost => MinCost.select(platform, slots, request),
-                    Criterion::MinRuntime => MinRunTime::new().select(platform, slots, request),
+                    Criterion::EarliestStart => {
+                        Amp.select_metered(platform, slots, request, metrics)
+                    }
+                    Criterion::EarliestFinish => {
+                        MinFinish::new().select_metered(platform, slots, request, metrics)
+                    }
+                    Criterion::MinTotalCost => {
+                        MinCost.select_metered(platform, slots, request, metrics)
+                    }
+                    Criterion::MinRuntime => {
+                        MinRunTime::new().select_metered(platform, slots, request, metrics)
+                    }
                     Criterion::MinProcTime => {
                         // Deterministic per-request seed keeps the batch
                         // cycle reproducible.
                         MinProcTime::with_seed(request.volume().work() ^ 0x5EED)
-                            .select(platform, slots, request)
+                            .select_metered(platform, slots, request, metrics)
                     }
                 };
                 window.into_iter().collect()

@@ -56,7 +56,7 @@
 //! # }
 //! ```
 
-use slotsel_obs::{NoopRecorder, Recorder, Stopwatch, TraceEvent};
+use slotsel_obs::{Metrics, NoopMetrics, NoopRecorder, Recorder, Stopwatch, TraceEvent};
 
 use crate::node::Platform;
 use crate::pool::CandidatePool;
@@ -120,6 +120,25 @@ pub trait SelectionPolicy {
     /// When `true` the scan stops at the first suitable window — AMP's
     /// earliest-start behaviour, where later steps can never improve.
     fn stop_at_first(&self) -> bool {
+        false
+    }
+
+    /// Opt-in contract for the scan's first-fit fast path.
+    ///
+    /// Return `true` only when **both** hold:
+    /// [`stop_at_first`](SelectionPolicy::stop_at_first) is `true`, and
+    /// [`pick`](SelectionPolicy::pick) succeeds at a step *iff* the `n`
+    /// cheapest alive candidates fit the request's budget (i.e. `pick` is
+    /// exactly [`cheapest_n`](crate::selectors::cheapest_n), as in AMP).
+    ///
+    /// Under that contract the scan skips the incremental
+    /// [`CandidatePool`] — whose ordered indexes only pay off when many
+    /// steps run many subset queries — and instead keeps a plain alive
+    /// vector, calling `cheapest_n` directly at each consulted step
+    /// without the per-step virtual `pick` dispatch. Windows,
+    /// [`ScanStats`] and trace events are identical to the regular scan;
+    /// only the constant factors change.
+    fn first_fit_feasibility(&self) -> bool {
         false
     }
 }
@@ -220,6 +239,107 @@ pub fn scan_traced<R: Recorder>(
     options: ScanOptions,
     recorder: &mut R,
 ) -> ScanOutcome {
+    scan_metered(
+        platform,
+        slots,
+        request,
+        policy,
+        options,
+        recorder,
+        &NoopMetrics,
+    )
+}
+
+/// Runs the AEP scan with observability probes **and** live metrics.
+///
+/// On top of [`scan_traced`]'s behaviour, when `metrics` is
+/// [enabled](Metrics::enabled) the scan records — all labelled with the
+/// policy name:
+///
+/// - counters `slotsel_scan_total`, `slotsel_scan_windows_found_total`,
+///   `slotsel_scan_slots_admitted_total`,
+///   `slotsel_scan_slots_rejected_total`,
+///   `slotsel_scan_windows_evaluated_total`,
+///   `slotsel_pool_evicted_superseded_total` and
+///   `slotsel_pool_evicted_expired_total`;
+/// - histograms `slotsel_scan_seconds` (wall-clock per scan) and
+///   `slotsel_scan_alive_peak` (largest extended-window size).
+///
+/// With [`NoopMetrics`] this monomorphises to [`scan_traced`] exactly as
+/// [`scan_traced`] with a [`NoopRecorder`] monomorphises to [`scan_with`]:
+/// the metered path costs nothing unless a live sink is attached.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn scan_metered<R: Recorder, M: Metrics>(
+    platform: &Platform,
+    slots: &SlotList,
+    request: &ResourceRequest,
+    policy: &mut dyn SelectionPolicy,
+    options: ScanOptions,
+    recorder: &mut R,
+    metrics: &M,
+) -> ScanOutcome {
+    let metered = metrics.enabled();
+    let watch = Stopwatch::start_if(metered);
+    let (outcome, superseded, expired) = if policy.stop_at_first() && policy.first_fit_feasibility()
+    {
+        first_fit_scan(platform, slots, request, policy, options, recorder, metrics)
+    } else {
+        pool_scan(platform, slots, request, policy, options, recorder)
+    };
+    if metered {
+        let name = policy.name().to_owned();
+        let labels = [("policy", name.as_str())];
+        metrics.counter_add("slotsel_scan_total", &labels, 1);
+        if outcome.best.is_some() {
+            metrics.counter_add("slotsel_scan_windows_found_total", &labels, 1);
+        }
+        metrics.counter_add(
+            "slotsel_scan_slots_admitted_total",
+            &labels,
+            outcome.stats.slots_admitted as u64,
+        );
+        metrics.counter_add(
+            "slotsel_scan_slots_rejected_total",
+            &labels,
+            outcome.stats.slots_rejected as u64,
+        );
+        metrics.counter_add(
+            "slotsel_scan_windows_evaluated_total",
+            &labels,
+            outcome.stats.windows_evaluated as u64,
+        );
+        metrics.counter_add("slotsel_pool_evicted_superseded_total", &labels, superseded);
+        metrics.counter_add("slotsel_pool_evicted_expired_total", &labels, expired);
+        #[allow(clippy::cast_precision_loss)]
+        metrics.observe(
+            "slotsel_scan_alive_peak",
+            &labels,
+            outcome.stats.peak_extended_window as f64,
+        );
+        if let Some(watch) = watch {
+            #[allow(clippy::cast_precision_loss)]
+            metrics.observe(
+                "slotsel_scan_seconds",
+                &labels,
+                watch.elapsed_ns() as f64 * 1e-9,
+            );
+        }
+    }
+    outcome
+}
+
+/// The regular pool-driven scan body shared by every non-first-fit policy.
+/// Returns the outcome plus the pool's `(superseded, expired)` eviction
+/// counts for the metrics layer.
+fn pool_scan<R: Recorder>(
+    platform: &Platform,
+    slots: &SlotList,
+    request: &ResourceRequest,
+    policy: &mut dyn SelectionPolicy,
+    options: ScanOptions,
+    recorder: &mut R,
+) -> (ScanOutcome, u64, u64) {
     let n = request.node_count();
     let mut pool = CandidatePool::new();
     let mut stats = ScanStats::default();
@@ -323,10 +443,175 @@ pub fn scan_traced<R: Recorder>(
         }
     }
 
-    ScanOutcome {
-        best: best.map(|(_, w)| w),
-        stats,
+    let (superseded, expired) = pool.evictions();
+    (
+        ScanOutcome {
+            best: best.map(|(_, w)| w),
+            stats,
+        },
+        superseded,
+        expired,
+    )
+}
+
+/// The first-fit fast path for policies that opt in via
+/// [`SelectionPolicy::first_fit_feasibility`] (AMP).
+///
+/// AMP stops at the first feasible step, so the pool's ordered indexes —
+/// three `O(log m')` B-tree inserts plus a heap push per admission — are
+/// pure overhead: most admissions never see a second query. This body
+/// mirrors [`crate::reference`]'s plain alive vector (same retain pass,
+/// same stats, same trace events) and inlines the pick the opt-in
+/// contract pins to [`cheapest_n`](crate::selectors::cheapest_n) — the
+/// identical stable `(cost, index)` sort, acceptance test and canonical
+/// order, but with the per-step virtual `pick` dispatch gone and the
+/// index buffer hoisted out of the loop, so consulted steps allocate
+/// nothing. The alive vector is pre-sized for the `n` needed plus churn
+/// slack, sparing the early growth reallocations. Eviction counts feed
+/// the metrics layer alone, so with metrics disabled the retain pass
+/// compiles down to the reference's.
+#[inline]
+fn first_fit_scan<R: Recorder, M: Metrics>(
+    platform: &Platform,
+    slots: &SlotList,
+    request: &ResourceRequest,
+    policy: &mut dyn SelectionPolicy,
+    options: ScanOptions,
+    recorder: &mut R,
+    metrics: &M,
+) -> (ScanOutcome, u64, u64) {
+    let n = request.node_count();
+    let budget = request.budget();
+    let count_evictions = metrics.enabled();
+    let mut alive: Vec<Candidate> = Vec::with_capacity(2 * n.max(4));
+    let mut order: Vec<usize> = Vec::with_capacity(2 * n.max(4));
+    let mut superseded: u64 = 0;
+    let mut expired: u64 = 0;
+    let mut stats = ScanStats::default();
+    let mut best: Option<(f64, Window)> = None;
+
+    let watch = Stopwatch::start_if(recorder.enabled());
+    let policy_name: Option<String> = recorder.enabled().then(|| policy.name().to_string());
+    if let Some(name) = &policy_name {
+        recorder.emit(TraceEvent::ScanStarted {
+            policy: name.clone(),
+            nodes_requested: n as u64,
+            slots_total: slots.len() as u64,
+        });
     }
+
+    for slot in slots {
+        let window_start = slot.start();
+
+        if let Some(deadline) = request.deadline() {
+            // Later slots only start later; nothing can finish in time.
+            if window_start >= deadline {
+                break;
+            }
+        }
+        if options.prune_start_bounded {
+            if let Some((best_score, _)) = &best {
+                if *best_score <= window_start.ticks() as f64 {
+                    break;
+                }
+            }
+        }
+
+        // properHardwareAndSoftware: the node must satisfy the request.
+        let admitted = platform
+            .get(slot.node())
+            .is_some_and(|node| request.requirements().admits(node));
+        if !admitted {
+            stats.slots_rejected += 1;
+            continue;
+        }
+        let candidate = Candidate::new(*slot, request.volume());
+        if slot.length() < candidate.length {
+            stats.slots_rejected += 1;
+            continue; // Too short even when fully used.
+        }
+        // Same single retain pass as the reference scan; the eviction
+        // split feeds the metrics layer only.
+        let survives = |c: &Candidate| {
+            c.alive_at(window_start)
+                && request
+                    .deadline()
+                    .is_none_or(|d| window_start + c.length <= d)
+        };
+        alive.retain(|c| {
+            let keep = c.slot.node() != candidate.slot.node() && survives(c);
+            if !keep && count_evictions {
+                if c.slot.node() == candidate.slot.node() {
+                    superseded += 1;
+                } else {
+                    expired += 1;
+                }
+            }
+            keep
+        });
+        if survives(&candidate) {
+            alive.push(candidate);
+        }
+        stats.slots_admitted += 1;
+        stats.peak_extended_window = stats.peak_extended_window.max(alive.len());
+        if recorder.enabled() {
+            #[allow(clippy::cast_precision_loss)]
+            recorder.observe("aep.alive", alive.len() as f64);
+        }
+
+        if alive.len() < n || n == 0 {
+            continue;
+        }
+        // cheapest_n, inlined over the hoisted index buffer: the same
+        // stable (cost, index) sort, acceptance test and canonical pick
+        // order, with neither the per-step allocation nor the virtual
+        // `pick` dispatch.
+        order.clear();
+        order.extend(0..alive.len());
+        order.sort_by_key(|&i| (alive[i].cost, i));
+        let total: crate::money::Money = order[..n].iter().map(|&i| alive[i].cost).sum();
+        if total > budget {
+            continue;
+        }
+        let picked = &order[..n];
+        let window = crate::selectors::build_window(window_start, &alive, picked);
+        let score = policy.score(&window);
+        stats.windows_evaluated += 1;
+        if let Some(name) = &policy_name {
+            recorder.emit(TraceEvent::BestUpdated {
+                policy: name.clone(),
+                step: stats.slots_admitted as u64,
+                window_start: window_start.ticks(),
+                score,
+            });
+        }
+        best = Some((score, window));
+        break; // stop_at_first is part of the opt-in contract.
+    }
+
+    if let Some(name) = policy_name {
+        recorder.emit(TraceEvent::ScanFinished {
+            policy: name,
+            slots_admitted: stats.slots_admitted as u64,
+            slots_rejected: stats.slots_rejected as u64,
+            windows_evaluated: stats.windows_evaluated as u64,
+            peak_alive: stats.peak_extended_window as u64,
+            found: best.is_some(),
+            best_score: best.as_ref().map_or(0.0, |(score, _)| *score),
+        });
+        if let Some(watch) = watch {
+            recorder.time_ns("aep.scan", watch.elapsed_ns());
+        }
+    }
+
+    (
+        ScanOutcome {
+            best: best.map(|(_, w)| w),
+            stats,
+        },
+        superseded,
+        expired,
+    )
 }
 
 #[cfg(test)]

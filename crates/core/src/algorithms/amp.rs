@@ -1,6 +1,8 @@
 //! AMP — the earliest-start-time algorithm.
 
-use crate::aep::{scan, SelectionPolicy};
+use slotsel_obs::{Metrics, NoopRecorder};
+
+use crate::aep::{scan, scan_metered, ScanOptions, SelectionPolicy};
 use crate::node::Platform;
 use crate::pool::CandidatePool;
 use crate::request::ResourceRequest;
@@ -99,6 +101,13 @@ impl SelectionPolicy for AmpPolicy {
     fn stop_at_first(&self) -> bool {
         true
     }
+
+    /// AMP's `pick` is exactly `cheapest_n` feasibility, so the scan may
+    /// take its first-fit fast path: no pool maintenance, `O(1)` running
+    /// total feasibility per step.
+    fn first_fit_feasibility(&self) -> bool {
+        true
+    }
 }
 
 impl SlotSelector for Amp {
@@ -113,6 +122,25 @@ impl SlotSelector for Amp {
         request: &ResourceRequest,
     ) -> Option<Window> {
         scan(platform, slots, request, &mut AmpPolicy)
+    }
+
+    fn select_metered(
+        &mut self,
+        platform: &Platform,
+        slots: &SlotList,
+        request: &ResourceRequest,
+        metrics: &dyn Metrics,
+    ) -> Option<Window> {
+        scan_metered(
+            platform,
+            slots,
+            request,
+            &mut AmpPolicy,
+            ScanOptions::default(),
+            &mut NoopRecorder,
+            &metrics,
+        )
+        .best
     }
 }
 

@@ -1,6 +1,8 @@
 //! MinCost — the minimum-total-allocation-cost algorithm.
 
-use crate::aep::{scan, SelectionPolicy};
+use slotsel_obs::{Metrics, NoopRecorder};
+
+use crate::aep::{scan, scan_metered, ScanOptions, SelectionPolicy};
 use crate::node::Platform;
 use crate::pool::CandidatePool;
 use crate::request::ResourceRequest;
@@ -83,6 +85,25 @@ impl SlotSelector for MinCost {
         request: &ResourceRequest,
     ) -> Option<Window> {
         scan(platform, slots, request, &mut MinCostPolicy)
+    }
+
+    fn select_metered(
+        &mut self,
+        platform: &Platform,
+        slots: &SlotList,
+        request: &ResourceRequest,
+        metrics: &dyn Metrics,
+    ) -> Option<Window> {
+        scan_metered(
+            platform,
+            slots,
+            request,
+            &mut MinCostPolicy,
+            ScanOptions::default(),
+            &mut NoopRecorder,
+            &metrics,
+        )
+        .best
     }
 }
 

@@ -1,6 +1,8 @@
 //! MinFinish — the earliest-finish-time algorithm.
 
-use crate::aep::{scan_with, ScanOptions, SelectionPolicy};
+use slotsel_obs::{Metrics, NoopRecorder};
+
+use crate::aep::{scan_metered, scan_with, ScanOptions, SelectionPolicy};
 use crate::node::Platform;
 use crate::pool::CandidatePool;
 use crate::request::ResourceRequest;
@@ -145,6 +147,31 @@ impl SlotSelector for MinFinish {
             prune_start_bounded: self.prune,
         };
         scan_with(platform, slots, request, &mut policy, options).best
+    }
+
+    fn select_metered(
+        &mut self,
+        platform: &Platform,
+        slots: &SlotList,
+        request: &ResourceRequest,
+        metrics: &dyn Metrics,
+    ) -> Option<Window> {
+        let mut policy = MinFinishPolicy {
+            selection: self.selection,
+        };
+        let options = ScanOptions {
+            prune_start_bounded: self.prune,
+        };
+        scan_metered(
+            platform,
+            slots,
+            request,
+            &mut policy,
+            options,
+            &mut NoopRecorder,
+            &metrics,
+        )
+        .best
     }
 }
 

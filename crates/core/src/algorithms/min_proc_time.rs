@@ -1,6 +1,8 @@
 //! MinProcTime — the simplified minimum-total-processor-time algorithm.
 
-use crate::aep::{scan, SelectionPolicy};
+use slotsel_obs::{Metrics, NoopRecorder};
+
+use crate::aep::{scan, scan_metered, ScanOptions, SelectionPolicy};
 use crate::node::Platform;
 use crate::pool::CandidatePool;
 use crate::request::ResourceRequest;
@@ -150,6 +152,29 @@ impl SlotSelector for MinProcTime {
             attempts: self.attempts,
         };
         scan(platform, slots, request, &mut policy)
+    }
+
+    fn select_metered(
+        &mut self,
+        platform: &Platform,
+        slots: &SlotList,
+        request: &ResourceRequest,
+        metrics: &dyn Metrics,
+    ) -> Option<Window> {
+        let mut policy = MinProcTimePolicy {
+            rng: &mut self.rng,
+            attempts: self.attempts,
+        };
+        scan_metered(
+            platform,
+            slots,
+            request,
+            &mut policy,
+            ScanOptions::default(),
+            &mut NoopRecorder,
+            &metrics,
+        )
+        .best
     }
 }
 

@@ -1,6 +1,8 @@
 //! MinRunTime — the minimum-execution-runtime algorithm.
 
-use crate::aep::{scan, SelectionPolicy};
+use slotsel_obs::{Metrics, NoopRecorder};
+
+use crate::aep::{scan, scan_metered, ScanOptions, SelectionPolicy};
 use crate::node::Platform;
 use crate::pool::CandidatePool;
 use crate::request::ResourceRequest;
@@ -119,6 +121,28 @@ impl SlotSelector for MinRunTime {
             selection: self.selection,
         };
         scan(platform, slots, request, &mut policy)
+    }
+
+    fn select_metered(
+        &mut self,
+        platform: &Platform,
+        slots: &SlotList,
+        request: &ResourceRequest,
+        metrics: &dyn Metrics,
+    ) -> Option<Window> {
+        let mut policy = MinRuntimePolicy {
+            selection: self.selection,
+        };
+        scan_metered(
+            platform,
+            slots,
+            request,
+            &mut policy,
+            ScanOptions::default(),
+            &mut NoopRecorder,
+            &metrics,
+        )
+        .best
     }
 }
 

@@ -57,6 +57,8 @@ pub use min_finish::MinFinish;
 pub use min_proc_time::MinProcTime;
 pub use min_runtime::MinRunTime;
 
+use slotsel_obs::Metrics;
+
 use crate::node::Platform;
 use crate::request::ResourceRequest;
 use crate::slotlist::SlotList;
@@ -78,6 +80,27 @@ pub trait SlotSelector {
         slots: &SlotList,
         request: &ResourceRequest,
     ) -> Option<Window>;
+
+    /// Like [`select`](SlotSelector::select), recording live metrics into
+    /// `metrics` along the way.
+    ///
+    /// The default implementation ignores the sink and delegates to
+    /// `select`, so external implementations keep working unchanged; the
+    /// built-in AEP algorithms override it to drive
+    /// [`crate::aep::scan_metered`]. The sink is a `&dyn` reference so the
+    /// trait stays object-safe — the scan's per-slot probes are still
+    /// gated on one [`Metrics::enabled`] call per scan, which keeps the
+    /// virtual dispatch off the hot loop.
+    fn select_metered(
+        &mut self,
+        platform: &Platform,
+        slots: &SlotList,
+        request: &ResourceRequest,
+        metrics: &dyn Metrics,
+    ) -> Option<Window> {
+        let _ = metrics;
+        self.select(platform, slots, request)
+    }
 }
 
 /// How the minimum-runtime subset is computed at each scan step.

@@ -45,6 +45,8 @@
 //! # }
 //! ```
 
+use slotsel_obs::Metrics;
+
 use crate::algorithms::{Amp, SlotSelector};
 use crate::node::Platform;
 use crate::request::ResourceRequest;
@@ -170,6 +172,37 @@ impl Csa {
             self.apply_cut(&mut working, request, &window)
                 .expect("window was built from slots of the working list");
             found.push(window);
+        }
+        found
+    }
+
+    /// Like [`find_alternatives_with`](Self::find_alternatives_with), but
+    /// threading a live-metrics sink into every underlying scan via
+    /// [`SlotSelector::select_metered`], and counting the produced
+    /// alternatives in `slotsel_csa_alternatives_total`.
+    #[must_use]
+    pub fn find_alternatives_metered(
+        &self,
+        platform: &Platform,
+        slots: &SlotList,
+        request: &ResourceRequest,
+        base: &mut dyn SlotSelector,
+        metrics: &dyn Metrics,
+    ) -> Vec<Window> {
+        let mut working = slots.clone();
+        let mut found = Vec::new();
+        let limit = self.max_alternatives.unwrap_or(usize::MAX);
+
+        while found.len() < limit {
+            let Some(window) = base.select_metered(platform, &working, request, metrics) else {
+                break;
+            };
+            self.apply_cut(&mut working, request, &window)
+                .expect("window was built from slots of the working list");
+            found.push(window);
+        }
+        if metrics.enabled() {
+            metrics.counter_add("slotsel_csa_alternatives_total", &[], found.len() as u64);
         }
         found
     }

@@ -99,6 +99,12 @@ pub struct CandidatePool {
     /// stale and skipped lazily on pop.
     expiry_heap: BinaryHeap<Reverse<(i64, usize)>>,
     by_node: HashMap<NodeId, usize>,
+    /// Candidates evicted because a later slot on the same node superseded
+    /// them (see [`admit`](CandidatePool::admit)).
+    superseded: u64,
+    /// Candidates evicted because the scan advanced past their expiry (see
+    /// [`advance`](CandidatePool::advance)).
+    expired: u64,
 }
 
 impl CandidatePool {
@@ -147,6 +153,7 @@ impl CandidatePool {
     pub fn admit(&mut self, candidate: Candidate, deadline: Option<TimePoint>) -> usize {
         if let Some(&old) = self.by_node.get(&candidate.slot.node()) {
             self.evict(old);
+            self.superseded += 1;
         }
         let horizon = deadline.map_or(candidate.slot.end(), |d| candidate.slot.end().min(d));
         let expiry = horizon.ticks() - candidate.length.ticks();
@@ -178,8 +185,17 @@ impl CandidatePool {
             // Stale entries: the id was already superseded via its node.
             if self.arena[id].alive {
                 self.evict(id);
+                self.expired += 1;
             }
         }
+    }
+
+    /// Lifetime eviction counters as `(superseded, expired)`: how many
+    /// candidates were displaced by a later slot on their node, and how
+    /// many aged out as the scan advanced. Feeds the live scan metrics.
+    #[must_use]
+    pub fn evictions(&self) -> (u64, u64) {
+        (self.superseded, self.expired)
     }
 
     fn evict(&mut self, id: usize) {

@@ -1,0 +1,201 @@
+//! Prometheus text-format rendering for a [`MetricsRegistry`].
+//!
+//! Implements the subset of the text exposition format (version 0.0.4)
+//! the repo's metrics need: `# TYPE` headers, counter and gauge samples,
+//! and cumulative histogram `_bucket`/`_sum`/`_count` series. Bucket `le`
+//! bounds are emitted only for non-empty buckets plus the mandatory
+//! `+Inf` bucket — cumulative counts stay correct at any subset of
+//! bounds, and the registry's log-linear grid would otherwise emit
+//! hundreds of zero lines per histogram.
+//!
+//! Rendering is deterministic: series are sorted by `(name, labels)`.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{MetricsRegistry, RegistrySnapshot};
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Renders a `{k="v",...}` label block, or the empty string without
+/// labels. `extra` is appended last (used for the histogram `le` label).
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Formats a sample value: finite floats in plain decimal, non-finite as
+/// Prometheus' `+Inf`/`-Inf`/`NaN` spellings.
+fn format_value(value: f64) -> String {
+    if value == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if value == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else if value.is_nan() {
+        "NaN".to_owned()
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Writes the `# TYPE` header for `name` once per family.
+fn type_header(out: &mut String, name: &str, kind: &str) {
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Renders a snapshot into the Prometheus text exposition format.
+#[must_use]
+pub fn render_snapshot(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+
+    let mut last_family: Option<&str> = None;
+    for (name, labels, total) in &snapshot.counters {
+        if last_family != Some(name.as_str()) {
+            type_header(&mut out, name, "counter");
+            last_family = Some(name.as_str());
+        }
+        let _ = writeln!(out, "{name}{} {total}", label_block(labels, None));
+    }
+
+    last_family = None;
+    for (name, labels, value) in &snapshot.gauges {
+        if last_family != Some(name.as_str()) {
+            type_header(&mut out, name, "gauge");
+            last_family = Some(name.as_str());
+        }
+        let _ = writeln!(
+            out,
+            "{name}{} {}",
+            label_block(labels, None),
+            format_value(*value)
+        );
+    }
+
+    last_family = None;
+    for (name, labels, histogram) in &snapshot.histograms {
+        if last_family != Some(name.as_str()) {
+            type_header(&mut out, name, "histogram");
+            last_family = Some(name.as_str());
+        }
+        let mut cumulative = 0u64;
+        for (upper, count) in &histogram.buckets {
+            cumulative += count;
+            let le = format_value(*upper);
+            let _ = writeln!(
+                out,
+                "{name}_bucket{} {cumulative}",
+                label_block(labels, Some(("le", le.as_str())))
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {}",
+            label_block(labels, Some(("le", "+Inf"))),
+            histogram.count
+        );
+        let _ = writeln!(
+            out,
+            "{name}_sum{} {}",
+            label_block(labels, None),
+            format_value(histogram.sum)
+        );
+        let _ = writeln!(
+            out,
+            "{name}_count{} {}",
+            label_block(labels, None),
+            histogram.count
+        );
+    }
+
+    out
+}
+
+/// Renders the registry's current state into the Prometheus text
+/// exposition format.
+///
+/// # Examples
+///
+/// ```
+/// use slotsel_obs::export::render_prometheus;
+/// use slotsel_obs::metrics::{Metrics, MetricsRegistry};
+///
+/// let registry = MetricsRegistry::new();
+/// registry.counter_add("slotsel_scan_total", &[("policy", "AMP")], 4);
+/// let text = render_prometheus(&registry);
+/// assert!(text.contains("# TYPE slotsel_scan_total counter"));
+/// assert!(text.contains("slotsel_scan_total{policy=\"AMP\"} 4"));
+/// ```
+#[must_use]
+pub fn render_prometheus(registry: &MetricsRegistry) -> String {
+    render_snapshot(&registry.snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    #[test]
+    fn escapes_label_values() {
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn renders_all_three_kinds() {
+        let registry = MetricsRegistry::new();
+        registry.counter_add("c_total", &[("policy", "AMP")], 2);
+        registry.gauge_set("g", &[], 0.5);
+        registry.observe("h_seconds", &[], 0.25);
+        registry.observe("h_seconds", &[], 0.5);
+        let text = render_prometheus(&registry);
+        assert!(text.contains("# TYPE c_total counter"));
+        assert!(text.contains("c_total{policy=\"AMP\"} 2"));
+        assert!(text.contains("# TYPE g gauge"));
+        assert!(text.contains("g 0.5"));
+        assert!(text.contains("# TYPE h_seconds histogram"));
+        assert!(text.contains("h_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("h_seconds_sum 0.75"));
+        assert!(text.contains("h_seconds_count 2"));
+        // Cumulative bucket counts are non-decreasing.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("h_seconds_bucket")) {
+            let value: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(value >= last, "cumulative buckets must not decrease");
+            last = value;
+        }
+    }
+
+    #[test]
+    fn type_header_emitted_once_per_family() {
+        let registry = MetricsRegistry::new();
+        registry.counter_add("family_total", &[("k", "a")], 1);
+        registry.counter_add("family_total", &[("k", "b")], 1);
+        let text = render_prometheus(&registry);
+        assert_eq!(
+            text.matches("# TYPE family_total counter").count(),
+            1,
+            "one TYPE line per family"
+        );
+    }
+}

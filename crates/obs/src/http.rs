@@ -1,0 +1,193 @@
+//! A tiny std-only scrape endpoint for a [`MetricsRegistry`].
+//!
+//! [`MetricsServer::start`] binds a [`TcpListener`] (bind to port 0 for an
+//! ephemeral port) and serves two endpoints from a background thread:
+//!
+//! - `GET /metrics` — the Prometheus text rendering of the registry
+//!   ([`crate::export::render_prometheus`]);
+//! - `GET /healthz` — `200 ok`, for liveness probes.
+//!
+//! Anything else is a 404. The server speaks just enough HTTP/1.1 for
+//! `curl` and a Prometheus scraper: it reads the request head, answers
+//! with `Connection: close` and drops the socket. Dropping (or calling
+//! [`MetricsServer::stop`]) shuts the accept loop down promptly by
+//! flagging it and poking a final connection through it.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::export::render_prometheus;
+use crate::metrics::MetricsRegistry;
+
+/// Per-connection socket timeout: a stalled client cannot wedge the
+/// single-threaded accept loop for longer than this.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A background HTTP server exposing `/metrics` and `/healthz`.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use slotsel_obs::http::MetricsServer;
+/// use slotsel_obs::metrics::{Metrics, MetricsRegistry};
+///
+/// let registry = Arc::new(MetricsRegistry::new());
+/// registry.counter_add("up_total", &[], 1);
+/// let server = MetricsServer::start("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+/// assert_ne!(server.addr().port(), 0);
+/// server.stop();
+/// ```
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving the registry from a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the address cannot be bound.
+    pub fn start(addr: impl ToSocketAddrs, registry: Arc<MetricsRegistry>) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("slotsel-metrics".to_owned())
+            .spawn(move || accept_loop(&listener, &registry, &flag))?;
+        Ok(MetricsServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address — the actual port when started on port 0.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shuts the accept loop down and joins the server thread.
+    pub fn stop(mut self) {
+        self.shutdown_and_join();
+    }
+
+    fn shutdown_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept call; the loop re-checks the flag first thing.
+        drop(TcpStream::connect(self.addr));
+        drop(handle.join());
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, registry: &MetricsRegistry, shutdown: &AtomicBool) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        // One stalled or malformed client must not take the endpoint down.
+        drop(handle_connection(stream, registry));
+    }
+}
+
+/// Reads the request head and answers one request on `stream`.
+fn handle_connection(stream: TcpStream, registry: &MetricsRegistry) -> io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?).take(8 * 1024);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    // Drain the header block so well-behaved clients see a clean close.
+    let mut header = String::new();
+    while reader.read_line(&mut header)? > 0 && header.trim_end() != "" {
+        header.clear();
+    }
+
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            render_prometheus(registry),
+        ),
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_owned(),
+        ),
+    };
+
+    let mut stream = stream;
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn serves_metrics_and_health() {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.counter_add("hits_total", &[], 7);
+        let server = MetricsServer::start("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.addr();
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"));
+        assert!(metrics.contains("hits_total 7"));
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"));
+        assert!(health.ends_with("ok\n"));
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+
+        server.stop();
+    }
+
+    #[test]
+    fn stop_terminates_promptly_and_drop_is_idempotent() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let server = MetricsServer::start("127.0.0.1:0", registry).unwrap();
+        let addr = server.addr();
+        server.stop();
+        // The port is released: rebinding it eventually succeeds.
+        assert!(TcpListener::bind(addr).is_ok());
+    }
+}

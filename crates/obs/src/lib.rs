@@ -19,6 +19,13 @@
 //!   format and a round-trip decoder;
 //! - [`stats`] — counter / histogram / timer aggregation primitives plus
 //!   the [`stats::Stopwatch`] used to feed timers;
+//! - [`metrics`] — the *live* counterpart of the trace: sharded atomic
+//!   counters, gauges and log-linear histograms behind the
+//!   [`metrics::Metrics`] trait ([`metrics::NoopMetrics`] monomorphises
+//!   away exactly like [`recorder::NoopRecorder`]);
+//! - [`export`] / [`http`] — Prometheus text rendering of a
+//!   [`metrics::MetricsRegistry`] and a std-only `TcpListener` scrape
+//!   endpoint (`/metrics`, `/healthz`);
 //! - [`read`] — streaming trace reader for report tooling;
 //! - [`json`] — the minimal deterministic JSON writer/parser underneath
 //!   (this crate sits *below* `slotsel-core` and carries no
@@ -53,12 +60,18 @@
 #![forbid(unsafe_code)]
 
 pub mod event;
+pub mod export;
+pub mod http;
 pub mod json;
+pub mod metrics;
 pub mod read;
 pub mod recorder;
 pub mod stats;
 
 pub use event::{EventDecodeError, TraceEvent};
+pub use export::render_prometheus;
+pub use http::MetricsServer;
+pub use metrics::{Metrics, MetricsRegistry, NoopMetrics};
 pub use read::{read_trace, TraceReader};
 pub use recorder::{MemoryRecorder, NoopRecorder, Recorder, TraceRecorder};
 pub use stats::{Counter, Histogram, Stopwatch, Timer};

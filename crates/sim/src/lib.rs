@@ -52,7 +52,7 @@ pub use parallel::Parallelism;
 pub use quality::QualityResults;
 pub use recovery::RecoveryPolicy;
 pub use rolling::{
-    simulate, simulate_with_recovery, simulate_with_recovery_traced, RollingConfig, RollingOutcome,
-    RollingReport,
+    simulate, simulate_with_recovery, simulate_with_recovery_metered,
+    simulate_with_recovery_traced, RollingConfig, RollingOutcome, RollingReport,
 };
 pub use scaling::{ScalingConfig, ScalingPoint};

@@ -19,7 +19,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use slotsel_obs::{NoopRecorder, Recorder, Stopwatch, TraceEvent};
+use slotsel_obs::{Metrics, NoopMetrics, NoopRecorder, Recorder, Stopwatch, TraceEvent};
 
 use slotsel_batch::{BatchScheduler, BatchSchedulerConfig};
 use slotsel_core::money::Money;
@@ -181,6 +181,37 @@ pub fn simulate_with_recovery_traced<R: Recorder>(
     jobs: Vec<Job>,
     recorder: &mut R,
 ) -> RollingReport {
+    simulate_with_recovery_metered(config, jobs, recorder, &NoopMetrics)
+}
+
+/// Runs the fault-injected rolling simulation with tracing and live
+/// metrics.
+///
+/// On top of [`simulate_with_recovery_traced`]'s behaviour, the run
+/// records to `metrics` (all names prefixed `slotsel_`):
+///
+/// - `rolling_cycles_total`, `rolling_jobs_completed_total` and the
+///   `rolling_cycle_seconds` histogram — per executed cycle;
+/// - `rolling_pending_jobs`, `rolling_parked_jobs`,
+///   `rolling_cycle_spent_credits` — gauges refreshed every cycle;
+/// - `disruption_events_total{kind=…}` — per injected fault;
+/// - at run end, the survival tallies: `windows_disrupted_total`,
+///   `jobs_lost_total`, `jobs_rescued_total{via="retry"|"migrate"}`,
+///   `audit_failures_total`, plus the `survival_rate` and
+///   `rolling_starved_jobs` gauges;
+/// - the per-cycle batch and scan metrics (the cycle calls
+///   [`BatchScheduler::schedule_metered`] on the same sink).
+///
+/// With [`NoopMetrics`] (or a disabled sink) every probe compiles away
+/// and the report is identical to the untraced simulation, bit for bit.
+#[must_use]
+pub fn simulate_with_recovery_metered<R: Recorder, M: Metrics>(
+    config: &RollingConfig,
+    jobs: Vec<Job>,
+    recorder: &mut R,
+    metrics: &M,
+) -> RollingReport {
+    let metered = metrics.enabled();
     let scheduler = BatchScheduler::new(config.scheduler.clone());
     let mut model = config.disruption.clone().map(DisruptionModel::new);
     let mut survival = SurvivalMetrics::new();
@@ -209,7 +240,7 @@ pub fn simulate_with_recovery_traced<R: Recorder>(
         if pending.is_empty() && parked.is_empty() {
             break;
         }
-        let watch = Stopwatch::start_if(recorder.enabled());
+        let watch = Stopwatch::start_if(recorder.enabled() || metered);
         if recorder.enabled() {
             recorder.emit(TraceEvent::CycleStarted {
                 cycle: u64::from(cycle),
@@ -219,7 +250,8 @@ pub fn simulate_with_recovery_traced<R: Recorder>(
         let mut env = config
             .env
             .generate(&mut StdRng::seed_from_u64(config.seed + u64::from(cycle)));
-        let schedule = scheduler.schedule_traced(env.platform(), env.slots(), &pending, recorder);
+        let schedule =
+            scheduler.schedule_metered(env.platform(), env.slots(), &pending, recorder, metrics);
 
         let mut committed: Vec<(Job, Window)> = Vec::new();
         let mut still_pending = Vec::new();
@@ -255,6 +287,13 @@ pub fn simulate_with_recovery_traced<R: Recorder>(
                     survival.record_event(event);
                     if recorder.enabled() {
                         recorder.emit(disruption_trace_event(cycle, event));
+                    }
+                    if metered {
+                        metrics.counter_add(
+                            "slotsel_disruption_events_total",
+                            &[("kind", disruption_kind(event))],
+                            1,
+                        );
                     }
                 }
 
@@ -412,7 +451,17 @@ pub fn simulate_with_recovery_traced<R: Recorder>(
             });
         }
         if let Some(watch) = watch {
-            recorder.time_ns("rolling.cycle", watch.elapsed_ns());
+            let elapsed_ns = watch.elapsed_ns();
+            if recorder.enabled() {
+                recorder.time_ns("rolling.cycle", elapsed_ns);
+            }
+            if metered {
+                metrics.observe(
+                    "slotsel_rolling_cycle_seconds",
+                    &[],
+                    elapsed_ns as f64 * 1e-9,
+                );
+            }
         }
         cycles.push(CycleRecord {
             cycle,
@@ -421,6 +470,17 @@ pub fn simulate_with_recovery_traced<R: Recorder>(
             spent: spent.as_f64(),
         });
         pending = still_pending;
+        if metered {
+            metrics.counter_add("slotsel_rolling_cycles_total", &[], 1);
+            metrics.counter_add(
+                "slotsel_rolling_jobs_completed_total",
+                &[],
+                completed_now as u64,
+            );
+            metrics.gauge_set("slotsel_rolling_pending_jobs", &[], pending.len() as f64);
+            metrics.gauge_set("slotsel_rolling_parked_jobs", &[], parked.len() as f64);
+            metrics.gauge_set("slotsel_rolling_cycle_spent_credits", &[], spent.as_f64());
+        }
     }
 
     // Victims still waiting (parked or re-pending) when the run ended
@@ -436,7 +496,7 @@ pub fn simulate_with_recovery_traced<R: Recorder>(
         }
     }
 
-    RollingReport {
+    let report = RollingReport {
         outcome: RollingOutcome {
             completions,
             starved: pending
@@ -447,6 +507,44 @@ pub fn simulate_with_recovery_traced<R: Recorder>(
             cycles,
         },
         survival,
+    };
+    if metered {
+        let survival = &report.survival;
+        metrics.counter_add(
+            "slotsel_windows_disrupted_total",
+            &[],
+            survival.windows_disrupted,
+        );
+        metrics.counter_add("slotsel_jobs_lost_total", &[], survival.jobs_lost);
+        metrics.counter_add(
+            "slotsel_jobs_rescued_total",
+            &[("via", "retry")],
+            survival.rescued_by_retry,
+        );
+        metrics.counter_add(
+            "slotsel_jobs_rescued_total",
+            &[("via", "migrate")],
+            survival.rescued_by_migration,
+        );
+        metrics.counter_add("slotsel_audit_failures_total", &[], survival.audit_failures);
+        metrics.gauge_set("slotsel_survival_rate", &[], survival.survival_rate());
+        metrics.gauge_set(
+            "slotsel_rolling_starved_jobs",
+            &[],
+            report.outcome.starved.len() as f64,
+        );
+    }
+    report
+}
+
+/// The `kind` label of a [`DisruptionEvent`] in
+/// `slotsel_disruption_events_total`.
+fn disruption_kind(event: &DisruptionEvent) -> &'static str {
+    match event {
+        DisruptionEvent::SlotRevoked { .. } => "slot_revoked",
+        DisruptionEvent::NodeFailed { .. } => "node_failed",
+        DisruptionEvent::NodeRestored { .. } => "node_restored",
+        DisruptionEvent::NodeDegraded { .. } => "node_degraded",
     }
 }
 

@@ -15,7 +15,10 @@
 //! objects.
 
 use std::fs;
+use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,7 +32,11 @@ use slotsel::core::{
     ResourceRequest, SlotList, SlotSelector, TimeDelta, TimePoint, Volume, Window,
 };
 use slotsel::env::{EnvironmentConfig, NodeGenConfig};
+use slotsel::obs::{Metrics, MetricsRegistry, MetricsServer, NoopRecorder};
 use slotsel::sim::gantt::render_gantt;
+use slotsel::sim::{
+    simulate_with_recovery_metered, DisruptionConfig, RecoveryPolicy, RollingConfig,
+};
 
 /// The on-disk environment format.
 #[derive(Debug, Serialize, Deserialize)]
@@ -388,6 +395,114 @@ fn cmd_gantt(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_recovery(name: &str) -> Result<RecoveryPolicy, String> {
+    Ok(match name {
+        "abandon" => RecoveryPolicy::Abandon,
+        "retry" => RecoveryPolicy::RetryNextCycle {
+            backoff: 0,
+            max_attempts: 5,
+        },
+        "migrate" => RecoveryPolicy::Migrate,
+        other => {
+            return Err(format!(
+                "unknown recovery policy {other:?}; expected abandon|retry|migrate"
+            ))
+        }
+    })
+}
+
+/// A deterministic synthetic batch for the serve daemon: `count` jobs with
+/// varied sizes, priorities and budgets, derived only from the index.
+fn serve_jobs(count: usize) -> Result<Vec<Job>, String> {
+    (0..count)
+        .map(|i| {
+            let spec = JobSpec {
+                id: i as u32,
+                priority: 1 + (i as u32 % 3),
+                node_count: 2 + i % 3,
+                volume: 150 + 50 * (i as u64 % 4),
+                budget: 20_000.0,
+                reference_span: None,
+                deadline: None,
+            };
+            Ok(Job::new(JobId(spec.id), spec.priority, spec.to_request()?))
+        })
+        .collect()
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let addr = args.flag("--addr").unwrap_or("127.0.0.1:9184");
+    let nodes: usize = args.parsed("--nodes", 16)?;
+    let jobs: usize = args.parsed("--jobs", 8)?;
+    let cycles: u32 = args.parsed("--cycles", 20)?;
+    let seed: u64 = args.parsed("--seed", 31_337)?;
+    let rounds: u64 = args.parsed("--rounds", 0)?;
+    let pace_ms: u64 = args.parsed("--pace-ms", 250)?;
+    let disruption = args
+        .flag("--faults")
+        .map(|v| {
+            v.parse::<u64>()
+                .map(DisruptionConfig::adversarial)
+                .map_err(|_| "--faults: not a number".to_owned())
+        })
+        .transpose()?;
+    let recovery = match args.flag("--recovery") {
+        Some(name) => parse_recovery(name)?,
+        None => RecoveryPolicy::default(),
+    };
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let server = MetricsServer::start(addr, Arc::clone(&registry))
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!("serving metrics on http://{}/metrics", server.addr());
+    println!("health checks on http://{}/healthz", server.addr());
+    std::io::stdout().flush().ok();
+
+    let batch = serve_jobs(jobs)?;
+    let mut round = 0u64;
+    loop {
+        let config = RollingConfig {
+            env: EnvironmentConfig {
+                nodes: NodeGenConfig {
+                    count: nodes,
+                    ..NodeGenConfig::paper_default()
+                },
+                ..EnvironmentConfig::paper_default()
+            },
+            max_cycles: cycles,
+            // Distinct per-round seeds keep the daemon's rounds independent
+            // while the whole run stays reproducible from --seed.
+            seed: seed.wrapping_add(round.wrapping_mul(0x9E37_79B9)),
+            disruption: disruption.clone(),
+            recovery,
+            ..RollingConfig::default()
+        };
+        registry.counter_add("slotsel_serve_rounds_total", &[], 1);
+        let report = simulate_with_recovery_metered(
+            &config,
+            batch.clone(),
+            &mut NoopRecorder,
+            registry.as_ref(),
+        );
+        println!(
+            "round {round}: {} completed, {} starved, {} lost, survival {:.3}, spent {:.1}",
+            report.outcome.completions.len(),
+            report.outcome.starved.len(),
+            report.survival.jobs_lost,
+            report.survival.survival_rate(),
+            report.outcome.total_spent(),
+        );
+        std::io::stdout().flush().ok();
+        round += 1;
+        if rounds != 0 && round >= rounds {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(pace_ms));
+    }
+    drop(server);
+    Ok(())
+}
+
 const USAGE: &str = "\
 usage: slotsel <command> [flags]
 
@@ -399,6 +514,9 @@ commands:
   batch     --env FILE --jobs FILE [--objective NAME] [--vo-budget B]
   gantt     --env FILE [--width W] [--algorithm NAME + request flags]
   validate  --env FILE [request flags] [--window FILE | --algorithm NAME]
+  serve     [--addr HOST:PORT] [--nodes N] [--jobs J] [--cycles C] [--seed S]
+            [--faults SEED] [--recovery abandon|retry|migrate]
+            [--rounds R (0 = forever)] [--pace-ms MS]
 ";
 
 fn main() -> ExitCode {
@@ -416,6 +534,7 @@ fn main() -> ExitCode {
         "batch" => cmd_batch(&args),
         "gantt" => cmd_gantt(&args),
         "validate" => cmd_select_and_validate(&args),
+        "serve" => cmd_serve(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

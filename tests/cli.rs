@@ -260,6 +260,90 @@ fn validate_roundtrip_and_rejection() {
 }
 
 #[test]
+fn serve_daemon_exposes_scrapeable_metrics() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+    use std::process::Stdio;
+    use std::time::Duration;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_slotsel"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--nodes",
+            "8",
+            "--jobs",
+            "4",
+            "--cycles",
+            "5",
+            "--rounds",
+            "0",
+            "--pace-ms",
+            "50",
+            "--faults",
+            "99",
+            "--recovery",
+            "retry",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve daemon spawns");
+
+    // The daemon prints its bound address first; --addr 127.0.0.1:0 makes
+    // the OS pick a free port, so parse it back out.
+    let mut lines = BufReader::new(child.stdout.take().expect("piped stdout")).lines();
+    let banner = lines
+        .next()
+        .expect("daemon prints its address")
+        .expect("readable stdout");
+    let addr = banner
+        .trim_start_matches("serving metrics on http://")
+        .trim_end_matches("/metrics")
+        .to_owned();
+    assert!(
+        addr.starts_with("127.0.0.1:"),
+        "unexpected banner: {banner}"
+    );
+    // Wait for at least one completed round so every layer has recorded.
+    let round_line = lines.find(|l| {
+        l.as_ref()
+            .map(|l| l.starts_with("round 0:"))
+            .unwrap_or(true)
+    });
+    assert!(round_line.is_some(), "daemon never finished a round");
+
+    let scrape = |path: &str| -> String {
+        let mut stream = TcpStream::connect(&addr).expect("connect to daemon");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        response
+    };
+
+    let health = scrape("/healthz");
+    assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+
+    let metrics = scrape("/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200"), "{metrics}");
+    for needle in [
+        "# TYPE slotsel_rolling_cycles_total counter",
+        "# TYPE slotsel_survival_rate gauge",
+        "# TYPE slotsel_rolling_cycle_seconds histogram",
+        "slotsel_serve_rounds_total",
+    ] {
+        assert!(metrics.contains(needle), "{needle} missing from scrape");
+    }
+
+    child.kill().expect("daemon stops");
+    let _ = child.wait();
+}
+
+#[test]
 fn missing_env_file_is_a_clean_error() {
     let out = slotsel(&["info", "--env", "/nonexistent/slotsel.json"]);
     assert!(!out.status.success());
