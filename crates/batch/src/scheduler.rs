@@ -17,6 +17,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use slotsel_obs::journal::{Journal, NoopJournal};
+use slotsel_obs::json::ObjectWriter;
 use slotsel_obs::{Metrics, NoopMetrics, NoopRecorder, Recorder, Stopwatch, TraceEvent};
 
 use slotsel_core::money::Money;
@@ -254,6 +256,40 @@ impl BatchScheduler {
         recorder: &mut R,
         metrics: &M,
     ) -> BatchSchedule {
+        self.schedule_journaled(platform, slots, jobs, recorder, metrics, &mut NoopJournal)
+    }
+
+    /// Runs one scheduling cycle with tracing, metrics and a durable audit
+    /// stream.
+    ///
+    /// On top of [`schedule_metered`](Self::schedule_metered)'s behaviour,
+    /// the cycle appends one flat JSON record per decision to `journal` and
+    /// commits the batch at the end of the cycle:
+    ///
+    /// - `{"record":"batch_started","jobs":N}` as the cycle begins;
+    /// - `{"record":"mckp_solved","classes":…,"items":…,"exact":…}` after
+    ///   phase 2;
+    /// - per job, `{"record":"job_committed","job":…,"start":…,
+    ///   "finish":…,"cost":…}` or `{"record":"job_deferred","job":…}` as
+    ///   the commit step resolves conflicts.
+    ///
+    /// This is an *audit stream* for standalone batch runs — flat records
+    /// any JSONL tool can consume — not the rolling simulation's typed
+    /// write-ahead log: a journaled rolling run records its scan commits in
+    /// its own WAL (`slotsel_sim::journal`) and does **not** forward that
+    /// WAL here. With a [`NoopJournal`] every probe compiles away and the
+    /// schedule is identical to [`schedule_metered`](Self::schedule_metered),
+    /// bit for bit (which delegates here).
+    #[must_use]
+    pub fn schedule_journaled<R: Recorder, M: Metrics, J: Journal>(
+        &self,
+        platform: &Platform,
+        slots: &SlotList,
+        jobs: &[Job],
+        recorder: &mut R,
+        metrics: &M,
+        journal: &mut J,
+    ) -> BatchSchedule {
         let metered = metrics.enabled();
         let mut ordered: Vec<&Job> = jobs.iter().collect();
         ordered.sort_by_key(|j| (std::cmp::Reverse(j.priority()), j.id()));
@@ -262,6 +298,12 @@ impl BatchScheduler {
             recorder.emit(TraceEvent::BatchStarted {
                 jobs: jobs.len() as u64,
             });
+        }
+        if journal.enabled() {
+            let mut record = ObjectWriter::new();
+            record.str_field("record", "batch_started");
+            record.u64_field("jobs", jobs.len() as u64);
+            journal.append(&record.finish());
         }
 
         // Phase 1: alternatives per job, all on the same slot list. A job
@@ -369,6 +411,14 @@ impl BatchScheduler {
                 exact: solved_exactly,
             });
         }
+        if journal.enabled() {
+            let mut record = ObjectWriter::new();
+            record.str_field("record", "mckp_solved");
+            record.u64_field("classes", classes.len() as u64);
+            record.u64_field("items", classes.iter().map(Vec::len).sum::<usize>() as u64);
+            record.bool_field("exact", solved_exactly);
+            journal.append(&record.finish());
+        }
         if metered {
             metrics.counter_add("slotsel_mckp_total", &[("mode", mckp_mode)], 1);
         }
@@ -433,6 +483,23 @@ impl BatchScheduler {
                     }),
                 }
             }
+            if journal.enabled() {
+                let mut record = ObjectWriter::new();
+                match &window {
+                    Some(w) => {
+                        record.str_field("record", "job_committed");
+                        record.u64_field("job", u64::from(job.id().0));
+                        record.i64_field("start", w.start().ticks());
+                        record.i64_field("finish", w.finish().ticks());
+                        record.f64_field("cost", w.total_cost().as_f64());
+                    }
+                    None => {
+                        record.str_field("record", "job_deferred");
+                        record.u64_field("job", u64::from(job.id().0));
+                    }
+                }
+                journal.append(&record.finish());
+            }
             assignments.push(Assignment {
                 job: (*job).clone(),
                 window,
@@ -453,6 +520,11 @@ impl BatchScheduler {
             }
         }
         let schedule = BatchSchedule { assignments };
+        if journal.enabled() {
+            // One commit per cycle: the batch's records become durable
+            // together.
+            journal.commit();
+        }
         if metered {
             metrics.counter_add("slotsel_batch_total", &[], 1);
             metrics.counter_add("slotsel_batch_jobs_total", &[], jobs.len() as u64);
@@ -853,6 +925,64 @@ mod tests {
             let timer = recorder.timer(phase).expect(phase);
             assert_eq!(timer.count(), 1, "{phase} timed once");
         }
+    }
+
+    #[test]
+    fn journaled_schedule_matches_plain_and_audits_every_decision() {
+        use slotsel_obs::journal::MemoryJournal;
+        use slotsel_obs::json::parse_object;
+
+        let p = platform(4, 2, 1.0);
+        let slots = idle(&p, 600);
+        // Job 2 is oversized, so it is deferred with no alternatives.
+        let jobs = vec![
+            job(0, 3, 2, 100, 1_000.0),
+            job(1, 1, 2, 100, 1_000.0),
+            job(2, 2, 9, 100, 1_000.0),
+        ];
+        let scheduler = BatchScheduler::default();
+        let plain = scheduler.schedule(&p, &slots, &jobs);
+        let mut journal = MemoryJournal::new();
+        let journaled = scheduler.schedule_journaled(
+            &p,
+            &slots,
+            &jobs,
+            &mut NoopRecorder,
+            &NoopMetrics,
+            &mut journal,
+        );
+        assert_eq!(
+            plain, journaled,
+            "the audit stream must not alter the schedule"
+        );
+
+        let kinds: Vec<String> = journal
+            .records()
+            .iter()
+            .map(|line| {
+                parse_object(line).unwrap()["record"]
+                    .as_str()
+                    .unwrap()
+                    .to_owned()
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            [
+                "batch_started",
+                "mckp_solved",
+                "job_committed",
+                "job_deferred",
+                "job_committed"
+            ],
+            "one record per decision, in commit order"
+        );
+        assert_eq!(journal.commits(), 1, "the cycle commits as one batch");
+        assert_eq!(
+            journal.committed_records().len(),
+            journal.records().len(),
+            "everything is durable after the cycle"
+        );
     }
 
     #[test]

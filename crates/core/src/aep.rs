@@ -61,10 +61,23 @@ use slotsel_obs::{Metrics, NoopMetrics, NoopRecorder, Recorder, Stopwatch, Trace
 use crate::node::Platform;
 use crate::pool::CandidatePool;
 use crate::request::ResourceRequest;
+use crate::rng::SplitMix64;
 use crate::selectors::Candidate;
 use crate::slotlist::SlotList;
 use crate::time::TimePoint;
 use crate::window::Window;
+
+/// Borrowed draw state for the scan's random-draw fast path — see
+/// [`SelectionPolicy::random_pick`].
+#[derive(Debug)]
+pub struct RandomPick<'a> {
+    /// The policy's generator; the scan advances it exactly as the
+    /// slice-based picker would.
+    pub rng: &'a mut SplitMix64,
+    /// Random subsets tried per consulted step before the cheapest-subset
+    /// fallback.
+    pub attempts: usize,
+}
 
 /// The pluggable step of the AEP scan: subset selection and window scoring.
 ///
@@ -140,6 +153,28 @@ pub trait SelectionPolicy {
     /// only the constant factors change.
     fn first_fit_feasibility(&self) -> bool {
         false
+    }
+
+    /// Opt-in contract for the scan's random-draw fast path.
+    ///
+    /// Return `Some` only when **both** hold:
+    /// [`stop_at_first`](SelectionPolicy::stop_at_first) is `false`, and
+    /// [`pick`](SelectionPolicy::pick) is exactly
+    /// [`random_feasible`](crate::selectors::random_feasible) over the
+    /// alive slice with the returned generator and attempt count (i.e. the
+    /// simplified MinProcTime scheme).
+    ///
+    /// Random draws never benefit from the incremental
+    /// [`CandidatePool`]'s ordered indexes: the subset is a shuffle of the
+    /// whole alive set, and the budget fallback is a single sort. Under
+    /// the contract the scan skips the pool — whose three `O(log m')`
+    /// index updates per admission are pure overhead here — and keeps a
+    /// plain alive vector in admission order (the order the pool's
+    /// ascending arena ids preserve), drawing subsets over a hoisted index
+    /// buffer. Windows, [`ScanStats`] and trace events are identical to
+    /// the regular scan; only the constant factors change.
+    fn random_pick(&mut self) -> Option<RandomPick<'_>> {
+        None
     }
 }
 
@@ -284,6 +319,8 @@ pub fn scan_metered<R: Recorder, M: Metrics>(
     let (outcome, superseded, expired) = if policy.stop_at_first() && policy.first_fit_feasibility()
     {
         first_fit_scan(platform, slots, request, policy, options, recorder, metrics)
+    } else if policy.random_pick().is_some() {
+        random_scan(platform, slots, request, policy, options, recorder, metrics)
     } else {
         pool_scan(platform, slots, request, policy, options, recorder)
     };
@@ -587,6 +624,188 @@ fn first_fit_scan<R: Recorder, M: Metrics>(
         }
         best = Some((score, window));
         break; // stop_at_first is part of the opt-in contract.
+    }
+
+    if let Some(name) = policy_name {
+        recorder.emit(TraceEvent::ScanFinished {
+            policy: name,
+            slots_admitted: stats.slots_admitted as u64,
+            slots_rejected: stats.slots_rejected as u64,
+            windows_evaluated: stats.windows_evaluated as u64,
+            peak_alive: stats.peak_extended_window as u64,
+            found: best.is_some(),
+            best_score: best.as_ref().map_or(0.0, |(score, _)| *score),
+        });
+        if let Some(watch) = watch {
+            recorder.time_ns("aep.scan", watch.elapsed_ns());
+        }
+    }
+
+    (
+        ScanOutcome {
+            best: best.map(|(_, w)| w),
+            stats,
+        },
+        superseded,
+        expired,
+    )
+}
+
+/// The random-draw fast path for policies that opt in via
+/// [`SelectionPolicy::random_pick`] (the simplified MinProcTime scheme).
+///
+/// A random draw shuffles the *whole* alive set at every consulted step,
+/// so the pool's cost/length/expiry indexes — three `O(log m')` B-tree
+/// inserts plus a heap push per admission, and a fresh `alive_ids`
+/// allocation per query — buy nothing and cost plenty. This body keeps
+/// the plain alive vector in admission order (exactly the order the
+/// pool's ascending arena ids preserve, so the shuffles see the same
+/// sequence) and draws subsets over a hoisted index buffer. The RNG
+/// advances identically to [`random_feasible`]: `shuffle` draws depend
+/// only on the slice length, attempts accumulate over the same buffer,
+/// and the cheapest-subset fallback — a sort by the unique `(cost,
+/// index)` key, so the pre-sort shuffle order cannot affect it — draws
+/// nothing. Unlike [`first_fit_scan`] the loop keeps full best-tracking:
+/// `BestUpdated` fires on improvements only, and the scan never breaks
+/// early. Eviction counts feed the metrics layer alone.
+///
+/// [`random_feasible`]: crate::selectors::random_feasible
+#[inline]
+fn random_scan<R: Recorder, M: Metrics>(
+    platform: &Platform,
+    slots: &SlotList,
+    request: &ResourceRequest,
+    policy: &mut dyn SelectionPolicy,
+    options: ScanOptions,
+    recorder: &mut R,
+    metrics: &M,
+) -> (ScanOutcome, u64, u64) {
+    let n = request.node_count();
+    let budget = request.budget();
+    let count_evictions = metrics.enabled();
+    let mut alive: Vec<Candidate> = Vec::with_capacity(2 * n.max(4));
+    let mut order: Vec<usize> = Vec::with_capacity(2 * n.max(4));
+    let mut superseded: u64 = 0;
+    let mut expired: u64 = 0;
+    let mut stats = ScanStats::default();
+    let mut best: Option<(f64, Window)> = None;
+
+    let watch = Stopwatch::start_if(recorder.enabled());
+    let policy_name: Option<String> = recorder.enabled().then(|| policy.name().to_string());
+    if let Some(name) = &policy_name {
+        recorder.emit(TraceEvent::ScanStarted {
+            policy: name.clone(),
+            nodes_requested: n as u64,
+            slots_total: slots.len() as u64,
+        });
+    }
+
+    for slot in slots {
+        let window_start = slot.start();
+
+        if let Some(deadline) = request.deadline() {
+            // Later slots only start later; nothing can finish in time.
+            if window_start >= deadline {
+                break;
+            }
+        }
+        if options.prune_start_bounded {
+            if let Some((best_score, _)) = &best {
+                if *best_score <= window_start.ticks() as f64 {
+                    break;
+                }
+            }
+        }
+
+        // properHardwareAndSoftware: the node must satisfy the request.
+        let admitted = platform
+            .get(slot.node())
+            .is_some_and(|node| request.requirements().admits(node));
+        if !admitted {
+            stats.slots_rejected += 1;
+            continue;
+        }
+        let candidate = Candidate::new(*slot, request.volume());
+        if slot.length() < candidate.length {
+            stats.slots_rejected += 1;
+            continue; // Too short even when fully used.
+        }
+        // Same single retain pass as the reference scan; the eviction
+        // split feeds the metrics layer only.
+        let survives = |c: &Candidate| {
+            c.alive_at(window_start)
+                && request
+                    .deadline()
+                    .is_none_or(|d| window_start + c.length <= d)
+        };
+        alive.retain(|c| {
+            let keep = c.slot.node() != candidate.slot.node() && survives(c);
+            if !keep && count_evictions {
+                if c.slot.node() == candidate.slot.node() {
+                    superseded += 1;
+                } else {
+                    expired += 1;
+                }
+            }
+            keep
+        });
+        if survives(&candidate) {
+            alive.push(candidate);
+        }
+        stats.slots_admitted += 1;
+        stats.peak_extended_window = stats.peak_extended_window.max(alive.len());
+        if recorder.enabled() {
+            #[allow(clippy::cast_precision_loss)]
+            recorder.observe("aep.alive", alive.len() as f64);
+        }
+
+        if alive.len() < n || n == 0 {
+            continue;
+        }
+        // random_feasible, inlined over the hoisted index buffer: the
+        // same draw sequence (shuffle consumes draws dependent only on
+        // the buffer length), the same budget tests, and the identical
+        // stable (cost, index) fallback sort — whose unique keys erase
+        // any trace of the preceding shuffles.
+        let picked = {
+            let pick = policy
+                .random_pick()
+                .expect("random_scan requires the random_pick opt-in");
+            order.clear();
+            order.extend(0..alive.len());
+            let mut found = false;
+            for _ in 0..pick.attempts {
+                pick.rng.shuffle(&mut order);
+                let total: crate::money::Money = order[..n].iter().map(|&i| alive[i].cost).sum();
+                if total <= budget {
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                order.sort_by_key(|&i| (alive[i].cost, i));
+                let total: crate::money::Money = order[..n].iter().map(|&i| alive[i].cost).sum();
+                if total > budget {
+                    continue;
+                }
+            }
+            &order[..n]
+        };
+        let window = crate::selectors::build_window(window_start, &alive, picked);
+        let score = policy.score(&window);
+        stats.windows_evaluated += 1;
+        let improved = best.as_ref().is_none_or(|(s, _)| score < *s);
+        if improved {
+            if let Some(name) = &policy_name {
+                recorder.emit(TraceEvent::BestUpdated {
+                    policy: name.clone(),
+                    step: stats.slots_admitted as u64,
+                    window_start: window_start.ticks(),
+                    score,
+                });
+            }
+            best = Some((score, window));
+        }
     }
 
     if let Some(name) = policy_name {

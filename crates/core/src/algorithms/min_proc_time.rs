@@ -2,7 +2,7 @@
 
 use slotsel_obs::{Metrics, NoopRecorder};
 
-use crate::aep::{scan, scan_metered, ScanOptions, SelectionPolicy};
+use crate::aep::{scan, scan_metered, RandomPick, ScanOptions, SelectionPolicy};
 use crate::node::Platform;
 use crate::pool::CandidatePool;
 use crate::request::ResourceRequest;
@@ -133,6 +133,16 @@ impl SelectionPolicy for MinProcTimePolicy<'_> {
 
     fn score(&self, window: &Window) -> f64 {
         window.proc_time().ticks() as f64
+    }
+
+    // `pick` is exactly `random_feasible` and the scan never stops early,
+    // so the random-draw fast path applies; the scan advances the same
+    // generator the slice/pool pickers would.
+    fn random_pick(&mut self) -> Option<RandomPick<'_>> {
+        Some(RandomPick {
+            rng: &mut *self.rng,
+            attempts: self.attempts,
+        })
     }
 }
 

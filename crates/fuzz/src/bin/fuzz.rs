@@ -3,18 +3,28 @@
 //! ```text
 //! cargo run -p slotsel-fuzz --release --bin fuzz -- \
 //!     --cases 1000 --tier tiny --seed 1 [--write-corpus] [--corpus-dir DIR]
+//! cargo run -p slotsel-fuzz --release --bin fuzz -- \
+//!     --crash --cases 50 --seed 1 [--k-stride N] [--journal-out DIR]
 //! ```
 //!
-//! Runs `--cases` generated scenarios through the full check battery
-//! (every policy, both scans, oracles where applicable, metamorphic
-//! transforms, disruption replay). Failures are shrunk and printed; with
-//! `--write-corpus` each shrunk counterexample is also written to the
-//! corpus directory as a replayable JSON entry. Exit code 1 when any
-//! failure was found, 2 on usage errors.
+//! The default mode runs `--cases` generated scenarios through the full
+//! check battery (every policy, both scans, oracles where applicable,
+//! metamorphic transforms, disruption replay). Failures are shrunk and
+//! printed; with `--write-corpus` each shrunk counterexample is also
+//! written to the corpus directory as a replayable JSON entry.
+//!
+//! `--crash` switches to crash-recovery campaigns: each case becomes a
+//! disruption-heavy journaled rolling run whose crash points (every
+//! `--k-stride`-th record prefix) must recover bit-identically. With
+//! `--journal-out DIR` the reference journal of every violated case is
+//! written there as a replayable artifact.
+//!
+//! Exit code 1 when any failure was found, 2 on usage errors.
 
 use std::process::ExitCode;
 
 use slotsel_fuzz::corpus::{write_entry, CorpusEntry};
+use slotsel_fuzz::crash::{check_crash_case, crash_case};
 use slotsel_fuzz::engine::check_case;
 use slotsel_fuzz::scenario::{ScenarioGen, SizeTier};
 use slotsel_fuzz::shrink::shrink_failure;
@@ -24,6 +34,9 @@ struct Options {
     seed: u64,
     tier: SizeTier,
     write_corpus: bool,
+    crash: bool,
+    k_stride: usize,
+    journal_out: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -32,6 +45,9 @@ fn parse_args() -> Result<Options, String> {
         seed: 0x0510_75E1,
         tier: SizeTier::Tiny,
         write_corpus: false,
+        crash: false,
+        k_stride: 1,
+        journal_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -61,10 +77,23 @@ fn parse_args() -> Result<Options, String> {
                 std::env::set_var("SLOTSEL_CORPUS_DIR", value("--corpus-dir")?);
             }
             "--write-corpus" => options.write_corpus = true,
+            "--crash" => options.crash = true,
+            "--k-stride" => {
+                options.k_stride = value("--k-stride")?
+                    .parse()
+                    .map_err(|e| format!("--k-stride: {e}"))?;
+                if options.k_stride == 0 {
+                    return Err("--k-stride must be at least 1".to_owned());
+                }
+            }
+            "--journal-out" => {
+                options.journal_out = Some(value("--journal-out")?.into());
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: fuzz [--cases N] [--seed S] [--tier tiny|small|paper] \
-                     [--corpus-dir DIR] [--write-corpus]"
+                     [--corpus-dir DIR] [--write-corpus] \
+                     [--crash [--k-stride N] [--journal-out DIR]]"
                         .to_owned(),
                 )
             }
@@ -82,6 +111,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if options.crash {
+        return run_crash_campaign(&options);
+    }
 
     let gen = ScenarioGen::new(options.seed, options.tier);
     let mut total_failures = 0u64;
@@ -139,6 +172,57 @@ fn main() -> ExitCode {
         gen.tier(),
         options.seed,
         disrupted_cases,
+        total_failures
+    );
+    if total_failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Sweeps crash points over `--cases` journaled rolling runs, dumping the
+/// journal of every violated case when `--journal-out` is set.
+fn run_crash_campaign(options: &Options) -> ExitCode {
+    let gen = ScenarioGen::new(options.seed, options.tier);
+    let mut total_failures = 0u64;
+    for index in 0..options.cases {
+        let case = crash_case(&gen, index);
+        for failure in check_crash_case(&case, options.k_stride) {
+            total_failures += 1;
+            eprintln!(
+                "CRASH-FAIL case={} seed={:#018x} k={} — {}",
+                failure.index, failure.seed, failure.k, failure.detail
+            );
+            if let Some(dir) = &options.journal_out {
+                let path = dir.join(format!(
+                    "crash-{:016x}-k{}.journal.jsonl",
+                    failure.seed, failure.k
+                ));
+                let dump = std::fs::create_dir_all(dir)
+                    .and_then(|()| std::fs::write(&path, failure.records.join("\n") + "\n"));
+                match dump {
+                    Ok(()) => eprintln!("     wrote {}", path.display()),
+                    Err(e) => eprintln!("     could not write journal artifact: {e}"),
+                }
+            }
+        }
+        if (index + 1) % 25 == 0 {
+            eprintln!(
+                "… {}/{} crash cases, {} failures so far",
+                index + 1,
+                options.cases,
+                total_failures
+            );
+        }
+    }
+
+    println!(
+        "crash: {} cases (tier {:?}, seed {:#x}, k-stride {}), {} failures",
+        options.cases,
+        gen.tier(),
+        options.seed,
+        options.k_stride,
         total_failures
     );
     if total_failures > 0 {

@@ -15,6 +15,9 @@
 //!   branch-and-bound oracles, and asserts metamorphic invariants
 //!   (time-shift invariance, price-scaling equivariance, node-permutation
 //!   invariance, budget monotonicity, dominated-slot monotonicity);
+//! - [`crash`] sweeps crash points over journaled rolling runs built from
+//!   disruption-heavy generator cases, asserting crash-at-any-event
+//!   recovery stays bit-identical (docs/DURABILITY.md);
 //! - [`mod@shrink`] greedily minimises any failing scenario while the
 //!   failure keeps reproducing;
 //! - [`corpus`] persists shrunk counterexamples to `tests/corpus/` as
@@ -33,6 +36,7 @@
 #![forbid(unsafe_code)]
 
 pub mod corpus;
+pub mod crash;
 pub mod engine;
 #[cfg(feature = "mutants")]
 pub mod mutants;
@@ -41,6 +45,7 @@ pub mod scenario;
 pub mod shrink;
 
 pub use corpus::CorpusEntry;
+pub use crash::{check_crash_case, crash_case, CrashCase, CrashFailure};
 pub use engine::{check_case, check_scenario, run_check, CheckKind, Failure, PolicyKind};
 pub use scenario::{disrupted_scenario, GeneratedCase, ScenarioGen, SizeTier};
 pub use shrink::{shrink, shrink_failure, shrink_with};

@@ -5,13 +5,20 @@
 //!
 //! - `GET /metrics` — the Prometheus text rendering of the registry
 //!   ([`crate::export::render_prometheus`]);
-//! - `GET /healthz` — `200 ok`, for liveness probes.
+//! - `GET /healthz` — `200 ok`, for liveness probes;
+//! - `POST /shutdown` — flags a graceful-shutdown request the hosting
+//!   daemon polls via [`MetricsServer::shutdown_requested`] (the server
+//!   itself keeps serving until the daemon stops it, so metrics stay
+//!   scrapeable while it drains).
 //!
 //! Anything else is a 404. The server speaks just enough HTTP/1.1 for
 //! `curl` and a Prometheus scraper: it reads the request head, answers
 //! with `Connection: close` and drops the socket. Dropping (or calling
 //! [`MetricsServer::stop`]) shuts the accept loop down promptly by
 //! flagging it and poking a final connection through it.
+//! [`MetricsServer::start_with_retry`] retries a failed bind with
+//! doubling backoff — for daemons restarting into a port still in
+//! `TIME_WAIT`.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -46,6 +53,7 @@ const IO_TIMEOUT: Duration = Duration::from_secs(2);
 pub struct MetricsServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    requested: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -60,21 +68,61 @@ impl MetricsServer {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let requested = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
+        let wanted = Arc::clone(&requested);
         let handle = std::thread::Builder::new()
             .name("slotsel-metrics".to_owned())
-            .spawn(move || accept_loop(&listener, &registry, &flag))?;
+            .spawn(move || accept_loop(&listener, &registry, &flag, &wanted))?;
         Ok(MetricsServer {
             addr,
             shutdown,
+            requested,
             handle: Some(handle),
         })
+    }
+
+    /// Like [`start`](Self::start), but retries a failed bind up to
+    /// `attempts` times with a doubling backoff starting at `backoff` —
+    /// a restarting daemon may race its predecessor's socket in
+    /// `TIME_WAIT`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the *last* bind error once the attempts are exhausted.
+    pub fn start_with_retry(
+        addr: impl ToSocketAddrs + Clone,
+        registry: Arc<MetricsRegistry>,
+        attempts: u32,
+        mut backoff: Duration,
+    ) -> io::Result<Self> {
+        let attempts = attempts.max(1);
+        let mut last_error = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            match Self::start(addr.clone(), Arc::clone(&registry)) {
+                Ok(server) => return Ok(server),
+                Err(error) => last_error = Some(error),
+            }
+        }
+        Err(last_error.expect("at least one bind attempt was made"))
     }
 
     /// The bound address — the actual port when started on port 0.
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Whether a client has requested a graceful shutdown via the
+    /// `/shutdown` endpoint. The hosting daemon polls this between units
+    /// of work; the server keeps serving until stopped or dropped.
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.requested.load(Ordering::SeqCst)
     }
 
     /// Shuts the accept loop down and joins the server thread.
@@ -99,19 +147,28 @@ impl Drop for MetricsServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, registry: &MetricsRegistry, shutdown: &AtomicBool) {
+fn accept_loop(
+    listener: &TcpListener,
+    registry: &MetricsRegistry,
+    shutdown: &AtomicBool,
+    requested: &AtomicBool,
+) {
     for stream in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             return;
         }
         let Ok(stream) = stream else { continue };
         // One stalled or malformed client must not take the endpoint down.
-        drop(handle_connection(stream, registry));
+        drop(handle_connection(stream, registry, requested));
     }
 }
 
 /// Reads the request head and answers one request on `stream`.
-fn handle_connection(stream: TcpStream, registry: &MetricsRegistry) -> io::Result<()> {
+fn handle_connection(
+    stream: TcpStream,
+    registry: &MetricsRegistry,
+    requested: &AtomicBool,
+) -> io::Result<()> {
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
     let mut reader = BufReader::new(stream.try_clone()?).take(8 * 1024);
@@ -131,6 +188,14 @@ fn handle_connection(stream: TcpStream, registry: &MetricsRegistry) -> io::Resul
             render_prometheus(registry),
         ),
         "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned()),
+        "/shutdown" => {
+            requested.store(true, Ordering::SeqCst);
+            (
+                "200 OK",
+                "text/plain; charset=utf-8",
+                "shutting down\n".to_owned(),
+            )
+        }
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
@@ -178,6 +243,48 @@ mod tests {
         let missing = get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"));
 
+        server.stop();
+    }
+
+    #[test]
+    fn shutdown_endpoint_flags_the_request_and_keeps_serving() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let server = MetricsServer::start("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.addr();
+        assert!(!server.shutdown_requested());
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "POST /shutdown HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"));
+        assert!(response.ends_with("shutting down\n"));
+        assert!(server.shutdown_requested());
+
+        // Metrics remain scrapeable while the daemon drains.
+        registry.counter_add("draining_total", &[], 1);
+        assert!(get(addr, "/metrics").contains("draining_total 1"));
+        server.stop();
+    }
+
+    #[test]
+    fn start_with_retry_reports_the_bind_error_and_recovers() {
+        let registry = Arc::new(MetricsRegistry::new());
+        // Occupy a port so every bind attempt fails.
+        let occupied = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = occupied.local_addr().unwrap();
+        let failed = MetricsServer::start_with_retry(
+            addr,
+            Arc::clone(&registry),
+            3,
+            Duration::from_millis(1),
+        );
+        assert!(failed.is_err(), "a held port must exhaust the retries");
+        // Once the port frees up, the same call succeeds.
+        drop(occupied);
+        let server =
+            MetricsServer::start_with_retry(addr, registry, 3, Duration::from_millis(10)).unwrap();
+        assert_eq!(server.addr(), addr);
         server.stop();
     }
 

@@ -26,6 +26,11 @@
 //! - [`export`] / [`http`] — Prometheus text rendering of a
 //!   [`metrics::MetricsRegistry`] and a std-only `TcpListener` scrape
 //!   endpoint (`/metrics`, `/healthz`);
+//! - [`journal`] — the durability substrate: a payload-agnostic
+//!   [`journal::Journal`] trait (same monomorphisation contract as the
+//!   recorder), a CRC-framed fsync-batched [`journal::WalJournal`],
+//!   torn-tail-aware reading and an atomic [`journal::SnapshotStore`]
+//!   (see `docs/DURABILITY.md`);
 //! - [`read`] — streaming trace reader for report tooling;
 //! - [`json`] — the minimal deterministic JSON writer/parser underneath
 //!   (this crate sits *below* `slotsel-core` and carries no
@@ -62,6 +67,7 @@
 pub mod event;
 pub mod export;
 pub mod http;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod read;
@@ -71,6 +77,10 @@ pub mod stats;
 pub use event::{EventDecodeError, TraceEvent};
 pub use export::render_prometheus;
 pub use http::MetricsServer;
+pub use journal::{
+    read_journal, Journal, JournalReadError, JournalTail, MemoryJournal, NoopJournal,
+    SnapshotStore, WalJournal,
+};
 pub use metrics::{Metrics, MetricsRegistry, NoopMetrics};
 pub use read::{read_trace, TraceReader};
 pub use recorder::{MemoryRecorder, NoopRecorder, Recorder, TraceRecorder};

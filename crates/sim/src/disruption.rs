@@ -151,6 +151,21 @@ pub enum DisruptionEvent {
     },
 }
 
+/// A [`DisruptionModel`]'s cross-cycle mutable state, extracted for
+/// checkpointing.
+///
+/// The model's RNG draws depend on each cycle's committed windows
+/// (targeted revocations index into them), so replaying events cannot
+/// re-derive the generator — recovery must restore the exact mid-stream
+/// state the crashed run had. See `docs/DURABILITY.md`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DisruptionModelState {
+    /// Raw xoshiro256++ state words of the model's RNG.
+    pub rng_state: Vec<u64>,
+    /// Cycle at which each currently failed node is restored.
+    pub failed_until: Vec<Option<u32>>,
+}
+
 /// Seeded fault injector carrying per-node failure state across cycles.
 #[derive(Debug, Clone)]
 pub struct DisruptionModel {
@@ -182,6 +197,39 @@ impl DisruptionModel {
     #[must_use]
     pub fn config(&self) -> &DisruptionConfig {
         &self.config
+    }
+
+    /// Checkpoints the model's cross-cycle state (RNG position and
+    /// standing outages) for a recovery snapshot.
+    #[must_use]
+    pub fn checkpoint(&self) -> DisruptionModelState {
+        DisruptionModelState {
+            rng_state: self.rng.state().to_vec(),
+            failed_until: self.failed_until.clone(),
+        }
+    }
+
+    /// Rebuilds a model from its configuration and a checkpoint taken by
+    /// [`DisruptionModel::checkpoint`]. The restored model continues the
+    /// crashed run's RNG stream exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the checkpointed RNG
+    /// state is malformed (wrong word count or all zeroes).
+    #[must_use]
+    pub fn restore(config: DisruptionConfig, state: &DisruptionModelState) -> Self {
+        config.validate();
+        let words: [u64; 4] = state
+            .rng_state
+            .as_slice()
+            .try_into()
+            .expect("checkpointed RNG state must hold exactly 4 words");
+        DisruptionModel {
+            config,
+            rng: StdRng::from_state(words),
+            failed_until: state.failed_until.clone(),
+        }
     }
 
     /// Nodes currently failed.
@@ -480,6 +528,43 @@ mod tests {
         };
         assert!(window.slots().iter().any(|ws| ws.node() == *node));
         assert_eq!(span.start(), window.start(), "aimed at the window span");
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_the_stream() {
+        let config = DisruptionConfig::adversarial(23);
+        let mut original = DisruptionModel::new(config.clone());
+        for cycle in 0..3 {
+            let mut e = env(u64::from(cycle) + 30);
+            let _ = original.inject(&mut e, cycle, &[]);
+        }
+        let state = original.checkpoint();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: DisruptionModelState = serde_json::from_str(&json).unwrap();
+        assert_eq!(state, back);
+        let mut restored = DisruptionModel::restore(config, &back);
+        for cycle in 3..8 {
+            let mut e1 = env(u64::from(cycle) + 30);
+            let mut e2 = e1.clone();
+            assert_eq!(
+                original.inject(&mut e1, cycle, &[]),
+                restored.inject(&mut e2, cycle, &[]),
+                "restored model must continue the exact stream"
+            );
+        }
+        assert_eq!(original.failed_nodes(), restored.failed_nodes());
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly 4 words")]
+    fn malformed_checkpoint_rejected() {
+        let _ = DisruptionModel::restore(
+            DisruptionConfig::moderate(0),
+            &DisruptionModelState {
+                rng_state: vec![1, 2, 3],
+                failed_until: Vec::new(),
+            },
+        );
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //! - [`disruption`] / [`recovery`] — seeded fault injection between
 //!   rolling-horizon cycles (revocations, node failures, degradations)
 //!   and the policies that rescue the affected jobs, audited by
-//!   [`execution`] replay.
+//!   [`execution`] replay;
+//! - [`journal`] — typed write-ahead records, periodic state snapshots
+//!   and the crash-at-any-event recovery path for journaled rolling runs
+//!   (see `docs/DURABILITY.md`).
 //!
 //! ```no_run
 //! use slotsel_sim::config::QualityConfig;
@@ -35,6 +38,7 @@ pub mod config;
 pub mod disruption;
 pub mod execution;
 pub mod gantt;
+pub mod journal;
 pub mod metrics;
 pub mod parallel;
 pub mod quality;
@@ -46,13 +50,18 @@ pub mod sensitivity;
 
 pub use batch_experiment::{BatchExperimentConfig, ObjectiveOutcome};
 pub use config::{QualityConfig, RequestConfig};
-pub use disruption::{DisruptionConfig, DisruptionEvent, DisruptionModel};
+pub use disruption::{DisruptionConfig, DisruptionEvent, DisruptionModel, DisruptionModelState};
+pub use journal::{
+    recover, replay, CrashJournal, DurableJournal, JournalRecord, RecordingJournal, RecoverError,
+    RecoveredRun, RollingState,
+};
 pub use metrics::{MetricsAccumulator, RunningStats, SurvivalMetrics, WindowMetrics};
 pub use parallel::Parallelism;
 pub use quality::QualityResults;
 pub use recovery::RecoveryPolicy;
 pub use rolling::{
-    simulate, simulate_with_recovery, simulate_with_recovery_metered,
+    resume_with_recovery_journaled, simulate, simulate_with_recovery,
+    simulate_with_recovery_journaled, simulate_with_recovery_metered,
     simulate_with_recovery_traced, RollingConfig, RollingOutcome, RollingReport,
 };
 pub use scaling::{ScalingConfig, ScalingPoint};

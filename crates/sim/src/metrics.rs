@@ -23,34 +23,24 @@ use crate::disruption::DisruptionEvent;
 /// assert_eq!(stats.mean(), 2.0);
 /// assert_eq!(stats.count(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunningStats {
     count: u64,
     mean: f64,
     m2: f64,
-    min: f64,
-    max: f64,
-}
-
-impl Default for RunningStats {
-    /// Same as [`RunningStats::new`]: the sentinel `min`/`max` must be
-    /// `±inf`, not the all-zeroes a derived `Default` would produce.
-    fn default() -> Self {
-        RunningStats::new()
-    }
+    /// `None` until the first observation. Kept as an `Option` rather
+    /// than a `±inf` sentinel so the accumulator serializes losslessly —
+    /// JSON has no representation for infinities, and recovery snapshots
+    /// (`docs/DURABILITY.md`) must round-trip bit-identically.
+    min: Option<f64>,
+    max: Option<f64>,
 }
 
 impl RunningStats {
     /// Creates an empty accumulator.
     #[must_use]
     pub fn new() -> Self {
-        RunningStats {
-            count: 0,
-            mean: 0.0,
-            m2: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }
+        RunningStats::default()
     }
 
     /// Adds one observation.
@@ -64,8 +54,8 @@ impl RunningStats {
         let delta = x - self.mean;
         self.mean += delta / self.count as f64;
         self.m2 += delta * (x - self.mean);
-        self.min = self.min.min(x);
-        self.max = self.max.max(x);
+        self.min = Some(self.min.map_or(x, |m| m.min(x)));
+        self.max = Some(self.max.map_or(x, |m| m.max(x)));
     }
 
     /// Merges another accumulator into this one (Chan's parallel update).
@@ -82,8 +72,14 @@ impl RunningStats {
         self.mean += delta * other.count as f64 / total as f64;
         self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total as f64;
         self.count = total;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
     }
 
     /// Number of observations.
@@ -135,13 +131,13 @@ impl RunningStats {
     /// Smallest observation, or `None` when empty.
     #[must_use]
     pub fn min(&self) -> Option<f64> {
-        (self.count > 0).then_some(self.min)
+        self.min
     }
 
     /// Largest observation, or `None` when empty.
     #[must_use]
     pub fn max(&self) -> Option<f64> {
-        (self.count > 0).then_some(self.max)
+        self.max
     }
 }
 
@@ -394,6 +390,25 @@ mod tests {
         assert!((left.std_dev() - whole.std_dev()).abs() < 1e-9);
         assert_eq!(left.min(), whole.min());
         assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn empty_and_loaded_stats_round_trip_through_serde() {
+        // Empty stats must serialize losslessly: the old ±inf sentinels
+        // had no JSON representation, which would corrupt recovery
+        // snapshots carrying untouched accumulators.
+        let empty = RunningStats::new();
+        let json = serde_json::to_string(&empty).unwrap();
+        let back: RunningStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(empty, back);
+
+        let mut loaded = RunningStats::new();
+        for x in [0.25, -3.5, 17.0] {
+            loaded.push(x);
+        }
+        let json = serde_json::to_string(&loaded).unwrap();
+        let back: RunningStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(loaded, back, "bit-exact f64 round-trip");
     }
 
     #[test]

@@ -19,6 +19,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use slotsel_obs::journal::{Journal, NoopJournal};
 use slotsel_obs::{Metrics, NoopMetrics, NoopRecorder, Recorder, Stopwatch, TraceEvent};
 
 use slotsel_batch::{BatchScheduler, BatchSchedulerConfig};
@@ -28,6 +29,7 @@ use slotsel_core::window::Window;
 use slotsel_env::EnvironmentConfig;
 
 use crate::disruption::{DisruptionConfig, DisruptionEvent, DisruptionModel};
+use crate::journal::{JournalRecord, ParkedEntry, RecoveredRun, RollingState};
 use crate::metrics::SurvivalMetrics;
 use crate::recovery::{self, RecoveryPolicy};
 
@@ -120,12 +122,6 @@ pub struct RollingReport {
     pub survival: SurvivalMetrics,
 }
 
-/// A disruption victim waiting out its retry backoff.
-struct ParkedJob {
-    job: Job,
-    eligible_at: u32,
-}
-
 /// Runs the rolling simulation until the batch drains or `max_cycles` pass.
 ///
 /// Jobs keep their identity across cycles; deferred jobs gain
@@ -211,20 +207,153 @@ pub fn simulate_with_recovery_metered<R: Recorder, M: Metrics>(
     recorder: &mut R,
     metrics: &M,
 ) -> RollingReport {
+    run_journaled(
+        config,
+        RollingState::initial(jobs),
+        recorder,
+        metrics,
+        &mut NoopJournal,
+    )
+}
+
+/// Runs the fault-injected rolling simulation with a write-ahead journal.
+///
+/// On top of [`simulate_with_recovery_metered`]'s behaviour, the run
+/// appends a [`JournalRecord`] stream to `journal`
+/// (see `docs/DURABILITY.md`):
+///
+/// - [`JournalRecord::RunStarted`] with the full `(config, jobs)` inputs,
+///   committed before the first cycle;
+/// - per cycle, the audit trail — every re-admission, window commit,
+///   deferral, injected disruption and recovery decision;
+/// - a [`JournalRecord::CycleCommitted`] barrier carrying the complete
+///   post-cycle [`RollingState`] (including the disruption model's RNG
+///   checkpoint), followed by a [`Journal::commit`] — the fsync point;
+/// - [`JournalRecord::RunFinished`] with the final report, committed.
+///
+/// A run killed at *any* point mid-stream recovers through
+/// [`crate::journal::recover`] +
+/// [`resume_with_recovery_journaled`] to the bit-identical report of the
+/// uninterrupted run: the interrupted cycle's events are discarded and
+/// the cycle re-executes deterministically from the last barrier.
+///
+/// With a [`NoopJournal`] every journal probe compiles away and this is
+/// exactly [`simulate_with_recovery_metered`] (which delegates here).
+#[must_use]
+pub fn simulate_with_recovery_journaled<R: Recorder, M: Metrics, J: Journal>(
+    config: &RollingConfig,
+    jobs: Vec<Job>,
+    recorder: &mut R,
+    metrics: &M,
+    journal: &mut J,
+) -> RollingReport {
+    if journal.enabled() {
+        journal.append(
+            &JournalRecord::RunStarted {
+                config: config.clone(),
+                jobs: jobs.clone(),
+            }
+            .encode(),
+        );
+        journal.commit();
+    }
+    let report = run_journaled(
+        config,
+        RollingState::initial(jobs),
+        recorder,
+        metrics,
+        journal,
+    );
+    if journal.enabled() {
+        journal.append(
+            &JournalRecord::RunFinished {
+                report: report.clone(),
+            }
+            .encode(),
+        );
+        journal.commit();
+    }
+    report
+}
+
+/// Resumes a recovered journaled run from its last intact barrier and
+/// drives it to completion, continuing the same record stream.
+///
+/// When the journal already ends in [`JournalRecord::RunFinished`], the
+/// recovered report is returned directly — nothing re-executes and
+/// nothing is appended. Otherwise the loop re-enters at the recovered
+/// [`RollingState::next_cycle`] with the disruption model restored from
+/// its checkpoint, which reproduces the uninterrupted run bit for bit
+/// (the crash-at-any-event property tests pin this).
+#[must_use]
+pub fn resume_with_recovery_journaled<R: Recorder, M: Metrics, J: Journal>(
+    recovered: RecoveredRun,
+    recorder: &mut R,
+    metrics: &M,
+    journal: &mut J,
+) -> RollingReport {
+    if let Some(report) = recovered.finished {
+        return report;
+    }
+    let report = run_journaled(
+        &recovered.config,
+        recovered.state,
+        recorder,
+        metrics,
+        journal,
+    );
+    if journal.enabled() {
+        journal.append(
+            &JournalRecord::RunFinished {
+                report: report.clone(),
+            }
+            .encode(),
+        );
+        journal.commit();
+    }
+    report
+}
+
+/// The rolling loop proper, parameterised over its starting
+/// [`RollingState`] — cycle `state.next_cycle` up to `config.max_cycles`.
+///
+/// All journal emissions are gated on [`Journal::enabled`]; with
+/// [`NoopJournal`] the gates are constant-false and monomorphise away,
+/// keeping the plain path bit-identical to the pre-journal
+/// implementation.
+fn run_journaled<R: Recorder, M: Metrics, J: Journal>(
+    config: &RollingConfig,
+    state: RollingState,
+    recorder: &mut R,
+    metrics: &M,
+    journal: &mut J,
+) -> RollingReport {
     let metered = metrics.enabled();
     let scheduler = BatchScheduler::new(config.scheduler.clone());
-    let mut model = config.disruption.clone().map(DisruptionModel::new);
-    let mut survival = SurvivalMetrics::new();
-    let mut pending = jobs;
-    let mut parked: Vec<ParkedJob> = Vec::new();
-    let mut victim_since: Vec<(JobId, u32)> = Vec::new();
-    let mut attempts_of: Vec<(JobId, u32)> = Vec::new();
-    let mut completions = Vec::new();
-    let mut cycles = Vec::new();
+    let RollingState {
+        next_cycle,
+        mut pending,
+        mut parked,
+        mut victim_since,
+        mut attempts_of,
+        mut completions,
+        mut cycles,
+        mut survival,
+        model: model_state,
+    } = state;
+    // A mid-run state restores the model at its checkpointed RNG
+    // position; a fresh run starts it from the configured seed.
+    let mut model = match (config.disruption.clone(), model_state) {
+        (Some(disruption), Some(checkpoint)) => {
+            Some(DisruptionModel::restore(disruption, &checkpoint))
+        }
+        (Some(disruption), None) => Some(DisruptionModel::new(disruption)),
+        (None, _) => None,
+    };
 
-    for cycle in 0..config.max_cycles {
+    for cycle in next_cycle..config.max_cycles {
         // Re-admit parked victims whose backoff elapsed (stable order).
-        let (ready, waiting): (Vec<ParkedJob>, Vec<ParkedJob>) =
+        let (ready, waiting): (Vec<ParkedEntry>, Vec<ParkedEntry>) =
             parked.drain(..).partition(|p| p.eligible_at <= cycle);
         parked = waiting;
         for p in ready {
@@ -233,6 +362,15 @@ pub fn simulate_with_recovery_metered<R: Recorder, M: Metrics>(
                     cycle: u64::from(cycle),
                     job: u64::from(p.job.id().0),
                 });
+            }
+            if journal.enabled() {
+                journal.append(
+                    &JournalRecord::Readmitted {
+                        cycle,
+                        job: p.job.id().0,
+                    }
+                    .encode(),
+                );
             }
             scheduler.readmit(&mut pending, [p.job], 0);
         }
@@ -257,14 +395,37 @@ pub fn simulate_with_recovery_metered<R: Recorder, M: Metrics>(
         let mut still_pending = Vec::new();
         for assignment in schedule.assignments {
             match assignment.window {
-                Some(window) => committed.push((assignment.job, window)),
+                Some(window) => {
+                    if journal.enabled() {
+                        journal.append(
+                            &JournalRecord::Committed {
+                                cycle,
+                                job: assignment.job.id().0,
+                                window: window.clone(),
+                            }
+                            .encode(),
+                        );
+                    }
+                    committed.push((assignment.job, window));
+                }
                 None => {
                     // Age the deferred job so it cannot starve.
-                    still_pending.push(Job::new(
+                    let aged = Job::new(
                         assignment.job.id(),
                         assignment.job.priority() + config.aging,
                         assignment.job.request().clone(),
-                    ));
+                    );
+                    if journal.enabled() {
+                        journal.append(
+                            &JournalRecord::Deferred {
+                                cycle,
+                                job: aged.id().0,
+                                priority: aged.priority(),
+                            }
+                            .encode(),
+                        );
+                    }
+                    still_pending.push(aged);
                 }
             }
         }
@@ -287,6 +448,15 @@ pub fn simulate_with_recovery_metered<R: Recorder, M: Metrics>(
                     survival.record_event(event);
                     if recorder.enabled() {
                         recorder.emit(disruption_trace_event(cycle, event));
+                    }
+                    if journal.enabled() {
+                        journal.append(
+                            &JournalRecord::Disrupted {
+                                cycle,
+                                event: event.clone(),
+                            }
+                            .encode(),
+                        );
                     }
                     if metered {
                         metrics.counter_add(
@@ -321,6 +491,16 @@ pub fn simulate_with_recovery_metered<R: Recorder, M: Metrics>(
                                 via: "retry".to_owned(),
                             });
                         }
+                        if journal.enabled() {
+                            journal.append(
+                                &JournalRecord::Rescued {
+                                    cycle,
+                                    job: job.id().0,
+                                    via: "retry".to_owned(),
+                                }
+                                .encode(),
+                            );
+                        }
                     }
                 }
 
@@ -343,6 +523,15 @@ pub fn simulate_with_recovery_metered<R: Recorder, M: Metrics>(
                                     cycle: u64::from(cycle),
                                     job: u64::from(job.id().0),
                                 });
+                            }
+                            if journal.enabled() {
+                                journal.append(
+                                    &JournalRecord::Lost {
+                                        cycle,
+                                        job: job.id().0,
+                                    }
+                                    .encode(),
+                                );
                             }
                         }
                         RecoveryPolicy::RetryNextCycle {
@@ -369,6 +558,15 @@ pub fn simulate_with_recovery_metered<R: Recorder, M: Metrics>(
                                         job: u64::from(job.id().0),
                                     });
                                 }
+                                if journal.enabled() {
+                                    journal.append(
+                                        &JournalRecord::Lost {
+                                            cycle,
+                                            job: job.id().0,
+                                        }
+                                        .encode(),
+                                    );
+                                }
                             } else {
                                 let eligible_at = cycle + 1 + backoff;
                                 if recorder.enabled() {
@@ -378,7 +576,17 @@ pub fn simulate_with_recovery_metered<R: Recorder, M: Metrics>(
                                         eligible_at: u64::from(eligible_at),
                                     });
                                 }
-                                parked.push(ParkedJob {
+                                if journal.enabled() {
+                                    journal.append(
+                                        &JournalRecord::Parked {
+                                            cycle,
+                                            job: job.id().0,
+                                            eligible_at,
+                                        }
+                                        .encode(),
+                                    );
+                                }
+                                parked.push(ParkedEntry {
                                     job: Job::new(
                                         job.id(),
                                         job.priority() + config.aging,
@@ -417,6 +625,16 @@ pub fn simulate_with_recovery_metered<R: Recorder, M: Metrics>(
                                             via: "migrate".to_owned(),
                                         });
                                     }
+                                    if journal.enabled() {
+                                        journal.append(
+                                            &JournalRecord::Rescued {
+                                                cycle,
+                                                job: job.id().0,
+                                                via: "migrate".to_owned(),
+                                            }
+                                            .encode(),
+                                        );
+                                    }
                                 }
                                 None => {
                                     survival.jobs_lost += 1;
@@ -425,6 +643,15 @@ pub fn simulate_with_recovery_metered<R: Recorder, M: Metrics>(
                                             cycle: u64::from(cycle),
                                             job: u64::from(job.id().0),
                                         });
+                                    }
+                                    if journal.enabled() {
+                                        journal.append(
+                                            &JournalRecord::Lost {
+                                                cycle,
+                                                job: job.id().0,
+                                            }
+                                            .encode(),
+                                        );
                                     }
                                 }
                             }
@@ -480,6 +707,24 @@ pub fn simulate_with_recovery_metered<R: Recorder, M: Metrics>(
             metrics.gauge_set("slotsel_rolling_pending_jobs", &[], pending.len() as f64);
             metrics.gauge_set("slotsel_rolling_parked_jobs", &[], parked.len() as f64);
             metrics.gauge_set("slotsel_rolling_cycle_spent_credits", &[], spent.as_f64());
+        }
+        if journal.enabled() {
+            // The cycle barrier: the full post-cycle state, made durable
+            // by the commit. Everything before it this cycle is audit
+            // trail; recovery replays only the barrier.
+            let barrier = RollingState {
+                next_cycle: cycle + 1,
+                pending: pending.clone(),
+                parked: parked.clone(),
+                victim_since: victim_since.clone(),
+                attempts_of: attempts_of.clone(),
+                completions: completions.clone(),
+                cycles: cycles.clone(),
+                survival: survival.clone(),
+                model: model.as_ref().map(DisruptionModel::checkpoint),
+            };
+            journal.append(&JournalRecord::CycleCommitted { state: barrier }.encode());
+            journal.commit();
         }
     }
 

@@ -34,8 +34,11 @@ use slotsel::core::{
 use slotsel::env::{EnvironmentConfig, NodeGenConfig};
 use slotsel::obs::{Metrics, MetricsRegistry, MetricsServer, NoopRecorder};
 use slotsel::sim::gantt::render_gantt;
+use slotsel::sim::journal::{recover, DurableJournal, RecoverError};
+use slotsel::sim::rolling::resume_with_recovery_journaled;
 use slotsel::sim::{
-    simulate_with_recovery_metered, DisruptionConfig, RecoveryPolicy, RollingConfig,
+    simulate_with_recovery_journaled, simulate_with_recovery_metered, DisruptionConfig,
+    RecoveryPolicy, RollingConfig, RollingReport,
 };
 
 /// The on-disk environment format.
@@ -430,6 +433,44 @@ fn serve_jobs(count: usize) -> Result<Vec<Job>, String> {
         .collect()
 }
 
+/// The journal directory of one serve round under `--journal-dir` — the
+/// round number is recoverable from the name alone.
+fn round_dir(base: &std::path::Path, round: u64) -> std::path::PathBuf {
+    base.join(format!("round-{round:06}"))
+}
+
+/// The highest journaled round number under `base`, if any.
+fn latest_round(base: &std::path::Path) -> Result<Option<u64>, String> {
+    let entries = match fs::read_dir(base) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("{}: {e}", base.display())),
+    };
+    let mut latest = None;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", base.display()))?;
+        let name = entry.file_name();
+        let round = name
+            .to_str()
+            .and_then(|n| n.strip_prefix("round-"))
+            .and_then(|n| n.parse::<u64>().ok());
+        latest = latest.max(round);
+    }
+    Ok(latest)
+}
+
+fn print_round(round: u64, report: &RollingReport) {
+    println!(
+        "round {round}: {} completed, {} starved, {} lost, survival {:.3}, spent {:.1}",
+        report.outcome.completions.len(),
+        report.outcome.starved.len(),
+        report.survival.jobs_lost,
+        report.survival.survival_rate(),
+        report.outcome.total_spent(),
+    );
+    std::io::stdout().flush().ok();
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let addr = args.flag("--addr").unwrap_or("127.0.0.1:9184");
     let nodes: usize = args.parsed("--nodes", 16)?;
@@ -438,6 +479,16 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let seed: u64 = args.parsed("--seed", 31_337)?;
     let rounds: u64 = args.parsed("--rounds", 0)?;
     let pace_ms: u64 = args.parsed("--pace-ms", 250)?;
+    let snapshot_every: u32 = args.parsed("--snapshot-every", 5)?;
+    let bind_retries: u32 = args.parsed("--bind-retries", 5)?;
+    let journal_base = args.flag("--journal-dir").map(std::path::PathBuf::from);
+    let recover_requested = args.raw.iter().any(|a| a == "--recover");
+    if recover_requested && journal_base.is_none() {
+        return Err("--recover requires --journal-dir".to_owned());
+    }
+    if snapshot_every == 0 {
+        return Err("--snapshot-every must be at least 1".to_owned());
+    }
     let disruption = args
         .flag("--faults")
         .map(|v| {
@@ -452,15 +503,78 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     };
 
     let registry = Arc::new(MetricsRegistry::new());
-    let server = MetricsServer::start(addr, Arc::clone(&registry))
-        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let server = MetricsServer::start_with_retry(
+        addr,
+        Arc::clone(&registry),
+        bind_retries,
+        Duration::from_millis(200),
+    )
+    .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     println!("serving metrics on http://{}/metrics", server.addr());
     println!("health checks on http://{}/healthz", server.addr());
+    println!(
+        "graceful shutdown via POST http://{}/shutdown",
+        server.addr()
+    );
     std::io::stdout().flush().ok();
 
     let batch = serve_jobs(jobs)?;
     let mut round = 0u64;
+
+    // --recover: pick up the newest journaled round. A finished journal
+    // just advances the round counter; an interrupted one resumes from
+    // its last barrier and replays to the exact uninterrupted outcome.
+    if recover_requested {
+        let base = journal_base.as_ref().expect("checked above");
+        match latest_round(base)? {
+            None => println!("recover: no journaled rounds under {}", base.display()),
+            Some(latest) => {
+                let dir = round_dir(base, latest);
+                match recover(&dir) {
+                    Ok(run) if run.finished.is_some() => {
+                        println!("recover: round {latest} already finished");
+                        round = latest + 1;
+                    }
+                    Ok(run) => {
+                        println!(
+                            "recover: resuming round {latest} at cycle {} \
+                             ({} completions so far)",
+                            run.state.next_cycle,
+                            run.state.completions.len(),
+                        );
+                        registry.counter_add("slotsel_serve_rounds_total", &[], 1);
+                        registry.counter_add("slotsel_serve_recoveries_total", &[], 1);
+                        let mut journal = DurableJournal::resume(&dir, &run, snapshot_every)
+                            .map_err(|e| format!("{}: {e}", dir.display()))?;
+                        let report = resume_with_recovery_journaled(
+                            run,
+                            &mut NoopRecorder,
+                            registry.as_ref(),
+                            &mut journal,
+                        );
+                        journal
+                            .finish()
+                            .map_err(|e| format!("{}: {e}", dir.display()))?;
+                        print_round(latest, &report);
+                        round = latest + 1;
+                    }
+                    Err(RecoverError::EmptyJournal) => {
+                        // Crashed before the header committed: nothing was
+                        // recorded, so the round simply reruns.
+                        println!("recover: round {latest} journal is empty; rerunning it");
+                        round = latest;
+                    }
+                    Err(error) => return Err(format!("recover {}: {error}", dir.display())),
+                }
+            }
+        }
+    }
+
     loop {
+        // Recovery may already have completed the requested round budget.
+        if (rounds != 0 && round >= rounds) || server.shutdown_requested() {
+            break;
+        }
         let config = RollingConfig {
             env: EnvironmentConfig {
                 nodes: NodeGenConfig {
@@ -478,26 +592,44 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             ..RollingConfig::default()
         };
         registry.counter_add("slotsel_serve_rounds_total", &[], 1);
-        let report = simulate_with_recovery_metered(
-            &config,
-            batch.clone(),
-            &mut NoopRecorder,
-            registry.as_ref(),
-        );
-        println!(
-            "round {round}: {} completed, {} starved, {} lost, survival {:.3}, spent {:.1}",
-            report.outcome.completions.len(),
-            report.outcome.starved.len(),
-            report.survival.jobs_lost,
-            report.survival.survival_rate(),
-            report.outcome.total_spent(),
-        );
-        std::io::stdout().flush().ok();
+        let report = match &journal_base {
+            Some(base) => {
+                let dir = round_dir(base, round);
+                let mut journal = DurableJournal::create(&dir, snapshot_every)
+                    .map_err(|e| format!("{}: {e}", dir.display()))?;
+                let report = simulate_with_recovery_journaled(
+                    &config,
+                    batch.clone(),
+                    &mut NoopRecorder,
+                    registry.as_ref(),
+                    &mut journal,
+                );
+                // Flush + fsync the tail and write the final snapshot.
+                journal
+                    .finish()
+                    .map_err(|e| format!("{}: {e}", dir.display()))?;
+                report
+            }
+            None => simulate_with_recovery_metered(
+                &config,
+                batch.clone(),
+                &mut NoopRecorder,
+                registry.as_ref(),
+            ),
+        };
+        print_round(round, &report);
         round += 1;
         if rounds != 0 && round >= rounds {
             break;
         }
+        if server.shutdown_requested() {
+            break;
+        }
         std::thread::sleep(Duration::from_millis(pace_ms));
+    }
+    if server.shutdown_requested() {
+        println!("shutdown requested; journal flushed and final snapshot written");
+        std::io::stdout().flush().ok();
     }
     drop(server);
     Ok(())
@@ -516,7 +648,8 @@ commands:
   validate  --env FILE [request flags] [--window FILE | --algorithm NAME]
   serve     [--addr HOST:PORT] [--nodes N] [--jobs J] [--cycles C] [--seed S]
             [--faults SEED] [--recovery abandon|retry|migrate]
-            [--rounds R (0 = forever)] [--pace-ms MS]
+            [--rounds R (0 = forever)] [--pace-ms MS] [--bind-retries N]
+            [--journal-dir DIR [--recover] [--snapshot-every N]]
 ";
 
 fn main() -> ExitCode {

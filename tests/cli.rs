@@ -344,6 +344,200 @@ fn serve_daemon_exposes_scrapeable_metrics() {
 }
 
 #[test]
+fn serve_journals_rounds_and_recovers_a_torn_journal() {
+    let dir = temp_path("serve-journal");
+    let _ = std::fs::remove_dir_all(&dir);
+    let serve_args = |extra: &[&str]| -> Vec<String> {
+        let mut args: Vec<String> = [
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--nodes",
+            "8",
+            "--jobs",
+            "4",
+            "--cycles",
+            "5",
+            "--rounds",
+            "2",
+            "--pace-ms",
+            "10",
+            "--faults",
+            "7",
+            "--recovery",
+            "retry",
+            "--snapshot-every",
+            "2",
+            "--journal-dir",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        args.push(dir.to_str().unwrap().to_owned());
+        args.extend(extra.iter().map(|s| (*s).to_owned()));
+        args
+    };
+
+    // Two journaled rounds run to completion and leave durable state.
+    let out = Command::new(env!("CARGO_BIN_EXE_slotsel"))
+        .args(serve_args(&[]))
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", stderr(&out));
+    let first = stdout(&out);
+    let round_1_line = first
+        .lines()
+        .find(|l| l.starts_with("round 1:"))
+        .expect("round 1 report")
+        .to_owned();
+    for round in ["round-000000", "round-000001"] {
+        assert!(dir.join(round).join("journal.wal").is_file(), "{round}");
+        assert!(
+            std::fs::read_dir(dir.join(round).join("snapshots"))
+                .map(|entries| entries.count() > 0)
+                .unwrap_or(false),
+            "{round} must hold at least the final snapshot"
+        );
+    }
+
+    // Simulate a crash mid-round-1: drop the RunFinished record, tear the
+    // line before it, and lose the snapshots (a crash can predate both).
+    let journal = dir.join("round-000001").join("journal.wal");
+    let bytes = std::fs::read(&journal).unwrap();
+    let last_line = 1 + bytes[..bytes.len() - 1]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .expect("multi-line journal");
+    let prev_line = 1 + bytes[..last_line - 1]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .expect("journal has a body");
+    std::fs::write(&journal, &bytes[..prev_line + (last_line - prev_line) / 2]).unwrap();
+    let _ = std::fs::remove_dir_all(dir.join("round-000001").join("snapshots"));
+
+    // --recover resumes round 1 from the torn journal and reproduces the
+    // uninterrupted round's report exactly, then stops: both rounds done.
+    let out = Command::new(env!("CARGO_BIN_EXE_slotsel"))
+        .args(serve_args(&["--recover"]))
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", stderr(&out));
+    let second = stdout(&out);
+    assert!(
+        second.contains("recover: resuming round 1"),
+        "missing resume banner:\n{second}"
+    );
+    let recovered_line = second
+        .lines()
+        .find(|l| l.starts_with("round 1:"))
+        .expect("recovered round 1 report");
+    assert_eq!(
+        recovered_line, round_1_line,
+        "recovery must reproduce the uninterrupted round bit-identically"
+    );
+    assert!(
+        !second.contains("round 2:"),
+        "--rounds 2 is already satisfied after recovery:\n{second}"
+    );
+    // The healed journal is whole again: a second --recover run finds the
+    // last round finished and exits without re-running anything.
+    let out = Command::new(env!("CARGO_BIN_EXE_slotsel"))
+        .args(serve_args(&["--recover"]))
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("recover: round 1 already finished"),
+        "{}",
+        stdout(&out)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_recover_requires_a_journal_dir() {
+    let out = slotsel(&["serve", "--recover", "--rounds", "1"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--recover requires --journal-dir"));
+}
+
+#[test]
+fn serve_shutdown_endpoint_stops_the_daemon_cleanly() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+    use std::process::Stdio;
+    use std::time::Duration;
+
+    let dir = temp_path("serve-shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_slotsel"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--nodes",
+            "8",
+            "--jobs",
+            "4",
+            "--cycles",
+            "4",
+            "--rounds",
+            "0",
+            "--pace-ms",
+            "10",
+            "--journal-dir",
+            dir.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve daemon spawns");
+
+    let mut lines = BufReader::new(child.stdout.take().expect("piped stdout")).lines();
+    let banner = lines
+        .next()
+        .expect("daemon prints its address")
+        .expect("readable stdout");
+    let addr = banner
+        .trim_start_matches("serving metrics on http://")
+        .trim_end_matches("/metrics")
+        .to_owned();
+    lines
+        .find(|l| {
+            l.as_ref()
+                .map(|l| l.starts_with("round 0:"))
+                .unwrap_or(true)
+        })
+        .expect("daemon finishes a round")
+        .expect("readable round report");
+
+    let mut stream = TcpStream::connect(&addr).expect("connect to daemon");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "POST /shutdown HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+
+    // The daemon drains: it finishes the in-flight round (journal flushed,
+    // final snapshot written) and exits zero on its own.
+    let farewell: Vec<String> = lines.map_while(Result::ok).collect();
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "clean exit after /shutdown");
+    assert!(
+        farewell.iter().any(|l| l.contains("shutdown requested")),
+        "missing shutdown farewell: {farewell:?}"
+    );
+    // Every journal left on disk is finished, never torn mid-round.
+    for entry in std::fs::read_dir(&dir).expect("journal dir exists") {
+        let round = entry.unwrap().path();
+        assert!(round.join("journal.wal").is_file(), "{}", round.display());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn missing_env_file_is_a_clean_error() {
     let out = slotsel(&["info", "--env", "/nonexistent/slotsel.json"]);
     assert!(!out.status.success());
