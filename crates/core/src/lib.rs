@@ -112,6 +112,7 @@ pub mod scenario;
 pub mod selectors;
 pub mod slot;
 pub mod slotlist;
+pub mod tenant;
 pub mod time;
 pub mod validate;
 pub mod window;
@@ -134,6 +135,7 @@ pub use request::{Job, JobId, NodeRequirements, ResourceRequest};
 pub use scenario::Scenario;
 pub use slot::{Slot, SlotId};
 pub use slotlist::{SlotList, SlotListStats};
+pub use tenant::{AdmitError, TenantId, TenantQuota, TenantUsage};
 pub use time::{Interval, TimeDelta, TimePoint};
 pub use validate::{validate_window, WindowViolation};
 pub use window::{Window, WindowSlot};

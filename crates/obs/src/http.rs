@@ -1,7 +1,8 @@
-//! A tiny std-only scrape endpoint for a [`MetricsRegistry`].
+//! A tiny std-only HTTP endpoint: metrics scraping plus caller routes.
 //!
 //! [`MetricsServer::start`] binds a [`TcpListener`] (bind to port 0 for an
-//! ephemeral port) and serves two endpoints from a background thread:
+//! ephemeral port) and serves the built-in endpoints from a background
+//! thread:
 //!
 //! - `GET /metrics` — the Prometheus text rendering of the registry
 //!   ([`crate::export::render_prometheus`]);
@@ -11,14 +12,29 @@
 //!   itself keeps serving until the daemon stops it, so metrics stay
 //!   scrapeable while it drains).
 //!
-//! Anything else is a 404. The server speaks just enough HTTP/1.1 for
-//! `curl` and a Prometheus scraper: it reads the request head, answers
-//! with `Connection: close` and drops the socket. Dropping (or calling
-//! [`MetricsServer::stop`]) shuts the accept loop down promptly by
-//! flagging it and poking a final connection through it.
-//! [`MetricsServer::start_with_retry`] retries a failed bind with
-//! doubling backoff — for daemons restarting into a port still in
-//! `TIME_WAIT`.
+//! [`MetricsServer::start_with_handler`] additionally routes every request
+//! the built-ins do not claim through a caller-supplied [`Handler`] — how
+//! the serve daemon mounts its `/submit`, `/job/{id}` and `/tenants` API
+//! without this crate knowing anything about scheduling. The handler
+//! receives the parsed [`HttpRequest`] (method, path, body — bodies are
+//! read when a `Content-Length` header is present, capped at
+//! [`MAX_BODY_BYTES`]) and returns an [`HttpResponse`], or `None` to fall
+//! through to the normalized 404.
+//!
+//! Every error the server produces itself — unknown path, wrong method on
+//! a built-in, unreadable request, oversized body — is a **normalized
+//! error response**: a flat JSON body `{"error":CODE,"detail":TEXT}`
+//! (built with [`crate::json::ObjectWriter`]) served with the same
+//! `Content-Type`/`Content-Length`/`Connection: close` header set as
+//! every success response, so clients can parse failures uniformly.
+//!
+//! The server speaks just enough HTTP/1.1 for `curl` and a Prometheus
+//! scraper: it reads one request, answers with `Connection: close` and
+//! drops the socket. Dropping (or calling [`MetricsServer::stop`]) shuts
+//! the accept loop down promptly by flagging it and poking a final
+//! connection through it. [`MetricsServer::start_with_retry`] retries a
+//! failed bind with doubling backoff — for daemons restarting into a port
+//! still in `TIME_WAIT`.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -28,13 +44,101 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::export::render_prometheus;
+use crate::json::ObjectWriter;
 use crate::metrics::MetricsRegistry;
 
 /// Per-connection socket timeout: a stalled client cannot wedge the
 /// single-threaded accept loop for longer than this.
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
 
-/// A background HTTP server exposing `/metrics` and `/healthz`.
+/// Largest request body the server reads; anything bigger is refused
+/// with a `413` error response before the body is consumed.
+pub const MAX_BODY_BYTES: u64 = 64 * 1024;
+
+/// One parsed HTTP request, as handed to a [`Handler`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// The request method, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// The request path including any query string, e.g. `/job/3`.
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+/// One HTTP response a [`Handler`] (or the server itself) produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// The status code (200, 404, 429, …).
+    pub status: u16,
+    /// The `Content-Type` header value.
+    pub content_type: String,
+    /// The response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A `200` response with a JSON body.
+    #[must_use]
+    pub fn json(body: String) -> Self {
+        HttpResponse {
+            status: 200,
+            content_type: "application/json".to_owned(),
+            body,
+        }
+    }
+
+    /// A `200` response with a plain-text body.
+    #[must_use]
+    pub fn text(body: String) -> Self {
+        HttpResponse {
+            status: 200,
+            content_type: "text/plain; charset=utf-8".to_owned(),
+            body,
+        }
+    }
+
+    /// The normalized error shape: `{"error":CODE,"detail":DETAIL}` under
+    /// the given status, `application/json`. Every error the server emits
+    /// itself goes through here; handlers are encouraged to do the same.
+    #[must_use]
+    pub fn error(status: u16, code: &str, detail: &str) -> Self {
+        let mut body = ObjectWriter::new();
+        body.str_field("error", code);
+        body.str_field("detail", detail);
+        HttpResponse {
+            status,
+            content_type: "application/json".to_owned(),
+            body: body.finish() + "\n",
+        }
+    }
+
+    /// The standard reason phrase for this response's status code.
+    #[must_use]
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            201 => "Created",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+}
+
+/// A caller-supplied route table: inspects a request and either claims it
+/// with a response or returns `None` to fall through to the normalized
+/// 404. Runs on the server thread, one request at a time.
+pub type Handler = dyn Fn(&HttpRequest) -> Option<HttpResponse> + Send + Sync;
+
+/// A background HTTP server exposing `/metrics`, `/healthz`, `/shutdown`
+/// and any routes its [`Handler`] claims.
 ///
 /// # Examples
 ///
@@ -65,6 +169,28 @@ impl MetricsServer {
     ///
     /// Returns the underlying error when the address cannot be bound.
     pub fn start(addr: impl ToSocketAddrs, registry: Arc<MetricsRegistry>) -> io::Result<Self> {
+        Self::start_inner(addr, registry, None)
+    }
+
+    /// Like [`start`](Self::start), with a [`Handler`] that gets every
+    /// request the built-in routes do not claim.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the address cannot be bound.
+    pub fn start_with_handler(
+        addr: impl ToSocketAddrs,
+        registry: Arc<MetricsRegistry>,
+        handler: Arc<Handler>,
+    ) -> io::Result<Self> {
+        Self::start_inner(addr, registry, Some(handler))
+    }
+
+    fn start_inner(
+        addr: impl ToSocketAddrs,
+        registry: Arc<MetricsRegistry>,
+        handler: Option<Arc<Handler>>,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -73,7 +199,7 @@ impl MetricsServer {
         let wanted = Arc::clone(&requested);
         let handle = std::thread::Builder::new()
             .name("slotsel-metrics".to_owned())
-            .spawn(move || accept_loop(&listener, &registry, &flag, &wanted))?;
+            .spawn(move || accept_loop(&listener, &registry, &flag, &wanted, handler.as_deref()))?;
         Ok(MetricsServer {
             addr,
             shutdown,
@@ -94,7 +220,32 @@ impl MetricsServer {
         addr: impl ToSocketAddrs + Clone,
         registry: Arc<MetricsRegistry>,
         attempts: u32,
+        backoff: Duration,
+    ) -> io::Result<Self> {
+        Self::start_with_retry_inner(addr, registry, attempts, backoff, None)
+    }
+
+    /// [`start_with_retry`](Self::start_with_retry) plus a [`Handler`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the *last* bind error once the attempts are exhausted.
+    pub fn start_with_retry_and_handler(
+        addr: impl ToSocketAddrs + Clone,
+        registry: Arc<MetricsRegistry>,
+        attempts: u32,
+        backoff: Duration,
+        handler: Arc<Handler>,
+    ) -> io::Result<Self> {
+        Self::start_with_retry_inner(addr, registry, attempts, backoff, Some(handler))
+    }
+
+    fn start_with_retry_inner(
+        addr: impl ToSocketAddrs + Clone,
+        registry: Arc<MetricsRegistry>,
+        attempts: u32,
         mut backoff: Duration,
+        handler: Option<Arc<Handler>>,
     ) -> io::Result<Self> {
         let attempts = attempts.max(1);
         let mut last_error = None;
@@ -103,7 +254,7 @@ impl MetricsServer {
                 std::thread::sleep(backoff);
                 backoff = backoff.saturating_mul(2);
             }
-            match Self::start(addr.clone(), Arc::clone(&registry)) {
+            match Self::start_inner(addr.clone(), Arc::clone(&registry), handler.clone()) {
                 Ok(server) => return Ok(server),
                 Err(error) => last_error = Some(error),
             }
@@ -152,6 +303,7 @@ fn accept_loop(
     registry: &MetricsRegistry,
     shutdown: &AtomicBool,
     requested: &AtomicBool,
+    handler: Option<&Handler>,
 ) {
     for stream in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
@@ -159,55 +311,138 @@ fn accept_loop(
         }
         let Ok(stream) = stream else { continue };
         // One stalled or malformed client must not take the endpoint down.
-        drop(handle_connection(stream, registry, requested));
+        drop(handle_connection(stream, registry, requested, handler));
     }
 }
 
-/// Reads the request head and answers one request on `stream`.
+/// Reads one request head (and body, when a `Content-Length` is present)
+/// from `reader`. Returns `Err(response)` with the normalized error to
+/// send when the request cannot be read.
+fn read_request<R: BufRead>(reader: &mut R) -> Result<HttpRequest, HttpResponse> {
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() || request_line.trim().is_empty() {
+        return Err(HttpResponse::error(
+            400,
+            "bad_request",
+            "unreadable or empty request line",
+        ));
+    }
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(HttpResponse::error(
+            400,
+            "bad_request",
+            "malformed request line",
+        ));
+    };
+    let method = method.to_owned();
+    let path = path.to_owned();
+
+    // Drain the header block, capturing Content-Length on the way.
+    let mut content_length: u64 = 0;
+    let mut header = String::new();
+    loop {
+        header.clear();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header.trim_end().is_empty() => break,
+            Ok(_) => {
+                if let Some((name, value)) = header.split_once(':') {
+                    if name.trim().eq_ignore_ascii_case("content-length") {
+                        content_length = value.trim().parse().map_err(|_| {
+                            HttpResponse::error(400, "bad_request", "malformed Content-Length")
+                        })?;
+                    }
+                }
+            }
+            Err(_) => {
+                return Err(HttpResponse::error(
+                    400,
+                    "bad_request",
+                    "unreadable header block",
+                ))
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpResponse::error(
+            413,
+            "payload_too_large",
+            &format!("body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; content_length as usize];
+    if content_length > 0 && reader.read_exact(&mut body).is_err() {
+        return Err(HttpResponse::error(
+            400,
+            "bad_request",
+            "body shorter than Content-Length",
+        ));
+    }
+    let body = String::from_utf8(body)
+        .map_err(|_| HttpResponse::error(400, "bad_request", "body is not UTF-8"))?;
+    Ok(HttpRequest { method, path, body })
+}
+
+/// Routes one parsed request: built-ins first, then the handler, then the
+/// normalized 404.
+fn route(
+    request: &HttpRequest,
+    registry: &MetricsRegistry,
+    requested: &AtomicBool,
+    handler: Option<&Handler>,
+) -> HttpResponse {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/metrics") => HttpResponse {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8".to_owned(),
+            body: render_prometheus(registry),
+        },
+        ("GET", "/healthz") => HttpResponse::text("ok\n".to_owned()),
+        ("POST", "/shutdown") => {
+            requested.store(true, Ordering::SeqCst);
+            HttpResponse::text("shutting down\n".to_owned())
+        }
+        (_, "/metrics" | "/healthz" | "/shutdown") => HttpResponse::error(
+            405,
+            "method_not_allowed",
+            &format!("{} does not accept {}", request.path, request.method),
+        ),
+        _ => match handler.and_then(|h| h(request)) {
+            Some(response) => response,
+            None => HttpResponse::error(
+                404,
+                "not_found",
+                &format!("no route for {} {}", request.method, request.path),
+            ),
+        },
+    }
+}
+
+/// Reads the request and answers it on `stream`.
 fn handle_connection(
     stream: TcpStream,
     registry: &MetricsRegistry,
     requested: &AtomicBool,
+    handler: Option<&Handler>,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    let mut reader = BufReader::new(stream.try_clone()?).take(8 * 1024);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    let path = request_line.split_whitespace().nth(1).unwrap_or("");
-    // Drain the header block so well-behaved clients see a clean close.
-    let mut header = String::new();
-    while reader.read_line(&mut header)? > 0 && header.trim_end() != "" {
-        header.clear();
-    }
-
-    let (status, content_type, body) = match path {
-        "/metrics" => (
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            render_prometheus(registry),
-        ),
-        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned()),
-        "/shutdown" => {
-            requested.store(true, Ordering::SeqCst);
-            (
-                "200 OK",
-                "text/plain; charset=utf-8",
-                "shutting down\n".to_owned(),
-            )
-        }
-        _ => (
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            "not found\n".to_owned(),
-        ),
+    let mut reader = BufReader::new(stream.try_clone()?).take(MAX_BODY_BYTES + 8 * 1024);
+    let response = match read_request(&mut reader) {
+        Ok(request) => route(&request, registry, requested, handler),
+        Err(error_response) => error_response,
     };
 
     let mut stream = stream;
     write!(
         stream,
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        response.status,
+        response.reason(),
+        response.content_type,
+        response.body.len(),
+        response.body
     )?;
     stream.flush()
 }
@@ -220,6 +455,19 @@ mod tests {
     fn get(addr: SocketAddr, path: &str) -> String {
         let mut stream = TcpStream::connect(addr).unwrap();
         write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    fn post(addr: SocketAddr, path: &str, body: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         response
@@ -243,6 +491,97 @@ mod tests {
         let missing = get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"));
 
+        server.stop();
+    }
+
+    #[test]
+    fn unknown_paths_get_a_normalized_json_error() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let server = MetricsServer::start("127.0.0.1:0", registry).unwrap();
+        let missing = get(server.addr(), "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404 Not Found"), "{missing}");
+        assert!(
+            missing.contains("Content-Type: application/json"),
+            "{missing}"
+        );
+        assert!(missing.contains("Connection: close"), "{missing}");
+        let body = missing.split("\r\n\r\n").nth(1).unwrap().trim_end();
+        let parsed = crate::json::parse_object(body).unwrap();
+        assert_eq!(parsed["error"].as_str(), Some("not_found"));
+        assert!(parsed["detail"].as_str().unwrap().contains("/nope"));
+        // The advertised Content-Length matches the actual body.
+        let advertised: usize = missing
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert_eq!(advertised, body.len() + 1, "body plus trailing newline");
+        server.stop();
+    }
+
+    #[test]
+    fn builtin_routes_enforce_their_methods() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let server = MetricsServer::start("127.0.0.1:0", registry).unwrap();
+        let wrong = get(server.addr(), "/shutdown");
+        assert!(wrong.starts_with("HTTP/1.1 405"), "{wrong}");
+        assert!(wrong.contains("method_not_allowed"), "{wrong}");
+        assert!(
+            !server.shutdown_requested(),
+            "GET must not trigger shutdown"
+        );
+        let wrong = post(server.addr(), "/metrics", "");
+        assert!(wrong.starts_with("HTTP/1.1 405"), "{wrong}");
+        server.stop();
+    }
+
+    #[test]
+    fn handler_claims_routes_and_reads_bodies() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let handler: Arc<Handler> = Arc::new(|request: &HttpRequest| {
+            match (request.method.as_str(), request.path.as_str()) {
+                ("POST", "/echo") => Some(HttpResponse::json(format!(
+                    "{{\"echo\":{:?}}}",
+                    request.body
+                ))),
+                ("GET", "/teapot") => Some(HttpResponse::error(429, "steeping", "try later")),
+                _ => None,
+            }
+        });
+        let server = MetricsServer::start_with_handler("127.0.0.1:0", registry, handler).unwrap();
+        let addr = server.addr();
+
+        let echoed = post(addr, "/echo", "hello body");
+        assert!(echoed.starts_with("HTTP/1.1 200 OK"), "{echoed}");
+        assert!(echoed.contains("\"echo\":\"hello body\""), "{echoed}");
+
+        let refused = get(addr, "/teapot");
+        assert!(refused.starts_with("HTTP/1.1 429"), "{refused}");
+        assert!(refused.contains("\"error\":\"steeping\""), "{refused}");
+
+        // Built-ins still win over the handler, and unclaimed paths 404.
+        assert!(get(addr, "/healthz").ends_with("ok\n"));
+        assert!(get(addr, "/else").starts_with("HTTP/1.1 404"));
+        server.stop();
+    }
+
+    #[test]
+    fn oversized_bodies_are_refused_with_413() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let server = MetricsServer::start("127.0.0.1:0", registry).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(
+            stream,
+            "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+        assert!(response.contains("payload_too_large"), "{response}");
         server.stop();
     }
 

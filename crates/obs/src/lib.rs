@@ -76,7 +76,7 @@ pub mod stats;
 
 pub use event::{EventDecodeError, TraceEvent};
 pub use export::render_prometheus;
-pub use http::MetricsServer;
+pub use http::{Handler, HttpRequest, HttpResponse, MetricsServer};
 pub use journal::{
     read_journal, Journal, JournalReadError, JournalTail, MemoryJournal, NoopJournal,
     SnapshotStore, WalJournal,

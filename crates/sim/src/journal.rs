@@ -531,10 +531,33 @@ impl DurableJournal {
     /// Reopens a recovered run's journal for resuming, keeping the
     /// snapshot cadence counted from the recovered barrier.
     pub fn resume(dir: &Path, run: &RecoveredRun, snapshot_every: u32) -> std::io::Result<Self> {
+        Self::resume_at(
+            dir,
+            run.resume_len,
+            u64::from(run.state.next_cycle),
+            snapshot_every,
+        )
+    }
+
+    /// Reopens any barrier-structured journal for appending, truncated to
+    /// the `valid_len`-byte verified prefix, with the barrier counter (and
+    /// hence the snapshot cadence) resumed at `barriers`. This is the
+    /// schema-agnostic core [`resume`](Self::resume) delegates to — the
+    /// live serving journal (`crate::serve`) recovers with its own replay
+    /// and resumes through here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshot_every` is zero.
+    pub fn resume_at(
+        dir: &Path,
+        valid_len: u64,
+        barriers: u64,
+        snapshot_every: u32,
+    ) -> std::io::Result<Self> {
         assert!(snapshot_every > 0, "snapshot cadence must be at least 1");
-        let wal = reopen_for_resume(dir, run)?;
+        let wal = WalJournal::resume(&journal_path(dir), valid_len)?;
         let snapshots = SnapshotStore::open(&snapshot_dir(dir))?;
-        let barriers = u64::from(run.state.next_cycle);
         Ok(DurableJournal {
             wal,
             snapshots,

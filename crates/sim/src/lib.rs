@@ -18,7 +18,11 @@
 //!   [`execution`] replay;
 //! - [`journal`] — typed write-ahead records, periodic state snapshots
 //!   and the crash-at-any-event recovery path for journaled rolling runs
-//!   (see `docs/DURABILITY.md`).
+//!   (see `docs/DURABILITY.md`);
+//! - [`serve`] — the live multi-tenant metascheduler behind
+//!   `slotsel serve --live`: sharded persistent platform state, per-tenant
+//!   admission quotas, and the continuous accumulate → schedule → commit
+//!   cycle (see `docs/SERVING.md`).
 //!
 //! ```no_run
 //! use slotsel_sim::config::QualityConfig;
@@ -47,6 +51,7 @@ pub mod report;
 pub mod rolling;
 pub mod scaling;
 pub mod sensitivity;
+pub mod serve;
 
 pub use batch_experiment::{BatchExperimentConfig, ObjectiveOutcome};
 pub use config::{QualityConfig, RequestConfig};
@@ -65,3 +70,7 @@ pub use rolling::{
     simulate_with_recovery_traced, RollingConfig, RollingOutcome, RollingReport,
 };
 pub use scaling::{ScalingConfig, ScalingPoint};
+pub use serve::{
+    recover_live, CycleOutcome, JobEntry, JobPhase, LiveConfig, LiveRecord, LiveService, LiveState,
+    QuotaTable, RecoveredService, ShardState, Submission,
+};

@@ -1,0 +1,110 @@
+//! A std-only client for the live metascheduler (`slotsel serve --live`):
+//! submits a small multi-tenant workload over raw `TcpStream` HTTP, polls
+//! each job until it schedules, then prints the per-tenant roster and the
+//! serve-specific slice of the Prometheus scrape.
+//!
+//! Start a daemon in one terminal and point the client at it:
+//!
+//! ```text
+//! cargo run --release -- serve --live --addr 127.0.0.1:9184 --cycle-ms 200
+//! cargo run --release --example serve_client -- 127.0.0.1:9184
+//! ```
+//!
+//! Every request is one `Connection: close` exchange — the same protocol
+//! `tests/cli.rs` drives, documented in `docs/SERVING.md`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One HTTP/1.1 exchange; returns `(status, body)`.
+fn request(addr: &str, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_owned())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Pulls a `"field":value` scalar out of a flat JSON body.
+fn field<'a>(body: &'a str, name: &str) -> Option<&'a str> {
+    let rest = body.split_once(&format!("\"{name}\":"))?.1;
+    Some(rest.split([',', '}']).next()?.trim())
+}
+
+fn main() -> std::io::Result<()> {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:9184".to_owned());
+    let (status, _) = request(&addr, "GET", "/healthz", "").inspect_err(|_| {
+        eprintln!("no live daemon at {addr} — start one with: slotsel serve --live");
+    })?;
+    println!("daemon at {addr} is up (healthz: {status})");
+
+    // A small two-tenant workload; the daemon assigns shards and ids.
+    let workload = [
+        ("alice", 2, 120, 600.0),
+        ("alice", 3, 200, 900.0),
+        ("bob", 2, 150, 700.0),
+    ];
+    let mut jobs = Vec::new();
+    for (tenant, nodes, volume, budget) in workload {
+        let body = format!(
+            "{{\"tenant\":\"{tenant}\",\"nodes\":{nodes},\"volume\":{volume},\"budget\":{budget}}}"
+        );
+        let (status, response) = request(&addr, "POST", "/submit", &body)?;
+        if status != 200 {
+            // Typed rejection: {"error":CODE,"detail":...} — quota
+            // breaches are 429, unknown tenants 403.
+            println!(
+                "submit for {tenant} rejected ({status}): {}",
+                response.trim()
+            );
+            continue;
+        }
+        let id = field(&response, "job").unwrap_or("?").to_owned();
+        let shard = field(&response, "shard").unwrap_or("?");
+        println!("submitted job {id} for {tenant} on shard {shard}");
+        jobs.push(id);
+    }
+
+    // Poll until every job leaves the queue (a cycle picks it up).
+    for id in &jobs {
+        loop {
+            let (status, body) = request(&addr, "GET", &format!("/job/{id}"), "")?;
+            let state = field(&body, "state").unwrap_or("\"?\"");
+            if status != 200 || state != "\"queued\"" {
+                let start = field(&body, "start").unwrap_or("-");
+                let cost = field(&body, "cost").unwrap_or("-");
+                println!("job {id}: state {state}, start {start}, cost {cost}");
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    }
+
+    println!("\n--- per-tenant roster (GET /tenants) ---");
+    let (_, roster) = request(&addr, "GET", "/tenants", "")?;
+    print!("{roster}");
+
+    println!("\n--- serve metrics (GET /metrics) ---");
+    let (_, metrics) = request(&addr, "GET", "/metrics", "")?;
+    for line in metrics.lines().filter(|l| l.contains("slotsel_serve_")) {
+        println!("{line}");
+    }
+    Ok(())
+}

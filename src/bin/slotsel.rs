@@ -17,7 +17,7 @@
 use std::fs;
 use std::io::Write as _;
 use std::process::ExitCode;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use rand::rngs::StdRng;
@@ -32,13 +32,20 @@ use slotsel::core::{
     ResourceRequest, SlotList, SlotSelector, TimeDelta, TimePoint, Volume, Window,
 };
 use slotsel::env::{EnvironmentConfig, NodeGenConfig};
-use slotsel::obs::{Metrics, MetricsRegistry, MetricsServer, NoopRecorder};
+use slotsel::obs::journal::{Journal, NoopJournal};
+use slotsel::obs::json::{parse_object, JsonObject, ObjectWriter};
+use slotsel::obs::{
+    Handler, HttpRequest, HttpResponse, Metrics, MetricsRegistry, MetricsServer, NoopRecorder,
+};
 use slotsel::sim::gantt::render_gantt;
 use slotsel::sim::journal::{recover, DurableJournal, RecoverError};
 use slotsel::sim::rolling::resume_with_recovery_journaled;
+use slotsel::sim::serve::{
+    recover_live, JobEntry, LiveConfig, LiveRecord, LiveService, QuotaTable, Submission,
+};
 use slotsel::sim::{
     simulate_with_recovery_journaled, simulate_with_recovery_metered, DisruptionConfig,
-    RecoveryPolicy, RollingConfig, RollingReport,
+    Parallelism, RecoveryPolicy, RollingConfig, RollingReport,
 };
 
 /// The on-disk environment format.
@@ -471,7 +478,388 @@ fn print_round(round: u64, report: &RollingReport) {
     std::io::stdout().flush().ok();
 }
 
+/// Shared between the HTTP handler thread and the cycle loop of a live
+/// serve daemon. One lock guards both the service state and the journal
+/// so a submit's `Submitted` record can never interleave into another
+/// cycle's record batch.
+struct LiveShared {
+    service: LiveService,
+    journal: Option<DurableJournal>,
+}
+
+fn lock_live(shared: &Mutex<LiveShared>) -> std::sync::MutexGuard<'_, LiveShared> {
+    // A panic while holding the lock poisons it; the state itself is
+    // journal-backed, so keep serving rather than wedging the daemon.
+    shared
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The flat-JSON rendering of one job for `POST /submit` / `GET /job/{id}`.
+fn job_json(entry: &JobEntry) -> String {
+    let mut body = ObjectWriter::new();
+    body.u64_field("job", u64::from(entry.id.0));
+    body.str_field("tenant", entry.tenant.as_str());
+    body.u64_field("shard", u64::from(entry.shard));
+    body.str_field("state", entry.phase.name());
+    body.u64_field("priority", u64::from(entry.priority));
+    body.u64_field("nodes", entry.request.node_count() as u64);
+    body.f64_field("budget", entry.request.budget().as_f64());
+    body.u64_field("submitted_cycle", entry.submitted_cycle);
+    if let Some(window) = entry.phase.window() {
+        body.i64_field("start", window.start().ticks());
+        body.i64_field("finish", window.finish().ticks());
+        body.f64_field("cost", window.total_cost().as_f64());
+    }
+    body.finish() + "\n"
+}
+
+/// HTTP status for an admission error code (the code itself travels in
+/// the normalized error body).
+fn admit_status(code: &str) -> u16 {
+    match code {
+        "quota_exceeded" => 429,
+        "unknown_tenant" => 403,
+        _ => 400,
+    }
+}
+
+/// Decodes a `POST /submit` body (one flat JSON object) into a
+/// [`Submission`].
+fn parse_submission(body: &str) -> Result<Submission, String> {
+    let object: JsonObject =
+        parse_object(body.trim()).map_err(|e| format!("body is not a flat JSON object: {e}"))?;
+    let str_of = |key: &str| object.get(key).and_then(|v| v.as_str().map(str::to_owned));
+    let num_of = |key: &str| object.get(key).and_then(|v| v.as_f64());
+    let uint_of = |key: &str| -> Result<Option<u64>, String> {
+        match num_of(key) {
+            None => Ok(None),
+            Some(v) if v >= 0.0 && v.fract() == 0.0 => Ok(Some(v as u64)),
+            Some(v) => Err(format!("{key}: {v} is not a non-negative integer")),
+        }
+    };
+    Ok(Submission {
+        tenant: str_of("tenant").ok_or("missing string field \"tenant\"")?,
+        nodes: uint_of("nodes")?.ok_or("missing integer field \"nodes\"")? as usize,
+        volume: uint_of("volume")?.ok_or("missing integer field \"volume\"")?,
+        budget: num_of("budget").ok_or("missing number field \"budget\"")?,
+        priority: uint_of("priority")?.unwrap_or(1).min(u64::from(u32::MAX)) as u32,
+        deadline: num_of("deadline").map(|v| v as i64),
+        shard: uint_of("shard")?.map(|v| v.min(u64::from(u32::MAX)) as u32),
+    })
+}
+
+/// Builds the live API route table over the shared service state.
+fn live_handler(shared: Arc<Mutex<LiveShared>>, registry: Arc<MetricsRegistry>) -> Arc<Handler> {
+    Arc::new(move |request: &HttpRequest| {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/submit") => {
+                let submission = match parse_submission(&request.body) {
+                    Ok(submission) => submission,
+                    Err(detail) => {
+                        registry.counter_add(
+                            "slotsel_serve_rejects_total",
+                            &[("code", "bad_request")],
+                            1,
+                        );
+                        return Some(HttpResponse::error(400, "bad_request", &detail));
+                    }
+                };
+                let mut live = lock_live(&shared);
+                match live.service.submit(&submission) {
+                    Ok(entry) => {
+                        // Durable before acknowledged: the fsync in
+                        // commit() is what lets --recover re-apply this
+                        // submit after a crash.
+                        if let Some(journal) = live.journal.as_mut() {
+                            journal.append(
+                                &LiveRecord::Submitted {
+                                    entry: entry.clone(),
+                                }
+                                .encode(),
+                            );
+                            journal.commit();
+                        }
+                        registry.counter_add(
+                            "slotsel_serve_submits_total",
+                            &[("tenant", entry.tenant.as_str())],
+                            1,
+                        );
+                        Some(HttpResponse::json(job_json(&entry)))
+                    }
+                    Err(error) => {
+                        registry.counter_add(
+                            "slotsel_serve_rejects_total",
+                            &[("code", error.code())],
+                            1,
+                        );
+                        Some(HttpResponse::error(
+                            admit_status(error.code()),
+                            error.code(),
+                            &error.to_string(),
+                        ))
+                    }
+                }
+            }
+            ("GET", path) if path.starts_with("/job/") => {
+                let id = path["/job/".len()..].parse::<u32>().ok()?;
+                let live = lock_live(&shared);
+                match live.service.job(JobId(id)) {
+                    Some(entry) => Some(HttpResponse::json(job_json(entry))),
+                    None => Some(HttpResponse::error(
+                        404,
+                        "unknown_job",
+                        &format!("no job {id}"),
+                    )),
+                }
+            }
+            ("GET", "/tenants") => {
+                let live = lock_live(&shared);
+                let mut lines = String::new();
+                for (tenant, usage, quota) in live.service.tenants() {
+                    let mut body = ObjectWriter::new();
+                    body.str_field("tenant", &tenant);
+                    body.u64_field("pending", usage.pending as u64);
+                    body.u64_field("nodes_in_flight", usage.nodes_in_flight as u64);
+                    body.f64_field("budget_in_flight", usage.budget_in_flight.as_f64());
+                    if let Some(max) = quota.max_nodes {
+                        body.u64_field("max_nodes", max as u64);
+                    }
+                    if let Some(max) = quota.max_budget {
+                        body.f64_field("max_budget", max);
+                    }
+                    if let Some(max) = quota.max_pending {
+                        body.u64_field("max_pending", max as u64);
+                    }
+                    lines.push_str(&body.finish());
+                    lines.push('\n');
+                }
+                Some(HttpResponse {
+                    status: 200,
+                    content_type: "application/x-ndjson".to_owned(),
+                    body: lines,
+                })
+            }
+            ("GET", "/state") => {
+                let live = lock_live(&shared);
+                let state = live.service.state();
+                let mut body = ObjectWriter::new();
+                body.u64_field("cycle", state.cycle);
+                body.u64_field("shards", state.shards.len() as u64);
+                body.u64_field("jobs", state.jobs.len() as u64);
+                body.u64_field(
+                    "queued",
+                    state
+                        .jobs
+                        .iter()
+                        .filter(|j| j.phase.name() == "queued")
+                        .count() as u64,
+                );
+                body.u64_field(
+                    "scheduled",
+                    state
+                        .jobs
+                        .iter()
+                        .filter(|j| j.phase.name() == "scheduled")
+                        .count() as u64,
+                );
+                Some(HttpResponse::json(body.finish() + "\n"))
+            }
+            _ => None,
+        }
+    })
+}
+
+/// `slotsel serve --live`: the continuous multi-tenant metascheduler (see
+/// `docs/SERVING.md`). Unlike the default replay mode, the journal lives
+/// directly in `--journal-dir` (one continuous run, not rounds).
+fn cmd_serve_live(args: &Args) -> Result<(), String> {
+    let addr = args.flag("--addr").unwrap_or("127.0.0.1:9184");
+    let shards: u32 = args.parsed("--shards", 1)?;
+    let nodes: usize = args.parsed("--nodes", 16)?;
+    let interval: i64 = args.parsed("--interval", 600)?;
+    let cycle_advance: i64 = args.parsed("--cycle-advance", 60)?;
+    let cycles: u64 = args.parsed("--cycles", 0)?;
+    let seed: u64 = args.parsed("--seed", 31_337)?;
+    let cycle_ms: u64 = args.parsed("--cycle-ms", 250)?;
+    let snapshot_every: u32 = args.parsed("--snapshot-every", 5)?;
+    let bind_retries: u32 = args.parsed("--bind-retries", 5)?;
+    let journal_base = args.flag("--journal-dir").map(std::path::PathBuf::from);
+    let recover_requested = args.raw.iter().any(|a| a == "--recover");
+    if recover_requested && journal_base.is_none() {
+        return Err("--recover requires --journal-dir".to_owned());
+    }
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_owned());
+    }
+    if snapshot_every == 0 {
+        return Err("--snapshot-every must be at least 1".to_owned());
+    }
+    let quotas = match args.flag("--quota-file") {
+        Some(path) => {
+            let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            QuotaTable::from_json(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => QuotaTable::open(),
+    };
+
+    let config = LiveConfig {
+        shards,
+        nodes_per_shard: nodes,
+        interval_length: interval,
+        cycle_advance,
+        seed,
+        quotas,
+        scheduler: BatchSchedulerConfig::default(),
+    };
+
+    // Recover the live journal, or start a fresh run with its header.
+    let (service, journal) = match &journal_base {
+        None => (LiveService::new(config.clone()), None),
+        Some(dir) => {
+            if recover_requested {
+                match recover_live(dir) {
+                    Ok(recovered) => {
+                        println!(
+                            "recover: resuming live service at cycle {} \
+                             ({} jobs, {} re-applied submits{})",
+                            recovered.service.cycle(),
+                            recovered.service.jobs().len(),
+                            recovered.resubmitted,
+                            if recovered.discarded_tail {
+                                ", torn tail truncated"
+                            } else {
+                                ""
+                            },
+                        );
+                        let journal = DurableJournal::resume_at(
+                            dir,
+                            recovered.resume_len,
+                            recovered.barriers,
+                            snapshot_every,
+                        )
+                        .map_err(|e| format!("{}: {e}", dir.display()))?;
+                        (recovered.service, Some(journal))
+                    }
+                    Err(RecoverError::EmptyJournal) => {
+                        println!(
+                            "recover: no live journal under {}; starting fresh",
+                            dir.display()
+                        );
+                        let mut journal = DurableJournal::create(dir, snapshot_every)
+                            .map_err(|e| format!("{}: {e}", dir.display()))?;
+                        journal.append(
+                            &LiveRecord::ServiceStarted {
+                                config: config.clone(),
+                            }
+                            .encode(),
+                        );
+                        journal.commit();
+                        (LiveService::new(config.clone()), Some(journal))
+                    }
+                    Err(error) => return Err(format!("recover {}: {error}", dir.display())),
+                }
+            } else {
+                let mut journal = DurableJournal::create(dir, snapshot_every)
+                    .map_err(|e| format!("{}: {e}", dir.display()))?;
+                journal.append(
+                    &LiveRecord::ServiceStarted {
+                        config: config.clone(),
+                    }
+                    .encode(),
+                );
+                journal.commit();
+                (LiveService::new(config.clone()), Some(journal))
+            }
+        }
+    };
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let shared = Arc::new(Mutex::new(LiveShared { service, journal }));
+    let handler = live_handler(Arc::clone(&shared), Arc::clone(&registry));
+    let server = MetricsServer::start_with_retry_and_handler(
+        addr,
+        Arc::clone(&registry),
+        bind_retries,
+        Duration::from_millis(200),
+        handler,
+    )
+    .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!("serving metrics on http://{}/metrics", server.addr());
+    println!("live submit API on http://{}/submit", server.addr());
+    println!("health checks on http://{}/healthz", server.addr());
+    println!(
+        "graceful shutdown via POST http://{}/shutdown",
+        server.addr()
+    );
+    println!(
+        "live mode: {shards} shard(s) x {nodes} nodes, +{cycle_advance} virtual time per cycle"
+    );
+    std::io::stdout().flush().ok();
+
+    // Disjoint shards schedule concurrently; results are deterministic
+    // regardless of the worker count (see sim/parallel.rs).
+    let parallelism = if shards > 1 {
+        Parallelism::Auto
+    } else {
+        Parallelism::Serial
+    };
+    let mut executed = 0u64;
+    while !server.shutdown_requested() && (cycles == 0 || executed < cycles) {
+        // Sleep the cycle pace in short slices so a shutdown request
+        // stops the daemon promptly even under a long --cycle-ms.
+        let mut waited = 0u64;
+        while waited < cycle_ms && !server.shutdown_requested() {
+            let step = (cycle_ms - waited).min(50);
+            std::thread::sleep(Duration::from_millis(step));
+            waited += step;
+        }
+        if server.shutdown_requested() {
+            break;
+        }
+        let mut live = lock_live(&shared);
+        let LiveShared { service, journal } = &mut *live;
+        let outcome = match journal.as_mut() {
+            Some(journal) => service.run_cycle_observed(parallelism, registry.as_ref(), journal),
+            None => service.run_cycle_observed(parallelism, registry.as_ref(), &mut NoopJournal),
+        };
+        executed += 1;
+        if !outcome.committed.is_empty()
+            || !outcome.deferred.is_empty()
+            || !outcome.over_quota.is_empty()
+            || !outcome.finished.is_empty()
+        {
+            println!(
+                "cycle {}: {} committed, {} deferred, {} over quota, {} finished",
+                outcome.cycle,
+                outcome.committed.len(),
+                outcome.deferred.len(),
+                outcome.over_quota.len(),
+                outcome.finished.len(),
+            );
+            std::io::stdout().flush().ok();
+        }
+    }
+
+    let mut live = lock_live(&shared);
+    if let Some(journal) = live.journal.take() {
+        journal
+            .finish()
+            .map_err(|e| format!("journal finish: {e}"))?;
+    }
+    drop(live);
+    if server.shutdown_requested() {
+        println!("shutdown requested; journal flushed and final snapshot written");
+        std::io::stdout().flush().ok();
+    }
+    drop(server);
+    Ok(())
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
+    if args.raw.iter().any(|a| a == "--live") {
+        return cmd_serve_live(args);
+    }
     let addr = args.flag("--addr").unwrap_or("127.0.0.1:9184");
     let nodes: usize = args.parsed("--nodes", 16)?;
     let jobs: usize = args.parsed("--jobs", 8)?;
@@ -649,6 +1037,11 @@ commands:
   serve     [--addr HOST:PORT] [--nodes N] [--jobs J] [--cycles C] [--seed S]
             [--faults SEED] [--recovery abandon|retry|migrate]
             [--rounds R (0 = forever)] [--pace-ms MS] [--bind-retries N]
+            [--journal-dir DIR [--recover] [--snapshot-every N]]
+  serve --live
+            [--addr HOST:PORT] [--shards N] [--nodes PER_SHARD] [--interval L]
+            [--cycle-advance T] [--cycle-ms MS] [--cycles C (0 = forever)]
+            [--seed S] [--quota-file FILE] [--bind-retries N]
             [--journal-dir DIR [--recover] [--snapshot-every N]]
 ";
 

@@ -461,6 +461,320 @@ fn serve_recover_requires_a_journal_dir() {
     assert!(stderr(&out).contains("--recover requires --journal-dir"));
 }
 
+/// Spawns `slotsel serve --live` with `extra` flags appended, waits for
+/// the banner and returns the child plus its bound `host:port`.
+fn spawn_live(extra: &[&str]) -> (std::process::Child, String) {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+
+    // Extras come first: flag lookup takes the first occurrence, so a
+    // caller's --cycle-ms overrides the fast default below.
+    let mut args = vec!["serve", "--live"];
+    args.extend_from_slice(extra);
+    args.extend_from_slice(&["--addr", "127.0.0.1:0", "--cycle-ms", "25"]);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_slotsel"))
+        .args(&args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("live daemon spawns");
+    let mut lines = BufReader::new(child.stdout.take().expect("piped stdout")).lines();
+    let banner = loop {
+        let line = lines
+            .next()
+            .expect("daemon prints its address")
+            .expect("readable stdout");
+        if line.starts_with("serving metrics on ") {
+            break line;
+        }
+    };
+    let addr = banner
+        .trim_start_matches("serving metrics on http://")
+        .trim_end_matches("/metrics")
+        .to_owned();
+    assert!(
+        addr.starts_with("127.0.0.1:"),
+        "unexpected banner: {banner}"
+    );
+    // Keep draining stdout so the daemon never blocks (or EPIPEs) on a
+    // full pipe; the thread exits at EOF when the daemon does.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+/// One HTTP exchange against a live daemon; returns the raw response.
+fn live_request(addr: &str, method: &str, path: &str, body: &str) -> String {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    let mut stream = TcpStream::connect(addr).expect("connect to daemon");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+fn response_body(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body)
+        .unwrap_or("")
+}
+
+/// Polls `GET /job/{id}` until its state leaves "queued" (or panics).
+fn wait_for_schedule(addr: &str, job: u32) -> String {
+    for _ in 0..400 {
+        let response = live_request(addr, "GET", &format!("/job/{job}"), "");
+        let body = response_body(&response);
+        if !body.contains("\"state\":\"queued\"") {
+            return body.to_owned();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    panic!("job {job} never left the queue");
+}
+
+#[test]
+fn live_serve_schedules_concurrent_submits_from_two_tenants() {
+    let (mut child, addr) = spawn_live(&["--nodes", "12"]);
+
+    // Two tenants submit concurrently over real TCP connections.
+    let submits: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ["alice", "bob"]
+            .into_iter()
+            .map(|tenant| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let body = format!(
+                        "{{\"tenant\":\"{tenant}\",\"nodes\":2,\"volume\":80,\"budget\":500.0}}"
+                    );
+                    live_request(&addr, "POST", "/submit", &body)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut jobs = Vec::new();
+    for response in &submits {
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        let body = response_body(response);
+        let id: u32 = body
+            .split("\"job\":")
+            .nth(1)
+            .and_then(|rest| rest.split(',').next())
+            .expect("job id in response")
+            .parse()
+            .expect("numeric job id");
+        jobs.push(id);
+    }
+    jobs.sort_unstable();
+    assert_eq!(jobs, vec![0, 1], "concurrent submits must get distinct ids");
+
+    // Both jobs leave the queue once a cycle picks them up.
+    for job in jobs {
+        let body = wait_for_schedule(&addr, job);
+        assert!(
+            body.contains("\"state\":\"scheduled\"") || body.contains("\"state\":\"finished\""),
+            "{body}"
+        );
+        assert!(
+            body.contains("\"start\":"),
+            "scheduled job has a window: {body}"
+        );
+    }
+
+    // Both tenants appear in the ndjson roster and the metrics scrape.
+    let tenants = live_request(&addr, "GET", "/tenants", "");
+    assert!(tenants.contains("application/x-ndjson"), "{tenants}");
+    assert!(tenants.contains("\"tenant\":\"alice\""), "{tenants}");
+    assert!(tenants.contains("\"tenant\":\"bob\""), "{tenants}");
+    let metrics = live_request(&addr, "GET", "/metrics", "");
+    assert!(
+        metrics.contains("slotsel_serve_submits_total{tenant=\"alice\"} 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("slotsel_serve_submits_total{tenant=\"bob\"} 1"),
+        "{metrics}"
+    );
+
+    let state = live_request(&addr, "GET", "/state", "");
+    assert!(response_body(&state).contains("\"jobs\":2"), "{state}");
+
+    let bye = live_request(&addr, "POST", "/shutdown", "");
+    assert!(bye.starts_with("HTTP/1.1 200"), "{bye}");
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "clean shutdown");
+}
+
+#[test]
+fn live_serve_rejects_over_quota_submits_with_a_typed_error() {
+    let quota_file = temp_path("live-quotas.json");
+    std::fs::write(
+        &quota_file,
+        r#"{"tenants":{"alice":{"max_pending":1},"bob":{}}}"#,
+    )
+    .unwrap();
+    // --cycle-ms far beyond the test: nothing schedules, so alice's first
+    // job pins her pending count at 1.
+    let (mut child, addr) = spawn_live(&[
+        "--cycle-ms",
+        "60000",
+        "--quota-file",
+        quota_file.to_str().unwrap(),
+    ]);
+
+    let submit = |tenant: &str| {
+        live_request(
+            &addr,
+            "POST",
+            "/submit",
+            &format!("{{\"tenant\":\"{tenant}\",\"nodes\":2,\"volume\":80,\"budget\":500.0}}"),
+        )
+    };
+    assert!(submit("alice").starts_with("HTTP/1.1 200"));
+
+    // Second submit breaches max_pending: 429 with a machine-readable code.
+    let rejected = submit("alice");
+    assert!(rejected.starts_with("HTTP/1.1 429"), "{rejected}");
+    assert!(rejected.contains("application/json"), "{rejected}");
+    assert!(
+        response_body(&rejected).contains("\"error\":\"quota_exceeded\""),
+        "{rejected}"
+    );
+
+    // The quota table is closed (no default): strangers get 403.
+    let stranger = submit("mallory");
+    assert!(stranger.starts_with("HTTP/1.1 403"), "{stranger}");
+    assert!(
+        response_body(&stranger).contains("\"error\":\"unknown_tenant\""),
+        "{stranger}"
+    );
+
+    // Malformed bodies get 400 with the same error shape.
+    let bad = live_request(&addr, "POST", "/submit", "{\"tenant\":\"bob\"}");
+    assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+    assert!(
+        response_body(&bad).contains("\"error\":\"bad_request\""),
+        "{bad}"
+    );
+
+    let rejects = live_request(&addr, "GET", "/metrics", "");
+    assert!(
+        rejects.contains("slotsel_serve_rejects_total{code=\"quota_exceeded\"} 1"),
+        "{rejects}"
+    );
+
+    live_request(&addr, "POST", "/shutdown", "");
+    let _ = child.wait();
+    let _ = std::fs::remove_file(&quota_file);
+}
+
+#[test]
+fn live_serve_recovers_accepted_submits_after_a_kill() {
+    let dir = temp_path("live-recover");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Long cycle pace: the submit is accepted (and journaled) but no
+    // cycle barrier ever covers it before the crash.
+    let (mut child, addr) = spawn_live(&[
+        "--cycle-ms",
+        "60000",
+        "--journal-dir",
+        dir.to_str().unwrap(),
+    ]);
+    let accepted = live_request(
+        &addr,
+        "POST",
+        "/submit",
+        "{\"tenant\":\"alice\",\"nodes\":2,\"volume\":80,\"budget\":500.0}",
+    );
+    assert!(accepted.starts_with("HTTP/1.1 200"), "{accepted}");
+    child.kill().expect("simulated crash");
+    let _ = child.wait();
+
+    // --recover re-applies the fsync'd Submitted record: the job is back
+    // in the queue with the same id, tenant and shard.
+    let (mut child, addr) = spawn_live(&[
+        "--cycle-ms",
+        "60000",
+        "--journal-dir",
+        dir.to_str().unwrap(),
+        "--recover",
+    ]);
+    let job = live_request(&addr, "GET", "/job/0", "");
+    assert!(job.starts_with("HTTP/1.1 200"), "{job}");
+    let body = response_body(&job);
+    assert!(body.contains("\"tenant\":\"alice\""), "{body}");
+    assert!(body.contains("\"state\":\"queued\""), "{body}");
+
+    live_request(&addr, "POST", "/shutdown", "");
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn live_serve_journals_disjoint_shard_commits_distinctly() {
+    use slotsel::sim::serve::LiveRecord;
+
+    let dir = temp_path("live-shards");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (mut child, addr) = spawn_live(&[
+        "--shards",
+        "2",
+        "--nodes",
+        "10",
+        "--journal-dir",
+        dir.to_str().unwrap(),
+    ]);
+    for shard in 0..2 {
+        let response = live_request(
+            &addr,
+            "POST",
+            "/submit",
+            &format!(
+                "{{\"tenant\":\"t{shard}\",\"nodes\":2,\"volume\":80,\
+                 \"budget\":500.0,\"shard\":{shard}}}"
+            ),
+        );
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    }
+    wait_for_schedule(&addr, 0);
+    wait_for_schedule(&addr, 1);
+    live_request(&addr, "POST", "/shutdown", "");
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "clean shutdown");
+
+    // Each shard's commit lands in its own audit record, named by shard.
+    let tail =
+        slotsel::obs::journal::read_journal(&dir.join("journal.wal")).expect("readable journal");
+    assert!(!tail.torn, "clean shutdown leaves no torn tail");
+    let mut committed_shards = Vec::new();
+    for line in &tail.records {
+        if let Ok(LiveRecord::Committed { shard, .. }) = LiveRecord::decode(line) {
+            committed_shards.push(shard);
+        }
+    }
+    committed_shards.sort_unstable();
+    committed_shards.dedup();
+    assert_eq!(
+        committed_shards,
+        vec![0, 1],
+        "both shards must commit in distinct journal records"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn serve_shutdown_endpoint_stops_the_daemon_cleanly() {
     use std::io::{BufRead, BufReader, Read, Write};

@@ -1,0 +1,168 @@
+//! Link integrity for the documentation set: every intra-repo reference in
+//! `README.md`, `DESIGN.md` and `docs/*.md` must point at a file that
+//! exists, and every `#fragment` at a heading in its target. CI's docs job
+//! runs this test, so a renamed doc or section breaks the build instead
+//! of silently orphaning its readers.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Repository root (the crate root of the top-level `slotsel` package).
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// The documentation set under link check.
+fn doc_files() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut files = vec![root.join("README.md"), root.join("DESIGN.md")];
+    let mut docs: Vec<PathBuf> = std::fs::read_dir(root.join("docs"))
+        .expect("docs/ directory exists")
+        .filter_map(|entry| Some(entry.ok()?.path()))
+        .filter(|path| path.extension().is_some_and(|ext| ext == "md"))
+        .collect();
+    docs.sort();
+    assert!(!docs.is_empty(), "docs/ holds no markdown — wrong root?");
+    files.extend(docs);
+    files
+}
+
+/// GitHub-style anchor slugs for every heading in a markdown file.
+fn heading_anchors(text: &str) -> BTreeSet<String> {
+    let mut anchors = BTreeSet::new();
+    let mut in_code = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_code = !in_code;
+            continue;
+        }
+        if in_code || !line.starts_with('#') {
+            continue;
+        }
+        let title = line.trim_start_matches('#').trim();
+        let slug: String = title
+            .chars()
+            .filter_map(|c| match c {
+                'A'..='Z' => Some(c.to_ascii_lowercase()),
+                'a'..='z' | '0'..='9' | '-' => Some(c),
+                ' ' => Some('-'),
+                _ => None,
+            })
+            .collect();
+        anchors.insert(slug);
+    }
+    anchors
+}
+
+/// Every `](target)` markdown link in `text`, code blocks excluded.
+fn markdown_links(text: &str) -> Vec<String> {
+    let mut links = Vec::new();
+    let mut in_code = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_code = !in_code;
+            continue;
+        }
+        if in_code {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(start) = rest.find("](") {
+            rest = &rest[start + 2..];
+            if let Some(end) = rest.find(')') {
+                links.push(rest[..end].to_owned());
+                rest = &rest[end + 1..];
+            } else {
+                break;
+            }
+        }
+    }
+    links
+}
+
+/// Backtick references to markdown files (`docs/SERVING.md`, `DESIGN.md`) —
+/// the repo's prevailing cross-reference style.
+fn backtick_doc_refs(text: &str) -> Vec<String> {
+    let mut refs = Vec::new();
+    for piece in text.split('`').skip(1).step_by(2) {
+        if piece.ends_with(".md")
+            && !piece.contains(' ')
+            && piece.chars().all(|c| c.is_ascii_graphic())
+        {
+            refs.push(piece.to_owned());
+        }
+    }
+    refs
+}
+
+/// Resolves `target` against the referencing file's directory, falling
+/// back to the repo root (backtick refs are written root-relative).
+fn resolve(from: &Path, target: &str) -> Option<PathBuf> {
+    let candidates = [
+        from.parent().unwrap_or(Path::new(".")).join(target),
+        repo_root().join(target),
+    ];
+    candidates.into_iter().find(|p| p.is_file())
+}
+
+#[test]
+fn intra_repo_doc_links_resolve() {
+    let mut broken = Vec::new();
+    for file in doc_files() {
+        let text = std::fs::read_to_string(&file).expect("readable doc");
+        let from = file.strip_prefix(repo_root()).unwrap_or(&file).to_owned();
+
+        let mut targets = markdown_links(&text);
+        targets.extend(backtick_doc_refs(&text));
+        for target in targets {
+            // External links and bare anchors are out of scope here;
+            // same-file anchors are checked below.
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            let (path_part, anchor) = match target.split_once('#') {
+                Some((path, anchor)) => (path, Some(anchor)),
+                None => (target.as_str(), None),
+            };
+            let resolved = if path_part.is_empty() {
+                Some(file.clone())
+            } else {
+                resolve(&file, path_part)
+            };
+            let Some(resolved) = resolved else {
+                broken.push(format!("{}: missing target {target}", from.display()));
+                continue;
+            };
+            if let Some(anchor) = anchor {
+                if resolved.extension().is_some_and(|ext| ext == "md") {
+                    let linked = std::fs::read_to_string(&resolved).expect("readable target");
+                    if !heading_anchors(&linked).contains(anchor) {
+                        broken.push(format!(
+                            "{}: no heading for anchor #{anchor} in {path_part}",
+                            from.display()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken doc links:\n{}",
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn the_serving_reference_is_linked_from_the_doc_index() {
+    for (file, needle) in [
+        ("README.md", "docs/SERVING.md"),
+        ("DESIGN.md", "docs/SERVING.md"),
+    ] {
+        let text = std::fs::read_to_string(repo_root().join(file)).expect("readable doc");
+        assert!(text.contains(needle), "{file} must reference {needle}");
+    }
+}
