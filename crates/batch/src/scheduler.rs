@@ -667,6 +667,39 @@ mod tests {
     }
 
     #[test]
+    fn schedule_is_identical_on_both_slot_stores() {
+        use slotsel_core::slotlist::SlotStoreKind;
+        let p = platform(6, 2, 1.0);
+        let vec_slots = idle(&p, 600);
+        let mut tree_slots = vec_slots.clone();
+        tree_slots.convert(SlotStoreKind::Tree);
+        let jobs = vec![
+            job(0, 1, 2, 100, 1_000.0),
+            job(1, 3, 3, 140, 1_000.0),
+            job(2, 2, 2, 90, 500.0),
+        ];
+        let from_vec = BatchScheduler::default().schedule(&p, &vec_slots, &jobs);
+        let from_tree = BatchScheduler::default().schedule(&p, &tree_slots, &jobs);
+        assert_eq!(from_vec.scheduled(), from_tree.scheduled());
+        assert_eq!(from_vec.deferred(), from_tree.deferred());
+        let windows = |s: &BatchSchedule| {
+            s.assignments
+                .iter()
+                .map(|a| {
+                    a.window
+                        .as_ref()
+                        .map(|w| (w.start(), w.finish(), w.total_cost()))
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            windows(&from_vec),
+            windows(&from_tree),
+            "the backing store must not change scheduling decisions"
+        );
+    }
+
+    #[test]
     fn conflicting_jobs_resolve_by_priority() {
         // Exactly 2 nodes: both jobs want both nodes at t=0; the high
         // priority job wins, the other takes a later alternative.

@@ -1,12 +1,17 @@
 //! Ablation: slot-list cutting and CSA's remnant pruning — the "cutting a
 //! suitable window from the list of the available slots" cost the paper
-//! names as a contributor to CSA's growth trend.
+//! names as a contributor to CSA's growth trend — plus the slot-store
+//! scaling sweep: the same mutation rounds on the `Vec` store and the
+//! interval-tree store at 1k/10k/100k nodes (see `docs/PERFORMANCE.md`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use slotsel_core::{Csa, CutPolicy, Interval, Money, ResourceRequest, TimeDelta, Volume};
+use slotsel_bench::cutting;
+use slotsel_core::{
+    Csa, CutPolicy, Interval, Money, ResourceRequest, SlotStoreKind, TimeDelta, Volume,
+};
 use slotsel_env::{Environment, EnvironmentConfig};
 
 fn environment(nodes: usize) -> Environment {
@@ -53,6 +58,26 @@ fn bench_cutting(c: &mut Criterion) {
                 })
             },
         );
+    }
+
+    // Store scaling: identical deterministic mutation rounds on both
+    // slot stores — the tree's cut/release and per-node refresh are
+    // O(log m) against the Vec store's O(m) shifts.
+    for nodes in [1_000u64, 10_000, 100_000] {
+        for (label, kind) in [("vec", SlotStoreKind::Vec), ("tree", SlotStoreKind::Tree)] {
+            let mut list = cutting::fixture(nodes, kind);
+            let rounds = cutting::rounds_for(list.len());
+            group.bench_with_input(
+                BenchmarkId::new(format!("cut_release_{label}"), nodes),
+                &nodes,
+                |b, _| b.iter(|| cutting::cut_release_round(&mut list, rounds)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("node_refresh_{label}"), nodes),
+                &nodes,
+                |b, _| b.iter(|| cutting::node_refresh_round(&mut list, nodes, rounds)),
+            );
+        }
     }
 
     // CSA with and without remnant pruning: same alternatives, different

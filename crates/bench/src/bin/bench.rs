@@ -17,30 +17,80 @@
 //! cargo run --release --bin bench -- --smoke # tiny fixture for CI
 //! ```
 //!
+//! A third family, **cutting scaling**, times the slot-store mutation
+//! rounds (cut + release, per-node refresh) on the `Vec` store against the
+//! interval-tree store at 1k/10k/100k nodes (the largest ≈ one million
+//! slots) — see `docs/PERFORMANCE.md` for the store design.
+//!
 //! Flags: `--smoke` (tiny fixture, few repeats), `--repeats N`,
 //! `--fixture small|large|all` (restrict the full-mode scan fixtures),
-//! `--no-sweeps` (skip the sweep macro-benchmarks — the CI regression
-//! gate only compares scan rows), `--out PATH` (default `BENCH_SCAN.json`
-//! in the working directory). The report is validated by parsing it back
-//! before the process exits. `bench-diff` compares two such reports.
+//! `--no-sweeps` (skip the sweep macro-benchmarks), `--no-cutting` (skip
+//! the store-scaling rows), `--cutting-cap N` (drop cutting sizes above N
+//! nodes — CI uses this to stay fast), `--out PATH` (default
+//! `BENCH_SCAN.json` in the working directory). The report is validated by
+//! parsing it back before the process exits. `bench-diff` compares two
+//! such reports.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use slotsel_bench::numeric_flag;
+use slotsel_bench::{cutting, numeric_flag};
 use slotsel_core::aep::{scan_with, ScanOptions, SelectionPolicy};
 use slotsel_core::algorithms::{Amp, MinCost, MinFinish, MinProcTime, MinRunTime};
 use slotsel_core::reference::reference_scan_with;
 use slotsel_core::request::ResourceRequest;
+use slotsel_core::slotlist::{SlotList, SlotStoreKind};
 use slotsel_env::EnvironmentConfig;
 use slotsel_sim::batch_experiment::{self, BatchExperimentConfig};
 use slotsel_sim::config::RequestConfig;
 use slotsel_sim::parallel::Parallelism;
 use slotsel_sim::scaling::{self, ScalingConfig};
 use slotsel_sim::sensitivity;
+
+/// Counts every heap allocation the process makes. The scan rows report
+/// allocations per scan — a hardware-independent signal `bench-diff` can
+/// gate directly, unlike wall-clock times.
+struct CountingAlloc;
+
+/// Allocations (`alloc` + `realloc`) since process start.
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: every method delegates to the system allocator unchanged; the
+// only addition is a relaxed atomic increment with no other side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded under the caller's layout contract.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` came from this allocator with the same layout.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded under the caller's layout contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL_ALLOC: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns how many heap allocations it performed. The
+/// process is single-threaded while benchmarking, so the delta is `f`'s.
+fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, result)
+}
 
 /// Seed of every generated benchmark environment.
 const ENV_SEED: u64 = 0xF1C5_2013;
@@ -58,6 +108,8 @@ struct BenchReport {
     repeats: u64,
     /// Before/after medians per (policy, fixture).
     scan: Vec<ScanRow>,
+    /// Slot-store scaling medians per (operation, size): `Vec` vs tree.
+    cutting: Vec<CuttingRow>,
     /// Serial vs parallel sweep wall-clock.
     sweeps: Vec<SweepRow>,
 }
@@ -71,6 +123,27 @@ struct ScanRow {
     slots: u64,
     reference_median_ms: f64,
     pool_median_ms: f64,
+    speedup: f64,
+    /// Heap allocations in one reference scan.
+    reference_allocs: u64,
+    /// Heap allocations in one pool scan.
+    pool_allocs: u64,
+}
+
+/// One slot-store scaling benchmark: the same deterministic mutation
+/// rounds (see [`slotsel_bench::cutting`]) on a `Vec`-backed and a
+/// tree-backed list of the same size.
+#[derive(Debug, Serialize, Deserialize)]
+struct CuttingRow {
+    /// `cut_release` or `node_refresh`.
+    operation: String,
+    nodes: u64,
+    slots: u64,
+    /// Mutation rounds in each timed sample.
+    rounds: u64,
+    vec_median_ms: f64,
+    tree_median_ms: f64,
+    /// `Vec` median over tree median — how much the tree store wins.
     speedup: f64,
 }
 
@@ -117,6 +190,8 @@ fn scan_row(
     repeats: u64,
     scan: &mut dyn FnMut(bool) -> Option<f64>,
 ) -> ScanRow {
+    let (reference_allocs, _) = count_allocs(|| scan(true));
+    let (pool_allocs, _) = count_allocs(|| scan(false));
     let (probe_ms, _) = time_ms(|| scan(true));
     let inner = if probe_ms >= 1.0 {
         1
@@ -154,6 +229,8 @@ fn scan_row(
         reference_median_ms,
         pool_median_ms,
         speedup: reference_median_ms / pool_median_ms.max(1e-9),
+        reference_allocs,
+        pool_allocs,
     }
 }
 
@@ -225,6 +302,60 @@ fn scan_benchmarks(fixtures: &[(&str, usize)], repeats: u64) -> Vec<ScanRow> {
                 row.nodes,
                 row.reference_median_ms,
                 row.pool_median_ms,
+                row.speedup
+            );
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// Times the slot-store mutation rounds on a `Vec`-backed and a
+/// tree-backed list at each size. Both copies evolve under the identical
+/// deterministic op stream, so they are asserted equal after every
+/// operation family — each benchmark run doubles as a differential check.
+fn cutting_benchmarks(sizes: &[u64], repeats: u64) -> Vec<CuttingRow> {
+    let mut rows = Vec::new();
+    for &nodes in sizes {
+        let mut vec_list = cutting::fixture(nodes, SlotStoreKind::Vec);
+        let mut tree_list = cutting::fixture(nodes, SlotStoreKind::Tree);
+        let slots = vec_list.len() as u64;
+        let rounds = cutting::rounds_for(vec_list.len());
+        for operation in ["cut_release", "node_refresh"] {
+            let run = |list: &mut SlotList| match operation {
+                "cut_release" => cutting::cut_release_round(list, rounds),
+                _ => cutting::node_refresh_round(list, nodes, rounds),
+            };
+            let mut vec_ms = Vec::with_capacity(repeats as usize);
+            let mut tree_ms = Vec::with_capacity(repeats as usize);
+            for _ in 0..repeats {
+                let (ms, ()) = time_ms(|| run(&mut vec_list));
+                vec_ms.push(ms);
+                let (ms, ()) = time_ms(|| run(&mut tree_list));
+                tree_ms.push(ms);
+            }
+            assert_eq!(
+                vec_list, tree_list,
+                "{operation} at {nodes} nodes: stores diverged"
+            );
+            let vec_median_ms = median(&mut vec_ms);
+            let tree_median_ms = median(&mut tree_ms);
+            let row = CuttingRow {
+                operation: operation.to_owned(),
+                nodes,
+                slots,
+                rounds,
+                vec_median_ms,
+                tree_median_ms,
+                speedup: vec_median_ms / tree_median_ms.max(1e-9),
+            };
+            println!(
+                "cut   {:<12} {:>7} nodes {:>8} slots  vec {:>9.3} ms  tree {:>9.3} ms  {:>7.1}x",
+                row.operation,
+                row.nodes,
+                row.slots,
+                row.vec_median_ms,
+                row.tree_median_ms,
                 row.speedup
             );
             rows.push(row);
@@ -314,13 +445,23 @@ fn validate(path: &str, expect_sweeps: bool) {
             row.policy
         );
     }
+    for row in &report.cutting {
+        assert!(
+            row.vec_median_ms > 0.0 && row.tree_median_ms > 0.0,
+            "cutting {} at {} nodes: medians must be positive",
+            row.operation,
+            row.nodes
+        );
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let no_sweeps = args.iter().any(|a| a == "--no-sweeps");
+    let no_cutting = args.iter().any(|a| a == "--no-cutting");
     let repeats = numeric_flag(&args, "--repeats", if smoke { 3 } else { 15 });
+    let cutting_cap = numeric_flag(&args, "--cutting-cap", u64::MAX);
     let out = args
         .iter()
         .position(|a| a == "--out")
@@ -358,6 +499,21 @@ fn main() {
         mode: if smoke { "smoke" } else { "full" }.to_owned(),
         repeats,
         scan: scan_benchmarks(&fixtures, repeats),
+        cutting: if no_cutting {
+            Vec::new()
+        } else {
+            // The million-slot `Vec` rounds are slow by design; cap the
+            // repeats so the full run stays tractable.
+            let sizes: Vec<u64> = if smoke {
+                vec![500]
+            } else {
+                vec![1_000, 10_000, 100_000]
+            }
+            .into_iter()
+            .filter(|&n| n <= cutting_cap)
+            .collect();
+            cutting_benchmarks(&sizes, repeats.min(5))
+        },
         sweeps: if no_sweeps {
             Vec::new()
         } else {

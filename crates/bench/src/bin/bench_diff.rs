@@ -14,6 +14,12 @@
 //! bench-diff --baseline BENCH_SCAN.json --current bench-ci.json --tolerance 30
 //! ```
 //!
+//! Two further gates ride along when both reports carry the columns:
+//! **allocations per pool scan** (hardware-independent, compared
+//! directly against the baseline count plus the tolerance) and the
+//! **slot-store cutting rows** (the tree store's speedup over the `Vec`
+//! oracle, gated like the scan speedups).
+//!
 //! Rows present in only one report are listed but do not gate; at least
 //! one overlapping row is required, so comparing disjoint reports fails
 //! loudly instead of passing vacuously.
@@ -28,6 +34,10 @@ use serde::Deserialize;
 struct BenchReport {
     schema: String,
     scan: Vec<ScanRow>,
+    /// Slot-store scaling rows; absent in reports from older `bench`
+    /// builds, in which case the store gate is skipped.
+    #[serde(default)]
+    cutting: Vec<CuttingRow>,
 }
 
 #[derive(Debug, Deserialize)]
@@ -36,6 +46,19 @@ struct ScanRow {
     fixture: String,
     reference_median_ms: f64,
     pool_median_ms: f64,
+    speedup: f64,
+    /// Allocations per pool scan; 0 in reports from older `bench` builds,
+    /// in which case the allocation gate is skipped for the row.
+    #[serde(default)]
+    pool_allocs: u64,
+}
+
+#[derive(Debug, Deserialize)]
+struct CuttingRow {
+    operation: String,
+    nodes: u64,
+    vec_median_ms: f64,
+    tree_median_ms: f64,
     speedup: f64,
 }
 
@@ -109,6 +132,26 @@ fn run() -> Result<bool, String> {
             row.reference_median_ms,
             row.pool_median_ms,
         );
+        // Allocation counts are hardware-independent, so unlike the
+        // wall-clock columns they gate directly: the pool scan may not
+        // allocate more than the baseline plus the tolerance.
+        if base.pool_allocs > 0 && row.pool_allocs > 0 {
+            #[allow(clippy::cast_precision_loss)]
+            let ceiling = base.pool_allocs as f64 * (1.0 + tolerance_pct / 100.0);
+            #[allow(clippy::cast_precision_loss)]
+            let alloc_regressed = row.pool_allocs as f64 > ceiling;
+            if alloc_regressed {
+                regressions += 1;
+            }
+            println!(
+                "  {} {:<12} {:<6} pool allocs baseline {} -> current {}",
+                if alloc_regressed { "FAIL " } else { "ok   " },
+                row.policy,
+                row.fixture,
+                base.pool_allocs,
+                row.pool_allocs,
+            );
+        }
     }
     for base in &baseline.scan {
         if !current
@@ -121,6 +164,40 @@ fn run() -> Result<bool, String> {
                 base.policy, base.fixture
             );
         }
+    }
+
+    // The store-scaling rows gate like the scan rows: the tree store's
+    // speedup over the `Vec` oracle on the same host must not fall by more
+    // than the tolerance. Rows present on only one side are informational.
+    for row in &current.cutting {
+        let Some(base) = baseline
+            .cutting
+            .iter()
+            .find(|b| b.operation == row.operation && b.nodes == row.nodes)
+        else {
+            println!(
+                "  new   {:<12} {:>7}n {:>6.1}x (no baseline cutting row, not gated)",
+                row.operation, row.nodes, row.speedup
+            );
+            continue;
+        };
+        overlapping += 1;
+        let ratio = row.speedup / base.speedup.max(1e-9);
+        let regressed = ratio < floor;
+        if regressed {
+            regressions += 1;
+        }
+        println!(
+            "  {} {:<12} {:>7}n baseline {:>6.1}x -> current {:>6.1}x ({:>6.1}% of baseline; vec {:.3} ms, tree {:.3} ms)",
+            if regressed { "FAIL " } else { "ok   " },
+            row.operation,
+            row.nodes,
+            base.speedup,
+            row.speedup,
+            ratio * 100.0,
+            row.vec_median_ms,
+            row.tree_median_ms,
+        );
     }
 
     if overlapping == 0 {

@@ -17,6 +17,8 @@
 
 use slotsel_sim::metrics::MetricsAccumulator;
 
+pub mod cutting;
+
 /// Parses a `--cycles N` / `--runs N` style override from argv, returning
 /// `default` when absent.
 ///

@@ -114,6 +114,7 @@ pub mod slot;
 pub mod slotlist;
 pub mod tenant;
 pub mod time;
+pub mod treeslots;
 pub mod validate;
 pub mod window;
 
@@ -134,8 +135,9 @@ pub use reference::{reference_scan, reference_scan_traced, reference_scan_with};
 pub use request::{Job, JobId, NodeRequirements, ResourceRequest};
 pub use scenario::Scenario;
 pub use slot::{Slot, SlotId};
-pub use slotlist::{SlotList, SlotListStats};
+pub use slotlist::{SlotList, SlotListStats, SlotStoreKind};
 pub use tenant::{AdmitError, TenantId, TenantQuota, TenantUsage};
 pub use time::{Interval, TimeDelta, TimePoint};
+pub use treeslots::TreeSlots;
 pub use validate::{validate_window, WindowViolation};
 pub use window::{Window, WindowSlot};

@@ -1,0 +1,816 @@
+//! The hierarchical interval-tree slot store.
+//!
+//! [`TreeSlots`] keeps the free-slot set of one scheduling cycle in an
+//! arena-allocated treap ordered by the scan key `(start, id)` — the same
+//! total order the sorted-`Vec` store and every AEP scan rely on — with
+//! **subtree aggregates** maintained on every path touched by a mutation:
+//! slot count, summed free time, min/max span end, minimum price per unit
+//! and min/max slot length. Two secondary indexes complete the picture: a
+//! hash map from [`SlotId`] to arena position (O(1) [`TreeSlots::get`])
+//! and an ordered per-node index (O(log m) adjacency for
+//! release/coalesce and covering-slot queries).
+//!
+//! The resulting complexities, versus the sorted-`Vec` oracle store:
+//!
+//! | operation                     | `Vec` store | tree store     |
+//! |-------------------------------|-------------|----------------|
+//! | `insert` / `remove`           | O(m)        | O(log m)       |
+//! | `get` by id                   | O(m)        | O(1)           |
+//! | one cut reservation           | O(m)        | O(log m)       |
+//! | release + coalesce            | O(m)        | O(log m)       |
+//! | `total_free_time`, `len`      | O(m) / O(1) | O(1)           |
+//! | `nth` (order statistic)       | O(1)        | O(log m)       |
+//! | `find_covering(node, span)`   | O(m)        | O(log m)       |
+//! | `prune_ended_by(t)` (k hits)  | O(m)        | O(k log m)     |
+//! | bulk build from sorted slots  | O(m)        | O(m)           |
+//! | in-order iteration            | O(m)        | O(m)           |
+//!
+//! ## Determinism
+//!
+//! Treap shape is a pure function of the stored `(key, priority)` pairs,
+//! and priorities are derived from slot ids with a fixed SplitMix64 hash
+//! — no RNG state, no address-based hashing. Two stores holding the same
+//! slots are therefore structurally identical regardless of the insertion
+//! order that produced them, and every query result (like every
+//! iteration) depends only on the slot set. The `Vec`-backed store
+//! remains the differential oracle: `slotsel-fuzz` drives every scenario
+//! through both stores and the property suite asserts operation-for-
+//! operation equivalence (see `docs/PERFORMANCE.md`).
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::money::Money;
+use crate::node::NodeId;
+use crate::slot::{Slot, SlotId};
+use crate::time::{Interval, TimeDelta, TimePoint};
+
+/// Sentinel arena index for "no child".
+const NIL: u32 = u32::MAX;
+
+/// SplitMix64 — the treap priority hash. Fixed forever: changing it would
+/// change tree shapes (not results, but bench baselines) across versions.
+fn priority(id: SlotId) -> u64 {
+    let mut z = id.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The ordering key of a slot inside the tree: `(start, id)`, exactly the
+/// scan order of the sorted-`Vec` store.
+type Key = (i64, u64);
+
+fn key_of(slot: &Slot) -> Key {
+    (slot.start().ticks(), slot.id().0)
+}
+
+/// Subtree aggregates, the "hierarchical" part of the store. `of` builds
+/// the aggregate of a single slot; `absorb` folds a child subtree in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Agg {
+    /// Number of slots in the subtree.
+    count: u32,
+    /// Summed slot lengths, in ticks.
+    total_len: i64,
+    /// Earliest span end in the subtree, in ticks.
+    min_end: i64,
+    /// Latest span end in the subtree, in ticks.
+    max_end: i64,
+    /// Cheapest price per unit in the subtree.
+    min_price: Money,
+    /// Shortest slot length in the subtree, in ticks.
+    min_len: i64,
+    /// Longest slot length in the subtree, in ticks.
+    max_len: i64,
+}
+
+impl Agg {
+    fn of(slot: &Slot) -> Agg {
+        let len = slot.length().ticks();
+        Agg {
+            count: 1,
+            total_len: len,
+            min_end: slot.end().ticks(),
+            max_end: slot.end().ticks(),
+            min_price: slot.price_per_unit(),
+            min_len: len,
+            max_len: len,
+        }
+    }
+
+    fn absorb(&mut self, child: &Agg) {
+        self.count += child.count;
+        self.total_len += child.total_len;
+        self.min_end = self.min_end.min(child.min_end);
+        self.max_end = self.max_end.max(child.max_end);
+        self.min_price = self.min_price.min_of(child.min_price);
+        self.min_len = self.min_len.min(child.min_len);
+        self.max_len = self.max_len.max(child.max_len);
+    }
+}
+
+/// One arena entry: the slot, its treap links and its subtree aggregate.
+#[derive(Debug, Clone)]
+struct TreeNode {
+    slot: Slot,
+    prio: u64,
+    left: u32,
+    right: u32,
+    agg: Agg,
+}
+
+/// The tree-backed slot store. See the [module documentation](self).
+///
+/// `TreeSlots` is deliberately id-agnostic: it stores whatever [`Slot`]s
+/// it is given and never allocates ids — id allocation stays with
+/// [`SlotList`](crate::slotlist::SlotList), which owns the `next_id`
+/// counter for both backends.
+#[derive(Debug, Clone, Default)]
+pub struct TreeSlots {
+    arena: Vec<TreeNode>,
+    /// Recycled arena positions of removed slots.
+    free: Vec<u32>,
+    root: u32,
+    /// `SlotId -> arena index`.
+    by_id: HashMap<u64, u32>,
+    /// `(node, start, id) -> arena index`, the per-node adjacency index.
+    by_node: BTreeMap<(u32, i64, u64), u32>,
+}
+
+impl TreeSlots {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        TreeSlots {
+            arena: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            by_id: HashMap::new(),
+            by_node: BTreeMap::new(),
+        }
+    }
+
+    /// Builds a store from slots already sorted by `(start, id)` in O(m),
+    /// using the right-spine construction: the produced treap is
+    /// bit-identical in shape to one grown by `m` successive
+    /// [`insert`](Self::insert) calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slots are not sorted by `(start, id)` or contain a
+    /// duplicate id.
+    #[must_use]
+    pub fn from_sorted_slots(slots: &[Slot]) -> Self {
+        let mut store = TreeSlots {
+            arena: Vec::with_capacity(slots.len()),
+            free: Vec::new(),
+            root: NIL,
+            by_id: HashMap::with_capacity(slots.len()),
+            by_node: BTreeMap::new(),
+        };
+        // The right spine of the tree built so far, root first.
+        let mut spine: Vec<u32> = Vec::new();
+        for pair in slots.windows(2) {
+            assert!(
+                key_of(&pair[0]) < key_of(&pair[1]),
+                "from_sorted_slots requires strictly increasing (start, id) keys"
+            );
+        }
+        for slot in slots {
+            let idx = store.alloc(*slot);
+            // Pop spine entries with lower priority; they become the new
+            // node's left subtree.
+            let mut last_popped = NIL;
+            while let Some(&top) = spine.last() {
+                if store.arena[top as usize].prio < store.arena[idx as usize].prio {
+                    last_popped = top;
+                    spine.pop();
+                } else {
+                    break;
+                }
+            }
+            store.arena[idx as usize].left = last_popped;
+            if let Some(&top) = spine.last() {
+                store.arena[top as usize].right = idx;
+            } else {
+                store.root = idx;
+            }
+            spine.push(idx);
+        }
+        // Aggregates: pull bottom-up along the final spine paths. A full
+        // in-order pull is simplest and still O(m).
+        let root = store.root;
+        store.pull_deep(root);
+        store
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        if self.root == NIL {
+            0
+        } else {
+            self.arena[self.root as usize].agg.count as usize
+        }
+    }
+
+    /// Returns `true` when the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.root == NIL
+    }
+
+    /// Summed slot lengths — O(1) from the root aggregate.
+    #[must_use]
+    pub fn total_free_time(&self) -> TimeDelta {
+        if self.root == NIL {
+            TimeDelta::ZERO
+        } else {
+            TimeDelta::new(self.arena[self.root as usize].agg.total_len)
+        }
+    }
+
+    /// Latest span end across all slots, if any — O(1).
+    #[must_use]
+    pub fn max_end(&self) -> Option<TimePoint> {
+        (self.root != NIL).then(|| TimePoint::new(self.arena[self.root as usize].agg.max_end))
+    }
+
+    /// Earliest span end across all slots, if any — O(1).
+    #[must_use]
+    pub fn min_end(&self) -> Option<TimePoint> {
+        (self.root != NIL).then(|| TimePoint::new(self.arena[self.root as usize].agg.min_end))
+    }
+
+    /// Cheapest price per unit across all slots, if any — O(1).
+    #[must_use]
+    pub fn min_price_per_unit(&self) -> Option<Money> {
+        (self.root != NIL).then(|| self.arena[self.root as usize].agg.min_price)
+    }
+
+    /// Shortest slot length, if any — O(1).
+    #[must_use]
+    pub fn min_length(&self) -> Option<TimeDelta> {
+        (self.root != NIL).then(|| TimeDelta::new(self.arena[self.root as usize].agg.min_len))
+    }
+
+    /// Longest slot length, if any — O(1).
+    #[must_use]
+    pub fn max_length(&self) -> Option<TimeDelta> {
+        (self.root != NIL).then(|| TimeDelta::new(self.arena[self.root as usize].agg.max_len))
+    }
+
+    /// Looks a slot up by id — O(1) via the id index.
+    #[must_use]
+    pub fn get(&self, id: SlotId) -> Option<&Slot> {
+        self.by_id
+            .get(&id.0)
+            .map(|&idx| &self.arena[idx as usize].slot)
+    }
+
+    /// The `index`-th slot in `(start, id)` order — O(log m) via the
+    /// subtree counts (order-statistics descent).
+    #[must_use]
+    pub fn nth(&self, index: usize) -> Option<&Slot> {
+        if index >= self.len() {
+            return None;
+        }
+        let mut remaining = index;
+        let mut at = self.root;
+        loop {
+            let node = &self.arena[at as usize];
+            let left_count = if node.left == NIL {
+                0
+            } else {
+                self.arena[node.left as usize].agg.count as usize
+            };
+            if remaining < left_count {
+                at = node.left;
+            } else if remaining == left_count {
+                return Some(&node.slot);
+            } else {
+                remaining -= left_count + 1;
+                at = node.right;
+            }
+        }
+    }
+
+    /// Inserts a slot. O(log m).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot with the same id is already stored.
+    pub fn insert(&mut self, slot: Slot) {
+        assert!(
+            !self.by_id.contains_key(&slot.id().0),
+            "duplicate slot id {}",
+            slot.id()
+        );
+        let idx = self.alloc(slot);
+        let key = key_of(&slot);
+        let (a, b) = self.split(self.root, key);
+        let ab = self.merge(a, idx);
+        self.root = self.merge(ab, b);
+    }
+
+    /// Removes a slot by id, returning it. O(log m).
+    pub fn remove(&mut self, id: SlotId) -> Option<Slot> {
+        let idx = *self.by_id.get(&id.0)?;
+        let slot = self.arena[idx as usize].slot;
+        let key = key_of(&slot);
+        let (a, bc) = self.split(self.root, key);
+        let (b, c) = self.split(bc, (key.0, key.1 + 1));
+        debug_assert_eq!(b, idx, "split isolated a different node");
+        self.root = self.merge(a, c);
+        self.release_arena(idx);
+        Some(slot)
+    }
+
+    /// Iterates slots in `(start, id)` order.
+    #[must_use]
+    pub fn iter(&self) -> TreeIter<'_> {
+        let mut iter = TreeIter {
+            tree: self,
+            stack: Vec::with_capacity(24),
+            remaining: self.len(),
+        };
+        iter.push_left_spine(self.root);
+        iter
+    }
+
+    /// Collects the slots into a sorted vector.
+    #[must_use]
+    pub fn to_sorted_vec(&self) -> Vec<Slot> {
+        self.iter().copied().collect()
+    }
+
+    /// The first slot (in `(start, id)` order) on `node` whose span
+    /// contains `span` — O(log m + c) where `c` is the number of the
+    /// node's slots starting at or before `span.start()` that fail the
+    /// containment check (at most one in a store with disjoint per-node
+    /// spans, the invariant every environment maintains).
+    #[must_use]
+    pub fn find_covering(&self, node: NodeId, span: Interval) -> Option<&Slot> {
+        let lo = (node.0, i64::MIN, 0u64);
+        let hi = (node.0, span.start().ticks(), u64::MAX);
+        self.by_node
+            .range(lo..=hi)
+            .map(|(_, &idx)| &self.arena[idx as usize].slot)
+            .find(|slot| slot.span().contains_interval(&span))
+    }
+
+    /// All slots on `node`, in `(start, id)` order. O(log m + s_node).
+    pub fn node_slots(&self, node: NodeId) -> impl Iterator<Item = &Slot> {
+        let lo = (node.0, i64::MIN, 0u64);
+        let hi = (node.0, i64::MAX, u64::MAX);
+        self.by_node
+            .range(lo..=hi)
+            .map(|(_, &idx)| &self.arena[idx as usize].slot)
+    }
+
+    /// Removes every slot of `node`, returning how many were dropped.
+    /// O(s_node · log m).
+    pub fn remove_node(&mut self, node: NodeId) -> usize {
+        let ids: Vec<SlotId> = self.node_slots(node).map(Slot::id).collect();
+        for id in &ids {
+            self.remove(*id);
+        }
+        ids.len()
+    }
+
+    /// Removes every slot whose span ends at or before `cutoff`,
+    /// returning how many were dropped. O(k log m) for `k` removals —
+    /// the `min_end` aggregate prunes untouched subtrees.
+    pub fn prune_ended_by(&mut self, cutoff: TimePoint) -> usize {
+        let mut doomed = Vec::new();
+        self.collect_ended_by(self.root, cutoff.ticks(), &mut doomed);
+        for id in &doomed {
+            self.remove(*id);
+        }
+        doomed.len()
+    }
+
+    /// Ids of slots with `end <= cutoff`, gathered with aggregate pruning.
+    fn collect_ended_by(&self, at: u32, cutoff: i64, out: &mut Vec<SlotId>) {
+        if at == NIL || self.arena[at as usize].agg.min_end > cutoff {
+            return;
+        }
+        let node = &self.arena[at as usize];
+        self.collect_ended_by(node.left, cutoff, out);
+        if node.slot.end().ticks() <= cutoff {
+            out.push(node.slot.id());
+        }
+        self.collect_ended_by(node.right, cutoff, out);
+    }
+
+    /// Slots whose span overlaps `span` (classic interval stabbing),
+    /// pruned by the `max_end` aggregate and the start-ordered key:
+    /// O(log m + k) for `k` reported slots.
+    pub fn overlapping<'a>(&'a self, span: &Interval, out: &mut Vec<&'a Slot>) {
+        self.collect_overlapping(self.root, span, out);
+    }
+
+    fn collect_overlapping<'a>(&'a self, at: u32, span: &Interval, out: &mut Vec<&'a Slot>) {
+        if at == NIL {
+            return;
+        }
+        let node = &self.arena[at as usize];
+        // No slot in this subtree ends after span.start: nothing overlaps.
+        if node.agg.max_end <= span.start().ticks() {
+            return;
+        }
+        self.collect_overlapping(node.left, span, out);
+        if node.slot.span().overlaps(span) {
+            out.push(&node.slot);
+        }
+        // Keys to the right start at or after this start; once starts
+        // pass span.end nothing further can overlap.
+        if node.slot.start() < span.end() {
+            self.collect_overlapping(node.right, span, out);
+        }
+    }
+
+    /// Checks every structural invariant: BST key order, the treap heap
+    /// property, aggregate correctness and index consistency. O(m); for
+    /// tests and debug assertions.
+    #[must_use]
+    pub fn check_invariants(&self) -> bool {
+        let mut count = 0usize;
+        if !self.check_subtree(self.root, None, None, u64::MAX, &mut count) {
+            return false;
+        }
+        count == self.by_id.len() && count == self.by_node.len()
+    }
+
+    fn check_subtree(
+        &self,
+        at: u32,
+        lo: Option<Key>,
+        hi: Option<Key>,
+        max_prio: u64,
+        count: &mut usize,
+    ) -> bool {
+        if at == NIL {
+            return true;
+        }
+        let node = &self.arena[at as usize];
+        let key = key_of(&node.slot);
+        if lo.is_some_and(|lo| key <= lo) || hi.is_some_and(|hi| key >= hi) {
+            return false;
+        }
+        if node.prio > max_prio {
+            return false;
+        }
+        let mut agg = Agg::of(&node.slot);
+        if node.left != NIL {
+            agg.absorb(&self.arena[node.left as usize].agg);
+        }
+        if node.right != NIL {
+            agg.absorb(&self.arena[node.right as usize].agg);
+        }
+        if agg != node.agg {
+            return false;
+        }
+        let id = node.slot.id();
+        if self.by_id.get(&id.0) != Some(&at) {
+            return false;
+        }
+        if self
+            .by_node
+            .get(&(node.slot.node().0, node.slot.start().ticks(), id.0))
+            != Some(&at)
+        {
+            return false;
+        }
+        *count += 1;
+        self.check_subtree(node.left, lo, Some(key), node.prio, count)
+            && self.check_subtree(node.right, Some(key), hi, node.prio, count)
+    }
+
+    // -- internals ----------------------------------------------------
+
+    fn alloc(&mut self, slot: Slot) -> u32 {
+        let node = TreeNode {
+            slot,
+            prio: priority(slot.id()),
+            left: NIL,
+            right: NIL,
+            agg: Agg::of(&slot),
+        };
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.arena[idx as usize] = node;
+                idx
+            }
+            None => {
+                assert!(self.arena.len() < NIL as usize, "arena full");
+                self.arena.push(node);
+                (self.arena.len() - 1) as u32
+            }
+        };
+        self.by_id.insert(slot.id().0, idx);
+        self.by_node
+            .insert((slot.node().0, slot.start().ticks(), slot.id().0), idx);
+        idx
+    }
+
+    fn release_arena(&mut self, idx: u32) {
+        let slot = self.arena[idx as usize].slot;
+        self.by_id.remove(&slot.id().0);
+        self.by_node
+            .remove(&(slot.node().0, slot.start().ticks(), slot.id().0));
+        self.free.push(idx);
+    }
+
+    fn pull(&mut self, at: u32) {
+        let node = &self.arena[at as usize];
+        let (left, right) = (node.left, node.right);
+        let mut agg = Agg::of(&node.slot);
+        if left != NIL {
+            agg.absorb(&self.arena[left as usize].agg);
+        }
+        if right != NIL {
+            agg.absorb(&self.arena[right as usize].agg);
+        }
+        self.arena[at as usize].agg = agg;
+    }
+
+    /// Recomputes aggregates for a whole subtree, bottom-up.
+    fn pull_deep(&mut self, at: u32) {
+        if at == NIL {
+            return;
+        }
+        let node = &self.arena[at as usize];
+        let (left, right) = (node.left, node.right);
+        self.pull_deep(left);
+        self.pull_deep(right);
+        self.pull(at);
+    }
+
+    /// Splits by key into (`< key`, `>= key`) subtrees.
+    fn split(&mut self, at: u32, key: Key) -> (u32, u32) {
+        if at == NIL {
+            return (NIL, NIL);
+        }
+        if key_of(&self.arena[at as usize].slot) < key {
+            let (a, b) = self.split(self.arena[at as usize].right, key);
+            self.arena[at as usize].right = a;
+            self.pull(at);
+            (at, b)
+        } else {
+            let (a, b) = self.split(self.arena[at as usize].left, key);
+            self.arena[at as usize].left = b;
+            self.pull(at);
+            (a, at)
+        }
+    }
+
+    /// Merges two subtrees where every key in `a` precedes every key in
+    /// `b`.
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.arena[a as usize].prio >= self.arena[b as usize].prio {
+            let right = self.merge(self.arena[a as usize].right, b);
+            self.arena[a as usize].right = right;
+            self.pull(a);
+            a
+        } else {
+            let left = self.merge(a, self.arena[b as usize].left);
+            self.arena[b as usize].left = left;
+            self.pull(b);
+            b
+        }
+    }
+}
+
+impl PartialEq for TreeSlots {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for TreeSlots {}
+
+/// In-order iterator over a [`TreeSlots`], yielding slots in `(start,
+/// id)` order. Created by [`TreeSlots::iter`].
+#[derive(Debug, Clone)]
+pub struct TreeIter<'a> {
+    tree: &'a TreeSlots,
+    /// Nodes whose own slot (and right subtree) are still pending.
+    stack: Vec<u32>,
+    remaining: usize,
+}
+
+impl<'a> TreeIter<'a> {
+    fn push_left_spine(&mut self, mut at: u32) {
+        while at != NIL {
+            self.stack.push(at);
+            at = self.tree.arena[at as usize].left;
+        }
+    }
+}
+
+impl<'a> Iterator for TreeIter<'a> {
+    type Item = &'a Slot;
+
+    fn next(&mut self) -> Option<&'a Slot> {
+        let at = self.stack.pop()?;
+        let node = &self.tree.arena[at as usize];
+        self.push_left_spine(node.right);
+        self.remaining -= 1;
+        Some(&node.slot)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for TreeIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Performance;
+
+    fn slot(id: u64, node: u32, a: i64, b: i64) -> Slot {
+        Slot::new(
+            SlotId(id),
+            NodeId(node),
+            Interval::new(TimePoint::new(a), TimePoint::new(b)),
+            Performance::new(2),
+            Money::from_units(1 + (id as i64 % 7)),
+        )
+    }
+
+    #[test]
+    fn insert_iterates_in_key_order() {
+        let mut t = TreeSlots::new();
+        for (id, start) in [(0u64, 50i64), (1, 0), (2, 20), (3, 20), (4, 90)] {
+            t.insert(slot(id, id as u32, start, start + 10));
+        }
+        let keys: Vec<(i64, u64)> = t.iter().map(key_of).collect();
+        assert_eq!(keys, vec![(0, 1), (20, 2), (20, 3), (50, 0), (90, 4)]);
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn remove_keeps_order_and_aggregates() {
+        let mut t = TreeSlots::new();
+        for id in 0..100u64 {
+            t.insert(slot(
+                id,
+                (id % 10) as u32,
+                (id as i64 * 13) % 97,
+                (id as i64 * 13) % 97 + 5,
+            ));
+        }
+        assert!(t.check_invariants());
+        for id in (0..100).step_by(3) {
+            assert!(t.remove(SlotId(id)).is_some());
+        }
+        assert!(t.check_invariants());
+        assert_eq!(t.len(), 66);
+        assert!(t.iter().map(key_of).is_sorted());
+        let total: i64 = t.iter().map(|s| s.length().ticks()).sum();
+        assert_eq!(t.total_free_time(), TimeDelta::new(total));
+    }
+
+    #[test]
+    fn from_sorted_matches_incremental_inserts() {
+        let mut slots: Vec<Slot> = (0..500u64)
+            .map(|id| {
+                slot(
+                    id,
+                    (id % 17) as u32,
+                    ((id * 37) % 211) as i64,
+                    ((id * 37) % 211) as i64 + 8,
+                )
+            })
+            .collect();
+        slots.sort_by_key(key_of);
+        let bulk = TreeSlots::from_sorted_slots(&slots);
+        let mut incremental = TreeSlots::new();
+        for s in &slots {
+            incremental.insert(*s);
+        }
+        assert!(bulk.check_invariants());
+        assert!(incremental.check_invariants());
+        assert_eq!(bulk, incremental);
+        assert_eq!(bulk.total_free_time(), incremental.total_free_time());
+        // Shape identity: nth agrees everywhere (same keys, same order).
+        for i in 0..slots.len() {
+            assert_eq!(bulk.nth(i), incremental.nth(i));
+        }
+    }
+
+    #[test]
+    fn nth_is_order_statistic() {
+        let mut t = TreeSlots::new();
+        for id in 0..50u64 {
+            t.insert(slot(id, 0, 100 - id as i64, 101 - id as i64));
+        }
+        let sorted = t.to_sorted_vec();
+        for (i, s) in sorted.iter().enumerate() {
+            assert_eq!(t.nth(i), Some(s));
+        }
+        assert_eq!(t.nth(50), None);
+    }
+
+    #[test]
+    fn aggregates_expose_extremes() {
+        let mut t = TreeSlots::new();
+        t.insert(slot(0, 0, 0, 10));
+        t.insert(slot(1, 1, 5, 40));
+        t.insert(slot(2, 2, 20, 25));
+        assert_eq!(t.max_end(), Some(TimePoint::new(40)));
+        assert_eq!(t.min_end(), Some(TimePoint::new(10)));
+        assert_eq!(t.min_length(), Some(TimeDelta::new(5)));
+        assert_eq!(t.max_length(), Some(TimeDelta::new(35)));
+        assert_eq!(t.total_free_time(), TimeDelta::new(50));
+    }
+
+    #[test]
+    fn find_covering_and_node_queries() {
+        let mut t = TreeSlots::new();
+        t.insert(slot(0, 3, 0, 100));
+        t.insert(slot(1, 3, 150, 300));
+        t.insert(slot(2, 4, 0, 600));
+        let span = Interval::new(TimePoint::new(160), TimePoint::new(200));
+        assert_eq!(
+            t.find_covering(NodeId(3), span).map(Slot::id),
+            Some(SlotId(1))
+        );
+        assert_eq!(
+            t.find_covering(NodeId(4), span).map(Slot::id),
+            Some(SlotId(2))
+        );
+        assert!(t
+            .find_covering(
+                NodeId(3),
+                Interval::new(TimePoint::new(90), TimePoint::new(160))
+            )
+            .is_none());
+        assert_eq!(t.node_slots(NodeId(3)).count(), 2);
+        assert_eq!(t.remove_node(NodeId(3)), 2);
+        assert_eq!(t.len(), 1);
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn prune_ended_by_drops_exactly_the_expired() {
+        let mut t = TreeSlots::new();
+        for id in 0..40u64 {
+            t.insert(slot(id, id as u32, id as i64, id as i64 + 10));
+        }
+        let dropped = t.prune_ended_by(TimePoint::new(25));
+        assert_eq!(dropped, 16, "slots 0..=15 end at <= 25");
+        assert!(t.iter().all(|s| s.end() > TimePoint::new(25)));
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn overlapping_reports_stabbed_slots() {
+        let mut t = TreeSlots::new();
+        t.insert(slot(0, 0, 0, 10));
+        t.insert(slot(1, 1, 5, 15));
+        t.insert(slot(2, 2, 20, 30));
+        t.insert(slot(3, 3, 12, 22));
+        let mut hits = Vec::new();
+        t.overlapping(
+            &Interval::new(TimePoint::new(8), TimePoint::new(21)),
+            &mut hits,
+        );
+        let mut ids: Vec<u64> = hits.iter().map(|s| s.id().0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        let mut none = Vec::new();
+        t.overlapping(
+            &Interval::new(TimePoint::new(30), TimePoint::new(40)),
+            &mut none,
+        );
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn arena_positions_are_recycled() {
+        let mut t = TreeSlots::new();
+        for id in 0..10u64 {
+            t.insert(slot(id, 0, id as i64 * 10, id as i64 * 10 + 5));
+        }
+        for id in 0..5u64 {
+            t.remove(SlotId(id));
+        }
+        let before = t.arena.len();
+        for id in 100..105u64 {
+            t.insert(slot(id, 0, id as i64, id as i64 + 1));
+        }
+        assert_eq!(t.arena.len(), before, "freed positions are reused");
+        assert!(t.check_invariants());
+    }
+}

@@ -9,7 +9,7 @@ use slotsel_core::selectors::{
     cheapest_n, min_runtime_exact, min_runtime_greedy, random_feasible, total_cost, Candidate,
 };
 use slotsel_core::slot::{Slot, SlotId};
-use slotsel_core::slotlist::SlotList;
+use slotsel_core::slotlist::{SlotList, SlotStoreKind};
 use slotsel_core::time::{Interval, TimeDelta, TimePoint};
 
 fn arb_interval() -> impl Strategy<Value = Interval> {
@@ -222,6 +222,79 @@ proptest! {
             let sum = |p: &[usize]| p.iter().map(|&i| z[i]).sum::<f64>();
             prop_assert!(sum(&picked) <= sum(&seed) + 1e-9);
         }
+    }
+
+    #[test]
+    fn tree_and_vec_stores_stay_identical_under_mutation(
+        slots in arb_slots(20),
+        ops in prop::collection::vec((0u8..5, 0usize..64, 0.0f64..1.0, 0.0f64..1.0), 0..12),
+    ) {
+        let mut vec_list = SlotList::from_slots_in(SlotStoreKind::Vec, slots.clone());
+        let mut tree_list = SlotList::from_slots_in(SlotStoreKind::Tree, slots);
+        prop_assert_eq!(&vec_list, &tree_list);
+        for (op, pick, lo, hi) in ops {
+            if vec_list.is_empty() {
+                break;
+            }
+            let index = pick % vec_list.len();
+            let slot = *vec_list.nth(index).expect("index in range");
+            match op {
+                // Cut a middle span out; op 0 also releases it back.
+                0 | 1 => {
+                    let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+                    let len = slot.length().ticks();
+                    let a = (len as f64 * lo).floor() as i64;
+                    let b = (len as f64 * hi).floor() as i64;
+                    if b <= a {
+                        continue;
+                    }
+                    let reserved = Interval::new(
+                        slot.start() + TimeDelta::new(a),
+                        slot.start() + TimeDelta::new(b),
+                    );
+                    vec_list.cut(&[(slot.id(), reserved)], TimeDelta::ZERO).expect("inside span");
+                    tree_list.cut(&[(slot.id(), reserved)], TimeDelta::ZERO).expect("inside span");
+                    prop_assert_eq!(&vec_list, &tree_list);
+                    let clear = !vec_list
+                        .iter()
+                        .any(|s| s.node() == slot.node() && s.span().overlaps(&reserved));
+                    if op == 0 && clear {
+                        let va = vec_list.release(
+                            slot.node(), reserved, slot.performance(), slot.price_per_unit(),
+                        );
+                        let vt = tree_list.release(
+                            slot.node(), reserved, slot.performance(), slot.price_per_unit(),
+                        );
+                        prop_assert_eq!(va, vt);
+                    }
+                }
+                2 => {
+                    let dv = vec_list.prune_ended_by(slot.start());
+                    let dt = tree_list.prune_ended_by(slot.start());
+                    prop_assert_eq!(dv, dt);
+                }
+                3 => {
+                    let residue = pick as u64 % 5;
+                    vec_list.retain(|s| s.id().0 % 5 != residue);
+                    tree_list.retain(|s| s.id().0 % 5 != residue);
+                }
+                _ => {
+                    let dv = vec_list.remove_node_slots(slot.node());
+                    let dt = tree_list.remove_node_slots(slot.node());
+                    prop_assert_eq!(dv, dt);
+                }
+            }
+            prop_assert_eq!(&vec_list, &tree_list);
+            prop_assert_eq!(vec_list.stats(), tree_list.stats());
+            prop_assert!(tree_list.is_sorted());
+        }
+        // Conversion round-trips the mutated state both ways.
+        let mut down = tree_list.clone();
+        down.convert(SlotStoreKind::Vec);
+        prop_assert_eq!(&down, &vec_list);
+        let mut up = vec_list.clone();
+        up.convert(SlotStoreKind::Tree);
+        prop_assert_eq!(&up, &tree_list);
     }
 
     #[test]

@@ -23,7 +23,8 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use slotsel_core::node::{NodeId, Performance, Platform};
-use slotsel_core::slotlist::SlotList;
+use slotsel_core::slot::{Slot, SlotId};
+use slotsel_core::slotlist::{SlotList, SlotStoreKind};
 use slotsel_core::time::{Interval, TimePoint};
 
 use crate::load::{LoadConfig, NodeSchedule};
@@ -38,6 +39,12 @@ pub struct EnvironmentConfig {
     pub load: LoadConfig,
     /// Length of the scheduling interval, starting at `t = 0` (paper: 600).
     pub interval_length: i64,
+    /// Which store backs the generated slot list. Defaults to the tree
+    /// store; the sorted-`Vec` oracle is selectable for differential
+    /// testing. Configs serialized before this field existed deserialize
+    /// to the default.
+    #[serde(default)]
+    pub store: SlotStoreKind,
 }
 
 impl EnvironmentConfig {
@@ -48,6 +55,7 @@ impl EnvironmentConfig {
             nodes: NodeGenConfig::paper_default(),
             load: LoadConfig::paper_default(),
             interval_length: 600,
+            store: SlotStoreKind::default(),
         }
     }
 
@@ -79,15 +87,26 @@ impl EnvironmentConfig {
         assert!(self.interval_length > 0, "interval length must be positive");
         let interval = Interval::new(TimePoint::ZERO, TimePoint::new(self.interval_length));
         let platform = self.nodes.generate(rng);
-        let mut slots = SlotList::new();
+        // Collect first, bulk-build once: per-slot sorted insertion would
+        // be O(m^2) at the 100k-node bench tier. Sequential ids in
+        // schedule order match what per-slot `add` calls would allocate.
+        let mut raw = Vec::new();
         let mut schedules = Vec::with_capacity(platform.len());
         for node in &platform {
             let schedule = NodeSchedule::generate(rng, node.id(), interval, &self.load);
             for free in schedule.free() {
-                slots.add(node.id(), free, node.performance(), node.price_per_unit());
+                let id = SlotId(raw.len() as u64);
+                raw.push(Slot::new(
+                    id,
+                    node.id(),
+                    free,
+                    node.performance(),
+                    node.price_per_unit(),
+                ));
             }
             schedules.push(schedule);
         }
+        let slots = SlotList::from_slots_in(self.store, raw);
         Environment {
             platform,
             slots,
@@ -171,7 +190,7 @@ impl Environment {
     /// Panics if `node` has no schedule in this environment.
     pub fn revoke(&mut self, node: NodeId, span: Interval) {
         self.schedule_mut(node).add_busy(span);
-        self.rebuild_slots();
+        self.refresh_node_slots(node);
     }
 
     /// Marks a node failed: its whole scheduling interval becomes busy, so
@@ -182,7 +201,7 @@ impl Environment {
     /// Panics if `node` has no schedule in this environment.
     pub fn fail_node(&mut self, node: NodeId) {
         self.schedule_mut(node).set_fully_busy();
-        self.rebuild_slots();
+        self.refresh_node_slots(node);
     }
 
     /// Restores a failed node as fully idle (its pre-failure local load is
@@ -193,7 +212,7 @@ impl Environment {
     /// Panics if `node` has no schedule in this environment.
     pub fn restore_node(&mut self, node: NodeId) {
         self.schedule_mut(node).clear_busy();
-        self.rebuild_slots();
+        self.refresh_node_slots(node);
     }
 
     /// Changes a node's performance rate and refreshes the slot list so
@@ -208,23 +227,55 @@ impl Environment {
     /// Panics if `node` does not belong to the platform.
     pub fn degrade_node(&mut self, node: NodeId, performance: Performance) {
         self.platform.set_performance(node, performance);
-        self.rebuild_slots();
+        self.refresh_node_slots(node);
     }
 
-    /// Regenerates the slot list from the current schedules and platform.
+    /// Regenerates the slot list from the current schedules and platform,
+    /// preserving the backing store kind.
     ///
     /// Slot ids restart from zero in schedule order — exactly how
     /// [`EnvironmentConfig::generate`] builds the initial list — so a
     /// rebuilt unperturbed environment is identical to a fresh one.
     pub fn rebuild_slots(&mut self) {
-        let mut slots = SlotList::new();
+        let kind = self.slots.store_kind();
+        let mut raw = Vec::new();
         for schedule in &self.schedules {
             let node = self.platform.node(schedule.node());
             for free in schedule.free() {
-                slots.add(node.id(), free, node.performance(), node.price_per_unit());
+                let id = SlotId(raw.len() as u64);
+                raw.push(Slot::new(
+                    id,
+                    node.id(),
+                    free,
+                    node.performance(),
+                    node.price_per_unit(),
+                ));
             }
         }
-        self.slots = slots;
+        self.slots = SlotList::from_slots_in(kind, raw);
+    }
+
+    /// Re-derives one node's slots from its schedule, leaving every other
+    /// node untouched. The replacement slots get fresh ids (the id counter
+    /// keeps counting; ids are never reused) — on the tree store this
+    /// makes a perturbation O(s log m) for the node's `s` slots instead of
+    /// the O(m) full [`rebuild_slots`](Self::rebuild_slots).
+    fn refresh_node_slots(&mut self, node: NodeId) {
+        self.slots.remove_node_slots(node);
+        let node_ref = self.platform.node(node);
+        let schedule = self
+            .schedules
+            .iter()
+            .find(|s| s.node() == node)
+            .unwrap_or_else(|| panic!("no schedule for {node}"));
+        for free in schedule.free() {
+            self.slots.add(
+                node,
+                free,
+                node_ref.performance(),
+                node_ref.price_per_unit(),
+            );
+        }
     }
 
     fn schedule_mut(&mut self, node: NodeId) -> &mut NodeSchedule {
@@ -458,6 +509,57 @@ mod tests {
         for slot in e.slots().iter().filter(|s| s.node() == node) {
             assert_eq!(slot.performance(), Performance::new(1));
         }
+    }
+
+    #[test]
+    fn vec_and_tree_stores_generate_identical_slots() {
+        let mut cfg = EnvironmentConfig::paper_default();
+        cfg.store = SlotStoreKind::Vec;
+        let vec_env = cfg.generate(&mut StdRng::seed_from_u64(40));
+        cfg.store = SlotStoreKind::Tree;
+        let tree_env = cfg.generate(&mut StdRng::seed_from_u64(40));
+        assert_eq!(vec_env.slots().store_kind(), SlotStoreKind::Vec);
+        assert_eq!(tree_env.slots().store_kind(), SlotStoreKind::Tree);
+        assert_eq!(
+            vec_env.slots(),
+            tree_env.slots(),
+            "the store choice must not change the generated slot set"
+        );
+    }
+
+    #[test]
+    fn incremental_perturbations_match_full_rebuild() {
+        use slotsel_core::node::{NodeId, Performance};
+        let mut e = env(41);
+        e.revoke(
+            NodeId(2),
+            Interval::new(TimePoint::new(50), TimePoint::new(150)),
+        );
+        e.fail_node(NodeId(5));
+        e.degrade_node(NodeId(9), Performance::new(1));
+        // Ids differ (incremental refresh allocates fresh ones; a full
+        // rebuild restarts from zero), but the slot *content* must agree.
+        let content = |slots: &SlotList| {
+            let mut v: Vec<_> = slots
+                .iter()
+                .map(|s| {
+                    (
+                        s.node(),
+                        s.start().ticks(),
+                        s.end().ticks(),
+                        s.performance(),
+                        s.price_per_unit(),
+                    )
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        let incremental = content(e.slots());
+        let mut rebuilt = e.clone();
+        rebuilt.rebuild_slots();
+        assert_eq!(incremental, content(rebuilt.slots()));
+        assert!(e.slots().is_sorted());
     }
 
     #[test]

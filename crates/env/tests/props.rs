@@ -6,6 +6,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use slotsel_core::slotlist::SlotStoreKind;
 use slotsel_env::{EnvironmentConfig, LoadConfig, NodeGenConfig, PricingModel};
 
 fn arb_pricing() -> impl Strategy<Value = PricingModel> {
@@ -27,9 +28,18 @@ fn arb_config() -> impl Strategy<Value = EnvironmentConfig> {
         50i64..2_000,               // interval length
         (0.0f64..0.4, 0.4f64..0.9), // occupancy range
         (1i64..20, 20i64..120),     // job length range
+        any::<bool>(),              // tree or vec slot store
     )
         .prop_map(
-            |(count, (perf_lo, perf_hi), pricing, interval, (occ_lo, occ_hi), (job_lo, job_hi))| {
+            |(
+                count,
+                (perf_lo, perf_hi),
+                pricing,
+                interval,
+                (occ_lo, occ_hi),
+                (job_lo, job_hi),
+                tree,
+            )| {
                 EnvironmentConfig {
                     nodes: NodeGenConfig {
                         count,
@@ -46,6 +56,11 @@ fn arb_config() -> impl Strategy<Value = EnvironmentConfig> {
                         ..LoadConfig::paper_default()
                     },
                     interval_length: interval,
+                    store: if tree {
+                        SlotStoreKind::Tree
+                    } else {
+                        SlotStoreKind::Vec
+                    },
                 }
             },
         )

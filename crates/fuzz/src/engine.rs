@@ -35,7 +35,7 @@ use slotsel_core::money::Money;
 use slotsel_core::node::{NodeSpec, Platform};
 use slotsel_core::scenario::Scenario;
 use slotsel_core::slot::{Slot, SlotId};
-use slotsel_core::slotlist::SlotList;
+use slotsel_core::slotlist::{SlotList, SlotStoreKind};
 use slotsel_core::time::{Interval, TimeDelta};
 use slotsel_core::validate::validate_window;
 use slotsel_core::window::Window;
@@ -180,6 +180,11 @@ pub enum CheckKind {
     /// Branch-and-bound and exhaustive enumeration agree on the additive
     /// criteria.
     BnbCross,
+    /// The tree slot store and the `Vec` oracle store agree: scans over a
+    /// tree-backed copy of the scenario return identical outcomes, and a
+    /// deterministic cut/release/retain/prune storm applied to both stores
+    /// keeps them slot-for-slot identical after every step.
+    StoreEquivalence,
     /// Shifting every slot (and the deadline) by a constant shifts the
     /// answer and nothing else.
     TimeShift,
@@ -206,6 +211,7 @@ impl CheckKind {
             CheckKind::WindowValidity => "window-validity",
             CheckKind::OracleAgreement => "oracle-agreement",
             CheckKind::BnbCross => "bnb-cross",
+            CheckKind::StoreEquivalence => "store-equivalence",
             CheckKind::TimeShift => "time-shift",
             CheckKind::PriceScale => "price-scale",
             CheckKind::NodePermutation => "node-permutation",
@@ -262,6 +268,7 @@ pub fn run_check(
         CheckKind::WindowValidity => window_validity(scenario, require_policy(policy)?, seed),
         CheckKind::OracleAgreement => oracle_agreement(scenario, require_policy(policy)?, seed),
         CheckKind::BnbCross => bnb_cross(scenario),
+        CheckKind::StoreEquivalence => store_equivalence(scenario, seed),
         CheckKind::TimeShift => time_shift(scenario, require_policy(policy)?, seed),
         CheckKind::PriceScale => price_scale(scenario, require_policy(policy)?, seed),
         CheckKind::NodePermutation => node_permutation(scenario, require_policy(policy)?, seed),
@@ -309,6 +316,11 @@ pub fn check_scenario(scenario: &Scenario, seed: u64) -> Vec<Failure> {
         CheckKind::BnbCross,
         None,
         run_check(scenario, CheckKind::BnbCross, None, seed),
+    );
+    record(
+        CheckKind::StoreEquivalence,
+        None,
+        run_check(scenario, CheckKind::StoreEquivalence, None, seed),
     );
     for policy in PolicyKind::ALL {
         for check in CheckKind::PER_POLICY {
@@ -475,6 +487,171 @@ fn bnb_cross(scenario: &Scenario) -> Result<(), String> {
                 ))
             }
         }
+    }
+    Ok(())
+}
+
+fn store_equivalence(scenario: &Scenario, seed: u64) -> Result<(), String> {
+    // The tree store rejects duplicate slot ids outright while the Vec
+    // oracle merely behaves badly on them; such scenarios are invalid and
+    // already flagged by the validity check, so the comparison is skipped.
+    let mut seen = std::collections::HashSet::new();
+    if !scenario.slots.iter().all(|s| seen.insert(s.id())) || !scenario.slots.is_sorted() {
+        return Ok(());
+    }
+
+    let mut vec_list = scenario.slots.clone();
+    vec_list.convert(SlotStoreKind::Vec);
+    let mut tree_list = scenario.slots.clone();
+    tree_list.convert(SlotStoreKind::Tree);
+    stores_match(0, "convert", &vec_list, &tree_list)?;
+
+    // Scans over a tree-backed copy of the scenario must be identical —
+    // this covers the ordered iteration and covering lookups the AEP scan
+    // performs.
+    let tree_scenario = Scenario::new(
+        scenario.platform.clone(),
+        tree_list.clone(),
+        scenario.request.clone(),
+    );
+    for policy in [
+        PolicyKind::Amp,
+        PolicyKind::MinCost,
+        PolicyKind::MinProcTime,
+    ] {
+        let base = policy.scan(scenario, seed, ScanSide::Pool);
+        let tree = policy.scan(&tree_scenario, seed, ScanSide::Pool);
+        if base.best != tree.best || base.stats != tree.stats {
+            return Err(format!(
+                "{}: pool scan diverges across stores: vec {} vs tree {}",
+                policy.name(),
+                describe(&base.best, policy.criterion()),
+                describe(&tree.best, policy.criterion()),
+            ));
+        }
+    }
+
+    // Drive one deterministic mutation stream through both stores and
+    // demand they stay slot-for-slot identical after every step. The ops
+    // cover everything the simulators do to a live list: cutting a
+    // reservation out, releasing it back (coalescing), pruning expired
+    // slots, dropping nodes and arbitrary retains.
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let steps = (scenario.slots.len() * 2).clamp(8, 64);
+    for step in 1..=steps {
+        if vec_list.is_empty() {
+            break;
+        }
+        let pick = (next() % vec_list.len() as u64) as usize;
+        let slot = *vec_list.nth(pick).expect("index is below len");
+        match next() % 6 {
+            // Cut the middle half out of a slot, then release it again —
+            // remainder insertion, fresh-id allocation and coalescing.
+            0..=2 => {
+                let quarter = slot.length() / 4;
+                let reserved = Interval::new(slot.start() + quarter, slot.end() - quarter);
+                if reserved.is_empty() {
+                    continue;
+                }
+                let reservations = [(slot.id(), reserved)];
+                vec_list
+                    .cut(&reservations, TimeDelta::ZERO)
+                    .map_err(|e| format!("step {step}: vec cut failed: {e}"))?;
+                tree_list
+                    .cut(&reservations, TimeDelta::ZERO)
+                    .map_err(|e| format!("step {step}: tree cut failed: {e}"))?;
+                stores_match(step, "cut", &vec_list, &tree_list)?;
+                // Releasing a span that overlaps a free slot is a caller
+                // bug (and panics); skip the release when another slot on
+                // the node already overlaps the freed span.
+                if vec_list
+                    .iter()
+                    .any(|s| s.node() == slot.node() && s.span().overlaps(&reserved))
+                {
+                    continue;
+                }
+                vec_list.release(
+                    slot.node(),
+                    reserved,
+                    slot.performance(),
+                    slot.price_per_unit(),
+                );
+                tree_list.release(
+                    slot.node(),
+                    reserved,
+                    slot.performance(),
+                    slot.price_per_unit(),
+                );
+                stores_match(step, "release", &vec_list, &tree_list)?;
+            }
+            3 => {
+                let cutoff = slot.start();
+                let dropped_vec = vec_list.prune_ended_by(cutoff);
+                let dropped_tree = tree_list.prune_ended_by(cutoff);
+                if dropped_vec != dropped_tree {
+                    return Err(format!(
+                        "step {step}: prune_ended_by({cutoff}) dropped \
+                         {dropped_vec} slots on vec but {dropped_tree} on tree"
+                    ));
+                }
+                stores_match(step, "prune_ended_by", &vec_list, &tree_list)?;
+            }
+            4 => {
+                let residue = next() % 7;
+                vec_list.retain(|s| s.id().0 % 7 != residue);
+                tree_list.retain(|s| s.id().0 % 7 != residue);
+                stores_match(step, "retain", &vec_list, &tree_list)?;
+            }
+            _ => {
+                let dropped_vec = vec_list.remove_node_slots(slot.node());
+                let dropped_tree = tree_list.remove_node_slots(slot.node());
+                if dropped_vec != dropped_tree {
+                    return Err(format!(
+                        "step {step}: remove_node_slots({}) dropped \
+                         {dropped_vec} slots on vec but {dropped_tree} on tree",
+                        slot.node()
+                    ));
+                }
+                stores_match(step, "remove_node_slots", &vec_list, &tree_list)?;
+            }
+        }
+    }
+
+    // Converting the mutated tree back down must reproduce the Vec store
+    // exactly, and both must serialize to the same store-agnostic layout.
+    let mut round = tree_list.clone();
+    round.convert(SlotStoreKind::Vec);
+    stores_match(steps + 1, "round-trip convert", &vec_list, &round)?;
+    if vec_list.to_value() != tree_list.to_value() {
+        return Err("serialized layouts diverge between vec and tree stores".to_owned());
+    }
+    Ok(())
+}
+
+/// Demands two store backends hold identical slot sequences and statistics.
+fn stores_match(
+    step: usize,
+    op: &str,
+    vec_list: &SlotList,
+    tree_list: &SlotList,
+) -> Result<(), String> {
+    if vec_list != tree_list {
+        return Err(format!(
+            "stores diverge after step {step} ({op}): vec [{vec_list}] vs tree [{tree_list}]"
+        ));
+    }
+    if vec_list.stats() != tree_list.stats() {
+        return Err(format!(
+            "stats diverge after step {step} ({op}): vec {:?} vs tree {:?}",
+            vec_list.stats(),
+            tree_list.stats()
+        ));
     }
     Ok(())
 }

@@ -252,8 +252,7 @@ fn generate_slots(
     // older candidate is always dead before the newer slot starts.
     if rng.percent(25) && !slots.is_empty() {
         let base = *slots
-            .as_slice()
-            .get(rng.below(slots.len() as u64) as usize)
+            .nth(rng.below(slots.len() as u64) as usize)
             .expect("index in range");
         let len = base.length().ticks();
         if len >= 4 {

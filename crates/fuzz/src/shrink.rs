@@ -172,7 +172,7 @@ fn round_values(current: &mut Scenario, still_fails: &dyn Fn(&Scenario) -> bool)
     // slot non-empty and any contained window feasible-ish; the predicate
     // has the final word anyway).
     for index in 0..current.slots.len() {
-        let slot = *current.slots.as_slice().get(index).expect("index in range");
+        let slot = *current.slots.nth(index).expect("index in range");
         let start = slot.start().ticks() / 10 * 10;
         let end = (slot.end().ticks() + 9) / 10 * 10;
         if start == slot.start().ticks() && end == slot.end().ticks() {

@@ -18,6 +18,7 @@ use slotsel_obs::{NoopRecorder, Recorder, TraceEvent};
 use slotsel_core::money::Money;
 use slotsel_core::node::Platform;
 use slotsel_core::request::Job;
+use slotsel_core::slot::{Slot, SlotId};
 use slotsel_core::slotlist::SlotList;
 use slotsel_core::time::Interval;
 use slotsel_core::window::{Window, WindowSlot};
@@ -138,7 +139,10 @@ pub fn detect_victims_traced<R: Recorder>(
 /// subtracted — what a migrating job may still use.
 #[must_use]
 pub fn surviving_slots(env: &Environment, reserved: &[Window]) -> SlotList {
-    let mut available = SlotList::new();
+    // Collect then bulk-build (on the environment's own store kind): the
+    // result is identical to per-piece `add` calls — same sequential ids,
+    // same order — without the per-insert cost.
+    let mut raw = Vec::new();
     for slot in env.slots().iter() {
         let mut pieces = vec![slot.span()];
         for window in reserved {
@@ -152,16 +156,18 @@ pub fn surviving_slots(env: &Environment, reserved: &[Window]) -> SlotList {
         }
         for piece in pieces {
             if !piece.is_empty() {
-                available.add(
+                let id = SlotId(raw.len() as u64);
+                raw.push(Slot::new(
+                    id,
                     slot.node(),
                     piece,
                     slot.performance(),
                     slot.price_per_unit(),
-                );
+                ));
             }
         }
     }
-    available
+    SlotList::from_slots_in(env.slots().store_kind(), raw)
 }
 
 /// Attempts to migrate one victim job: an immediate AEP (AMP) re-search

@@ -15,8 +15,8 @@
 //! groups, each with its own [`Platform`] and free-[`SlotList`]. A request
 //! names its shard (or is auto-assigned to the least-queued one) and a
 //! window never spans shards, so the per-shard phase-1/phase-2 scheduling
-//! is a pure function of that shard's state — [`run_cycle`]
-//! (LiveService::run_cycle) fans the shards out over
+//! is a pure function of that shard's state — [`LiveService::run_cycle`]
+//! fans the shards out over
 //! [`crate::parallel::map`] and commits the results serially, in shard
 //! order, for determinism.
 //!
@@ -41,7 +41,8 @@
 //!
 //! ## Durability
 //!
-//! The serving loop journals through PR 6's [`DurableJournal`] with its
+//! The serving loop journals through PR 6's
+//! [`DurableJournal`](crate::journal::DurableJournal) with its
 //! own record schema, [`LiveRecord`]: a `ServiceStarted` header, one
 //! durable (fsync'd) `Submitted` record per admitted request, per-cycle
 //! `Committed`/`Deferred`/`Finished` audit events, and a `CycleCommitted`
@@ -64,7 +65,7 @@ use slotsel_batch::{BatchScheduler, BatchSchedulerConfig};
 use slotsel_core::money::Money;
 use slotsel_core::node::{Platform, Volume};
 use slotsel_core::request::{Job, JobId, ResourceRequest};
-use slotsel_core::slotlist::SlotList;
+use slotsel_core::slotlist::{SlotList, SlotStoreKind};
 use slotsel_core::tenant::{AdmitError, TenantId, TenantQuota, TenantUsage};
 use slotsel_core::time::{Interval, TimeDelta, TimePoint};
 use slotsel_core::window::Window;
@@ -741,13 +742,16 @@ impl LiveService {
             }
             shard.horizon += advance;
 
-            // Trim free time that slipped into the past.
+            // Trim free time that slipped into the past. `prune_ended_by`
+            // lets the tree store drop expired slots via its min-end
+            // aggregate, and the stale-prefix walk stops at the first slot
+            // starting at or after `now` (iteration is start-ordered).
             let now = shard.now + advance;
-            shard.slots.retain(|slot| slot.end() > now);
+            shard.slots.prune_ended_by(now);
             let stale: Vec<_> = shard
                 .slots
                 .iter()
-                .filter(|slot| slot.start() < now)
+                .take_while(|slot| slot.start() < now)
                 .map(|slot| (slot.id(), Interval::new(slot.start(), now)))
                 .collect();
             if !stale.is_empty() {
@@ -879,10 +883,8 @@ fn reserve_window(slots: &mut SlotList, window: &Window) -> bool {
     let mut reservations = Vec::with_capacity(window.size());
     for task in window.slots() {
         let task_span = Interval::with_length(window.start(), task.length());
-        let Some(slot) = slots
-            .iter()
-            .find(|slot| slot.node() == task.node() && slot.span().contains_interval(&task_span))
-        else {
+        // An indexed lookup on the tree store; a linear scan on the Vec.
+        let Some(slot) = slots.find_covering(task.node(), task_span) else {
             return false;
         };
         let end = (window.start() + runtime).earliest(slot.end());
@@ -960,6 +962,14 @@ pub fn recover_live(dir: &Path) -> Result<RecoveredService, RecoverError> {
     let resubmitted = trailing.len();
     for entry in trailing {
         service.reapply(entry);
+    }
+
+    // Journal barriers deserialize onto the Vec store (the wire format is
+    // store-agnostic); the live service runs its shards on the tree, so
+    // convert before resuming. Equality with pre-crash state is unaffected
+    // — SlotList comparison is logical, not structural.
+    for shard in &mut service.state.shards {
+        shard.slots.convert(SlotStoreKind::Tree);
     }
 
     let snapshots = snapshot_dir(dir);
