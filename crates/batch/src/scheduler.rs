@@ -24,7 +24,7 @@ use slotsel_obs::{Metrics, NoopMetrics, NoopRecorder, Recorder, Stopwatch, Trace
 use slotsel_core::money::Money;
 use slotsel_core::node::Platform;
 use slotsel_core::request::Job;
-use slotsel_core::slotlist::SlotList;
+use slotsel_core::slotlist::{SlotList, SlotStoreKind};
 use slotsel_core::time::{Interval, TimePoint};
 use slotsel_core::window::Window;
 
@@ -152,6 +152,31 @@ pub fn windows_conflict(a: &Window, b: &Window) -> bool {
                 && span_a.overlaps(&Interval::with_length(b.start(), runtime_b))
         })
     })
+}
+
+/// Lists smaller than this search the caller's store as-is: the one-off
+/// O(m log m) promotion to the tree store only pays off once the repeated
+/// CSA cuts and scans dominate it.
+const PROMOTE_MIN_SLOTS: usize = 256;
+
+/// A tree-backed copy of `slots` for the phase-1 alternative searches,
+/// when the list is `Vec`-backed, large enough for the conversion to pay
+/// off, and safe to convert (the tree store rejects duplicate slot ids —
+/// a malformed hand-built list keeps its original store and original
+/// behaviour). `None` means: search the caller's list unchanged. Results
+/// are identical either way; the stores are operation-for-operation
+/// equivalent.
+fn promote_for_search(slots: &SlotList) -> Option<SlotList> {
+    if slots.store_kind() == SlotStoreKind::Tree || slots.len() < PROMOTE_MIN_SLOTS {
+        return None;
+    }
+    let mut seen = std::collections::HashSet::with_capacity(slots.len());
+    if !slots.iter().all(|s| seen.insert(s.id())) {
+        return None;
+    }
+    let mut promoted = slots.clone();
+    promoted.convert(SlotStoreKind::Tree);
+    Some(promoted)
 }
 
 /// The two-phase batch scheduler.
@@ -308,8 +333,14 @@ impl BatchScheduler {
 
         // Phase 1: alternatives per job, all on the same slot list. A job
         // with a directed-search override gets its single criterion-extreme
-        // alternative; the rest get the broad CSA set.
+        // alternative; the rest get the broad CSA set. On a large
+        // Vec-backed list, one up-front promotion to the tree store pays
+        // for itself many times over: every job's CSA search then cuts in
+        // O(log m) and scans through the aggregate-pruned cursor, and the
+        // promoted copy is shared (read-only) across all jobs.
         let watch = Stopwatch::start_if(recorder.enabled() || metered);
+        let promoted = promote_for_search(slots);
+        let slots = promoted.as_ref().unwrap_or(slots);
         let default_search = SearchStrategy::Csa {
             max_alternatives: self.config.max_alternatives_per_job,
         };
@@ -697,6 +728,50 @@ mod tests {
             windows(&from_tree),
             "the backing store must not change scheduling decisions"
         );
+    }
+
+    #[test]
+    fn large_vec_lists_are_promoted_without_changing_the_schedule() {
+        // Above PROMOTE_MIN_SLOTS phase 1 searches a tree-backed copy;
+        // the schedule must match a run over an explicitly tree-backed
+        // list (which skips promotion) and stay store-agnostic.
+        use slotsel_core::slotlist::SlotStoreKind;
+        let p = platform(64, 2, 1.0);
+        let mut vec_slots = SlotList::new();
+        for node in &p {
+            // Five fragments per node: 320 slots, past the threshold.
+            for k in 0..5i64 {
+                vec_slots.add(
+                    node.id(),
+                    Interval::new(TimePoint::new(k * 120), TimePoint::new(k * 120 + 100)),
+                    node.performance(),
+                    node.price_per_unit(),
+                );
+            }
+        }
+        assert!(vec_slots.len() >= PROMOTE_MIN_SLOTS);
+        assert!(promote_for_search(&vec_slots).is_some());
+        let mut tree_slots = vec_slots.clone();
+        tree_slots.convert(SlotStoreKind::Tree);
+        assert!(promote_for_search(&tree_slots).is_none(), "already a tree");
+        let jobs = vec![
+            job(0, 1, 4, 100, 10_000.0),
+            job(1, 3, 8, 140, 10_000.0),
+            job(2, 2, 2, 90, 5_000.0),
+        ];
+        let from_vec = BatchScheduler::default().schedule(&p, &vec_slots, &jobs);
+        let from_tree = BatchScheduler::default().schedule(&p, &tree_slots, &jobs);
+        let windows = |s: &BatchSchedule| {
+            s.assignments
+                .iter()
+                .map(|a| {
+                    a.window
+                        .as_ref()
+                        .map(|w| (w.start(), w.finish(), w.total_cost()))
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(windows(&from_vec), windows(&from_tree));
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //! interval-tree store at 1k/10k/100k nodes (the largest ≈ one million
 //! slots) — see `docs/PERFORMANCE.md` for the store design.
 //!
+//! A fourth family, **CSA repeated search**, runs the full multi-
+//! alternative search (scan, cut, rescan) over the same cutting fixture on
+//! a `Vec`-backed versus a tree-backed working list. The tree side scans
+//! through the aggregate-pruned cursor and cuts in `O(log m)`; both sides
+//! must return identical alternatives, so the row doubles as a
+//! differential check of the pruned scan under repeated mutation.
+//!
 //! Flags: `--smoke` (tiny fixture, few repeats), `--repeats N`,
 //! `--fixture small|large|all` (restrict the full-mode scan fixtures),
 //! `--no-sweeps` (skip the sweep macro-benchmarks), `--no-cutting` (skip
@@ -42,6 +49,9 @@ use serde::{Deserialize, Serialize};
 use slotsel_bench::{cutting, numeric_flag};
 use slotsel_core::aep::{scan_with, ScanOptions, SelectionPolicy};
 use slotsel_core::algorithms::{Amp, MinCost, MinFinish, MinProcTime, MinRunTime};
+use slotsel_core::csa::Csa;
+use slotsel_core::money::Money;
+use slotsel_core::node::{NodeSpec, Platform, Volume};
 use slotsel_core::reference::reference_scan_with;
 use slotsel_core::request::ResourceRequest;
 use slotsel_core::slotlist::{SlotList, SlotStoreKind};
@@ -110,6 +120,10 @@ struct BenchReport {
     scan: Vec<ScanRow>,
     /// Slot-store scaling medians per (operation, size): `Vec` vs tree.
     cutting: Vec<CuttingRow>,
+    /// CSA repeated-search medians per size: `Vec`-backed vs tree-backed
+    /// working list. Absent in reports from older `bench` builds.
+    #[serde(default)]
+    csa: Vec<CsaRow>,
     /// Serial vs parallel sweep wall-clock.
     sweeps: Vec<SweepRow>,
 }
@@ -144,6 +158,22 @@ struct CuttingRow {
     vec_median_ms: f64,
     tree_median_ms: f64,
     /// `Vec` median over tree median — how much the tree store wins.
+    speedup: f64,
+}
+
+/// One CSA repeated-search benchmark: the full disjoint-alternative
+/// search on the cutting fixture, `Vec`-backed vs tree-backed. Both
+/// sides must return identical alternatives.
+#[derive(Debug, Serialize, Deserialize, Default)]
+#[serde(default)]
+struct CsaRow {
+    nodes: u64,
+    slots: u64,
+    /// Alternatives found per search (identical on both stores).
+    alternatives: u64,
+    vec_median_ms: f64,
+    tree_median_ms: f64,
+    /// `Vec` median over tree median — the pruned-scan + tree-cut win.
     speedup: f64,
 }
 
@@ -364,6 +394,83 @@ fn cutting_benchmarks(sizes: &[u64], repeats: u64) -> Vec<CuttingRow> {
     rows
 }
 
+/// Caps the alternatives per CSA search so the `Vec` side's `O(m)` cuts
+/// stay tractable at the million-slot tier.
+const CSA_MAX_ALTERNATIVES: usize = 32;
+
+/// The platform matching [`cutting::fixture`]'s node attributes.
+fn cutting_platform(nodes: u64) -> Platform {
+    (0..nodes)
+        .map(|node| {
+            let (perf, price) = cutting::node_attrs(node);
+            #[allow(clippy::cast_possible_truncation)]
+            NodeSpec::builder(node as u32)
+                .performance(perf)
+                .price_per_unit(price)
+                .build()
+        })
+        .collect()
+}
+
+/// Times the full CSA multi-alternative search (repeated AMP scan plus
+/// cut) on a `Vec`-backed and a tree-backed copy of the cutting fixture.
+/// The alternatives must match window-for-window — each run is also a
+/// differential check of the aggregate-pruned scan under mutation.
+fn csa_benchmarks(sizes: &[u64], repeats: u64) -> Vec<CsaRow> {
+    let mut rows = Vec::new();
+    for &nodes in sizes {
+        let platform = cutting_platform(nodes);
+        let vec_list = cutting::fixture(nodes, SlotStoreKind::Vec);
+        let mut tree_list = vec_list.clone();
+        tree_list.convert(SlotStoreKind::Tree);
+        // A volume the fixture's fast nodes fit easily and its slow nodes
+        // mostly cannot: feasibility is mixed, so the pruned cursor has
+        // dominated subtrees to skip on every rescan.
+        let request = ResourceRequest::builder()
+            .node_count(5)
+            .volume(Volume::new(300))
+            .budget(Money::from_units(100_000_000))
+            .build()
+            .expect("benchmark request is valid");
+        let csa = Csa::new().max_alternatives(CSA_MAX_ALTERNATIVES);
+        let mut vec_ms = Vec::with_capacity(repeats as usize);
+        let mut tree_ms = Vec::with_capacity(repeats as usize);
+        let mut alternatives = 0u64;
+        for _ in 0..repeats {
+            let (ms, on_vec) = time_ms(|| csa.find_alternatives(&platform, &vec_list, &request));
+            vec_ms.push(ms);
+            let (ms, on_tree) = time_ms(|| csa.find_alternatives(&platform, &tree_list, &request));
+            tree_ms.push(ms);
+            assert_eq!(
+                on_vec, on_tree,
+                "CSA at {nodes} nodes: stores found different alternatives"
+            );
+            alternatives = on_vec.len() as u64;
+        }
+        let vec_median_ms = median(&mut vec_ms);
+        let tree_median_ms = median(&mut tree_ms);
+        let row = CsaRow {
+            nodes,
+            slots: vec_list.len() as u64,
+            alternatives,
+            vec_median_ms,
+            tree_median_ms,
+            speedup: vec_median_ms / tree_median_ms.max(1e-9),
+        };
+        println!(
+            "csa   {:>7} nodes {:>8} slots  {:>3} alts  vec {:>9.3} ms  tree {:>9.3} ms  {:>6.1}x",
+            row.nodes,
+            row.slots,
+            row.alternatives,
+            row.vec_median_ms,
+            row.tree_median_ms,
+            row.speedup
+        );
+        rows.push(row);
+    }
+    rows
+}
+
 fn sweep_benchmarks(smoke: bool) -> Vec<SweepRow> {
     let workers = Parallelism::Auto.workers(usize::MAX) as u64;
     let mut rows = Vec::new();
@@ -453,6 +560,18 @@ fn validate(path: &str, expect_sweeps: bool) {
             row.nodes
         );
     }
+    for row in &report.csa {
+        assert!(
+            row.vec_median_ms > 0.0 && row.tree_median_ms > 0.0,
+            "csa at {} nodes: medians must be positive",
+            row.nodes
+        );
+        assert!(
+            row.alternatives > 0,
+            "csa at {} nodes: the search must find alternatives",
+            row.nodes
+        );
+    }
 }
 
 fn main() {
@@ -494,26 +613,37 @@ fn main() {
             .join("|")
     );
 
+    let cutting_sizes: Vec<u64> = if smoke {
+        vec![500]
+    } else {
+        vec![1_000, 10_000, 100_000]
+    }
+    .into_iter()
+    .filter(|&n| n <= cutting_cap)
+    .collect();
+
+    let scan_rows = scan_benchmarks(&fixtures, repeats);
+    // CSA before cutting: the million-slot cutting rounds leave the
+    // allocator in a different state than a capped CI run would, which
+    // would bias the CSA medians between baseline and re-measure.
+    let csa_rows = if no_cutting {
+        Vec::new()
+    } else {
+        csa_benchmarks(&cutting_sizes, repeats.min(5))
+    };
     let report = BenchReport {
         schema: "slotsel-bench-scan/1".to_owned(),
         mode: if smoke { "smoke" } else { "full" }.to_owned(),
         repeats,
-        scan: scan_benchmarks(&fixtures, repeats),
+        scan: scan_rows,
         cutting: if no_cutting {
             Vec::new()
         } else {
             // The million-slot `Vec` rounds are slow by design; cap the
             // repeats so the full run stays tractable.
-            let sizes: Vec<u64> = if smoke {
-                vec![500]
-            } else {
-                vec![1_000, 10_000, 100_000]
-            }
-            .into_iter()
-            .filter(|&n| n <= cutting_cap)
-            .collect();
-            cutting_benchmarks(&sizes, repeats.min(5))
+            cutting_benchmarks(&cutting_sizes, repeats.min(5))
         },
+        csa: csa_rows,
         sweeps: if no_sweeps {
             Vec::new()
         } else {

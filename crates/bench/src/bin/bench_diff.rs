@@ -38,6 +38,10 @@ struct BenchReport {
     /// builds, in which case the store gate is skipped.
     #[serde(default)]
     cutting: Vec<CuttingRow>,
+    /// CSA repeated-search rows; absent in older reports, in which case
+    /// the pruned-scan gate is skipped.
+    #[serde(default)]
+    csa: Vec<CsaRow>,
 }
 
 #[derive(Debug, Deserialize)]
@@ -57,6 +61,15 @@ struct ScanRow {
 struct CuttingRow {
     operation: String,
     nodes: u64,
+    vec_median_ms: f64,
+    tree_median_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Deserialize)]
+struct CsaRow {
+    nodes: u64,
+    alternatives: u64,
     vec_median_ms: f64,
     tree_median_ms: f64,
     speedup: f64,
@@ -195,6 +208,38 @@ fn run() -> Result<bool, String> {
             base.speedup,
             row.speedup,
             ratio * 100.0,
+            row.vec_median_ms,
+            row.tree_median_ms,
+        );
+    }
+
+    // The CSA repeated-search rows gate the aggregate-pruned scan the
+    // same way: the tree-backed search's speedup over the `Vec` oracle
+    // must hold, and the alternative count — a hardware-independent
+    // result, not a timing — must not change at all.
+    for row in &current.csa {
+        let Some(base) = baseline.csa.iter().find(|b| b.nodes == row.nodes) else {
+            println!(
+                "  new   csa          {:>7}n {:>6.1}x (no baseline csa row, not gated)",
+                row.nodes, row.speedup
+            );
+            continue;
+        };
+        overlapping += 1;
+        let ratio = row.speedup / base.speedup.max(1e-9);
+        let regressed = ratio < floor || row.alternatives != base.alternatives;
+        if regressed {
+            regressions += 1;
+        }
+        println!(
+            "  {} csa          {:>7}n baseline {:>6.1}x -> current {:>6.1}x ({:>6.1}% of baseline; {} -> {} alts; vec {:.3} ms, tree {:.3} ms)",
+            if regressed { "FAIL " } else { "ok   " },
+            row.nodes,
+            base.speedup,
+            row.speedup,
+            ratio * 100.0,
+            base.alternatives,
+            row.alternatives,
             row.vec_median_ms,
             row.tree_median_ms,
         );

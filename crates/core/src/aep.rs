@@ -63,8 +63,10 @@ use crate::pool::CandidatePool;
 use crate::request::ResourceRequest;
 use crate::rng::SplitMix64;
 use crate::selectors::Candidate;
-use crate::slotlist::SlotList;
+use crate::slot::Slot;
+use crate::slotlist::{Iter, SlotList};
 use crate::time::TimePoint;
+use crate::treeslots::{PruneSpec, PrunedCursor};
 use crate::window::Window;
 
 /// Borrowed draw state for the scan's random-draw fast path — see
@@ -193,19 +195,46 @@ pub struct ScanOptions {
 }
 
 /// Counters describing one scan, for tests, reports and benchmarks.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct ScanStats {
     /// Slots admitted into the extended window (passed the hardware check
     /// and were long enough in principle).
     pub slots_admitted: usize,
     /// Slots visited but never admitted: wrong hardware for the request,
-    /// or too short for the task even when fully used.
+    /// or too short for the task even when fully used. On a tree-backed
+    /// scan this includes slots the aggregate-pruned cursor skipped
+    /// without visiting — the skip predicate is exactly the rejection
+    /// predicate, so the tally matches the plain scan's.
     pub slots_rejected: usize,
     /// Scan steps at which a suitable window existed and was evaluated.
     pub windows_evaluated: usize,
     /// Largest size the extended window reached.
     pub peak_extended_window: usize,
+    /// Whole subtrees the aggregate-pruned tree cursor skipped without
+    /// visiting their slots. Always 0 on `Vec`-backed scans. Diagnostic
+    /// only: excluded from equality.
+    pub subtrees_skipped: usize,
+    /// Maximal runs of consecutive skipped slots the pruned cursor jumped
+    /// over. Always 0 on `Vec`-backed scans. Diagnostic only: excluded
+    /// from equality.
+    pub windows_jumped: usize,
 }
+
+impl PartialEq for ScanStats {
+    /// Equality compares the four scan counters only. The pruning tallies
+    /// are diagnostics: by contract a pruned tree scan and a plain `Vec`
+    /// scan of the same scenario produce *equal* stats while reporting
+    /// different pruning work, and every differential oracle (fuzz
+    /// checks, store equivalence, the reference scan) relies on that.
+    fn eq(&self, other: &Self) -> bool {
+        self.slots_admitted == other.slots_admitted
+            && self.slots_rejected == other.slots_rejected
+            && self.windows_evaluated == other.windows_evaluated
+            && self.peak_extended_window == other.peak_extended_window
+    }
+}
+
+impl Eq for ScanStats {}
 
 /// Result of [`scan_with`]: the best window plus scan counters.
 #[derive(Debug, Clone)]
@@ -237,6 +266,13 @@ pub fn scan(
 /// that are too short for the task even when fully used, never enter the
 /// extended window. With a deadline set, candidates that cannot complete by
 /// it are pruned and the scan stops once window starts pass the deadline.
+///
+/// On a tree-backed [`SlotList`] (and without
+/// [`prune_start_bounded`](ScanOptions::prune_start_bounded)) the scan
+/// walks an aggregate-pruned cursor instead of the plain iterator,
+/// skipping whole subtrees of provably-rejected slots; results, stats and
+/// traces are identical, with the pruning work reported in
+/// [`ScanStats::subtrees_skipped`] and [`ScanStats::windows_jumped`].
 ///
 /// Equivalent to [`scan_traced`] with a [`NoopRecorder`]; the probes
 /// compile away entirely on this path.
@@ -295,6 +331,9 @@ pub fn scan_traced<R: Recorder>(
 ///   `slotsel_scan_slots_admitted_total`,
 ///   `slotsel_scan_slots_rejected_total`,
 ///   `slotsel_scan_windows_evaluated_total`,
+///   `slotsel_scan_subtrees_skipped_total`,
+///   `slotsel_scan_windows_jumped_total` (the aggregate-pruned cursor's
+///   work on tree-backed lists; 0 on `Vec` lists),
 ///   `slotsel_pool_evicted_superseded_total` and
 ///   `slotsel_pool_evicted_expired_total`;
 /// - histograms `slotsel_scan_seconds` (wall-clock per scan) and
@@ -346,6 +385,16 @@ pub fn scan_metered<R: Recorder, M: Metrics>(
             &labels,
             outcome.stats.windows_evaluated as u64,
         );
+        metrics.counter_add(
+            "slotsel_scan_subtrees_skipped_total",
+            &labels,
+            outcome.stats.subtrees_skipped as u64,
+        );
+        metrics.counter_add(
+            "slotsel_scan_windows_jumped_total",
+            &labels,
+            outcome.stats.windows_jumped as u64,
+        );
         metrics.counter_add("slotsel_pool_evicted_superseded_total", &labels, superseded);
         metrics.counter_add("slotsel_pool_evicted_expired_total", &labels, expired);
         #[allow(clippy::cast_precision_loss)]
@@ -364,6 +413,71 @@ pub fn scan_metered<R: Recorder, M: Metrics>(
         }
     }
     outcome
+}
+
+/// The slot stream every scan body consumes: the plain in-order iterator,
+/// or — when the list is tree-backed — the aggregate-pruned cursor that
+/// skips whole subtrees of provably-rejected slots.
+///
+/// The pruned cursor only ever skips slots the scan preamble would
+/// *reject* (wrong hardware when nothing on the platform admits the
+/// request, or too short for the volume) and never a slot at or past the
+/// deadline, where the scan breaks instead of rejecting. Rejected slots
+/// influence nothing but the `slots_rejected` tally — they emit no
+/// events, never touch the extended window and don't advance the
+/// `BestUpdated` step counter (which counts admissions) — so skipping
+/// them wholesale leaves windows, stats and traces byte-identical to the
+/// plain scan once [`settle`](Self::settle) credits the skip count.
+enum ScanStream<'a> {
+    Plain(Iter<'a>),
+    Pruned(PrunedCursor<'a>),
+}
+
+impl<'a> ScanStream<'a> {
+    /// Picks the stream for one scan. The pruned cursor engages only for
+    /// tree-backed lists without `prune_start_bounded`: that option
+    /// breaks at the first *visited* slot past the best score — rejected
+    /// slots included — so its break point depends on slots the cursor
+    /// would skip.
+    fn for_scan(
+        platform: &Platform,
+        slots: &'a SlotList,
+        request: &ResourceRequest,
+        options: ScanOptions,
+    ) -> Self {
+        if !options.prune_start_bounded {
+            if let Some(tree) = slots.as_tree() {
+                let admit_any = platform
+                    .iter()
+                    .any(|node| request.requirements().admits(node));
+                return ScanStream::Pruned(tree.pruned_iter(PruneSpec {
+                    volume: request.volume().work(),
+                    deadline: request.deadline().map(TimePoint::ticks),
+                    admit_any,
+                }));
+            }
+        }
+        ScanStream::Plain(slots.iter())
+    }
+
+    fn next(&mut self) -> Option<&'a Slot> {
+        match self {
+            ScanStream::Plain(iter) => iter.next(),
+            ScanStream::Pruned(cursor) => cursor.next(),
+        }
+    }
+
+    /// Folds the cursor's pruning tallies into `stats`: skipped slots are
+    /// rejections the scan never had to visit. Must run before the
+    /// `ScanFinished` event so its `slots_rejected` matches the plain
+    /// scan's byte-for-byte.
+    fn settle(self, stats: &mut ScanStats) {
+        if let ScanStream::Pruned(cursor) = self {
+            stats.slots_rejected += cursor.skipped_slots();
+            stats.subtrees_skipped = cursor.subtrees_skipped();
+            stats.windows_jumped = cursor.windows_jumped();
+        }
+    }
 }
 
 /// The regular pool-driven scan body shared by every non-first-fit policy.
@@ -395,7 +509,8 @@ fn pool_scan<R: Recorder>(
         });
     }
 
-    for slot in slots {
+    let mut stream = ScanStream::for_scan(platform, slots, request, options);
+    while let Some(slot) = stream.next() {
         let window_start = slot.start();
 
         if let Some(deadline) = request.deadline() {
@@ -464,6 +579,8 @@ fn pool_scan<R: Recorder>(
             }
         }
     }
+
+    stream.settle(&mut stats);
 
     if let Some(name) = policy_name {
         recorder.emit(TraceEvent::ScanFinished {
@@ -537,7 +654,8 @@ fn first_fit_scan<R: Recorder, M: Metrics>(
         });
     }
 
-    for slot in slots {
+    let mut stream = ScanStream::for_scan(platform, slots, request, options);
+    while let Some(slot) = stream.next() {
         let window_start = slot.start();
 
         if let Some(deadline) = request.deadline() {
@@ -626,6 +744,8 @@ fn first_fit_scan<R: Recorder, M: Metrics>(
         break; // stop_at_first is part of the opt-in contract.
     }
 
+    stream.settle(&mut stats);
+
     if let Some(name) = policy_name {
         recorder.emit(TraceEvent::ScanFinished {
             policy: name,
@@ -700,7 +820,8 @@ fn random_scan<R: Recorder, M: Metrics>(
         });
     }
 
-    for slot in slots {
+    let mut stream = ScanStream::for_scan(platform, slots, request, options);
+    while let Some(slot) = stream.next() {
         let window_start = slot.start();
 
         if let Some(deadline) = request.deadline() {
@@ -807,6 +928,8 @@ fn random_scan<R: Recorder, M: Metrics>(
             best = Some((score, window));
         }
     }
+
+    stream.settle(&mut stats);
 
     if let Some(name) = policy_name {
         recorder.emit(TraceEvent::ScanFinished {
@@ -1356,5 +1479,89 @@ mod tests {
         nodes.sort_unstable();
         nodes.dedup();
         assert_eq!(nodes.len(), 2);
+    }
+
+    #[test]
+    fn tree_backed_scan_prunes_an_all_dominated_list_at_the_root() {
+        use crate::slot::{Slot, SlotId};
+        use crate::slotlist::SlotStoreKind;
+        // Every slot is too short for the volume: the aggregate cursor must
+        // prove emptiness from the root aggregate without visiting leaves,
+        // while still crediting every slot to `slots_rejected`.
+        let p = platform(&[2]);
+        let slots: Vec<Slot> = (0..64)
+            .map(|i| {
+                Slot::new(
+                    SlotId(i),
+                    NodeId(0),
+                    Interval::new(
+                        TimePoint::new(i as i64 * 10),
+                        TimePoint::new(i as i64 * 10 + 4),
+                    ),
+                    Performance::new(2),
+                    Money::from_units(1),
+                )
+            })
+            .collect();
+        let list = SlotList::from_slots_in(SlotStoreKind::Tree, slots);
+        let mut policy = CheapestBy {
+            criterion: Criterion::MinTotalCost,
+            first: false,
+        };
+        let outcome = scan_with(
+            &p,
+            &list,
+            &request(1, 1_000, 100_000),
+            &mut policy,
+            ScanOptions::default(),
+        );
+        assert!(outcome.best.is_none());
+        assert_eq!(outcome.stats.slots_admitted, 0);
+        assert_eq!(outcome.stats.slots_rejected, 64);
+        assert_eq!(outcome.stats.subtrees_skipped, 1, "root skip expected");
+        assert_eq!(outcome.stats.windows_jumped, 1);
+    }
+
+    #[test]
+    fn tree_backed_scan_matches_vec_backed_scan_with_pruning_visible() {
+        use crate::slot::{Slot, SlotId};
+        use crate::slotlist::SlotStoreKind;
+        // Alternate feasible and dominated slots across two nodes; the tree
+        // scan must produce the identical outcome and legacy stats, with the
+        // diagnostic counters lighting up only on the tree side.
+        let slots: Vec<Slot> = (0..40)
+            .map(|i| {
+                let start = i as i64 * 25;
+                let len = if i % 2 == 0 { 120 } else { 3 };
+                Slot::new(
+                    SlotId(i),
+                    NodeId((i % 2) as u32),
+                    Interval::new(TimePoint::new(start), TimePoint::new(start + len)),
+                    Performance::new(2),
+                    Money::from_units(1 + (i as i64 % 3)),
+                )
+            })
+            .collect();
+        let p = platform(&[2, 2]);
+        let vec_list = SlotList::from_slots_in(SlotStoreKind::Vec, slots.clone());
+        let tree_list = SlotList::from_slots_in(SlotStoreKind::Tree, slots);
+        let req = request(2, 200, 100_000);
+        let run = |list: &SlotList| {
+            let mut policy = CheapestBy {
+                criterion: Criterion::MinTotalCost,
+                first: false,
+            };
+            scan_with(&p, list, &req, &mut policy, ScanOptions::default())
+        };
+        let on_vec = run(&vec_list);
+        let on_tree = run(&tree_list);
+        assert_eq!(on_vec.best, on_tree.best);
+        // Legacy stats equality (the custom `PartialEq` ignores the new
+        // diagnostic counters)...
+        assert_eq!(on_vec.stats, on_tree.stats);
+        // ...which only the tree-backed scan populates.
+        assert_eq!(on_vec.stats.subtrees_skipped, 0);
+        assert_eq!(on_vec.stats.windows_jumped, 0);
+        assert!(on_tree.stats.windows_jumped >= 1);
     }
 }

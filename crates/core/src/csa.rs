@@ -51,7 +51,7 @@ use crate::algorithms::{Amp, SlotSelector};
 use crate::node::Platform;
 use crate::request::ResourceRequest;
 use crate::slot::SlotId;
-use crate::slotlist::SlotList;
+use crate::slotlist::{SlotList, SlotStoreKind};
 use crate::time::{Interval, TimeDelta};
 use crate::window::Window;
 
@@ -120,7 +120,10 @@ impl Csa {
     ///
     /// Pruning never changes the result — a remnant shorter than the task
     /// length on its node can never join a window for this request — but
-    /// shortens later scans. Disable only for ablation measurements.
+    /// shortens later scans. It only applies to `Vec`-backed lists: on
+    /// the tree store the scan's aggregate-pruned cursor skips useless
+    /// remnants wholesale, so the O(m) retain pass is elided there.
+    /// Disable only for ablation measurements.
     #[must_use]
     pub fn prune_useless(mut self, prune: bool) -> Self {
         self.prune_useless = prune;
@@ -243,7 +246,11 @@ impl Csa {
             },
         };
         working.cut(&reservations, TimeDelta::ZERO)?;
-        if self.prune_useless {
+        // On the tree store the O(m) retain pass would dwarf the O(log m)
+        // cut it follows; there the AEP scan itself skips too-short
+        // remnants wholesale through the subtree aggregates, so the
+        // explicit prune buys nothing and is elided.
+        if self.prune_useless && working.store_kind() != SlotStoreKind::Tree {
             let volume = request.volume();
             working.retain(|slot| slot.length() >= slot.time_for(volume));
         }
@@ -424,6 +431,27 @@ mod tests {
             pruned.iter().map(key).collect::<Vec<_>>(),
             unpruned.iter().map(key).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn tree_backed_search_matches_vec_backed_search() {
+        // The tree store elides the prune_useless retain and scans with
+        // the aggregate-pruned cursor; the alternatives must not move.
+        use crate::slotlist::SlotStoreKind;
+        let p = platform(&[(2, 1.3), (3, 2.9), (5, 5.1), (7, 6.8), (9, 9.2), (4, 4.0)]);
+        let vec_slots = idle(&p, 600);
+        let mut tree_slots = vec_slots.clone();
+        tree_slots.convert(SlotStoreKind::Tree);
+        let req = request(3, 180, 100_000.0);
+        for csa in [
+            Csa::new(),
+            Csa::new().prune_useless(false),
+            Csa::new().cut_policy(CutPolicy::TaskLength),
+        ] {
+            let on_vec = csa.find_alternatives(&p, &vec_slots, &req);
+            let on_tree = csa.find_alternatives(&p, &tree_slots, &req);
+            assert_eq!(on_vec, on_tree, "{csa:?}");
+        }
     }
 
     #[test]

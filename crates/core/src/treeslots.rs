@@ -4,8 +4,9 @@
 //! arena-allocated treap ordered by the scan key `(start, id)` — the same
 //! total order the sorted-`Vec` store and every AEP scan rely on — with
 //! **subtree aggregates** maintained on every path touched by a mutation:
-//! slot count, summed free time, min/max span end, minimum price per unit
-//! and min/max slot length. Two secondary indexes complete the picture: a
+//! slot count, summed free time, min/max span end, minimum price per unit,
+//! min/max slot length, latest slot start and maximum work capacity
+//! (`length × rate`). Two secondary indexes complete the picture: a
 //! hash map from [`SlotId`] to arena position (O(1) [`TreeSlots::get`])
 //! and an ordered per-node index (O(log m) adjacency for
 //! release/coalesce and covering-slot queries).
@@ -64,6 +65,15 @@ fn key_of(slot: &Slot) -> Key {
     (slot.start().ticks(), slot.id().0)
 }
 
+/// Work capacity of one slot: `length × rate`, the largest volume a task
+/// can complete inside it. Exact in `u128`: `length ≥ ceil(v / rate)` ⟺
+/// `length × rate ≥ v`, so capacity comparisons reproduce the AEP scan's
+/// "slot too short" rejection (`slot.length() < slot.time_for(volume)`)
+/// bit-for-bit, without per-slot division.
+fn capacity_of(slot: &Slot) -> u128 {
+    slot.length().ticks().max(0) as u128 * u128::from(slot.performance().rate())
+}
+
 /// Subtree aggregates, the "hierarchical" part of the store. `of` builds
 /// the aggregate of a single slot; `absorb` folds a child subtree in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +92,15 @@ struct Agg {
     min_len: i64,
     /// Longest slot length in the subtree, in ticks.
     max_len: i64,
+    /// Latest slot start in the subtree, in ticks. Gates subtree skipping
+    /// under a deadline: the scan *breaks* (rather than rejects) at the
+    /// first start on or past the deadline, so a subtree may only be
+    /// skipped when every slot in it starts strictly before it.
+    max_start: i64,
+    /// Largest work capacity (`length × rate`, see [`capacity_of`]) in
+    /// the subtree. When below a request's volume, every slot in the
+    /// subtree is too short and the whole subtree can be skipped.
+    max_capacity: u128,
 }
 
 impl Agg {
@@ -95,6 +114,8 @@ impl Agg {
             min_price: slot.price_per_unit(),
             min_len: len,
             max_len: len,
+            max_start: slot.start().ticks(),
+            max_capacity: capacity_of(slot),
         }
     }
 
@@ -106,6 +127,8 @@ impl Agg {
         self.min_price = self.min_price.min_of(child.min_price);
         self.min_len = self.min_len.min(child.min_len);
         self.max_len = self.max_len.max(child.max_len);
+        self.max_start = self.max_start.max(child.max_start);
+        self.max_capacity = self.max_capacity.max(child.max_capacity);
     }
 }
 
@@ -430,6 +453,60 @@ impl TreeSlots {
         }
     }
 
+    /// The start of the first slot (in `(start, id)` order) whose work
+    /// capacity covers `volume` and, under a `deadline`, that starts
+    /// strictly before it — the earliest window start at which an AEP
+    /// scan over this store could admit anything. An aggregate descent
+    /// over `max_capacity`: O(log m) when feasible slots are plentiful,
+    /// O(m) worst case, O(1) proof of emptiness when no slot anywhere is
+    /// long enough.
+    #[must_use]
+    pub fn first_feasible_start(&self, volume: u64, deadline: Option<i64>) -> Option<TimePoint> {
+        self.first_feasible(self.root, volume, deadline)
+            .map(Slot::start)
+    }
+
+    fn first_feasible(&self, at: u32, volume: u64, deadline: Option<i64>) -> Option<&Slot> {
+        if at == NIL {
+            return None;
+        }
+        let node = &self.arena[at as usize];
+        if node.agg.max_capacity < u128::from(volume) {
+            return None;
+        }
+        if let Some(found) = self.first_feasible(node.left, volume, deadline) {
+            return Some(found);
+        }
+        // Starts ascend in-order: once one reaches the deadline, so does
+        // everything after it.
+        if deadline.is_some_and(|d| node.slot.start().ticks() >= d) {
+            return None;
+        }
+        if capacity_of(&node.slot) >= u128::from(volume) {
+            return Some(&node.slot);
+        }
+        self.first_feasible(node.right, volume, deadline)
+    }
+
+    /// Iterates slots in `(start, id)` order, skipping — whole subtrees
+    /// at a time — slots the aggregates prove an AEP scan would reject
+    /// for `spec`'s bounds. See [`PrunedCursor`] for the exact contract.
+    #[must_use]
+    pub fn pruned_iter(&self, spec: PruneSpec) -> PrunedCursor<'_> {
+        let mut cursor = PrunedCursor {
+            tree: self,
+            stack: Vec::with_capacity(24),
+            pending_right: NIL,
+            spec,
+            skipped_slots: 0,
+            subtrees_skipped: 0,
+            windows_jumped: 0,
+            in_skip_run: false,
+        };
+        cursor.descend(self.root);
+        cursor
+    }
+
     /// Checks every structural invariant: BST key order, the treap heap
     /// property, aggregate correctness and index consistency. O(m); for
     /// tests and debug assertions.
@@ -633,6 +710,144 @@ impl<'a> Iterator for TreeIter<'a> {
 
 impl ExactSizeIterator for TreeIter<'_> {}
 
+/// Per-request bounds driving an aggregate-pruned traversal
+/// ([`TreeSlots::pruned_iter`]). Every field mirrors one rejection (or
+/// break) rule of the AEP scan preamble; the cursor may only skip a slot
+/// when the aggregates *prove* the scan would reject it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PruneSpec {
+    /// The requested work volume. A slot whose capacity (`length × rate`)
+    /// is below it fails the scan's "slot too short" check.
+    pub volume: u64,
+    /// The request deadline in ticks, if any. The scan *breaks* at the
+    /// first slot starting on or past the deadline without rejecting it,
+    /// so such a slot must be yielded, never skipped: a subtree is
+    /// skippable only when its `max_start` aggregate is strictly below
+    /// the deadline.
+    pub deadline: Option<i64>,
+    /// Whether at least one platform node admits the request's node
+    /// requirements. When `false` every slot fails the scan's admission
+    /// check, so whole (deadline-safe) subtrees are skippable regardless
+    /// of capacity.
+    pub admit_any: bool,
+}
+
+/// An aggregate-pruned in-order cursor over a [`TreeSlots`], created by
+/// [`TreeSlots::pruned_iter`].
+///
+/// Yields a subsequence of [`TreeSlots::iter`] in the same `(start, id)`
+/// order, skipping only slots the subtree aggregates prove the AEP scan
+/// would **reject** for the given [`PruneSpec`] — too short for the
+/// volume, or nothing on the platform admits the request — and never a
+/// slot at or past the deadline (where the scan breaks instead of
+/// rejecting). Admitted slots are never skipped, so a scan consuming this
+/// cursor admits the same slots, in the same order, at the same relative
+/// positions as a plain scan; it only has to credit
+/// [`skipped_slots`](Self::skipped_slots) into its rejection tally.
+///
+/// Skips are counted lazily, at the in-order position of the skipped
+/// slots: after any yield, the tallies cover exactly the slots before
+/// that yield. A consumer that breaks early therefore observes exactly
+/// the rejections a plain scan would have counted before its own break.
+#[derive(Debug, Clone)]
+pub struct PrunedCursor<'a> {
+    tree: &'a TreeSlots,
+    /// Nodes whose own slot (and right subtree) are still pending.
+    stack: Vec<u32>,
+    /// Right subtree of the last yielded node, descended into on the
+    /// *next* call so skip tallies never run ahead of the yield point.
+    pending_right: u32,
+    spec: PruneSpec,
+    skipped_slots: usize,
+    subtrees_skipped: usize,
+    windows_jumped: usize,
+    in_skip_run: bool,
+}
+
+impl<'a> PrunedCursor<'a> {
+    /// Total slots skipped so far; each is a slot the plain scan would
+    /// have rejected. Final after the cursor returns `None`.
+    #[must_use]
+    pub fn skipped_slots(&self) -> usize {
+        self.skipped_slots
+    }
+
+    /// Whole subtrees skipped via their aggregates (without visiting
+    /// their slots).
+    #[must_use]
+    pub fn subtrees_skipped(&self) -> usize {
+        self.subtrees_skipped
+    }
+
+    /// Maximal runs of consecutive skipped slots jumped over — the
+    /// number of times the cursor leapt forward in the timeline.
+    #[must_use]
+    pub fn windows_jumped(&self) -> usize {
+        self.windows_jumped
+    }
+
+    /// Every slot in a subtree with this aggregate is provably rejected
+    /// by the scan (and none of them would trigger its deadline break).
+    fn subtree_skippable(&self, agg: &Agg) -> bool {
+        (!self.spec.admit_any || agg.max_capacity < u128::from(self.spec.volume))
+            && self.spec.deadline.is_none_or(|d| agg.max_start < d)
+    }
+
+    /// The single-slot version of [`Self::subtree_skippable`].
+    fn slot_skippable(&self, slot: &Slot) -> bool {
+        (!self.spec.admit_any || capacity_of(slot) < u128::from(self.spec.volume))
+            && self.spec.deadline.is_none_or(|d| slot.start().ticks() < d)
+    }
+
+    /// Pushes the left spine of `at`, skipping (and tallying) every
+    /// subtree whose aggregate proves all its slots rejected.
+    fn descend(&mut self, mut at: u32) {
+        while at != NIL {
+            let node = &self.tree.arena[at as usize];
+            if self.subtree_skippable(&node.agg) {
+                self.skipped_slots += node.agg.count as usize;
+                self.subtrees_skipped += 1;
+                self.in_skip_run = true;
+                return;
+            }
+            self.stack.push(at);
+            at = node.left;
+        }
+    }
+}
+
+impl<'a> Iterator for PrunedCursor<'a> {
+    type Item = &'a Slot;
+
+    fn next(&mut self) -> Option<&'a Slot> {
+        loop {
+            let pending = std::mem::replace(&mut self.pending_right, NIL);
+            self.descend(pending);
+            let Some(at) = self.stack.pop() else {
+                // Exhausted: close a trailing skip run exactly once.
+                if self.in_skip_run {
+                    self.windows_jumped += 1;
+                    self.in_skip_run = false;
+                }
+                return None;
+            };
+            let node = &self.tree.arena[at as usize];
+            if self.slot_skippable(&node.slot) {
+                self.skipped_slots += 1;
+                self.in_skip_run = true;
+                self.pending_right = node.right;
+                continue;
+            }
+            if self.in_skip_run {
+                self.windows_jumped += 1;
+                self.in_skip_run = false;
+            }
+            self.pending_right = node.right;
+            return Some(&node.slot);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -795,6 +1010,194 @@ mod tests {
             &mut none,
         );
         assert!(none.is_empty());
+    }
+
+    /// A spec with the given volume, no deadline, admitting platform.
+    fn spec(volume: u64) -> PruneSpec {
+        PruneSpec {
+            volume,
+            deadline: None,
+            admit_any: true,
+        }
+    }
+
+    #[test]
+    fn pruned_cursor_without_bounds_matches_iter() {
+        let mut t = TreeSlots::new();
+        for id in 0..60u64 {
+            t.insert(slot(
+                id,
+                (id % 5) as u32,
+                (id as i64 * 31) % 83,
+                (id as i64 * 31) % 83 + 7,
+            ));
+        }
+        let plain: Vec<Slot> = t.iter().copied().collect();
+        let mut cursor = t.pruned_iter(spec(0));
+        let pruned: Vec<Slot> = cursor.by_ref().copied().collect();
+        assert_eq!(plain, pruned);
+        assert_eq!(cursor.skipped_slots(), 0);
+        assert_eq!(cursor.subtrees_skipped(), 0);
+        assert_eq!(cursor.windows_jumped(), 0);
+    }
+
+    #[test]
+    fn pruned_cursor_skips_exactly_the_too_short_slots() {
+        // Lengths 1..=40, perf 2 => capacities 2..=80. Volume 41 needs
+        // length >= 21 (ceil(41/2)), i.e. capacity >= 41.
+        let mut t = TreeSlots::new();
+        for id in 0..40u64 {
+            let start = (id as i64 * 17) % 101;
+            t.insert(slot(id, 0, start, start + 1 + id as i64));
+        }
+        let volume = 41u64;
+        let expected: Vec<Slot> = t
+            .iter()
+            .filter(|s| capacity_of(s) >= u128::from(volume))
+            .copied()
+            .collect();
+        let mut cursor = t.pruned_iter(spec(volume));
+        let pruned: Vec<Slot> = cursor.by_ref().copied().collect();
+        assert_eq!(expected, pruned);
+        assert_eq!(cursor.skipped_slots(), 40 - expected.len());
+        // Exact capacity boundary: a slot of length 21 (capacity 42) is
+        // kept, length 20 (capacity 40) is skipped.
+        assert!(pruned.iter().all(|s| s.length().ticks() >= 21));
+    }
+
+    #[test]
+    fn all_dominated_tree_proves_emptiness_at_the_root() {
+        // Every slot far too short: one root-level aggregate comparison
+        // must prove emptiness without visiting any leaf.
+        let mut t = TreeSlots::new();
+        for id in 0..100u64 {
+            t.insert(slot(id, id as u32, id as i64 * 3, id as i64 * 3 + 2));
+        }
+        let mut cursor = t.pruned_iter(spec(1_000_000));
+        assert_eq!(cursor.next(), None);
+        assert_eq!(cursor.skipped_slots(), 100);
+        assert_eq!(cursor.subtrees_skipped(), 1, "only the root subtree");
+        assert_eq!(cursor.windows_jumped(), 1, "one trailing jump");
+    }
+
+    #[test]
+    fn admit_none_skips_everything() {
+        let mut t = TreeSlots::new();
+        for id in 0..30u64 {
+            t.insert(slot(id, 0, id as i64 * 10, id as i64 * 10 + 500));
+        }
+        let mut cursor = t.pruned_iter(PruneSpec {
+            volume: 1,
+            deadline: None,
+            admit_any: false,
+        });
+        assert_eq!(cursor.next(), None);
+        assert_eq!(cursor.skipped_slots(), 30);
+        assert_eq!(cursor.subtrees_skipped(), 1);
+    }
+
+    #[test]
+    fn slot_starting_exactly_at_the_deadline_is_yielded_not_skipped() {
+        // The AEP scan breaks (without rejecting) at the first start on
+        // or past the deadline; the cursor must surface that slot even
+        // when it is otherwise dominated.
+        let mut t = TreeSlots::new();
+        for id in 0..20u64 {
+            t.insert(slot(id, 0, id as i64 * 10, id as i64 * 10 + 1));
+        }
+        // All capacities are 2; volume 100 dominates everything.
+        let deadline = 70i64;
+        let mut cursor = t.pruned_iter(PruneSpec {
+            volume: 100,
+            deadline: Some(deadline),
+            admit_any: true,
+        });
+        let first = cursor.next().expect("the deadline slot must surface");
+        assert_eq!(first.start().ticks(), deadline);
+        assert_eq!(cursor.skipped_slots(), 7, "slots starting at 0..=60");
+        assert_eq!(cursor.windows_jumped(), 1);
+        // Everything after the deadline surfaces too (the scan, not the
+        // cursor, owns the break).
+        assert_eq!(cursor.count(), 12);
+    }
+
+    #[test]
+    fn single_slot_and_equal_start_degenerate_trees() {
+        // Single slot, feasible.
+        let mut one = TreeSlots::new();
+        one.insert(slot(0, 0, 5, 25)); // capacity 40
+        let mut cursor = one.pruned_iter(spec(40));
+        assert_eq!(cursor.next().map(Slot::id), Some(SlotId(0)));
+        assert_eq!(cursor.next(), None);
+        assert_eq!(cursor.skipped_slots(), 0);
+        // Single slot, dominated.
+        let mut cursor = one.pruned_iter(spec(41));
+        assert_eq!(cursor.next(), None);
+        assert_eq!(cursor.skipped_slots(), 1);
+        assert_eq!(cursor.subtrees_skipped(), 1);
+        // Many slots sharing one start, alternating feasibility.
+        let mut equal = TreeSlots::new();
+        for id in 0..16u64 {
+            let len = if id % 2 == 0 { 30 } else { 3 };
+            equal.insert(slot(id, id as u32, 100, 100 + len));
+        }
+        let mut cursor = equal.pruned_iter(spec(60)); // needs length >= 30
+        let ids: Vec<u64> = cursor.by_ref().map(|s| s.id().0).collect();
+        assert_eq!(ids, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+        assert_eq!(cursor.skipped_slots(), 8);
+    }
+
+    #[test]
+    fn skip_tallies_are_lazy_at_break_points() {
+        // Alternating feasible/dominated slots. After the k-th yield the
+        // tallies must cover exactly the dominated slots *before* it in
+        // scan order — a consumer breaking early sees the same rejection
+        // count a plain scan would have.
+        let mut t = TreeSlots::new();
+        for id in 0..20u64 {
+            let len = if id % 2 == 0 { 12 } else { 5 };
+            t.insert(slot(id, 0, id as i64 * 20, id as i64 * 20 + len));
+        }
+        let mut cursor = t.pruned_iter(spec(20)); // needs length >= 10
+        assert_eq!(cursor.next().map(|s| s.id().0), Some(0));
+        assert_eq!(cursor.skipped_slots(), 0);
+        assert_eq!(cursor.next().map(|s| s.id().0), Some(2));
+        assert_eq!(cursor.skipped_slots(), 1, "only the short slot at id 1");
+        assert_eq!(cursor.windows_jumped(), 1);
+        // Breaking here must not have tallied the shorts after id 2.
+        drop(cursor);
+    }
+
+    #[test]
+    fn first_feasible_start_matches_linear_scan() {
+        let mut t = TreeSlots::new();
+        for id in 0..80u64 {
+            let start = (id as i64 * 29) % 157;
+            t.insert(slot(
+                id,
+                (id % 6) as u32,
+                start,
+                start + 1 + (id as i64 * 7) % 23,
+            ));
+        }
+        let sorted = t.to_sorted_vec();
+        for volume in [0u64, 1, 7, 20, 40, 46, 47, 100, 1_000] {
+            for deadline in [None, Some(0i64), Some(1), Some(80), Some(156), Some(157)] {
+                let linear = sorted
+                    .iter()
+                    .find(|s| {
+                        capacity_of(s) >= u128::from(volume)
+                            && deadline.is_none_or(|d| s.start().ticks() < d)
+                    })
+                    .map(Slot::start);
+                assert_eq!(
+                    t.first_feasible_start(volume, deadline),
+                    linear,
+                    "volume {volume}, deadline {deadline:?}"
+                );
+            }
+        }
+        assert_eq!(TreeSlots::new().first_feasible_start(0, None), None);
     }
 
     #[test]

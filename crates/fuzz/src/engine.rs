@@ -11,7 +11,9 @@
 //!
 //! - **differential** — the incremental-pool scan and the sort-per-step
 //!   reference scan must be pick-for-pick identical, including their
-//!   [`ScanStats`](slotsel_core::aep::ScanStats);
+//!   [`ScanStats`](slotsel_core::aep::ScanStats), and the
+//!   aggregate-pruned scan over a tree-backed copy must match both
+//!   window-for-window, stat-for-stat and trace-byte-for-trace-byte;
 //! - **oracle** — on scenarios small enough for
 //!   [`slotsel_baselines::exhaustive_best`], every policy must agree with
 //!   the oracle on feasibility, the exact policies must match its score,
@@ -26,13 +28,14 @@ use serde::{Deserialize, Serialize};
 
 use slotsel_baselines::oracle::{exhaustive_best_checked, is_additive, subset_space};
 use slotsel_baselines::{bnb_best, OracleTooLarge};
-use slotsel_core::aep::{ScanOutcome, SelectionPolicy};
+use slotsel_core::aep::{scan_traced, ScanOptions, ScanOutcome, SelectionPolicy};
 use slotsel_core::algorithms::{
     Amp, MinCost, MinFinish, MinProcTime, MinRunTime, RuntimeSelection,
 };
 use slotsel_core::criteria::{Criterion, WindowCriterion};
 use slotsel_core::money::Money;
 use slotsel_core::node::{NodeSpec, Platform};
+use slotsel_core::reference::reference_scan_traced;
 use slotsel_core::scenario::Scenario;
 use slotsel_core::slot::{Slot, SlotId};
 use slotsel_core::slotlist::{SlotList, SlotStoreKind};
@@ -185,6 +188,14 @@ pub enum CheckKind {
     /// deterministic cut/release/retain/prune storm applied to both stores
     /// keeps them slot-for-slot identical after every step.
     StoreEquivalence,
+    /// The aggregate-pruned scan over a tree-backed copy is pick-for-pick
+    /// identical to the plain `Vec` pool scan *and* the reference scan,
+    /// across every policy: same windows, same [`ScanStats`] (the pruning
+    /// tallies are excluded from stats equality by contract), and
+    /// byte-identical trace event streams.
+    ///
+    /// [`ScanStats`]: slotsel_core::aep::ScanStats
+    PrunedScanEquivalence,
     /// Shifting every slot (and the deadline) by a constant shifts the
     /// answer and nothing else.
     TimeShift,
@@ -212,6 +223,7 @@ impl CheckKind {
             CheckKind::OracleAgreement => "oracle-agreement",
             CheckKind::BnbCross => "bnb-cross",
             CheckKind::StoreEquivalence => "store-equivalence",
+            CheckKind::PrunedScanEquivalence => "pruned-scan-equivalence",
             CheckKind::TimeShift => "time-shift",
             CheckKind::PriceScale => "price-scale",
             CheckKind::NodePermutation => "node-permutation",
@@ -269,6 +281,7 @@ pub fn run_check(
         CheckKind::OracleAgreement => oracle_agreement(scenario, require_policy(policy)?, seed),
         CheckKind::BnbCross => bnb_cross(scenario),
         CheckKind::StoreEquivalence => store_equivalence(scenario, seed),
+        CheckKind::PrunedScanEquivalence => pruned_scan_equivalence(scenario, seed),
         CheckKind::TimeShift => time_shift(scenario, require_policy(policy)?, seed),
         CheckKind::PriceScale => price_scale(scenario, require_policy(policy)?, seed),
         CheckKind::NodePermutation => node_permutation(scenario, require_policy(policy)?, seed),
@@ -321,6 +334,11 @@ pub fn check_scenario(scenario: &Scenario, seed: u64) -> Vec<Failure> {
         CheckKind::StoreEquivalence,
         None,
         run_check(scenario, CheckKind::StoreEquivalence, None, seed),
+    );
+    record(
+        CheckKind::PrunedScanEquivalence,
+        None,
+        run_check(scenario, CheckKind::PrunedScanEquivalence, None, seed),
     );
     for policy in PolicyKind::ALL {
         for check in CheckKind::PER_POLICY {
@@ -486,6 +504,168 @@ fn bnb_cross(scenario: &Scenario) -> Result<(), String> {
                     describe(&bnb, criterion),
                 ))
             }
+        }
+    }
+    Ok(())
+}
+
+/// Runs one policy over `slots` with a memory recorder attached,
+/// returning the outcome, the serialized trace event stream and the
+/// `"aep.alive"` sample digest `(count, sum)`.
+fn traced_scan_over(
+    kind: PolicyKind,
+    scenario: &Scenario,
+    slots: &SlotList,
+    seed: u64,
+    side: ScanSide,
+) -> (ScanOutcome, Vec<String>, (u64, f64)) {
+    use slotsel_obs::{MemoryRecorder, TraceEvent};
+
+    let mut recorder = MemoryRecorder::new();
+    let outcome = {
+        let mut run = |policy: &mut dyn SelectionPolicy| match side {
+            ScanSide::Pool => scan_traced(
+                &scenario.platform,
+                slots,
+                &scenario.request,
+                policy,
+                ScanOptions::default(),
+                &mut recorder,
+            ),
+            ScanSide::Reference => reference_scan_traced(
+                &scenario.platform,
+                slots,
+                &scenario.request,
+                policy,
+                ScanOptions::default(),
+                &mut recorder,
+            ),
+        };
+        match kind {
+            PolicyKind::Amp => run(&mut Amp.policy()),
+            PolicyKind::MinCost => run(&mut MinCost.policy()),
+            PolicyKind::MinRunTimeGreedy => {
+                run(&mut MinRunTime::with_selection(RuntimeSelection::Greedy).policy())
+            }
+            PolicyKind::MinRunTimeExact => {
+                run(&mut MinRunTime::with_selection(RuntimeSelection::Exact).policy())
+            }
+            PolicyKind::MinFinishGreedy => {
+                run(&mut MinFinish::with_selection(RuntimeSelection::Greedy).policy())
+            }
+            PolicyKind::MinFinishExact => {
+                run(&mut MinFinish::with_selection(RuntimeSelection::Exact).policy())
+            }
+            PolicyKind::MinProcTime => {
+                let mut algo = MinProcTime::with_seed(seed);
+                let mut policy = algo.policy();
+                run(&mut policy)
+            }
+        }
+    };
+    let trace: Vec<String> = recorder
+        .events()
+        .iter()
+        .map(TraceEvent::to_json_line)
+        .collect();
+    let alive = recorder
+        .samples("aep.alive")
+        .map_or((0, 0.0), |h| (h.count(), h.sum()));
+    (outcome, trace, alive)
+}
+
+/// The first line at which two serialized trace streams diverge, for
+/// failure messages.
+fn first_trace_divergence(a: &[String], b: &[String]) -> String {
+    let at = a
+        .iter()
+        .zip(b.iter())
+        .position(|(x, y)| x != y)
+        .unwrap_or_else(|| a.len().min(b.len()));
+    format!(
+        "event {at}: {} vs {}",
+        a.get(at).map_or("<end of trace>", String::as_str),
+        b.get(at).map_or("<end of trace>", String::as_str),
+    )
+}
+
+fn pruned_scan_equivalence(scenario: &Scenario, seed: u64) -> Result<(), String> {
+    // Same preconditions as store-equivalence: the tree store rejects
+    // duplicate slot ids and unsorted lists, both already flagged by the
+    // validity check.
+    let mut seen = std::collections::HashSet::new();
+    if !scenario.slots.iter().all(|s| seen.insert(s.id())) || !scenario.slots.is_sorted() {
+        return Ok(());
+    }
+
+    let mut vec_list = scenario.slots.clone();
+    vec_list.convert(SlotStoreKind::Vec);
+    let mut tree_list = scenario.slots.clone();
+    tree_list.convert(SlotStoreKind::Tree);
+
+    for policy in PolicyKind::ALL {
+        // The tree pool scan takes the aggregate-pruned cursor; the Vec
+        // pool scan and the reference scan are its two oracles.
+        let (tree, tree_trace, tree_alive) =
+            traced_scan_over(policy, scenario, &tree_list, seed, ScanSide::Pool);
+        let (vec_pool, vec_trace, vec_alive) =
+            traced_scan_over(policy, scenario, &vec_list, seed, ScanSide::Pool);
+        let (reference, ref_trace, ref_alive) =
+            traced_scan_over(policy, scenario, &vec_list, seed, ScanSide::Reference);
+
+        for (oracle_name, oracle, oracle_trace, oracle_alive) in [
+            ("vec pool scan", &vec_pool, &vec_trace, vec_alive),
+            ("reference scan", &reference, &ref_trace, ref_alive),
+        ] {
+            if tree.best != oracle.best {
+                return Err(format!(
+                    "{}: pruned scan found {} but {oracle_name} found {}",
+                    policy.name(),
+                    describe(&tree.best, policy.criterion()),
+                    describe(&oracle.best, policy.criterion()),
+                ));
+            }
+            if tree.stats != oracle.stats {
+                return Err(format!(
+                    "{}: pruned scan stats diverge from {oracle_name}: {:?} vs {:?}",
+                    policy.name(),
+                    tree.stats,
+                    oracle.stats,
+                ));
+            }
+            if tree_trace != *oracle_trace {
+                return Err(format!(
+                    "{}: pruned scan trace diverges from {oracle_name} at {}",
+                    policy.name(),
+                    first_trace_divergence(&tree_trace, oracle_trace),
+                ));
+            }
+            if tree_alive != oracle_alive {
+                return Err(format!(
+                    "{}: pruned scan aep.alive samples diverge from {oracle_name}: \
+                     {tree_alive:?} vs {oracle_alive:?}",
+                    policy.name(),
+                ));
+            }
+        }
+
+        // The new counters are diagnostics, but they must still be
+        // internally consistent: skips are rejections, every jump skipped
+        // at least one slot, and the Vec scan never prunes.
+        if tree.stats.windows_jumped > tree.stats.slots_rejected {
+            return Err(format!(
+                "{}: pruned scan reports {} jumps but only {} rejections",
+                policy.name(),
+                tree.stats.windows_jumped,
+                tree.stats.slots_rejected,
+            ));
+        }
+        if vec_pool.stats.subtrees_skipped != 0 || vec_pool.stats.windows_jumped != 0 {
+            return Err(format!(
+                "{}: vec scan reports pruning work: {:?}",
+                policy.name(),
+                vec_pool.stats,
+            ));
         }
     }
     Ok(())

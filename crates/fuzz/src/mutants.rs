@@ -2,9 +2,10 @@
 //!
 //! Compiled only under `--features mutants`, never by default. Each mutant
 //! plants one realistic bug — an off-by-one on the deadline break, a
-//! dropped liveness prune, a strict instead of inclusive budget comparison
-//! — and the detection suite asserts the differential engine notices every
-//! one of them within a few hundred tiny scenarios. This is a live
+//! dropped liveness prune, a strict instead of inclusive budget comparison,
+//! a corrupted pruning rule in the aggregate-driven tree cursor — and the
+//! detection suite asserts the differential engine notices every one of
+//! them within a few hundred tiny scenarios. This is a live
 //! measurement of the fuzzer's teeth: a check battery that cannot catch a
 //! seeded bug would not catch a real one either.
 
@@ -17,6 +18,7 @@ use slotsel_core::money::Money;
 use slotsel_core::request::ResourceRequest;
 use slotsel_core::scenario::Scenario;
 use slotsel_core::selectors::{build_window, cheapest_n, min_runtime_exact, Candidate};
+use slotsel_core::slot::Slot;
 use slotsel_core::time::TimePoint;
 use slotsel_core::validate::validate_window;
 use slotsel_core::window::Window;
@@ -60,6 +62,31 @@ pub enum PolicyBug {
     LongestRuntime,
 }
 
+/// Bugs planted inside the aggregate-pruned tree cursor (the scan loop
+/// and the policy both stay healthy). Each corrupts one pruning rule of
+/// the cursor the tree-backed AEP scan walks; the detection suite proves
+/// the pruned-scan differential checks notice every one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneBug {
+    /// The "every slot too short" cutoff uses `<=` instead of `<`:
+    /// subtrees whose best slot fits the requested volume *exactly* are
+    /// wrongly skipped, so exact-fit windows vanish.
+    CapacityCutoffOffByOne,
+    /// Price-based pruning with the bound inverted: subtrees whose
+    /// cheapest slot is *under* the request's price cap — precisely the
+    /// admittable ones — get skipped. (The healthy cursor prunes on no
+    /// price bound at all: price never causes a per-slot scan rejection.)
+    InvertedPriceBound,
+    /// The deadline gate reads the subtree root's own start instead of
+    /// the `max_start` aggregate — the classic stale/wrong-aggregate bug:
+    /// subtrees reaching past the deadline get skipped wholesale and the
+    /// scan's deadline break point is counted as a rejection.
+    StaleDeadlineGate,
+    /// Whole-subtree skips credit `count - 1` slots into the rejection
+    /// tally, so `slots_rejected` undercounts whenever pruning fires.
+    SkippedSubtreeUndercount,
+}
+
 /// What kind of code the bug lives in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MutantKind {
@@ -67,6 +94,8 @@ pub enum MutantKind {
     Scan(ScanBug),
     /// Healthy scan loop driving a buggy policy.
     Policy(PolicyBug),
+    /// Healthy scan loop fed by a buggy aggregate-pruned cursor.
+    Prune(PruneBug),
 }
 
 /// One seeded bug the engine must be able to detect.
@@ -134,6 +163,26 @@ pub fn all() -> Vec<Mutant> {
             policy: PolicyKind::MinRunTimeExact,
             kind: MutantKind::Policy(PolicyBug::LongestRuntime),
         },
+        Mutant {
+            name: "prune-capacity-cutoff-off-by-one",
+            policy: PolicyKind::MinCost,
+            kind: MutantKind::Prune(PruneBug::CapacityCutoffOffByOne),
+        },
+        Mutant {
+            name: "prune-inverted-price-bound",
+            policy: PolicyKind::MinCost,
+            kind: MutantKind::Prune(PruneBug::InvertedPriceBound),
+        },
+        Mutant {
+            name: "prune-stale-deadline-gate",
+            policy: PolicyKind::Amp,
+            kind: MutantKind::Prune(PruneBug::StaleDeadlineGate),
+        },
+        Mutant {
+            name: "prune-skipped-subtree-undercount",
+            policy: PolicyKind::MinFinishExact,
+            kind: MutantKind::Prune(PruneBug::SkippedSubtreeUndercount),
+        },
     ]
 }
 
@@ -149,6 +198,9 @@ impl Mutant {
                 let mut policy = BuggyPolicy { bug };
                 scenario.scan_reference(&mut policy)
             }
+            MutantKind::Prune(bug) => with_policy(self.policy, seed, |policy| {
+                buggy_pruned_scan(scenario, policy, bug)
+            }),
         }
     }
 }
@@ -315,6 +367,221 @@ fn buggy_reference_scan(
             }
         }
     }
+
+    ScanOutcome {
+        best: best.map(|(_, w)| w),
+        stats,
+    }
+}
+
+/// Work capacity of a slot in exact integer arithmetic — replica of the
+/// tree store's aggregate: `length >= time_for(volume)` iff
+/// `capacity >= volume.work()`.
+fn capacity_of(slot: &Slot) -> u128 {
+    slot.length().ticks().max(0) as u128 * u128::from(slot.performance().rate())
+}
+
+/// A replica of `TreeSlots::pruned_iter` over an *implicit* balanced tree
+/// built on the sorted slot sequence (node = midpoint of its range), with
+/// one [`PruneBug`] planted. It mirrors the real cursor's in-order walk,
+/// lazy right-subtree deferral and skip predicates, recomputing each
+/// range's aggregates on the fly; with no bug it reproduces the plain
+/// reference scan exactly.
+struct BuggyPrunedCursor<'a> {
+    slots: &'a [Slot],
+    /// In-order stack of `(mid, hi)` pairs: node index and the exclusive
+    /// end of its right subtree's range.
+    stack: Vec<(usize, usize)>,
+    /// Right subtree of the last yielded/skipped node, descended lazily at
+    /// the next `next()` call so skip tallies never run ahead of a break.
+    pending_right: Option<(usize, usize)>,
+    volume: u64,
+    deadline: Option<TimePoint>,
+    admit_any: bool,
+    price_cap: Option<Money>,
+    prune_enabled: bool,
+    bug: PruneBug,
+    skipped: usize,
+}
+
+impl<'a> BuggyPrunedCursor<'a> {
+    fn range_skippable(&self, lo: usize, hi: usize) -> bool {
+        if !self.prune_enabled {
+            return false;
+        }
+        let range = &self.slots[lo..hi];
+        let max_capacity = range.iter().map(capacity_of).max().unwrap_or(0);
+        let all_too_short = match self.bug {
+            // BUG: `<=` instead of `<` — exact fits treated as too short.
+            PruneBug::CapacityCutoffOffByOne => max_capacity <= u128::from(self.volume),
+            _ => max_capacity < u128::from(self.volume),
+        };
+        let deadline_safe = match (self.bug, self.deadline) {
+            (_, None) => true,
+            // BUG: gates on the subtree root's own start instead of the
+            // `max_start` aggregate.
+            (PruneBug::StaleDeadlineGate, Some(d)) => {
+                let mid = lo + (hi - lo) / 2;
+                self.slots[mid].start() < d
+            }
+            (_, Some(d)) => range.iter().map(Slot::start).max().is_some_and(|s| s < d),
+        };
+        if self.bug == PruneBug::InvertedPriceBound && deadline_safe {
+            // BUG: a price rule the healthy cursor does not have at all,
+            // with the bound inverted — skips every subtree containing a
+            // slot *cheaper* than the request's cap.
+            let min_price = range.iter().map(|s| s.price_per_unit()).min();
+            if let (Some(cap), Some(low)) = (self.price_cap, min_price) {
+                if low < cap {
+                    return true;
+                }
+            }
+        }
+        (!self.admit_any || all_too_short) && deadline_safe
+    }
+
+    fn slot_skippable(&self, slot: &Slot) -> bool {
+        if !self.prune_enabled {
+            return false;
+        }
+        let too_short = match self.bug {
+            PruneBug::CapacityCutoffOffByOne => capacity_of(slot) <= u128::from(self.volume),
+            _ => capacity_of(slot) < u128::from(self.volume),
+        };
+        let deadline_safe = self.deadline.is_none_or(|d| slot.start() < d);
+        if self.bug == PruneBug::InvertedPriceBound
+            && deadline_safe
+            && self
+                .price_cap
+                .is_some_and(|cap| slot.price_per_unit() < cap)
+        {
+            return true;
+        }
+        (!self.admit_any || too_short) && deadline_safe
+    }
+
+    /// Pushes the left spine of `[lo, hi)`, skipping whole subtrees whose
+    /// aggregates prove every slot dominated.
+    fn descend(&mut self, lo: usize, mut hi: usize) {
+        while lo < hi {
+            if self.range_skippable(lo, hi) {
+                let size = hi - lo;
+                self.skipped += match self.bug {
+                    // BUG: one slot per skipped subtree goes uncounted.
+                    PruneBug::SkippedSubtreeUndercount => size.saturating_sub(1),
+                    _ => size,
+                };
+                return;
+            }
+            let mid = lo + (hi - lo) / 2;
+            self.stack.push((mid, hi));
+            hi = mid;
+        }
+    }
+
+    fn next(&mut self) -> Option<&'a Slot> {
+        loop {
+            if let Some((lo, hi)) = self.pending_right.take() {
+                self.descend(lo, hi);
+            }
+            let (mid, hi) = self.stack.pop()?;
+            self.pending_right = Some((mid + 1, hi));
+            let slot = &self.slots[mid];
+            if self.slot_skippable(slot) {
+                self.skipped += 1;
+                continue;
+            }
+            return Some(slot);
+        }
+    }
+}
+
+/// The healthy reference loop fed by a [`BuggyPrunedCursor`]: slots the
+/// cursor prunes away are credited to `slots_rejected` after the loop,
+/// exactly like the real tree-backed scan settles its cursor.
+fn buggy_pruned_scan(
+    scenario: &Scenario,
+    policy: &mut dyn SelectionPolicy,
+    bug: PruneBug,
+) -> ScanOutcome {
+    let request = &scenario.request;
+    let platform = &scenario.platform;
+    let slots: Vec<Slot> = scenario.slots.iter().copied().collect();
+    // The tree store only holds strictly increasing (start, id) keys; on
+    // malformed lists the real scan keeps the plain in-order walk, so the
+    // replica disables pruning there too and the bug stays dormant.
+    let prune_enabled = slots
+        .windows(2)
+        .all(|pair| (pair[0].start(), pair[0].id()) < (pair[1].start(), pair[1].id()));
+    let mut cursor = BuggyPrunedCursor {
+        slots: &slots,
+        stack: Vec::new(),
+        pending_right: None,
+        volume: request.volume().work(),
+        deadline: request.deadline(),
+        admit_any: platform
+            .iter()
+            .any(|node| request.requirements().admits(node)),
+        price_cap: request.requirements().price_cap(),
+        prune_enabled,
+        bug,
+        skipped: 0,
+    };
+    cursor.descend(0, slots.len());
+
+    let n = request.node_count();
+    let mut alive: Vec<Candidate> = Vec::new();
+    let mut stats = ScanStats::default();
+    let mut best: Option<(f64, Window)> = None;
+
+    while let Some(slot) = cursor.next() {
+        let slot = *slot;
+        let window_start = slot.start();
+        if request.deadline().is_some_and(|d| window_start >= d) {
+            break;
+        }
+        let admitted = platform
+            .get(slot.node())
+            .is_some_and(|node| request.requirements().admits(node));
+        if !admitted {
+            stats.slots_rejected += 1;
+            continue;
+        }
+        let candidate = Candidate::new(slot, request.volume());
+        if slot.length() < candidate.length {
+            stats.slots_rejected += 1;
+            continue;
+        }
+        let survives = |c: &Candidate| {
+            c.alive_at(window_start)
+                && request
+                    .deadline()
+                    .is_none_or(|d| window_start + c.length <= d)
+        };
+        alive.retain(|c| c.slot.node() != candidate.slot.node() && survives(c));
+        if survives(&candidate) {
+            alive.push(candidate);
+        }
+        stats.slots_admitted += 1;
+        stats.peak_extended_window = stats.peak_extended_window.max(alive.len());
+
+        if alive.len() < n {
+            continue;
+        }
+        if let Some(picked) = policy.pick(window_start, &alive, request) {
+            let window = build_window(window_start, &alive, &picked);
+            let score = policy.score(&window);
+            stats.windows_evaluated += 1;
+            if best.as_ref().is_none_or(|(s, _)| score < *s) {
+                best = Some((score, window));
+            }
+            if policy.stop_at_first() {
+                break;
+            }
+        }
+    }
+    // Pruned-away slots are rejections the loop never saw.
+    stats.slots_rejected += cursor.skipped;
 
     ScanOutcome {
         best: best.map(|(_, w)| w),

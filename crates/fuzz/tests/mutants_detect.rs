@@ -4,36 +4,131 @@
 
 #![cfg(feature = "mutants")]
 
+use slotsel_core::money::Money;
+use slotsel_core::node::{NodeId, NodeSpec, Performance, Platform, Volume};
+use slotsel_core::request::{NodeRequirements, ResourceRequest};
+use slotsel_core::scenario::Scenario;
+use slotsel_core::slot::{Slot, SlotId};
+use slotsel_core::slotlist::SlotList;
+use slotsel_core::time::{Interval, TimePoint};
 use slotsel_fuzz::mutants::{all, caught_on};
 use slotsel_fuzz::scenario::{ScenarioGen, SizeTier};
 
 const CASES: u64 = 400;
 
+fn node(id: u32, rate: u32, price: i64) -> NodeSpec {
+    NodeSpec::builder(id)
+        .performance(Performance::new(rate))
+        .price_per_unit(Money::from_units(price))
+        .build()
+}
+
+fn slot(id: u64, node: u32, a: i64, b: i64) -> Slot {
+    Slot::new(
+        SlotId(id),
+        NodeId(node),
+        Interval::new(TimePoint::new(a), TimePoint::new(b)),
+        Performance::new(2),
+        Money::from_units(2),
+    )
+}
+
+/// Handcrafted scenarios aimed at pruning bugs whose trigger conditions
+/// — exact-fit capacities, price-capped requests, deadline-straddling
+/// subtrees — are rare in the generated tiers. Every mutant gets these
+/// first, then the generated campaign.
+fn handcrafted_killers() -> Vec<Scenario> {
+    let platform = Platform::new(vec![node(0, 2, 2)]);
+    let budget = Money::from_units(1_000_000);
+
+    // Capacity exactly equal to the volume on the only feasible slot: an
+    // off-by-one `<=` cutoff prunes the sole window away.
+    let exact_fit = Scenario::new(
+        platform.clone(),
+        SlotList::from_slots(vec![
+            slot(0, 0, 0, 5),   // capacity 10: too short
+            slot(1, 0, 10, 30), // capacity 40 == volume.work(): exact fit
+            slot(2, 0, 40, 45), // capacity 10: too short
+        ]),
+        ResourceRequest::builder()
+            .node_count(1)
+            .volume(Volume::new(40))
+            .budget(budget)
+            .build()
+            .expect("exact-fit request is valid"),
+    );
+
+    // A price-capped request over cheap admittable slots: an inverted
+    // price bound prunes exactly the affordable part of the list.
+    let price_capped = Scenario::new(
+        platform.clone(),
+        SlotList::from_slots(vec![slot(0, 0, 0, 100), slot(1, 0, 120, 220)]),
+        ResourceRequest::builder()
+            .node_count(1)
+            .volume(Volume::new(40))
+            .budget(budget)
+            .requirements(NodeRequirements::any().max_price_per_unit(Money::from_units(5)))
+            .build()
+            .expect("price-capped request is valid"),
+    );
+
+    // Every slot too short and a subtree straddling the deadline: a stale
+    // deadline gate swallows past-deadline slots the scan must break on,
+    // and a subtree-skip undercount drops one rejection per skip.
+    let straddle = Scenario::new(
+        platform,
+        SlotList::from_slots(
+            (0..8)
+                .map(|i| slot(i, 0, i as i64 * 10, i as i64 * 10 + 1))
+                .collect(),
+        ),
+        ResourceRequest::builder()
+            .node_count(1)
+            .volume(Volume::new(1_000))
+            .budget(budget)
+            .deadline(TimePoint::new(45))
+            .build()
+            .expect("straddle request is valid"),
+    );
+
+    vec![exact_fit, price_capped, straddle]
+}
+
 #[test]
-fn at_least_eight_mutants_are_seeded() {
-    assert!(all().len() >= 8, "only {} mutants seeded", all().len());
+fn at_least_fourteen_mutants_are_seeded() {
+    assert!(all().len() >= 14, "only {} mutants seeded", all().len());
 }
 
 #[test]
 fn every_mutant_is_detected() {
     let gen = ScenarioGen::new(0xDEAD_10CC, SizeTier::Tiny);
+    let killers = handcrafted_killers();
     let mut missed = Vec::new();
     for mutant in all() {
         let mut caught_at = None;
-        for index in 0..CASES {
-            let case = gen.case(index);
-            if caught_on(&mutant, &case.scenario, case.seed) {
-                caught_at = Some(index);
+        for (index, scenario) in killers.iter().enumerate() {
+            if caught_on(&mutant, scenario, 7) {
+                caught_at = Some(format!("killer {index}"));
                 break;
             }
         }
+        if caught_at.is_none() {
+            for index in 0..CASES {
+                let case = gen.case(index);
+                if caught_on(&mutant, &case.scenario, case.seed) {
+                    caught_at = Some(format!("case {index}"));
+                    break;
+                }
+            }
+        }
         match caught_at {
-            Some(index) => eprintln!("mutant {:<26} caught at case {index}", mutant.name),
+            Some(at) => eprintln!("mutant {:<32} caught at {at}", mutant.name),
             None => missed.push(mutant.name),
         }
     }
     assert!(
         missed.is_empty(),
-        "mutants not detected within {CASES} tiny scenarios: {missed:?}"
+        "mutants not detected within {} killers + {CASES} tiny scenarios: {missed:?}",
+        killers.len()
     );
 }
