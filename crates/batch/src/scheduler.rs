@@ -19,7 +19,10 @@ use serde::{Deserialize, Serialize};
 
 use slotsel_obs::journal::{Journal, NoopJournal};
 use slotsel_obs::json::ObjectWriter;
-use slotsel_obs::{Metrics, NoopMetrics, NoopRecorder, Recorder, Stopwatch, TraceEvent};
+use slotsel_obs::{
+    Metrics, NoopMetrics, NoopRecorder, NoopSpanSink, Recorder, SpanId, SpanSink, Stopwatch,
+    TraceEvent,
+};
 
 use slotsel_core::money::Money;
 use slotsel_core::node::Platform;
@@ -315,7 +318,53 @@ impl BatchScheduler {
         metrics: &M,
         journal: &mut J,
     ) -> BatchSchedule {
+        self.schedule_spanned(
+            platform,
+            slots,
+            jobs,
+            recorder,
+            metrics,
+            journal,
+            &mut NoopSpanSink,
+        )
+    }
+
+    /// Runs one scheduling cycle with tracing, metrics, a journal **and**
+    /// hierarchical spans.
+    ///
+    /// On top of [`schedule_journaled`](Self::schedule_journaled)'s
+    /// behaviour, when `spans` is [enabled](SpanSink::enabled) the cycle
+    /// records a `"batch.schedule"` root span with three phase children —
+    /// `"batch.phase1"` (one `"csa.search"`/`"aep.scan"` grandchild per
+    /// job, via [`SearchStrategy::find_alternatives_spanned`]),
+    /// `"batch.phase2"` (MCKP instance size and solver mode as
+    /// attributes) and `"batch.commit"` (committed/deferred counts).
+    ///
+    /// With [`NoopSpanSink`] the span branches are dead code and this is
+    /// exactly [`schedule_journaled`](Self::schedule_journaled) — same
+    /// schedule, trace, metrics and journal, bit for bit (which delegates
+    /// here).
+    #[must_use]
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+    pub fn schedule_spanned<R: Recorder, M: Metrics, J: Journal, S: SpanSink>(
+        &self,
+        platform: &Platform,
+        slots: &SlotList,
+        jobs: &[Job],
+        recorder: &mut R,
+        metrics: &M,
+        journal: &mut J,
+        spans: &mut S,
+    ) -> BatchSchedule {
         let metered = metrics.enabled();
+        let spanning = spans.enabled();
+        let root = if spanning {
+            let root = spans.open("batch.schedule");
+            spans.attr_u64("jobs", jobs.len() as u64);
+            root
+        } else {
+            SpanId::NONE
+        };
         let mut ordered: Vec<&Job> = jobs.iter().collect();
         ordered.sort_by_key(|j| (std::cmp::Reverse(j.priority()), j.id()));
 
@@ -338,6 +387,11 @@ impl BatchScheduler {
         // for itself many times over: every job's CSA search then cuts in
         // O(log m) and scans through the aggregate-pruned cursor, and the
         // promoted copy is shared (read-only) across all jobs.
+        let phase1 = if spanning {
+            Some(spans.open("batch.phase1"))
+        } else {
+            None
+        };
         let watch = Stopwatch::start_if(recorder.enabled() || metered);
         let promoted = promote_for_search(slots);
         let slots = promoted.as_ref().unwrap_or(slots);
@@ -353,8 +407,13 @@ impl BatchScheduler {
                     .iter()
                     .find(|(id, _)| *id == job.id())
                     .map_or(default_search, |&(_, s)| s);
-                let found =
-                    strategy.find_alternatives_metered(platform, slots, job.request(), metrics);
+                let found = strategy.find_alternatives_spanned(
+                    platform,
+                    slots,
+                    job.request(),
+                    metrics,
+                    spans,
+                );
                 if recorder.enabled() {
                     recorder.emit(TraceEvent::AlternativesFound {
                         job: u64::from(job.id().0),
@@ -384,9 +443,21 @@ impl BatchScheduler {
                 );
             }
         }
+        if let Some(span) = phase1 {
+            spans.attr_u64(
+                "alternatives",
+                alternatives.iter().map(Vec::len).sum::<usize>() as u64,
+            );
+            spans.close(span);
+        }
 
         // Phase 2: one alternative per schedulable job, extreme by the
         // batch objective under the VO budget.
+        let phase2 = if spanning {
+            Some(spans.open("batch.phase2"))
+        } else {
+            None
+        };
         let watch = Stopwatch::start_if(recorder.enabled() || metered);
         let schedulable: Vec<usize> = alternatives
             .iter()
@@ -466,8 +537,19 @@ impl BatchScheduler {
                 );
             }
         }
+        if let Some(span) = phase2 {
+            spans.attr_u64("classes", classes.len() as u64);
+            spans.attr_u64("items", classes.iter().map(Vec::len).sum::<usize>() as u64);
+            spans.attr_str("mode", mckp_mode);
+            spans.close(span);
+        }
 
         // Commit in priority order with conflict resolution.
+        let commit = if spanning {
+            Some(spans.open("batch.commit"))
+        } else {
+            None
+        };
         let watch = Stopwatch::start_if(recorder.enabled() || metered);
         let mut committed: Vec<Window> = Vec::new();
         let mut spent = Money::ZERO;
@@ -551,6 +633,11 @@ impl BatchScheduler {
             }
         }
         let schedule = BatchSchedule { assignments };
+        if let Some(span) = commit {
+            spans.attr_u64("committed", schedule.scheduled() as u64);
+            spans.attr_u64("deferred", schedule.deferred() as u64);
+            spans.close(span);
+        }
         if journal.enabled() {
             // One commit per cycle: the batch's records become durable
             // together.
@@ -570,6 +657,9 @@ impl BatchScheduler {
                 schedule.deferred() as u64,
             );
             metrics.gauge_set("slotsel_batch_spent_credits", &[], spent.as_f64());
+        }
+        if spanning {
+            spans.close(root);
         }
         schedule
     }
@@ -1108,6 +1198,61 @@ mod tests {
             for j in (i + 1)..windows.len() {
                 assert!(!windows_conflict(windows[i], windows[j]), "{i} vs {j}");
             }
+        }
+    }
+
+    #[test]
+    fn spanned_schedule_matches_plain_and_records_phase_tree() {
+        use slotsel_obs::MemorySpanSink;
+        let p = platform(8, 3, 2.0);
+        let slots = idle(&p, 600);
+        let jobs: Vec<Job> = (0..4).map(|i| job(i, i, 2, 100, 10_000.0)).collect();
+        let scheduler = BatchScheduler::default();
+        let plain = scheduler.schedule(&p, &slots, &jobs);
+
+        // Disabled sink: identical schedule through the spanned path.
+        let dark = scheduler.schedule_spanned(
+            &p,
+            &slots,
+            &jobs,
+            &mut NoopRecorder,
+            &NoopMetrics,
+            &mut NoopJournal,
+            &mut NoopSpanSink,
+        );
+        assert_eq!(dark.assignments, plain.assignments);
+
+        // Enabled sink: still identical, and the root span carries the
+        // phase children plus one aep.scan per CSA inner select.
+        let mut sink = MemorySpanSink::new();
+        let spanned = scheduler.schedule_spanned(
+            &p,
+            &slots,
+            &jobs,
+            &mut NoopRecorder,
+            &NoopMetrics,
+            &mut NoopJournal,
+            &mut sink,
+        );
+        assert_eq!(spanned.assignments, plain.assignments);
+        let records = sink.take_records();
+        let root = records
+            .iter()
+            .find(|r| r.name == "batch.schedule")
+            .expect("root span");
+        for phase in ["batch.phase1", "batch.phase2", "batch.commit"] {
+            assert!(
+                records
+                    .iter()
+                    .any(|r| r.name == phase && r.parent == root.id),
+                "missing {phase} under the root"
+            );
+        }
+        assert!(records.iter().any(|r| r.name == "csa.search"));
+        assert!(records.iter().any(|r| r.name == "aep.scan"));
+        // Every non-root span nests inside the root's interval.
+        for record in &records {
+            assert!(record.start_us >= root.start_us && record.end_us <= root.end_us);
         }
     }
 }

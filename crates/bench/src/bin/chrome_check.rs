@@ -1,0 +1,49 @@
+//! Validates a Chrome trace-event JSON document against the span
+//! exporter's invariants (see `slotsel_obs::chrome::validate`): every
+//! event carries the required fields, every referenced parent exists in
+//! the same process with the child's interval nested inside it, and the
+//! spans on each (process, track) lane form a laminar family.
+//!
+//! ```text
+//! cargo run --release -p slotsel-bench --bin chrome-check -- <trace.json>
+//! ```
+//!
+//! CI feeds it the output of `trace-report --chrome` and of the live
+//! daemon's `GET /debug/trace`; a schema or nesting violation exits
+//! non-zero with the offending event named.
+
+use std::process::ExitCode;
+
+use slotsel_obs::chrome;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(path) = args.get(1).filter(|p| !p.starts_with('-')) else {
+        eprintln!("usage: chrome-check <trace.json>");
+        eprintln!("validates Chrome trace-event JSON nesting and schema");
+        return ExitCode::FAILURE;
+    };
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("chrome-check: cannot read {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match chrome::validate(&text) {
+        Ok(summary) => {
+            println!(
+                "{path}: ok — {} events ({} spans, {} instants) across \
+                 {} process(es), {} track(s)",
+                summary.events, summary.spans, summary.instants, summary.processes, summary.tracks
+            );
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("chrome-check: {path}: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}

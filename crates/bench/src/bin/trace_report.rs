@@ -17,7 +17,7 @@ use std::fs::File;
 use std::io::BufReader;
 use std::process::ExitCode;
 
-use slotsel_obs::{Histogram, Timer, TraceEvent, TraceReader};
+use slotsel_obs::{chrome, Histogram, SpanId, SpanRecord, Timer, TraceEvent, TraceReader};
 
 /// Scan statistics accumulated per selection policy.
 #[derive(Default)]
@@ -29,6 +29,8 @@ struct PolicyStats {
     slots_rejected: Histogram,
     windows_evaluated: Histogram,
     peak_alive: Histogram,
+    subtrees_skipped: Histogram,
+    windows_jumped: Histogram,
     best_updates: Histogram,
     best_score: Histogram,
     pending_updates: u64,
@@ -112,6 +114,8 @@ impl Report {
                 slots_rejected,
                 windows_evaluated,
                 peak_alive,
+                subtrees_skipped,
+                windows_jumped,
                 found,
                 best_score,
             } => {
@@ -121,6 +125,8 @@ impl Report {
                 stats.slots_rejected.observe(slots_rejected as f64);
                 stats.windows_evaluated.observe(windows_evaluated as f64);
                 stats.peak_alive.observe(peak_alive as f64);
+                stats.subtrees_skipped.observe(subtrees_skipped as f64);
+                stats.windows_jumped.observe(windows_jumped as f64);
                 stats.best_updates.observe(stats.pending_updates as f64);
                 stats.pending_updates = 0;
                 if found {
@@ -185,6 +191,79 @@ impl Report {
     }
 }
 
+/// Rebuilds an *approximate* Chrome-trace layout from a flat JSONL trace
+/// for `--chrome`. The trace stores durations, not start timestamps, so
+/// each distinct `Timing` name gets its own track and its samples are
+/// laid end-to-end along it: the result shows relative weight per
+/// subsystem, not true concurrency. Job-lifecycle events become instant
+/// markers on track 0 in trace order. Live span trees (with real
+/// timestamps and nesting) come from the serve daemon's `GET
+/// /debug/trace` instead.
+#[derive(Default)]
+struct ChromeLayout {
+    tracks: BTreeMap<String, u32>,
+    cursors: BTreeMap<u32, u64>,
+    records: Vec<SpanRecord>,
+    next_id: u64,
+    clock: u64,
+}
+
+impl ChromeLayout {
+    fn span(&mut self, name: &str, nanos: u64) {
+        let next_track = self.tracks.len() as u32 + 1;
+        let track = *self.tracks.entry(name.to_owned()).or_insert(next_track);
+        let cursor = self.cursors.entry(track).or_insert(0);
+        let duration_us = nanos / 1_000;
+        self.next_id += 1;
+        self.records.push(SpanRecord {
+            id: SpanId(self.next_id),
+            parent: SpanId::NONE,
+            name: name.to_owned(),
+            track,
+            start_us: *cursor,
+            end_us: *cursor + duration_us,
+            attrs: Vec::new(),
+            instant: false,
+        });
+        *cursor += duration_us.max(1);
+        self.clock = self.clock.max(*cursor);
+    }
+
+    fn mark(&mut self, name: &str) {
+        self.clock += 1;
+        self.next_id += 1;
+        self.records.push(SpanRecord {
+            id: SpanId(self.next_id),
+            parent: SpanId::NONE,
+            name: name.to_owned(),
+            track: 0,
+            start_us: self.clock,
+            end_us: self.clock,
+            attrs: Vec::new(),
+            instant: true,
+        });
+    }
+
+    fn ingest(&mut self, event: &TraceEvent) {
+        match event {
+            TraceEvent::Timing { name, nanos } => self.span(name, *nanos),
+            TraceEvent::JobCommitted { .. } => self.mark("job.committed"),
+            TraceEvent::JobDeferred { .. } => self.mark("job.deferred"),
+            TraceEvent::JobRescued { .. } => self.mark("job.rescued"),
+            TraceEvent::JobLost { .. } => self.mark("job.lost"),
+            TraceEvent::SlotRevoked { .. } => self.mark("slot.revoked"),
+            TraceEvent::NodeFailed { .. } => self.mark("node.failed"),
+            TraceEvent::NodeRestored { .. } => self.mark("node.restored"),
+            _ => {}
+        }
+    }
+
+    fn render(&self) -> String {
+        let groups: Vec<(u64, &[SpanRecord])> = vec![(0, self.records.as_slice())];
+        chrome::render(&groups)
+    }
+}
+
 fn mean(histogram: &Histogram) -> f64 {
     histogram.mean().unwrap_or(0.0)
 }
@@ -196,7 +275,7 @@ fn render(report: &Report) {
     if !report.policies.is_empty() {
         println!("\nAEP scans (means per scan, by selection policy)\n");
         println!(
-            "{:<12} {:>7} {:>7} {:>9} {:>9} {:>9} {:>10} {:>9} {:>12}",
+            "{:<12} {:>7} {:>7} {:>9} {:>9} {:>9} {:>10} {:>9} {:>9} {:>8} {:>12}",
             "policy",
             "scans",
             "found",
@@ -205,11 +284,13 @@ fn render(report: &Report) {
             "rejected",
             "windows",
             "alive",
+            "skipped",
+            "jumped",
             "best score"
         );
         for (policy, s) in &report.policies {
             println!(
-                "{:<12} {:>7} {:>6.1}% {:>9.1} {:>9.1} {:>9.1} {:>10.1} {:>9.1} {:>12.2}",
+                "{:<12} {:>7} {:>6.1}% {:>9.1} {:>9.1} {:>9.1} {:>10.1} {:>9.1} {:>9.1} {:>8.1} {:>12.2}",
                 policy,
                 s.scans,
                 if s.scans == 0 {
@@ -222,6 +303,8 @@ fn render(report: &Report) {
                 mean(&s.slots_rejected),
                 mean(&s.windows_evaluated),
                 mean(&s.peak_alive),
+                mean(&s.subtrees_skipped),
+                mean(&s.windows_jumped),
                 mean(&s.best_score),
             );
         }
@@ -314,9 +397,11 @@ fn render(report: &Report) {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
+    let chrome_mode = args.iter().any(|a| a == "--chrome");
     let Some(path) = args.get(1).filter(|p| !p.starts_with('-')) else {
-        eprintln!("usage: trace-report <trace.jsonl>");
-        eprintln!("aggregates a slotsel-obs JSONL trace into summary tables");
+        eprintln!("usage: trace-report <trace.jsonl> [--chrome]");
+        eprintln!("aggregates a slotsel-obs JSONL trace into summary tables;");
+        eprintln!("--chrome emits an approximate Chrome trace-event JSON instead");
         return ExitCode::FAILURE;
     };
 
@@ -329,14 +414,25 @@ fn main() -> ExitCode {
     };
 
     let mut report = Report::default();
+    let mut layout = ChromeLayout::default();
     for event in TraceReader::new(BufReader::new(file)) {
         match event {
-            Ok(event) => report.ingest(event),
+            Ok(event) => {
+                if chrome_mode {
+                    layout.ingest(&event);
+                } else {
+                    report.ingest(event);
+                }
+            }
             Err(error) => {
                 eprintln!("trace-report: {path}: {error}");
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if chrome_mode {
+        println!("{}", layout.render());
+        return ExitCode::SUCCESS;
     }
     println!("# {path}");
     render(&report);

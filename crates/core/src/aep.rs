@@ -56,7 +56,7 @@
 //! # }
 //! ```
 
-use slotsel_obs::{Metrics, NoopMetrics, NoopRecorder, Recorder, Stopwatch, TraceEvent};
+use slotsel_obs::{Metrics, NoopMetrics, NoopRecorder, Recorder, SpanSink, Stopwatch, TraceEvent};
 
 use crate::node::Platform;
 use crate::pool::CandidatePool;
@@ -415,6 +415,48 @@ pub fn scan_metered<R: Recorder, M: Metrics>(
     outcome
 }
 
+/// Runs the AEP scan with probes, metrics **and** a tracing span.
+///
+/// On top of [`scan_metered`]'s behaviour, when `spans` is
+/// [enabled](SpanSink::enabled) the whole scan runs inside an
+/// `"aep.scan"` span carrying the policy name, the full [`ScanStats`]
+/// (including the aggregate-pruned cursor's `subtrees_skipped` /
+/// `windows_jumped` tallies) and whether a window was found. The span
+/// parents under whatever span is open on the sink — the batch
+/// scheduler's per-job search, the serve daemon's per-shard track.
+///
+/// With [`NoopSpanSink`](slotsel_obs::NoopSpanSink) the span branch is
+/// dead code and this is exactly [`scan_metered`]: same windows, same
+/// stats, same trace, same metrics — the contract the bit-identity tests
+/// pin.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn scan_spanned<R: Recorder, M: Metrics, S: SpanSink + ?Sized>(
+    platform: &Platform,
+    slots: &SlotList,
+    request: &ResourceRequest,
+    policy: &mut dyn SelectionPolicy,
+    options: ScanOptions,
+    recorder: &mut R,
+    metrics: &M,
+    spans: &mut S,
+) -> ScanOutcome {
+    if !spans.enabled() {
+        return scan_metered(platform, slots, request, policy, options, recorder, metrics);
+    }
+    let span = spans.open("aep.scan");
+    let outcome = scan_metered(platform, slots, request, policy, options, recorder, metrics);
+    spans.attr_str("policy", policy.name());
+    spans.attr_u64("slots_admitted", outcome.stats.slots_admitted as u64);
+    spans.attr_u64("slots_rejected", outcome.stats.slots_rejected as u64);
+    spans.attr_u64("windows_evaluated", outcome.stats.windows_evaluated as u64);
+    spans.attr_u64("subtrees_skipped", outcome.stats.subtrees_skipped as u64);
+    spans.attr_u64("windows_jumped", outcome.stats.windows_jumped as u64);
+    spans.attr_u64("found", u64::from(outcome.best.is_some()));
+    spans.close(span);
+    outcome
+}
+
 /// The slot stream every scan body consumes: the plain in-order iterator,
 /// or — when the list is tree-backed — the aggregate-pruned cursor that
 /// skips whole subtrees of provably-rejected slots.
@@ -589,6 +631,8 @@ fn pool_scan<R: Recorder>(
             slots_rejected: stats.slots_rejected as u64,
             windows_evaluated: stats.windows_evaluated as u64,
             peak_alive: stats.peak_extended_window as u64,
+            subtrees_skipped: stats.subtrees_skipped as u64,
+            windows_jumped: stats.windows_jumped as u64,
             found: best.is_some(),
             best_score: best.as_ref().map_or(0.0, |(score, _)| *score),
         });
@@ -753,6 +797,8 @@ fn first_fit_scan<R: Recorder, M: Metrics>(
             slots_rejected: stats.slots_rejected as u64,
             windows_evaluated: stats.windows_evaluated as u64,
             peak_alive: stats.peak_extended_window as u64,
+            subtrees_skipped: stats.subtrees_skipped as u64,
+            windows_jumped: stats.windows_jumped as u64,
             found: best.is_some(),
             best_score: best.as_ref().map_or(0.0, |(score, _)| *score),
         });
@@ -938,6 +984,8 @@ fn random_scan<R: Recorder, M: Metrics>(
             slots_rejected: stats.slots_rejected as u64,
             windows_evaluated: stats.windows_evaluated as u64,
             peak_alive: stats.peak_extended_window as u64,
+            subtrees_skipped: stats.subtrees_skipped as u64,
+            windows_jumped: stats.windows_jumped as u64,
             found: best.is_some(),
             best_score: best.as_ref().map_or(0.0, |(score, _)| *score),
         });
@@ -1563,5 +1611,61 @@ mod tests {
         assert_eq!(on_vec.stats.subtrees_skipped, 0);
         assert_eq!(on_vec.stats.windows_jumped, 0);
         assert!(on_tree.stats.windows_jumped >= 1);
+    }
+
+    #[test]
+    fn spanned_scan_with_disabled_sink_matches_metered_bit_for_bit() {
+        use slotsel_obs::{MemorySpanSink, NoopSpanSink};
+        let p = platform(&[2, 4, 8, 3]);
+        let slots = full_slots(&p, 600);
+        let req = request(2, 120, 100_000);
+        let run = |spans: &mut dyn SpanSink| {
+            let mut policy = CheapestBy {
+                criterion: Criterion::MinTotalCost,
+                first: false,
+            };
+            scan_spanned(
+                &p,
+                &slots,
+                &req,
+                &mut policy,
+                ScanOptions::default(),
+                &mut NoopRecorder,
+                &NoopMetrics,
+                spans,
+            )
+        };
+        let mut policy = CheapestBy {
+            criterion: Criterion::MinTotalCost,
+            first: false,
+        };
+        let metered = scan_metered(
+            &p,
+            &slots,
+            &req,
+            &mut policy,
+            ScanOptions::default(),
+            &mut NoopRecorder,
+            &NoopMetrics,
+        );
+        let noop = run(&mut NoopSpanSink);
+        assert_eq!(noop.best, metered.best);
+        assert_eq!(noop.stats, metered.stats);
+
+        // An enabled sink changes nothing about the outcome and records
+        // exactly one "aep.scan" span carrying the scan tallies.
+        let mut sink = MemorySpanSink::new();
+        let spanned = run(&mut sink);
+        assert_eq!(spanned.best, metered.best);
+        assert_eq!(spanned.stats, metered.stats);
+        let records = sink.take_records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].name, "aep.scan");
+        for attr in ["policy", "slots_admitted", "windows_evaluated", "found"] {
+            assert!(
+                records[0].attrs.iter().any(|(name, _)| name == attr),
+                "missing attr {attr}"
+            );
+        }
     }
 }

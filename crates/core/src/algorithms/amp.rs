@@ -1,8 +1,8 @@
 //! AMP — the earliest-start-time algorithm.
 
-use slotsel_obs::{Metrics, NoopRecorder};
+use slotsel_obs::{Metrics, NoopRecorder, SpanSink};
 
-use crate::aep::{scan, scan_metered, ScanOptions, SelectionPolicy};
+use crate::aep::{scan, scan_metered, scan_spanned, ScanOptions, SelectionPolicy};
 use crate::node::Platform;
 use crate::pool::CandidatePool;
 use crate::request::ResourceRequest;
@@ -139,6 +139,27 @@ impl SlotSelector for Amp {
             ScanOptions::default(),
             &mut NoopRecorder,
             &metrics,
+        )
+        .best
+    }
+
+    fn select_spanned(
+        &mut self,
+        platform: &Platform,
+        slots: &SlotList,
+        request: &ResourceRequest,
+        metrics: &dyn Metrics,
+        spans: &mut dyn SpanSink,
+    ) -> Option<Window> {
+        scan_spanned(
+            platform,
+            slots,
+            request,
+            &mut AmpPolicy,
+            ScanOptions::default(),
+            &mut NoopRecorder,
+            &metrics,
+            spans,
         )
         .best
     }

@@ -1,8 +1,8 @@
 //! MinCost — the minimum-total-allocation-cost algorithm.
 
-use slotsel_obs::{Metrics, NoopRecorder};
+use slotsel_obs::{Metrics, NoopRecorder, SpanSink};
 
-use crate::aep::{scan, scan_metered, ScanOptions, SelectionPolicy};
+use crate::aep::{scan, scan_metered, scan_spanned, ScanOptions, SelectionPolicy};
 use crate::node::Platform;
 use crate::pool::CandidatePool;
 use crate::request::ResourceRequest;
@@ -102,6 +102,27 @@ impl SlotSelector for MinCost {
             ScanOptions::default(),
             &mut NoopRecorder,
             &metrics,
+        )
+        .best
+    }
+
+    fn select_spanned(
+        &mut self,
+        platform: &Platform,
+        slots: &SlotList,
+        request: &ResourceRequest,
+        metrics: &dyn Metrics,
+        spans: &mut dyn SpanSink,
+    ) -> Option<Window> {
+        scan_spanned(
+            platform,
+            slots,
+            request,
+            &mut MinCostPolicy,
+            ScanOptions::default(),
+            &mut NoopRecorder,
+            &metrics,
+            spans,
         )
         .best
     }

@@ -1,8 +1,8 @@
 //! MinFinish — the earliest-finish-time algorithm.
 
-use slotsel_obs::{Metrics, NoopRecorder};
+use slotsel_obs::{Metrics, NoopRecorder, SpanSink};
 
-use crate::aep::{scan_metered, scan_with, ScanOptions, SelectionPolicy};
+use crate::aep::{scan_metered, scan_spanned, scan_with, ScanOptions, SelectionPolicy};
 use crate::node::Platform;
 use crate::pool::CandidatePool;
 use crate::request::ResourceRequest;
@@ -170,6 +170,33 @@ impl SlotSelector for MinFinish {
             options,
             &mut NoopRecorder,
             &metrics,
+        )
+        .best
+    }
+
+    fn select_spanned(
+        &mut self,
+        platform: &Platform,
+        slots: &SlotList,
+        request: &ResourceRequest,
+        metrics: &dyn Metrics,
+        spans: &mut dyn SpanSink,
+    ) -> Option<Window> {
+        let mut policy = MinFinishPolicy {
+            selection: self.selection,
+        };
+        let options = ScanOptions {
+            prune_start_bounded: self.prune,
+        };
+        scan_spanned(
+            platform,
+            slots,
+            request,
+            &mut policy,
+            options,
+            &mut NoopRecorder,
+            &metrics,
+            spans,
         )
         .best
     }

@@ -1,8 +1,8 @@
 //! MinProcTime — the simplified minimum-total-processor-time algorithm.
 
-use slotsel_obs::{Metrics, NoopRecorder};
+use slotsel_obs::{Metrics, NoopRecorder, SpanSink};
 
-use crate::aep::{scan, scan_metered, RandomPick, ScanOptions, SelectionPolicy};
+use crate::aep::{scan, scan_metered, scan_spanned, RandomPick, ScanOptions, SelectionPolicy};
 use crate::node::Platform;
 use crate::pool::CandidatePool;
 use crate::request::ResourceRequest;
@@ -183,6 +183,31 @@ impl SlotSelector for MinProcTime {
             ScanOptions::default(),
             &mut NoopRecorder,
             &metrics,
+        )
+        .best
+    }
+
+    fn select_spanned(
+        &mut self,
+        platform: &Platform,
+        slots: &SlotList,
+        request: &ResourceRequest,
+        metrics: &dyn Metrics,
+        spans: &mut dyn SpanSink,
+    ) -> Option<Window> {
+        let mut policy = MinProcTimePolicy {
+            rng: &mut self.rng,
+            attempts: self.attempts,
+        };
+        scan_spanned(
+            platform,
+            slots,
+            request,
+            &mut policy,
+            ScanOptions::default(),
+            &mut NoopRecorder,
+            &metrics,
+            spans,
         )
         .best
     }

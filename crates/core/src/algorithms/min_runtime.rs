@@ -1,8 +1,8 @@
 //! MinRunTime — the minimum-execution-runtime algorithm.
 
-use slotsel_obs::{Metrics, NoopRecorder};
+use slotsel_obs::{Metrics, NoopRecorder, SpanSink};
 
-use crate::aep::{scan, scan_metered, ScanOptions, SelectionPolicy};
+use crate::aep::{scan, scan_metered, scan_spanned, ScanOptions, SelectionPolicy};
 use crate::node::Platform;
 use crate::pool::CandidatePool;
 use crate::request::ResourceRequest;
@@ -141,6 +141,30 @@ impl SlotSelector for MinRunTime {
             ScanOptions::default(),
             &mut NoopRecorder,
             &metrics,
+        )
+        .best
+    }
+
+    fn select_spanned(
+        &mut self,
+        platform: &Platform,
+        slots: &SlotList,
+        request: &ResourceRequest,
+        metrics: &dyn Metrics,
+        spans: &mut dyn SpanSink,
+    ) -> Option<Window> {
+        let mut policy = MinRuntimePolicy {
+            selection: self.selection,
+        };
+        scan_spanned(
+            platform,
+            slots,
+            request,
+            &mut policy,
+            ScanOptions::default(),
+            &mut NoopRecorder,
+            &metrics,
+            spans,
         )
         .best
     }

@@ -57,7 +57,7 @@ pub use min_finish::MinFinish;
 pub use min_proc_time::MinProcTime;
 pub use min_runtime::MinRunTime;
 
-use slotsel_obs::Metrics;
+use slotsel_obs::{Metrics, SpanSink};
 
 use crate::node::Platform;
 use crate::request::ResourceRequest;
@@ -100,6 +100,29 @@ pub trait SlotSelector {
     ) -> Option<Window> {
         let _ = metrics;
         self.select(platform, slots, request)
+    }
+
+    /// Like [`select_metered`](SlotSelector::select_metered), additionally
+    /// wrapping the scan in an `"aep.scan"` span on `spans`.
+    ///
+    /// The default implementation ignores the span sink and delegates to
+    /// `select_metered`, so external implementations keep working
+    /// unchanged; the built-in AEP algorithms override it to drive
+    /// [`crate::aep::scan_spanned`]. Like the metrics sink, `spans` is a
+    /// `&mut dyn` reference for object safety — one
+    /// [`SpanSink::enabled`] check per scan keeps the dispatch off the
+    /// hot loop, and with a disabled sink the spanned path is exactly the
+    /// metered one.
+    fn select_spanned(
+        &mut self,
+        platform: &Platform,
+        slots: &SlotList,
+        request: &ResourceRequest,
+        metrics: &dyn Metrics,
+        spans: &mut dyn SpanSink,
+    ) -> Option<Window> {
+        let _ = spans;
+        self.select_metered(platform, slots, request, metrics)
     }
 }
 

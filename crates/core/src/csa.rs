@@ -45,7 +45,7 @@
 //! # }
 //! ```
 
-use slotsel_obs::Metrics;
+use slotsel_obs::{Metrics, SpanSink};
 
 use crate::algorithms::{Amp, SlotSelector};
 use crate::node::Platform;
@@ -207,6 +207,50 @@ impl Csa {
         if metrics.enabled() {
             metrics.counter_add("slotsel_csa_alternatives_total", &[], found.len() as u64);
         }
+        found
+    }
+
+    /// Like [`find_alternatives_metered`](Self::find_alternatives_metered),
+    /// additionally wrapping the whole search in a `"csa.search"` span and
+    /// each underlying scan in its own `"aep.scan"` child (via
+    /// [`SlotSelector::select_spanned`]). The span carries the base
+    /// algorithm's name and the alternative count.
+    ///
+    /// With a disabled sink this takes the metered path verbatim — same
+    /// windows, same metrics, no span bookkeeping.
+    #[must_use]
+    pub fn find_alternatives_spanned(
+        &self,
+        platform: &Platform,
+        slots: &SlotList,
+        request: &ResourceRequest,
+        base: &mut dyn SlotSelector,
+        metrics: &dyn Metrics,
+        spans: &mut dyn SpanSink,
+    ) -> Vec<Window> {
+        if !spans.enabled() {
+            return self.find_alternatives_metered(platform, slots, request, base, metrics);
+        }
+        let span = spans.open("csa.search");
+        let mut working = slots.clone();
+        let mut found = Vec::new();
+        let limit = self.max_alternatives.unwrap_or(usize::MAX);
+
+        while found.len() < limit {
+            let Some(window) = base.select_spanned(platform, &working, request, metrics, spans)
+            else {
+                break;
+            };
+            self.apply_cut(&mut working, request, &window)
+                .expect("window was built from slots of the working list");
+            found.push(window);
+        }
+        if metrics.enabled() {
+            metrics.counter_add("slotsel_csa_alternatives_total", &[], found.len() as u64);
+        }
+        spans.attr_str("base", base.name());
+        spans.attr_u64("alternatives", found.len() as u64);
+        spans.close(span);
         found
     }
 

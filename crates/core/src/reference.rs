@@ -173,6 +173,8 @@ pub fn reference_scan_traced<R: Recorder>(
             slots_rejected: stats.slots_rejected as u64,
             windows_evaluated: stats.windows_evaluated as u64,
             peak_alive: stats.peak_extended_window as u64,
+            subtrees_skipped: 0,
+            windows_jumped: 0,
             found: best.is_some(),
             best_score: best.as_ref().map_or(0.0, |(score, _)| *score),
         });

@@ -192,7 +192,8 @@ pub enum CheckKind {
     /// identical to the plain `Vec` pool scan *and* the reference scan,
     /// across every policy: same windows, same [`ScanStats`] (the pruning
     /// tallies are excluded from stats equality by contract), and
-    /// byte-identical trace event streams.
+    /// byte-identical trace event streams (the same tallies, which ride
+    /// the `scan_finished` wire line, are zeroed on both sides first).
     ///
     /// [`ScanStats`]: slotsel_core::aep::ScanStats
     PrunedScanEquivalence,
@@ -566,7 +567,23 @@ fn traced_scan_over(
     let trace: Vec<String> = recorder
         .events()
         .iter()
-        .map(TraceEvent::to_json_line)
+        .map(|event| {
+            let mut event = event.clone();
+            // The pruning tallies ride the scan_finished wire line but are
+            // diagnostics excluded from equivalence by contract — the Vec
+            // oracle never prunes, so zero them on both sides and compare
+            // the rest of the line byte-for-byte.
+            if let TraceEvent::ScanFinished {
+                subtrees_skipped,
+                windows_jumped,
+                ..
+            } = &mut event
+            {
+                *subtrees_skipped = 0;
+                *windows_jumped = 0;
+            }
+            event.to_json_line()
+        })
         .collect();
     let alive = recorder
         .samples("aep.alive")

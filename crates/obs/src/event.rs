@@ -80,6 +80,10 @@ pub enum TraceEvent {
         windows_evaluated: u64,
         /// Largest size the alive set reached.
         peak_alive: u64,
+        /// Aggregate-pruned subtrees skipped (0 outside the tree store).
+        subtrees_skipped: u64,
+        /// Hopeless window starts jumped over (0 outside the tree store).
+        windows_jumped: u64,
         /// Whether any window satisfied the request.
         found: bool,
         /// The winning criterion value; `0` when `found` is `false`.
@@ -267,6 +271,15 @@ fn f64_of(object: &JsonObject, field: &str) -> Result<f64, EventDecodeError> {
         .ok_or_else(|| EventDecodeError::Schema(format!("field '{field}' is not a number")))
 }
 
+/// Like [`u64_of`] but defaults to 0 when the field is absent — for
+/// fields added to a variant after traces of it were already on disk.
+fn u64_or_zero(object: &JsonObject, field: &str) -> Result<u64, EventDecodeError> {
+    if object.get(field).is_none() {
+        return Ok(0);
+    }
+    u64_of(object, field)
+}
+
 #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 fn u64_of(object: &JsonObject, field: &str) -> Result<u64, EventDecodeError> {
     let value = f64_of(object, field)?;
@@ -369,6 +382,8 @@ impl TraceEvent {
                 slots_rejected,
                 windows_evaluated,
                 peak_alive,
+                subtrees_skipped,
+                windows_jumped,
                 found,
                 best_score,
             } => {
@@ -377,6 +392,8 @@ impl TraceEvent {
                 w.u64_field("slots_rejected", *slots_rejected);
                 w.u64_field("windows_evaluated", *windows_evaluated);
                 w.u64_field("peak_alive", *peak_alive);
+                w.u64_field("subtrees_skipped", *subtrees_skipped);
+                w.u64_field("windows_jumped", *windows_jumped);
                 w.bool_field("found", *found);
                 w.f64_field("best_score", *best_score);
             }
@@ -526,6 +543,9 @@ impl TraceEvent {
                 slots_rejected: u64_of(&o, "slots_rejected")?,
                 windows_evaluated: u64_of(&o, "windows_evaluated")?,
                 peak_alive: u64_of(&o, "peak_alive")?,
+                // Added after the PR 9 pruned scans; absent in older traces.
+                subtrees_skipped: u64_or_zero(&o, "subtrees_skipped")?,
+                windows_jumped: u64_or_zero(&o, "windows_jumped")?,
                 found: bool_of(&o, "found")?,
                 best_score: f64_of(&o, "best_score")?,
             },
@@ -648,6 +668,8 @@ mod tests {
                 slots_rejected: 9,
                 windows_evaluated: 396,
                 peak_alive: 98,
+                subtrees_skipped: 41,
+                windows_jumped: 17,
                 found: true,
                 best_score: 1069.25,
             },
@@ -731,13 +753,34 @@ mod tests {
             slots_rejected: 2,
             windows_evaluated: 6,
             peak_alive: 8,
+            subtrees_skipped: 3,
+            windows_jumped: 1,
             found: true,
             best_score: 0.0,
         };
         assert_eq!(
             event.to_json_line(),
-            r#"{"type":"scan_finished","policy":"AMP","slots_admitted":10,"slots_rejected":2,"windows_evaluated":6,"peak_alive":8,"found":true,"best_score":0}"#
+            r#"{"type":"scan_finished","policy":"AMP","slots_admitted":10,"slots_rejected":2,"windows_evaluated":6,"peak_alive":8,"subtrees_skipped":3,"windows_jumped":1,"found":true,"best_score":0}"#
         );
+    }
+
+    #[test]
+    fn scan_finished_tolerates_traces_without_pruning_tallies() {
+        // Traces recorded before the pruned-scan counters joined the
+        // variant must still decode, with the tallies defaulting to 0.
+        let line = r#"{"type":"scan_finished","policy":"AMP","slots_admitted":10,"slots_rejected":2,"windows_evaluated":6,"peak_alive":8,"found":true,"best_score":0}"#;
+        let event = TraceEvent::from_json_line(line).expect("old trace decodes");
+        match event {
+            TraceEvent::ScanFinished {
+                subtrees_skipped,
+                windows_jumped,
+                ..
+            } => {
+                assert_eq!(subtrees_skipped, 0);
+                assert_eq!(windows_jumped, 0);
+            }
+            other => panic!("unexpected variant: {other:?}"),
+        }
     }
 
     #[test]

@@ -41,11 +41,11 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::export::render_prometheus;
 use crate::json::ObjectWriter;
-use crate::metrics::MetricsRegistry;
+use crate::metrics::{Metrics, MetricsRegistry};
 
 /// Per-connection socket timeout: a stalled client cannot wedge the
 /// single-threaded accept loop for longer than this.
@@ -384,6 +384,23 @@ fn read_request<R: BufRead>(reader: &mut R) -> Result<HttpRequest, HttpResponse>
     Ok(HttpRequest { method, path, body })
 }
 
+/// Collapses all-digit path segments into `{id}` so per-entity URLs
+/// share one metric label: `/debug/job/17/timeline` becomes
+/// `/debug/job/{id}/timeline`. Any query string is dropped first.
+fn normalize_path(path: &str) -> String {
+    let path = path.split('?').next().unwrap_or(path);
+    path.split('/')
+        .map(|segment| {
+            if !segment.is_empty() && segment.bytes().all(|b| b.is_ascii_digit()) {
+                "{id}"
+            } else {
+                segment
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
 /// Routes one parsed request: built-ins first, then the handler, then the
 /// normalized 404.
 fn route(
@@ -430,7 +447,26 @@ fn handle_connection(
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
     let mut reader = BufReader::new(stream.try_clone()?).take(MAX_BODY_BYTES + 8 * 1024);
     let response = match read_request(&mut reader) {
-        Ok(request) => route(&request, registry, requested, handler),
+        Ok(request) => {
+            // Per-endpoint serving metrics: path labels are normalized
+            // (digit segments collapsed to `{id}`) so the cardinality
+            // stays bounded by the route table, not the id space.
+            let started = Instant::now();
+            let response = route(&request, registry, requested, handler);
+            let path = normalize_path(&request.path);
+            let status = response.status.to_string();
+            registry.counter_add(
+                "slotsel_http_requests_total",
+                &[("path", path.as_str()), ("status", status.as_str())],
+                1,
+            );
+            registry.observe(
+                "slotsel_http_request_seconds",
+                &[("path", path.as_str())],
+                started.elapsed().as_secs_f64(),
+            );
+            response
+        }
         Err(error_response) => error_response,
     };
 

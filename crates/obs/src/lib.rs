@@ -31,6 +31,12 @@
 //!   recorder), a CRC-framed fsync-batched [`journal::WalJournal`],
 //!   torn-tail-aware reading and an atomic [`journal::SnapshotStore`]
 //!   (see `docs/DURABILITY.md`);
+//! - [`span`] / [`chrome`] — the *tracing* leg: hierarchical spans with
+//!   parent links and per-shard tracks behind the [`span::SpanSink`]
+//!   trait (same Noop/Memory/Writer ladder), a bounded
+//!   [`span::FlightRecorder`] ring buffer retaining the last N cycles'
+//!   span trees, and a Chrome trace-event JSON exporter + validator
+//!   loadable in Perfetto / `about://tracing`;
 //! - [`read`] — streaming trace reader for report tooling;
 //! - [`json`] — the minimal deterministic JSON writer/parser underneath
 //!   (this crate sits *below* `slotsel-core` and carries no
@@ -64,6 +70,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod chrome;
 pub mod event;
 pub mod export;
 pub mod http;
@@ -72,6 +79,7 @@ pub mod json;
 pub mod metrics;
 pub mod read;
 pub mod recorder;
+pub mod span;
 pub mod stats;
 
 pub use event::{EventDecodeError, TraceEvent};
@@ -84,4 +92,8 @@ pub use journal::{
 pub use metrics::{Metrics, MetricsRegistry, NoopMetrics};
 pub use read::{read_trace, TraceReader};
 pub use recorder::{MemoryRecorder, NoopRecorder, Recorder, TraceRecorder};
+pub use span::{
+    FlightRecorder, MemorySpanSink, NoopSpanSink, PhaseSummary, SpanId, SpanRecord, SpanSink,
+    WriterSpanSink,
+};
 pub use stats::{Counter, Histogram, Stopwatch, Timer};

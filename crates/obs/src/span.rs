@@ -1,0 +1,783 @@
+//! Hierarchical spans: the third leg of the observability stack.
+//!
+//! Counters say *that* something happened, the JSONL trace says *what*
+//! happened — spans say *where the time went*. A span is a named
+//! wall-clock interval with a parent link; together the spans of one
+//! scheduling cycle form a tree (batch formation → per-shard scheduling →
+//! per-job CSA search → per-policy AEP scans → commit), and the
+//! [`crate::chrome`] exporter renders that tree in any Chrome-trace
+//! viewer (Perfetto, `about://tracing`).
+//!
+//! The [`SpanSink`] trait follows the crate's established ladder:
+//!
+//! - [`NoopSpanSink`] — `enabled()` is a constant `false`, every method is
+//!   empty, and instrumented generics monomorphise to the uninstrumented
+//!   code, exactly like [`crate::recorder::NoopRecorder`];
+//! - [`MemorySpanSink`] — records the span tree in memory, with
+//!   stack-based auto-parenting: [`SpanSink::open`] pushes, the next
+//!   [`SpanSink::open`] becomes its child, [`SpanSink::close`] pops.
+//!   Nesting is guaranteed by construction;
+//! - [`WriterSpanSink`] — streams each completed span as one flat JSONL
+//!   line, error-capturing like [`crate::recorder::TraceRecorder`].
+//!
+//! Timestamps are microseconds since a **process-wide anchor**
+//! ([`now_us`]): two sinks on two threads produce mutually comparable
+//! times, which is what lets a shard's spans (recorded in a worker's
+//! private [`MemorySpanSink`] and [`SpanSink::adopt`]-ed back) nest
+//! correctly under the coordinating cycle span.
+//!
+//! The [`FlightRecorder`] keeps the last N cycles' span trees in a bounded
+//! ring buffer — the live daemon's `GET /debug/trace` dump.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::json::ObjectWriter;
+
+/// The process-wide clock anchor: every sink measures microseconds since
+/// the first call, so timestamps from different threads are comparable.
+static ANCHOR: OnceLock<Instant> = OnceLock::new();
+
+/// Microseconds since the process-wide span clock anchor (first call
+/// returns 0). Monotonic across threads.
+#[must_use]
+pub fn now_us() -> u64 {
+    let anchor = *ANCHOR.get_or_init(Instant::now);
+    u64::try_from(anchor.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Identifier of one span within its sink. `SpanId::NONE` (0) means "no
+/// span" — the id the [`NoopSpanSink`] hands out, and the parent link of a
+/// root span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The null id: no span.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Whether this id names an actual span.
+    #[must_use]
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// One attribute value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// An unsigned integer attribute.
+    U64(u64),
+    /// A string attribute.
+    Str(String),
+}
+
+/// One completed span (or instant event) as a sink records it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// The span's id, unique within its sink (and re-assigned on
+    /// [`SpanSink::adopt`] so merged trees stay unique).
+    pub id: SpanId,
+    /// The enclosing span, or [`SpanId::NONE`] for a root.
+    pub parent: SpanId,
+    /// The span's name (e.g. `"aep.scan"`, `"batch.phase2"`).
+    pub name: String,
+    /// The track (thread/shard lane) the span ran on; 0 is the
+    /// coordinator, shard `s` conventionally uses `s + 1`.
+    pub track: u32,
+    /// Start, microseconds since the process anchor ([`now_us`]).
+    pub start_us: u64,
+    /// End, microseconds since the process anchor. Equals `start_us` for
+    /// instants.
+    pub end_us: u64,
+    /// Attributes attached while the span was open.
+    pub attrs: Vec<(String, AttrValue)>,
+    /// `true` for a point-in-time event ([`SpanSink::instant`]).
+    pub instant: bool,
+}
+
+impl SpanRecord {
+    /// The span's duration in microseconds (0 for instants).
+    #[must_use]
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+/// A sink for hierarchical spans.
+///
+/// Parenting is implicit: [`open`](SpanSink::open) makes the new span a
+/// child of the innermost span still open *on this sink*, so call sites
+/// never thread parent ids through their signatures. The trait is
+/// object-safe (`&mut dyn SpanSink` works through trait objects like
+/// [`crate::metrics::Metrics`] does with `&dyn Metrics`).
+///
+/// As with the recorder, gate any work spent *preparing* attributes on
+/// [`enabled`](SpanSink::enabled); the [`NoopSpanSink`]'s constant `false`
+/// folds the whole branch away.
+pub trait SpanSink {
+    /// `false` when the sink drops everything and call sites may skip
+    /// building attributes. Constant per implementation.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Opens a span as a child of the innermost open span; returns its id.
+    fn open(&mut self, name: &'static str) -> SpanId;
+
+    /// Closes the span, which must be the innermost open one (sinks
+    /// tolerate — and ignore — a stale or [`SpanId::NONE`] id).
+    fn close(&mut self, id: SpanId);
+
+    /// Attaches an integer attribute to the innermost open span.
+    fn attr_u64(&mut self, name: &'static str, value: u64);
+
+    /// Attaches a string attribute to the innermost open span.
+    fn attr_str(&mut self, name: &'static str, value: &str);
+
+    /// Records a point-in-time event under the innermost open span.
+    fn instant(&mut self, name: &'static str);
+
+    /// Sets the track (thread/shard lane) stamped on subsequent spans.
+    fn set_track(&mut self, track: u32);
+
+    /// Grafts externally recorded spans (e.g. a worker thread's private
+    /// [`MemorySpanSink`]) under `parent`: ids are re-assigned from this
+    /// sink's counter (deterministically, in input order), internal parent
+    /// links are remapped, and records whose parent was [`SpanId::NONE`]
+    /// become children of `parent`. Tracks are preserved.
+    fn adopt(&mut self, parent: SpanId, records: Vec<SpanRecord>);
+}
+
+/// The default sink: drops everything, compiles to nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopSpanSink;
+
+impl SpanSink for NoopSpanSink {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn open(&mut self, _name: &'static str) -> SpanId {
+        SpanId::NONE
+    }
+
+    #[inline(always)]
+    fn close(&mut self, _id: SpanId) {}
+
+    #[inline(always)]
+    fn attr_u64(&mut self, _name: &'static str, _value: u64) {}
+
+    #[inline(always)]
+    fn attr_str(&mut self, _name: &'static str, _value: &str) {}
+
+    #[inline(always)]
+    fn instant(&mut self, _name: &'static str) {}
+
+    #[inline(always)]
+    fn set_track(&mut self, _track: u32) {}
+
+    #[inline(always)]
+    fn adopt(&mut self, _parent: SpanId, _records: Vec<SpanRecord>) {}
+}
+
+/// Every `&mut S: SpanSink` is itself a sink, so call sites can pass
+/// their sink down without giving it up.
+impl<S: SpanSink + ?Sized> SpanSink for &mut S {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn open(&mut self, name: &'static str) -> SpanId {
+        (**self).open(name)
+    }
+
+    fn close(&mut self, id: SpanId) {
+        (**self).close(id);
+    }
+
+    fn attr_u64(&mut self, name: &'static str, value: u64) {
+        (**self).attr_u64(name, value);
+    }
+
+    fn attr_str(&mut self, name: &'static str, value: &str) {
+        (**self).attr_str(name, value);
+    }
+
+    fn instant(&mut self, name: &'static str) {
+        (**self).instant(name);
+    }
+
+    fn set_track(&mut self, track: u32) {
+        (**self).set_track(track);
+    }
+
+    fn adopt(&mut self, parent: SpanId, records: Vec<SpanRecord>) {
+        (**self).adopt(parent, records);
+    }
+}
+
+/// Records the span tree in memory.
+///
+/// Ids are assigned sequentially from 1 in open order, so two runs with
+/// the same call structure produce the same tree shape (timestamps are
+/// wall clock and differ, structure and ids do not).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemorySpanSink {
+    records: Vec<SpanRecord>,
+    /// Indices into `records` of the currently open spans, innermost last.
+    stack: Vec<usize>,
+    next_id: u64,
+    track: u32,
+}
+
+impl MemorySpanSink {
+    /// An empty sink on track 0.
+    #[must_use]
+    pub fn new() -> Self {
+        MemorySpanSink {
+            records: Vec::new(),
+            stack: Vec::new(),
+            next_id: 1,
+            track: 0,
+        }
+    }
+
+    /// The records so far (open spans have `end_us == 0`).
+    #[must_use]
+    pub fn records(&self) -> &[SpanRecord] {
+        &self.records
+    }
+
+    /// Drains the sink: any span still open is closed at the current
+    /// time, and the records are returned in open order. The sink resets
+    /// to empty (the id counter keeps counting, so a later `adopt` into
+    /// the same tree cannot collide).
+    pub fn take_records(&mut self) -> Vec<SpanRecord> {
+        let now = now_us();
+        while let Some(index) = self.stack.pop() {
+            self.records[index].end_us = now;
+        }
+        std::mem::take(&mut self.records)
+    }
+
+    fn innermost(&mut self) -> Option<&mut SpanRecord> {
+        let index = *self.stack.last()?;
+        Some(&mut self.records[index])
+    }
+}
+
+impl SpanSink for MemorySpanSink {
+    fn open(&mut self, name: &'static str) -> SpanId {
+        let id = SpanId(self.next_id);
+        self.next_id += 1;
+        let parent = self
+            .stack
+            .last()
+            .map_or(SpanId::NONE, |&index| self.records[index].id);
+        self.records.push(SpanRecord {
+            id,
+            parent,
+            name: name.to_owned(),
+            track: self.track,
+            start_us: now_us(),
+            end_us: 0,
+            attrs: Vec::new(),
+            instant: false,
+        });
+        self.stack.push(self.records.len() - 1);
+        id
+    }
+
+    fn close(&mut self, id: SpanId) {
+        // Only the innermost open span may close; a stale id is ignored
+        // rather than corrupting the stack (mirrors the recorder's
+        // capture-don't-panic posture).
+        let Some(&index) = self.stack.last() else {
+            return;
+        };
+        if self.records[index].id != id {
+            return;
+        }
+        self.stack.pop();
+        self.records[index].end_us = now_us();
+    }
+
+    fn attr_u64(&mut self, name: &'static str, value: u64) {
+        if let Some(span) = self.innermost() {
+            span.attrs.push((name.to_owned(), AttrValue::U64(value)));
+        }
+    }
+
+    fn attr_str(&mut self, name: &'static str, value: &str) {
+        let value = value.to_owned();
+        if let Some(span) = self.innermost() {
+            span.attrs.push((name.to_owned(), AttrValue::Str(value)));
+        }
+    }
+
+    fn instant(&mut self, name: &'static str) {
+        let id = SpanId(self.next_id);
+        self.next_id += 1;
+        let parent = self
+            .stack
+            .last()
+            .map_or(SpanId::NONE, |&index| self.records[index].id);
+        let now = now_us();
+        self.records.push(SpanRecord {
+            id,
+            parent,
+            name: name.to_owned(),
+            track: self.track,
+            start_us: now,
+            end_us: now,
+            attrs: Vec::new(),
+            instant: true,
+        });
+    }
+
+    fn set_track(&mut self, track: u32) {
+        self.track = track;
+    }
+
+    fn adopt(&mut self, parent: SpanId, records: Vec<SpanRecord>) {
+        // Remap ids in input order: deterministic given the input, and
+        // collision-free because this sink's counter only moves forward.
+        let mut mapping: Vec<(SpanId, SpanId)> = Vec::with_capacity(records.len());
+        for mut record in records {
+            let new_id = SpanId(self.next_id);
+            self.next_id += 1;
+            mapping.push((record.id, new_id));
+            record.id = new_id;
+            record.parent = if record.parent == SpanId::NONE {
+                parent
+            } else {
+                mapping
+                    .iter()
+                    .find(|&&(old, _)| old == record.parent)
+                    .map_or(parent, |&(_, new)| new)
+            };
+            self.records.push(record);
+        }
+    }
+}
+
+/// Streams each completed span as one flat JSONL line.
+///
+/// Open spans are buffered (a child must finish before its parent, so the
+/// output is in *close* order); attributes are flattened into the line as
+/// `attr.<name>` fields. Write errors are captured, not panicked, and
+/// surfaced by [`finish`](WriterSpanSink::finish).
+#[derive(Debug)]
+pub struct WriterSpanSink<W: Write> {
+    sink: W,
+    inner: MemorySpanSink,
+    error: Option<std::io::Error>,
+    lines: u64,
+}
+
+impl<W: Write> WriterSpanSink<W> {
+    /// A sink streaming to `sink`.
+    pub fn new(sink: W) -> Self {
+        WriterSpanSink {
+            sink,
+            inner: MemorySpanSink::new(),
+            error: None,
+            lines: 0,
+        }
+    }
+
+    /// Lines successfully written so far.
+    #[must_use]
+    pub fn lines_written(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes (closing any still-open spans first) and returns the
+    /// underlying writer, or the first write error.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        for record in self.inner.take_records() {
+            self.write_record(&record);
+        }
+        if let Some(error) = self.error {
+            return Err(error);
+        }
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+
+    fn write_record(&mut self, record: &SpanRecord) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = ObjectWriter::new();
+        line.str_field("record", if record.instant { "instant" } else { "span" });
+        line.u64_field("id", record.id.0);
+        line.u64_field("parent", record.parent.0);
+        line.str_field("name", &record.name);
+        line.u64_field("track", u64::from(record.track));
+        line.u64_field("start_us", record.start_us);
+        line.u64_field("end_us", record.end_us);
+        for (name, value) in &record.attrs {
+            let key = format!("attr.{name}");
+            match value {
+                AttrValue::U64(v) => line.u64_field(&key, *v),
+                AttrValue::Str(v) => line.str_field(&key, v),
+            }
+        }
+        let line = line.finish();
+        if let Err(error) = self
+            .sink
+            .write_all(line.as_bytes())
+            .and_then(|()| self.sink.write_all(b"\n"))
+        {
+            self.error = Some(error);
+        } else {
+            self.lines += 1;
+        }
+    }
+
+    /// Writes every record the buffer holds whose span is finished and no
+    /// longer on the open stack. Called after `close`/`instant`/`adopt`.
+    fn drain_closed(&mut self) {
+        if self.inner.stack.is_empty() {
+            for record in self.inner.take_records() {
+                self.write_record(&record);
+            }
+        }
+    }
+}
+
+impl<W: Write> SpanSink for WriterSpanSink<W> {
+    fn open(&mut self, name: &'static str) -> SpanId {
+        self.inner.open(name)
+    }
+
+    fn close(&mut self, id: SpanId) {
+        self.inner.close(id);
+        self.drain_closed();
+    }
+
+    fn attr_u64(&mut self, name: &'static str, value: u64) {
+        self.inner.attr_u64(name, value);
+    }
+
+    fn attr_str(&mut self, name: &'static str, value: &str) {
+        self.inner.attr_str(name, value);
+    }
+
+    fn instant(&mut self, name: &'static str) {
+        self.inner.instant(name);
+        self.drain_closed();
+    }
+
+    fn set_track(&mut self, track: u32) {
+        self.inner.set_track(track);
+    }
+
+    fn adopt(&mut self, parent: SpanId, records: Vec<SpanRecord>) {
+        self.inner.adopt(parent, records);
+        self.drain_closed();
+    }
+}
+
+/// Per-phase (per-span-name) duration aggregate — the `GET /debug/spans`
+/// summary row.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseSummary {
+    /// Spans observed under this name.
+    pub count: u64,
+    /// Total microseconds across them.
+    pub total_us: u64,
+    /// The shortest span, microseconds.
+    pub min_us: u64,
+    /// The longest span, microseconds.
+    pub max_us: u64,
+}
+
+impl PhaseSummary {
+    fn observe(&mut self, duration_us: u64) {
+        if self.count == 0 {
+            self.min_us = duration_us;
+            self.max_us = duration_us;
+        } else {
+            self.min_us = self.min_us.min(duration_us);
+            self.max_us = self.max_us.max(duration_us);
+        }
+        self.count += 1;
+        self.total_us += duration_us;
+    }
+
+    /// Mean duration in microseconds (0 when empty).
+    #[must_use]
+    pub fn mean_us(&self) -> u64 {
+        self.total_us.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// A bounded ring buffer of the last N cycles' span trees — the live
+/// daemon's flight recorder. Pushing cycle N+capacity evicts the oldest.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlightRecorder {
+    capacity: usize,
+    cycles: VecDeque<(u64, Vec<SpanRecord>)>,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `capacity` cycles (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            cycles: VecDeque::new(),
+        }
+    }
+
+    /// The retention capacity, in cycles.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cycles currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// Total spans retained across all cycles.
+    #[must_use]
+    pub fn total_spans(&self) -> usize {
+        self.cycles.iter().map(|(_, records)| records.len()).sum()
+    }
+
+    /// Retains one cycle's span tree, evicting the oldest when full. An
+    /// empty record set is dropped (an idle cycle leaves no wreckage).
+    pub fn push(&mut self, cycle: u64, records: Vec<SpanRecord>) {
+        if records.is_empty() {
+            return;
+        }
+        if self.cycles.len() == self.capacity {
+            self.cycles.pop_front();
+        }
+        self.cycles.push_back((cycle, records));
+    }
+
+    /// The retained `(cycle, span tree)` groups, oldest first.
+    pub fn groups(&self) -> impl Iterator<Item = (u64, &[SpanRecord])> {
+        self.cycles
+            .iter()
+            .map(|(cycle, records)| (*cycle, records.as_slice()))
+    }
+
+    /// Aggregates every retained span by name, sorted by name — the
+    /// `GET /debug/spans` table. Instants are excluded.
+    #[must_use]
+    pub fn phase_summary(&self) -> Vec<(String, PhaseSummary)> {
+        let mut by_name: std::collections::BTreeMap<&str, PhaseSummary> =
+            std::collections::BTreeMap::new();
+        for (_, records) in &self.cycles {
+            for record in records {
+                if !record.instant {
+                    by_name
+                        .entry(record.name.as_str())
+                        .or_default()
+                        .observe(record.duration_us());
+                }
+            }
+        }
+        by_name
+            .into_iter()
+            .map(|(name, summary)| (name.to_owned(), summary))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled_and_hands_out_the_null_id() {
+        let mut sink = NoopSpanSink;
+        assert!(!SpanSink::enabled(&sink));
+        let id = sink.open("x");
+        assert_eq!(id, SpanId::NONE);
+        assert!(!id.is_some());
+        sink.attr_u64("a", 1);
+        sink.instant("i");
+        sink.close(id);
+        sink.adopt(SpanId::NONE, Vec::new());
+        assert_eq!(sink, NoopSpanSink);
+    }
+
+    #[test]
+    fn memory_sink_parents_by_stack_and_nests_times() {
+        let mut sink = MemorySpanSink::new();
+        let root = sink.open("cycle");
+        sink.attr_u64("cycle", 7);
+        let child = sink.open("schedule");
+        sink.instant("picked");
+        sink.close(child);
+        let sibling = sink.open("commit");
+        sink.close(sibling);
+        sink.close(root);
+
+        let records = sink.take_records();
+        assert_eq!(records.len(), 4);
+        let cycle = &records[0];
+        let schedule = &records[1];
+        let picked = &records[2];
+        let commit = &records[3];
+        assert_eq!(cycle.parent, SpanId::NONE);
+        assert_eq!(schedule.parent, cycle.id);
+        assert_eq!(picked.parent, schedule.id);
+        assert!(picked.instant);
+        assert_eq!(commit.parent, cycle.id);
+        assert_eq!(cycle.attrs, vec![("cycle".to_owned(), AttrValue::U64(7))]);
+        // Deterministic sequential ids from 1, in open order.
+        assert_eq!(
+            records.iter().map(|r| r.id.0).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        // Children lie within their parents on the shared clock.
+        for r in [schedule, commit, picked] {
+            assert!(r.start_us >= cycle.start_us && r.end_us <= cycle.end_us);
+        }
+        assert!(schedule.end_us <= commit.start_us, "siblings are ordered");
+    }
+
+    #[test]
+    fn stale_close_is_ignored_and_take_closes_leftovers() {
+        let mut sink = MemorySpanSink::new();
+        let outer = sink.open("outer");
+        let inner = sink.open("inner");
+        // Closing the outer span while the inner is open is a bug at the
+        // call site; the sink ignores it instead of corrupting the stack.
+        sink.close(outer);
+        assert_eq!(sink.records()[1].end_us, 0, "inner still open");
+        sink.close(inner);
+        // Outer never closed explicitly: take_records closes it.
+        let records = sink.take_records();
+        assert!(records[0].end_us >= records[0].start_us);
+        assert!(records[0].end_us > 0);
+    }
+
+    #[test]
+    fn adopt_remaps_ids_and_roots_deterministically() {
+        let mut worker = MemorySpanSink::new();
+        worker.set_track(3);
+        let shard = worker.open("shard");
+        let scan = worker.open("scan");
+        worker.close(scan);
+        worker.close(shard);
+        let worker_records = worker.take_records();
+
+        let mut main = MemorySpanSink::new();
+        let root = main.open("cycle");
+        main.adopt(root, worker_records);
+        main.close(root);
+        let records = main.take_records();
+        assert_eq!(records.len(), 3);
+        let (cycle, shard, scan) = (&records[0], &records[1], &records[2]);
+        assert_eq!(shard.parent, cycle.id, "worker root re-parents under root");
+        assert_eq!(scan.parent, shard.id, "internal links are remapped");
+        assert_eq!(shard.track, 3, "tracks survive adoption");
+        assert_eq!(
+            records.iter().map(|r| r.id.0).collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "adopted ids continue the adopter's sequence"
+        );
+    }
+
+    #[test]
+    fn writer_sink_streams_closed_spans_as_flat_jsonl() {
+        let mut sink = WriterSpanSink::new(Vec::new());
+        let root = sink.open("cycle");
+        sink.attr_str("policy", "AMP");
+        sink.attr_u64("jobs", 2);
+        let child = sink.open("scan");
+        sink.close(child);
+        assert_eq!(sink.lines_written(), 0, "buffered while the root is open");
+        sink.close(root);
+        assert_eq!(sink.lines_written(), 2);
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let parsed = crate::json::parse_object(line).unwrap();
+            assert_eq!(parsed["record"].as_str(), Some("span"));
+        }
+        let root_line = crate::json::parse_object(lines[0]).unwrap();
+        assert_eq!(root_line["name"].as_str(), Some("cycle"));
+        assert_eq!(root_line["attr.policy"].as_str(), Some("AMP"));
+        assert_eq!(root_line["attr.jobs"].as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn writer_sink_keeps_errors_not_panics() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("broken pipe"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = WriterSpanSink::new(Broken);
+        let id = sink.open("x");
+        sink.close(id);
+        assert_eq!(sink.lines_written(), 0);
+        assert!(sink.finish().is_err());
+    }
+
+    #[test]
+    fn flight_recorder_evicts_oldest_and_summarises() {
+        let mut flight = FlightRecorder::new(2);
+        assert!(flight.is_empty());
+        for cycle in 0..3u64 {
+            let mut sink = MemorySpanSink::new();
+            let id = sink.open("cycle");
+            sink.instant("tick");
+            sink.close(id);
+            flight.push(cycle, sink.take_records());
+        }
+        flight.push(99, Vec::new()); // idle cycles leave no trace
+        assert_eq!(flight.len(), 2);
+        assert_eq!(flight.capacity(), 2);
+        let cycles: Vec<u64> = flight.groups().map(|(cycle, _)| cycle).collect();
+        assert_eq!(cycles, vec![1, 2], "oldest cycle evicted");
+        assert_eq!(flight.total_spans(), 4);
+        let summary = flight.phase_summary();
+        assert_eq!(summary.len(), 1, "instants are excluded");
+        let (name, phase) = &summary[0];
+        assert_eq!(name, "cycle");
+        assert_eq!(phase.count, 2);
+        assert!(phase.max_us >= phase.min_us);
+        assert!(phase.total_us >= phase.max_us);
+    }
+
+    #[test]
+    fn shared_clock_is_monotonic_across_sinks() {
+        let mut a = MemorySpanSink::new();
+        let id = a.open("first");
+        a.close(id);
+        let mut b = MemorySpanSink::new();
+        let id = b.open("second");
+        b.close(id);
+        let first = &a.take_records()[0];
+        let second = &b.take_records()[0];
+        assert!(second.start_us >= first.start_us);
+    }
+}

@@ -50,6 +50,7 @@ proptest! {
         rejected in 0u64..1_000_000,
         evaluated in 0u64..1_000_000,
         peak in 0u64..1_000_000,
+        (skipped, jumped) in (0u64..1_000_000, 0u64..1_000_000),
         found in any::<bool>(),
         score in arb_f64(),
     ) {
@@ -59,6 +60,8 @@ proptest! {
             slots_rejected: rejected,
             windows_evaluated: evaluated,
             peak_alive: peak,
+            subtrees_skipped: skipped,
+            windows_jumped: jumped,
             found,
             best_score: score,
         };

@@ -13,7 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use slotsel_obs::{NoopRecorder, Recorder, TraceEvent};
+use slotsel_obs::{NoopRecorder, Recorder, SpanSink, TraceEvent};
 
 use slotsel_core::money::Money;
 use slotsel_core::node::Platform;
@@ -132,6 +132,27 @@ pub fn detect_victims_traced<R: Recorder>(
             });
         }
     }
+    report
+}
+
+/// [`detect_victims_traced`] wrapped in a `"recovery.detect"` span
+/// carrying the audited/victim counts. With a disabled sink this is the
+/// traced detection verbatim.
+#[must_use]
+pub fn detect_victims_spanned<R: Recorder, S: SpanSink + ?Sized>(
+    env: &Environment,
+    committed: &[(&Job, &Window)],
+    recorder: &mut R,
+    spans: &mut S,
+) -> VictimReport {
+    if !spans.enabled() {
+        return detect_victims_traced(env, committed, recorder);
+    }
+    let span = spans.open("recovery.detect");
+    let report = detect_victims_traced(env, committed, recorder);
+    spans.attr_u64("windows", committed.len() as u64);
+    spans.attr_u64("victims", report.victim_indices.len() as u64);
+    spans.close(span);
     report
 }
 

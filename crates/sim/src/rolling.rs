@@ -20,7 +20,10 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use slotsel_obs::journal::{Journal, NoopJournal};
-use slotsel_obs::{Metrics, NoopMetrics, NoopRecorder, Recorder, Stopwatch, TraceEvent};
+use slotsel_obs::{
+    Metrics, NoopMetrics, NoopRecorder, NoopSpanSink, Recorder, SpanId, SpanSink, Stopwatch,
+    TraceEvent,
+};
 
 use slotsel_batch::{BatchScheduler, BatchSchedulerConfig};
 use slotsel_core::money::Money;
@@ -216,6 +219,33 @@ pub fn simulate_with_recovery_metered<R: Recorder, M: Metrics>(
     )
 }
 
+/// Runs the fault-injected rolling simulation with tracing, metrics and
+/// hierarchical spans.
+///
+/// On top of [`simulate_with_recovery_metered`]'s behaviour, when `spans`
+/// is [enabled](SpanSink::enabled) every executed cycle records a
+/// `"rolling.cycle"` span tree — the scheduler's `"batch.schedule"`
+/// phases with their per-job `"aep.scan"` leaves, plus the
+/// disruption/recovery/audit phases under fault injection. With
+/// [`NoopSpanSink`] this is the metered simulation, bit for bit.
+#[must_use]
+pub fn simulate_with_recovery_spanned<R: Recorder, M: Metrics, S: SpanSink>(
+    config: &RollingConfig,
+    jobs: Vec<Job>,
+    recorder: &mut R,
+    metrics: &M,
+    spans: &mut S,
+) -> RollingReport {
+    run_spanned(
+        config,
+        RollingState::initial(jobs),
+        recorder,
+        metrics,
+        &mut NoopJournal,
+        spans,
+    )
+}
+
 /// Runs the fault-injected rolling simulation with a write-ahead journal.
 ///
 /// On top of [`simulate_with_recovery_metered`]'s behaviour, the run
@@ -328,7 +358,29 @@ fn run_journaled<R: Recorder, M: Metrics, J: Journal>(
     metrics: &M,
     journal: &mut J,
 ) -> RollingReport {
+    run_spanned(config, state, recorder, metrics, journal, &mut NoopSpanSink)
+}
+
+/// [`run_journaled`] with hierarchical spans: when `spans` is
+/// [enabled](SpanSink::enabled) every executed cycle records a
+/// `"rolling.cycle"` span whose children are the scheduler's
+/// `"batch.schedule"` tree plus, under fault injection,
+/// `"rolling.disruption"` (injected events), `"recovery.detect"` (the
+/// victim replay audit), `"rolling.recovery"` (the policy's decisions)
+/// and `"rolling.audit"` (the repaired-schedule re-validation). With
+/// [`NoopSpanSink`] every span branch is dead code and this is exactly
+/// [`run_journaled`] (which delegates here).
+#[allow(clippy::too_many_lines)]
+fn run_spanned<R: Recorder, M: Metrics, J: Journal, S: SpanSink>(
+    config: &RollingConfig,
+    state: RollingState,
+    recorder: &mut R,
+    metrics: &M,
+    journal: &mut J,
+    spans: &mut S,
+) -> RollingReport {
     let metered = metrics.enabled();
+    let spanning = spans.enabled();
     let scheduler = BatchScheduler::new(config.scheduler.clone());
     let RollingState {
         next_cycle,
@@ -378,6 +430,14 @@ fn run_journaled<R: Recorder, M: Metrics, J: Journal>(
         if pending.is_empty() && parked.is_empty() {
             break;
         }
+        let cycle_span = if spanning {
+            let span = spans.open("rolling.cycle");
+            spans.attr_u64("cycle", u64::from(cycle));
+            spans.attr_u64("pending", pending.len() as u64);
+            span
+        } else {
+            SpanId::NONE
+        };
         let watch = Stopwatch::start_if(recorder.enabled() || metered);
         if recorder.enabled() {
             recorder.emit(TraceEvent::CycleStarted {
@@ -388,8 +448,15 @@ fn run_journaled<R: Recorder, M: Metrics, J: Journal>(
         let mut env = config
             .env
             .generate(&mut StdRng::seed_from_u64(config.seed + u64::from(cycle)));
-        let schedule =
-            scheduler.schedule_metered(env.platform(), env.slots(), &pending, recorder, metrics);
+        let schedule = scheduler.schedule_spanned(
+            env.platform(),
+            env.slots(),
+            &pending,
+            recorder,
+            metrics,
+            &mut NoopJournal,
+            spans,
+        );
 
         let mut committed: Vec<(Job, Window)> = Vec::new();
         let mut still_pending = Vec::new();
@@ -442,8 +509,17 @@ fn run_journaled<R: Recorder, M: Metrics, J: Journal>(
                 completed_now = committed.len();
             }
             Some(model) => {
+                let disruption_span = if spanning {
+                    Some(spans.open("rolling.disruption"))
+                } else {
+                    None
+                };
                 let window_refs: Vec<&Window> = committed.iter().map(|(_, w)| w).collect();
                 let events = model.inject(&mut env, cycle, &window_refs);
+                if let Some(span) = disruption_span {
+                    spans.attr_u64("events", events.len() as u64);
+                    spans.close(span);
+                }
                 for event in &events {
                     survival.record_event(event);
                     if recorder.enabled() {
@@ -468,8 +544,14 @@ fn run_journaled<R: Recorder, M: Metrics, J: Journal>(
                 }
 
                 let pairs: Vec<(&Job, &Window)> = committed.iter().map(|(j, w)| (j, w)).collect();
-                let mut detection = recovery::detect_victims_traced(&env, &pairs, &mut *recorder);
+                let mut detection =
+                    recovery::detect_victims_spanned(&env, &pairs, &mut *recorder, spans);
                 survival.windows_disrupted += detection.victim_indices.len() as u64;
+                let recovery_span = if spanning {
+                    Some(spans.open("rolling.recovery"))
+                } else {
+                    None
+                };
 
                 // Survivors execute; a survivor that was some earlier
                 // cycle's victim is a retry rescue completing now.
@@ -660,12 +742,26 @@ fn run_journaled<R: Recorder, M: Metrics, J: Journal>(
                     }
                 }
 
+                if let Some(span) = recovery_span {
+                    spans.attr_u64("victims", detection.victim_indices.len() as u64);
+                    spans.close(span);
+                }
+
                 // The repaired schedule (survivors + migrations) must
                 // replay cleanly against the perturbed environment; the
                 // recovery paths maintain this, the audit enforces it.
+                let audit_span = if spanning {
+                    Some(spans.open("rolling.audit"))
+                } else {
+                    None
+                };
                 let repaired: Vec<&Window> = detection.survivor_windows.iter().collect();
                 if crate::execution::verify(&env, &repaired).is_err() {
                     survival.audit_failures += 1;
+                }
+                if let Some(span) = audit_span {
+                    spans.attr_u64("windows", repaired.len() as u64);
+                    spans.close(span);
                 }
             }
         }
@@ -725,6 +821,10 @@ fn run_journaled<R: Recorder, M: Metrics, J: Journal>(
             };
             journal.append(&JournalRecord::CycleCommitted { state: barrier }.encode());
             journal.commit();
+        }
+        if spanning {
+            spans.attr_u64("scheduled", completed_now as u64);
+            spans.close(cycle_span);
         }
     }
 
@@ -1046,5 +1146,61 @@ mod tests {
         }
         let scheduled_total: usize = outcome.cycles.iter().map(|c| c.scheduled).sum();
         assert_eq!(scheduled_total, outcome.completions.len());
+    }
+
+    #[test]
+    fn spanned_simulation_matches_metered_and_nests_cycle_phases() {
+        use slotsel_obs::{MemorySpanSink, NoopSpanSink, SpanId};
+        let config = disrupted_config(RecoveryPolicy::RetryNextCycle {
+            backoff: 1,
+            max_attempts: 3,
+        });
+        let jobs: Vec<Job> = (0..6).map(|i| job(i, 1, 3, 200, 5_000)).collect();
+        let metered =
+            simulate_with_recovery_metered(&config, jobs.clone(), &mut NoopRecorder, &NoopMetrics);
+
+        // Disabled sink: the spanned entry point is the metered run.
+        let dark = simulate_with_recovery_spanned(
+            &config,
+            jobs.clone(),
+            &mut NoopRecorder,
+            &NoopMetrics,
+            &mut NoopSpanSink,
+        );
+        assert_eq!(dark, metered);
+
+        // Enabled sink: same report, plus a per-cycle span tree.
+        let mut sink = MemorySpanSink::new();
+        let spanned = simulate_with_recovery_spanned(
+            &config,
+            jobs,
+            &mut NoopRecorder,
+            &NoopMetrics,
+            &mut sink,
+        );
+        assert_eq!(spanned, metered);
+        let records = sink.take_records();
+        let cycles: Vec<_> = records
+            .iter()
+            .filter(|r| r.name == "rolling.cycle")
+            .collect();
+        assert_eq!(cycles.len(), metered.outcome.cycles.len());
+        for cycle in &cycles {
+            assert_eq!(cycle.parent, SpanId::NONE, "cycles are roots");
+        }
+        // Disruptions fired (adversarial model), so the phase spans
+        // exist and each nests inside some cycle span.
+        for phase in ["batch.schedule", "rolling.disruption", "rolling.audit"] {
+            let child = records
+                .iter()
+                .find(|r| r.name == phase)
+                .unwrap_or_else(|| panic!("missing {phase}"));
+            assert!(
+                cycles.iter().any(|c| c.id == child.parent
+                    && child.start_us >= c.start_us
+                    && child.end_us <= c.end_us),
+                "{phase} must nest inside its cycle"
+            );
+        }
     }
 }

@@ -72,6 +72,7 @@ use slotsel_core::window::Window;
 use slotsel_env::EnvironmentConfig;
 use slotsel_obs::journal::{read_journal, Journal, NoopJournal, SnapshotStore};
 use slotsel_obs::metrics::{Metrics, NoopMetrics};
+use slotsel_obs::{MemorySpanSink, NoopRecorder, NoopSpanSink, SpanId, SpanSink};
 
 use crate::journal::{journal_path, snapshot_dir, RecoverError};
 use crate::parallel::{self, Parallelism};
@@ -612,13 +613,45 @@ impl LiveService {
         metrics: &dyn Metrics,
         journal: &mut J,
     ) -> CycleOutcome {
+        self.run_cycle_spanned(parallelism, metrics, journal, &mut NoopSpanSink)
+    }
+
+    /// Like [`run_cycle_observed`](Self::run_cycle_observed), additionally
+    /// recording a span tree on `spans`: a `"serve.cycle"` root with
+    /// `"serve.batch_formation"` / `"serve.commit"` / `"serve.advance"` /
+    /// `"serve.retire"` phase children, plus one `"serve.shard"` subtree
+    /// per shard. Shard subtrees are recorded inside the worker threads on
+    /// private sinks (track `shard + 1`) and adopted under the cycle root
+    /// afterwards, so the caller's sink never crosses threads. With a
+    /// disabled sink this is `run_cycle_observed`, bit for bit.
+    #[allow(clippy::too_many_lines)]
+    pub fn run_cycle_spanned<J: Journal, S: SpanSink>(
+        &mut self,
+        parallelism: Parallelism,
+        metrics: &dyn Metrics,
+        journal: &mut J,
+        spans: &mut S,
+    ) -> CycleOutcome {
+        let spanning = spans.enabled();
         let cycle = self.state.cycle;
+        let root = if spanning {
+            let root = spans.open("serve.cycle");
+            spans.attr_u64("cycle", cycle);
+            root
+        } else {
+            SpanId::NONE
+        };
         let mut outcome = CycleOutcome {
             cycle,
             ..CycleOutcome::default()
         };
 
         // --- Batch formation, quotas re-enforced -----------------------
+        let formation_span = if spanning {
+            Some(spans.open("serve.batch_formation"))
+        } else {
+            None
+        };
         // Walk the queue in scheduling order (priority desc, id asc) and
         // re-run admission against a tally that starts from committed
         // work only: if the quota table tightened since these jobs were
@@ -668,18 +701,58 @@ impl LiveService {
                 Err(_) => outcome.over_quota.push(entry.id),
             }
         }
+        if let Some(id) = formation_span {
+            spans.attr_u64("batched", batched.len() as u64);
+            spans.attr_u64("over_quota", outcome.over_quota.len() as u64);
+            spans.close(id);
+        }
 
         // --- Concurrent per-shard scheduling ---------------------------
         // Each shard's two-phase schedule is a pure function of its own
         // (platform, slots, batch), so disjoint shards really do run in
-        // parallel; results come back in shard order regardless.
+        // parallel; results come back in shard order regardless. Span
+        // trees are captured per worker on private sinks and adopted
+        // under the cycle root once the barrier completes.
         let scheduler = BatchScheduler::new(self.config.scheduler.clone());
         let shards = &self.state.shards;
-        let schedules = parallel::map(parallelism, &batches, |shard, jobs| {
-            scheduler.schedule(&shards[shard].platform, &shards[shard].slots, jobs)
+        let results = parallel::map(parallelism, &batches, |shard, jobs| {
+            if spanning {
+                let mut sink = MemorySpanSink::new();
+                sink.set_track(shard as u32 + 1);
+                let span = sink.open("serve.shard");
+                sink.attr_u64("shard", shard as u64);
+                sink.attr_u64("jobs", jobs.len() as u64);
+                let schedule = scheduler.schedule_spanned(
+                    &shards[shard].platform,
+                    &shards[shard].slots,
+                    jobs,
+                    &mut NoopRecorder,
+                    &NoopMetrics,
+                    &mut NoopJournal,
+                    &mut sink,
+                );
+                sink.close(span);
+                (schedule, sink.take_records())
+            } else {
+                let schedule =
+                    scheduler.schedule(&shards[shard].platform, &shards[shard].slots, jobs);
+                (schedule, Vec::new())
+            }
         });
+        let mut schedules = Vec::with_capacity(results.len());
+        for (schedule, records) in results {
+            if !records.is_empty() {
+                spans.adopt(root, records);
+            }
+            schedules.push(schedule);
+        }
 
         // --- Serial commit, shard order --------------------------------
+        let commit_span = if spanning {
+            Some(spans.open("serve.commit"))
+        } else {
+            None
+        };
         let mut new_phase: BTreeMap<u32, JobPhase> = BTreeMap::new();
         for (shard, schedule) in schedules.iter().enumerate() {
             for assignment in &schedule.assignments {
@@ -727,8 +800,18 @@ impl LiveService {
                 None => entry.priority = entry.priority.saturating_add(1),
             }
         }
+        if let Some(id) = commit_span {
+            spans.attr_u64("committed", outcome.committed.len() as u64);
+            spans.attr_u64("deferred", outcome.deferred.len() as u64);
+            spans.close(id);
+        }
 
         // --- Advance the virtual clock ---------------------------------
+        let advance_span = if spanning {
+            Some(spans.open("serve.advance"))
+        } else {
+            None
+        };
         let advance = TimeDelta::new(self.config.cycle_advance);
         for shard in &mut self.state.shards {
             // Nodes are free beyond the generated non-dedicated interval:
@@ -762,8 +845,17 @@ impl LiveService {
             }
             shard.now = now;
         }
+        if let Some(id) = advance_span {
+            spans.attr_u64("shards", self.state.shards.len() as u64);
+            spans.close(id);
+        }
 
         // --- Retire finished windows, releasing quota ------------------
+        let retire_span = if spanning {
+            Some(spans.open("serve.retire"))
+        } else {
+            None
+        };
         for entry in &mut self.state.jobs {
             if let JobPhase::Scheduled {
                 window,
@@ -788,6 +880,11 @@ impl LiveService {
             }
         }
 
+        if let Some(id) = retire_span {
+            spans.attr_u64("finished", outcome.finished.len() as u64);
+            spans.close(id);
+        }
+
         self.state.cycle += 1;
         self.recompute_usage();
 
@@ -799,6 +896,9 @@ impl LiveService {
         );
         journal.commit();
 
+        if spanning {
+            spans.close(root);
+        }
         self.export_metrics(metrics, &outcome);
         outcome
     }
@@ -1320,5 +1420,63 @@ mod tests {
             })
             .collect();
         assert_eq!(shards, vec![0, 1], "one commit per disjoint shard");
+    }
+
+    #[test]
+    fn spanned_cycle_matches_observed_and_adopts_shard_subtrees() {
+        let seed_service = || {
+            let mut service = LiveService::new(tiny_config(2));
+            for shard in 0..2u32 {
+                service
+                    .submit(&Submission {
+                        shard: Some(shard),
+                        ..submission("alice", 1, 100_000.0)
+                    })
+                    .unwrap();
+            }
+            service
+        };
+
+        let mut plain = seed_service();
+        let plain_outcome = plain.run_cycle(Parallelism::Serial);
+
+        let mut spanned = seed_service();
+        let mut sink = MemorySpanSink::new();
+        let outcome =
+            spanned.run_cycle_spanned(Parallelism::Auto, &NoopMetrics, &mut NoopJournal, &mut sink);
+        assert_eq!(outcome, plain_outcome);
+        assert_eq!(spanned.state(), plain.state());
+
+        let records = sink.take_records();
+        let root = records
+            .iter()
+            .find(|r| r.name == "serve.cycle")
+            .expect("cycle root");
+        for phase in [
+            "serve.batch_formation",
+            "serve.commit",
+            "serve.advance",
+            "serve.retire",
+        ] {
+            assert!(
+                records
+                    .iter()
+                    .any(|r| r.name == phase && r.parent == root.id),
+                "missing {phase}"
+            );
+        }
+        // One adopted shard subtree per shard, each on its own track
+        // (shard s runs on track s + 1; the coordinator stays on 0).
+        let shard_tracks: Vec<u32> = records
+            .iter()
+            .filter(|r| r.name == "serve.shard")
+            .map(|r| r.track)
+            .collect();
+        assert_eq!(shard_tracks, vec![1, 2]);
+        for record in &records {
+            if record.name == "batch.schedule" {
+                assert!(record.track >= 1, "shard subtree keeps its track");
+            }
+        }
     }
 }

@@ -14,6 +14,7 @@
 //! `{ "id": 0, "priority": 5, "node_count": 5, "volume": 300, "budget": 1500.0 }`
 //! objects.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -35,7 +36,8 @@ use slotsel::env::{EnvironmentConfig, NodeGenConfig};
 use slotsel::obs::journal::{Journal, NoopJournal};
 use slotsel::obs::json::{parse_object, JsonObject, ObjectWriter};
 use slotsel::obs::{
-    Handler, HttpRequest, HttpResponse, Metrics, MetricsRegistry, MetricsServer, NoopRecorder,
+    chrome, FlightRecorder, Handler, HttpRequest, HttpResponse, MemorySpanSink, Metrics,
+    MetricsRegistry, MetricsServer, NoopRecorder, SpanRecord,
 };
 use slotsel::sim::gantt::render_gantt;
 use slotsel::sim::journal::{recover, DurableJournal, RecoverError};
@@ -485,6 +487,12 @@ fn print_round(round: u64, report: &RollingReport) {
 struct LiveShared {
     service: LiveService,
     journal: Option<DurableJournal>,
+    /// Ring buffer of the last `--flight-cycles` cycles' span trees,
+    /// served raw as Chrome trace JSON by `GET /debug/trace`.
+    flight: FlightRecorder,
+    /// Per-job lifecycle log (`(cycle, event)` pairs, append-only) behind
+    /// `GET /debug/job/{id}/timeline`.
+    timelines: BTreeMap<u32, Vec<(u64, &'static str)>>,
 }
 
 fn lock_live(shared: &Mutex<LiveShared>) -> std::sync::MutexGuard<'_, LiveShared> {
@@ -568,6 +576,10 @@ fn live_handler(shared: Arc<Mutex<LiveShared>>, registry: Arc<MetricsRegistry>) 
                 let mut live = lock_live(&shared);
                 match live.service.submit(&submission) {
                     Ok(entry) => {
+                        live.timelines
+                            .entry(entry.id.0)
+                            .or_default()
+                            .push((entry.submitted_cycle, "submitted"));
                         // Durable before acknowledged: the fsync in
                         // commit() is what lets --recover re-apply this
                         // submit after a crash.
@@ -665,6 +677,59 @@ fn live_handler(shared: Arc<Mutex<LiveShared>>, registry: Arc<MetricsRegistry>) 
                 );
                 Some(HttpResponse::json(body.finish() + "\n"))
             }
+            ("GET", "/debug/trace") => {
+                let live = lock_live(&shared);
+                let groups: Vec<(u64, &[SpanRecord])> = live.flight.groups().collect();
+                Some(HttpResponse::json(chrome::render(&groups)))
+            }
+            ("GET", "/debug/spans") => {
+                let live = lock_live(&shared);
+                let mut lines = String::new();
+                for (name, summary) in live.flight.phase_summary() {
+                    let mut body = ObjectWriter::new();
+                    body.str_field("name", &name);
+                    body.u64_field("count", summary.count);
+                    body.u64_field("total_us", summary.total_us);
+                    body.u64_field("mean_us", summary.mean_us());
+                    body.u64_field("min_us", summary.min_us);
+                    body.u64_field("max_us", summary.max_us);
+                    lines.push_str(&body.finish());
+                    lines.push('\n');
+                }
+                Some(HttpResponse {
+                    status: 200,
+                    content_type: "application/x-ndjson".to_owned(),
+                    body: lines,
+                })
+            }
+            ("GET", path) if path.starts_with("/debug/job/") && path.ends_with("/timeline") => {
+                let middle = &path["/debug/job/".len()..path.len() - "/timeline".len()];
+                let id = middle.parse::<u32>().ok()?;
+                let live = lock_live(&shared);
+                match live.timelines.get(&id) {
+                    Some(events) => {
+                        let mut lines = String::new();
+                        for &(cycle, event) in events {
+                            let mut body = ObjectWriter::new();
+                            body.u64_field("job", u64::from(id));
+                            body.u64_field("cycle", cycle);
+                            body.str_field("event", event);
+                            lines.push_str(&body.finish());
+                            lines.push('\n');
+                        }
+                        Some(HttpResponse {
+                            status: 200,
+                            content_type: "application/x-ndjson".to_owned(),
+                            body: lines,
+                        })
+                    }
+                    None => Some(HttpResponse::error(
+                        404,
+                        "unknown_job",
+                        &format!("no timeline for job {id}"),
+                    )),
+                }
+            }
             _ => None,
         }
     })
@@ -684,6 +749,7 @@ fn cmd_serve_live(args: &Args) -> Result<(), String> {
     let cycle_ms: u64 = args.parsed("--cycle-ms", 250)?;
     let snapshot_every: u32 = args.parsed("--snapshot-every", 5)?;
     let bind_retries: u32 = args.parsed("--bind-retries", 5)?;
+    let flight_cycles: usize = args.parsed("--flight-cycles", 64)?;
     let journal_base = args.flag("--journal-dir").map(std::path::PathBuf::from);
     let recover_requested = args.raw.iter().any(|a| a == "--recover");
     if recover_requested && journal_base.is_none() {
@@ -775,7 +841,27 @@ fn cmd_serve_live(args: &Args) -> Result<(), String> {
     };
 
     let registry = Arc::new(MetricsRegistry::new());
-    let shared = Arc::new(Mutex::new(LiveShared { service, journal }));
+    let store = service
+        .state()
+        .shards
+        .first()
+        .map_or_else(|| "none".to_owned(), |s| s.slots.store_kind().to_string());
+    let shard_count = shards.to_string();
+    registry.gauge_set(
+        "slotsel_build_info",
+        &[
+            ("version", env!("CARGO_PKG_VERSION")),
+            ("store", &store),
+            ("shards", &shard_count),
+        ],
+        1.0,
+    );
+    let shared = Arc::new(Mutex::new(LiveShared {
+        service,
+        journal,
+        flight: FlightRecorder::new(flight_cycles),
+        timelines: BTreeMap::new(),
+    }));
     let handler = live_handler(Arc::clone(&shared), Arc::clone(&registry));
     let server = MetricsServer::start_with_retry_and_handler(
         addr,
@@ -818,11 +904,49 @@ fn cmd_serve_live(args: &Args) -> Result<(), String> {
             break;
         }
         let mut live = lock_live(&shared);
-        let LiveShared { service, journal } = &mut *live;
+        let LiveShared {
+            service,
+            journal,
+            flight,
+            timelines,
+        } = &mut *live;
+        let mut sink = MemorySpanSink::new();
         let outcome = match journal.as_mut() {
-            Some(journal) => service.run_cycle_observed(parallelism, registry.as_ref(), journal),
-            None => service.run_cycle_observed(parallelism, registry.as_ref(), &mut NoopJournal),
+            Some(journal) => {
+                service.run_cycle_spanned(parallelism, registry.as_ref(), journal, &mut sink)
+            }
+            None => service.run_cycle_spanned(
+                parallelism,
+                registry.as_ref(),
+                &mut NoopJournal,
+                &mut sink,
+            ),
         };
+        flight.push(outcome.cycle, sink.take_records());
+        for &(job, _) in &outcome.committed {
+            timelines
+                .entry(job.0)
+                .or_default()
+                .push((outcome.cycle, "committed"));
+        }
+        for job in &outcome.deferred {
+            timelines
+                .entry(job.0)
+                .or_default()
+                .push((outcome.cycle, "deferred"));
+        }
+        for job in &outcome.over_quota {
+            timelines
+                .entry(job.0)
+                .or_default()
+                .push((outcome.cycle, "over_quota"));
+        }
+        for job in &outcome.finished {
+            timelines
+                .entry(job.0)
+                .or_default()
+                .push((outcome.cycle, "finished"));
+        }
         executed += 1;
         if !outcome.committed.is_empty()
             || !outcome.deferred.is_empty()
@@ -1043,6 +1167,9 @@ commands:
             [--cycle-advance T] [--cycle-ms MS] [--cycles C (0 = forever)]
             [--seed S] [--quota-file FILE] [--bind-retries N]
             [--journal-dir DIR [--recover] [--snapshot-every N]]
+            [--flight-cycles N]  # span flight recorder depth; see
+                                 # GET /debug/trace, /debug/spans,
+                                 # /debug/job/{id}/timeline
 ";
 
 fn main() -> ExitCode {

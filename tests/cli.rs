@@ -857,3 +857,99 @@ fn missing_env_file_is_a_clean_error() {
     assert!(!out.status.success());
     assert!(stderr(&out).contains("error:"));
 }
+
+#[test]
+fn live_serve_debug_endpoints_expose_trace_timeline_and_spans() {
+    use slotsel::obs::chrome;
+
+    let (mut child, addr) = spawn_live(&["--shards", "2", "--nodes", "12"]);
+
+    // Submit two jobs, one pinned to each shard, and wait until a cycle
+    // has scheduled them so the flight recorder holds real span trees.
+    for shard in 0..2 {
+        let body = format!(
+            "{{\"tenant\":\"alice\",\"nodes\":2,\"volume\":80,\"budget\":500.0,\"shard\":{shard}}}"
+        );
+        let response = live_request(&addr, "POST", "/submit", &body);
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    }
+    for job in 0..2 {
+        wait_for_schedule(&addr, job);
+    }
+
+    // /debug/trace serves Chrome trace-event JSON that satisfies the
+    // exporter's invariants: parents exist, children nest inside their
+    // parents, and each (process, track) lane is overlap-free.
+    let trace = live_request(&addr, "GET", "/debug/trace", "");
+    assert!(trace.starts_with("HTTP/1.1 200"), "{trace}");
+    let summary = chrome::validate(response_body(&trace)).expect("valid Chrome trace");
+    assert!(summary.spans > 0, "flight recorder captured spans");
+    assert!(
+        summary.processes > 0,
+        "one trace process per recorded cycle"
+    );
+    assert!(
+        summary.tracks >= 3,
+        "coordinator track plus one per shard: {summary:?}"
+    );
+    for name in ["serve.cycle", "serve.shard", "batch.schedule"] {
+        assert!(
+            response_body(&trace).contains(&format!("\"name\":\"{name}\"")),
+            "trace names {name}"
+        );
+    }
+
+    // /debug/job/{id}/timeline replays the job's lifecycle in order.
+    let timeline = live_request(&addr, "GET", "/debug/job/0/timeline", "");
+    assert!(timeline.starts_with("HTTP/1.1 200"), "{timeline}");
+    let events = response_body(&timeline);
+    assert!(events.contains("\"event\":\"submitted\""), "{events}");
+    assert!(events.contains("\"event\":\"committed\""), "{events}");
+    let submitted_line = events
+        .lines()
+        .position(|l| l.contains("\"submitted\""))
+        .unwrap();
+    let committed_line = events
+        .lines()
+        .position(|l| l.contains("\"committed\""))
+        .unwrap();
+    assert!(submitted_line < committed_line, "lifecycle order: {events}");
+    let missing = live_request(&addr, "GET", "/debug/job/99/timeline", "");
+    assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+    // /debug/spans summarises per-phase durations.
+    let spans = live_request(&addr, "GET", "/debug/spans", "");
+    assert!(spans.starts_with("HTTP/1.1 200"), "{spans}");
+    assert!(
+        response_body(&spans).contains("\"name\":\"serve.cycle\""),
+        "{spans}"
+    );
+    assert!(response_body(&spans).contains("\"mean_us\":"), "{spans}");
+
+    // The scrape carries the build-info gauge and the per-endpoint HTTP
+    // serving metrics (ids collapsed to a bounded {id} label).
+    let metrics = live_request(&addr, "GET", "/metrics", "");
+    assert!(
+        metrics.contains("slotsel_build_info{"),
+        "build info gauge: {metrics}"
+    );
+    assert!(metrics.contains("store=\"tree\""), "{metrics}");
+    assert!(metrics.contains("shards=\"2\""), "{metrics}");
+    assert!(
+        metrics.contains("slotsel_http_requests_total{path=\"/debug/trace\",status=\"200\"}"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("path=\"/debug/job/{id}/timeline\""),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("slotsel_http_request_seconds"),
+        "{metrics}"
+    );
+
+    let bye = live_request(&addr, "POST", "/shutdown", "");
+    assert!(bye.starts_with("HTTP/1.1 200"), "{bye}");
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "clean shutdown");
+}
